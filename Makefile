@@ -1,0 +1,29 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python3
+
+.PHONY: install test bench report examples clean
+
+install:
+	$(PYTHON) tools/wheel_shim/install.py
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regeneration tests (print the paper's tables/figures and assert shapes)
+regen:
+	$(PYTHON) -m pytest benchmarks/ -s
+
+report:
+	$(PYTHON) -m repro report --out evaluation
+
+examples:
+	@for ex in examples/*.py; do echo "== $$ex =="; $(PYTHON) $$ex; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache evaluation
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,59 @@
+"""Ablation: task granularity (the paper's future-work knob).
+
+Sweeps the ``coarsen`` factor of :func:`repro.pipeline.detect_pipeline`:
+coarser blocks mean fewer tasks (less creation overhead) but less overlap.
+With the paper's fine-grained blocks and non-zero task overhead there is a
+sweet spot; the regeneration test prints the trade-off curve.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import build_scop
+from repro.pipeline import detect_pipeline
+from repro.schedule import generate_task_ast
+from repro.tasking import TaskGraph, simulate
+from repro.workloads import TABLE9
+
+FACTORS = (1, 2, 4, 8, 16)
+
+
+def _speedup(scop, cost_model, coarsen: int, overhead: float) -> tuple[float, int]:
+    info = detect_pipeline(scop, coarsen=coarsen)
+    ast = generate_task_ast(info)
+    graph = TaskGraph.from_task_ast(ast, cost_of_block=cost_model.block_cost)
+    sim = simulate(graph, workers=8, overhead=overhead)
+    return graph.total_cost() / sim.makespan, len(graph)
+
+
+def test_regenerate_granularity_curve():
+    kern = TABLE9["P5"]
+    scop = build_scop(kern.source(24))
+    cost = kern.cost_model(2)
+    print()
+    print(f"{'coarsen':>8}  {'tasks':>6}  {'speedup (overhead=1)':>20}")
+    results = {}
+    for factor in FACTORS:
+        speedup, tasks = _speedup(scop, cost, factor, overhead=1.0)
+        results[factor] = (speedup, tasks)
+        print(f"{factor:>8}  {tasks:>6}  {speedup:>20.2f}")
+
+    # Fewer tasks as blocks coarsen; correctness of the knob itself is
+    # covered in tests/pipeline/test_blocking.py.
+    tasks = [results[f][1] for f in FACTORS]
+    assert tasks == sorted(tasks, reverse=True)
+    # With per-task overhead, mild coarsening should not be catastrophic.
+    assert results[2][0] > 0.5 * results[1][0]
+
+
+@pytest.mark.parametrize("factor", FACTORS)
+def test_granularity(benchmark, factor):
+    kern = TABLE9["P3"]
+    scop = build_scop(kern.source(20))
+    cost = kern.cost_model(4)
+    scop.statements[0].points
+
+    speedup, tasks = benchmark(_speedup, scop, cost, factor, 1.0)
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+    benchmark.extra_info["tasks"] = tasks

@@ -1,0 +1,66 @@
+"""Ablation: runtime scheduling policy (FIFO vs LIFO ready queue).
+
+The paper relies on the OpenMP runtime's scheduler; DESIGN.md §5 lists the
+policy as an ablation axis.  FIFO dispatches tasks in creation (program)
+order — which for pipeline graphs keeps every statement's chain moving —
+while LIFO (work-stealing-like) favours recently enabled tasks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import build_scop, pipeline_task_graph
+from repro.tasking import simulate
+from repro.workloads import TABLE9, MatmulKernel
+
+CASES = {
+    "P5": lambda: (
+        build_scop(TABLE9["P5"].source(24)),
+        TABLE9["P5"].cost_model(4),
+    ),
+    "P2": lambda: (
+        build_scop(TABLE9["P2"].source(24)),
+        TABLE9["P2"].cost_model(4),
+    ),
+    "3gmm": lambda: (
+        build_scop(MatmulKernel(3, "gmm").source(24)),
+        MatmulKernel(3, "gmm").cost_model(24),
+    ),
+}
+
+
+def test_regenerate_policy_comparison():
+    print()
+    print(f"{'kernel':>8}  {'fifo speedup':>12}  {'lifo speedup':>12}  {'cp speedup':>12}")
+    for name, make in CASES.items():
+        scop, cost = make()
+        graph = pipeline_task_graph(scop, cost)
+        fifo = simulate(graph, workers=8, overhead=1.0, policy="fifo")
+        lifo = simulate(graph, workers=8, overhead=1.0, policy="lifo")
+        cp = simulate(graph, workers=8, overhead=1.0, policy="cp")
+        total = graph.total_cost()
+        print(
+            f"{name:>8}  {total / fifo.makespan:>12.2f}  "
+            f"{total / lifo.makespan:>12.2f}  {total / cp.makespan:>12.2f}"
+        )
+        # All are greedy list schedules: within 2x of each other and above
+        # the critical-path bound.
+        bound, _ = graph.critical_path()
+        assert fifo.makespan >= bound
+        assert lifo.makespan >= bound
+        assert cp.makespan >= bound
+        assert max(fifo.makespan, lifo.makespan, cp.makespan) < 2 * min(
+            fifo.makespan, lifo.makespan, cp.makespan
+        )
+
+
+@pytest.mark.parametrize("policy", ["fifo", "lifo", "cp"])
+def test_scheduler_policy(benchmark, policy):
+    scop, cost = CASES["P5"]()
+    graph = pipeline_task_graph(scop, cost)
+
+    sim = benchmark(simulate, graph, 8, 1.0, policy)
+    benchmark.extra_info["speedup"] = round(
+        graph.total_cost() / sim.makespan, 3
+    )

@@ -1,0 +1,45 @@
+"""Compile-time scaling of the analysis itself.
+
+The paper's transformation runs inside a compiler; this benchmark tracks
+how Algorithm 1 + Algorithm 2 + task-graph construction scale with the
+iteration-domain size (quadratic point counts), exercising the vectorized
+explicit backend end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import build_scop, pipeline_task_graph
+from repro.workloads import TABLE9
+
+
+@pytest.mark.parametrize("n", [16, 32, 64])
+def test_analysis_scaling(benchmark, n):
+    kern = TABLE9["P5"]
+    scop = build_scop(kern.source(n))
+    cost = kern.cost_model(1)
+    for stmt in scop.statements:
+        stmt.points  # enumeration warmed out of the timing
+
+    graph = benchmark(pipeline_task_graph, scop, cost)
+    benchmark.extra_info["tasks"] = len(graph)
+    benchmark.extra_info["points"] = sum(
+        len(s.points) for s in scop.statements
+    )
+
+
+@pytest.mark.parametrize("n", [16, 32, 64])
+def test_frontend_scaling(benchmark, n):
+    """Parsing + SCoP extraction + domain enumeration cost."""
+    kern = TABLE9["P5"]
+    source = kern.source(n)
+
+    def frontend():
+        scop = build_scop(source)
+        for stmt in scop.statements:
+            stmt.points
+        return scop
+
+    scop = benchmark(frontend)
+    assert len(scop) == 4

@@ -1,0 +1,43 @@
+"""Robustness: Figure 10's shape under the task-overhead parameter.
+
+The only free parameter of the performance model is the per-task overhead.
+This regeneration sweeps it across an order of magnitude and asserts the
+qualitative claims survive: every kernel still gains, and the band
+ordering (P5/P8 on top, P1 at the bottom) is overhead-invariant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.calibration import format_sensitivity, overhead_sensitivity
+
+KERNELS = ["P1", "P3", "P5", "P8"]
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return overhead_sensitivity(KERNELS, n=20, size=8)
+
+
+def test_regenerate_sensitivity_table(rows):
+    print()
+    print(format_sensitivity(rows))
+    table = {r.kernel: r for r in rows}
+
+    for row in rows:
+        # monotone: more overhead never speeds things up
+        ordered = [row.speedups[oh] for oh in sorted(row.speedups)]
+        assert ordered == sorted(ordered, reverse=True)
+        # the gain claim survives up to 4 cost units of overhead
+        assert min(ordered) > 1.0
+
+    # band ordering is overhead-invariant
+    for oh in rows[0].speedups:
+        assert table["P5"].speedups[oh] > table["P3"].speedups[oh]
+        assert table["P3"].speedups[oh] > table["P1"].speedups[oh]
+
+
+def test_sensitivity_bench(benchmark):
+    rows = benchmark(overhead_sensitivity, ["P3"], 16, 4)
+    assert rows[0].spread() >= 0

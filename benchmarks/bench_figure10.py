@@ -1,0 +1,74 @@
+"""Figure 10: speed-up heat-map of the pipelined P-kernels.
+
+``test_regenerate_figure10`` prints the full grid in the paper's layout and
+checks the qualitative claims of Section 6 (every cell gains; the balanced
+four-nest kernels P5/P8 reach ~3.5x; bands are ordered like the paper's).
+The per-kernel benchmarks time one representative cell end to end
+(analysis + scheduling + task-graph + simulation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    build_scop,
+    format_figure10,
+    run_cell,
+    run_figure10,
+    run_pipeline,
+)
+from repro.workloads import TABLE9
+
+KERNELS = sorted(TABLE9, key=lambda k: int(k[1:]))
+
+
+@pytest.fixture(scope="module")
+def figure10_cells(paper_scale):
+    ns = (16, 24, 32, 48, 64) if paper_scale else (12, 16, 20)
+    sizes = (4, 16)
+    return run_figure10(ns=ns, sizes=sizes)
+
+
+def test_regenerate_figure10(figure10_cells):
+    print()
+    print(format_figure10(figure10_cells))
+    speed = {}
+    for c in figure10_cells:
+        speed.setdefault(c.kernel, []).append(c.speedup)
+
+    # Section 6: "cross-loop pipelining always gains speed-up".
+    for kernel, values in speed.items():
+        assert min(values) > 1.0, f"{kernel} shows no gain"
+
+    # Shape: the balanced 4-nest kernels dominate, the 2-nest kernels trail.
+    mean = {k: sum(v) / len(v) for k, v in speed.items()}
+    assert mean["P5"] > 2.8 and mean["P8"] > 2.8
+    assert mean["P5"] > mean["P3"] > mean["P1"]
+    assert mean["P1"] < 2.0 and mean["P2"] < 2.0
+    # No kernel exceeds its nest count (at most n tasks run in parallel).
+    for name in KERNELS:
+        assert max(speed[name]) <= TABLE9[name].num_nests + 1e-9
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_figure10_cell(benchmark, name):
+    """One representative cell per kernel (N = 20, SIZE = 16)."""
+    kern = TABLE9[name]
+
+    cell = benchmark(run_cell, kern, 20, 16)
+    assert cell.speedup > 1.0
+    benchmark.extra_info["speedup"] = round(cell.speedup, 3)
+
+
+def test_speedup_bounded_by_lmax():
+    """Equation 5 on a Figure-10 kernel: makespan >= heaviest nest."""
+    from repro.baselines import nest_costs, sequential_time
+
+    kern = TABLE9["P5"]
+    scop = build_scop(kern.source(20))
+    cost = kern.cost_model(8)
+    res = run_pipeline(kern.name, scop, cost, overhead=0.0)
+    lmax = max(nest_costs(scop, cost.iter_costs).values())
+    seq = sequential_time(scop, cost.iter_costs)
+    assert lmax <= res.makespan <= seq

@@ -1,0 +1,61 @@
+"""Figure 11: pipeline vs Polly on matrix-multiplication chains.
+
+``test_regenerate_figure11`` prints the paper's series (log2 speed-ups of
+``pipeline``, ``polly_8`` and ``polly``) and asserts the crossover: Polly
+wins on nmm/nmmt (every nest parallel), cross-loop pipelining is the only
+winner on the generalized variants.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench import format_figure11, run_figure11, run_kernel
+from repro.workloads import MatmulKernel, figure11_kernels
+
+NAMES = [k.name for k in figure11_kernels()]
+
+
+@pytest.fixture(scope="module")
+def figure11_rows(paper_scale):
+    size = 48 if paper_scale else 20
+    return run_figure11(size=size)
+
+
+def test_regenerate_figure11(figure11_rows):
+    print()
+    print(format_figure11(figure11_rows))
+    rows = {r.kernel: r for r in figure11_rows}
+
+    for n in (2, 3, 4):
+        plain = rows[f"{n}mm"]
+        # Polly parallelizes every nest: polly_8 ~ 8 threads, polly ~ n.
+        assert plain.polly_8 > plain.polly_n > 1.0
+        assert plain.polly_8 > 6.0
+        assert abs(math.log2(plain.polly_n) - math.log2(n)) < 0.35
+        # ... and beats cross-loop pipelining there (the paper's trade-off).
+        assert plain.polly_8 > plain.pipeline > 1.0
+        # Transposition does not change the dependence structure.
+        assert abs(rows[f"{n}mmt"].pipeline - plain.pipeline) < 0.2
+
+        gen = rows[f"{n}gmm"]
+        # Polly finds nothing on the generalized variants (log2 = 0)...
+        assert gen.polly_8 <= 1.0 + 1e-6
+        assert gen.polly_n <= 1.0 + 1e-6
+        # ...while pipelining still gains, growing with the chain length.
+        assert gen.pipeline > 1.3
+
+    assert rows["4gmm"].pipeline > rows["2gmm"].pipeline
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_figure11_kernel(benchmark, name):
+    n = int(name[0])
+    variant = name[1:]
+    kernel = MatmulKernel(n, variant)
+
+    row = benchmark(run_kernel, kernel, 16)
+    benchmark.extra_info["log2_pipeline"] = round(math.log2(row.pipeline), 3)
+    benchmark.extra_info["log2_polly8"] = round(math.log2(row.polly_8), 3)

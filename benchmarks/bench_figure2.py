@@ -1,0 +1,36 @@
+"""Figure 2: the motivating sequential-vs-pipelined visualization.
+
+Regenerates both timelines of Listing 1 and asserts the paper's claims:
+R fully overlaps S in the pipelined schedule and leaves the critical path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_figure2, run_figure2
+
+
+@pytest.fixture(scope="module")
+def figure2():
+    return run_figure2(n=20)
+
+
+def test_regenerate_figure2(figure2):
+    print()
+    print(format_figure2(figure2))
+
+    # (a) sequential: R adds its full cost after S
+    assert figure2.sequential_makespan > figure2.pipelined_makespan
+    # (b) pipelined: R overlaps S ...
+    assert figure2.overlap > 0
+    # ... completely — R is no longer on the critical path: the pipelined
+    # makespan equals S's own cost (R hides entirely behind it).
+    assert figure2.r_off_critical_path
+    r_cost = figure2.sequential_makespan - figure2.pipelined_makespan
+    assert r_cost == pytest.approx(figure2.overlap)
+
+
+def test_figure2_bench(benchmark):
+    result = benchmark(run_figure2, 16)
+    assert result.overlap > 0

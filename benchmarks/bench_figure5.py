@@ -1,0 +1,43 @@
+"""Figure 5: average-case decomposition of the pipelined running time.
+
+Regenerates the scenario (four nests, heavy third) and asserts Equation 6:
+makespan = starting time + time(L_max) + finishing time, with L_max
+running stall-free once started (what optimal blocks buy, Section 4.4).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figure5 import format_figure5, run_figure5
+
+
+@pytest.fixture(scope="module")
+def figure5():
+    return run_figure5(n=24, heavy_factor=6.0)
+
+
+def test_regenerate_figure5(figure5):
+    print()
+    print(format_figure5(figure5))
+
+    # Equation 6 holds exactly on this schedule.
+    assert figure5.decomposition_gap == pytest.approx(0.0)
+    # The heavy nest starts after a short ramp-in and never stalls.
+    assert figure5.starting_time > 0
+    assert figure5.lmax_runs_without_stalls
+    # Finishing time is short: only the last nest's tail remains.
+    assert figure5.finishing_time < 0.2 * figure5.makespan
+    # And the start-up is small relative to L_max (minimal blocks).
+    assert figure5.starting_time < 0.1 * figure5.lmax_span
+
+
+def test_heavier_lmax_dominates_more():
+    light = run_figure5(n=16, heavy_factor=3.0)
+    heavy = run_figure5(n=16, heavy_factor=12.0)
+    assert heavy.lmax_span / heavy.makespan > light.lmax_span / light.makespan
+
+
+def test_figure5_bench(benchmark):
+    result = benchmark(run_figure5, 16, 6.0)
+    assert result.decomposition_gap == pytest.approx(0.0)

@@ -1,0 +1,92 @@
+"""Micro-benchmarks of the polyhedral substrate.
+
+These track the building blocks everything else pays for: exact LP/ILP
+solves, Fourier–Motzkin enumeration, and the vectorized explicit-relation
+kernels (rank joins, composition, per-domain lexmax).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.presburger import (
+    BasicSet,
+    Constraint,
+    PointRelation,
+    Space,
+    enumerate_basic_set,
+    ilp_minimize,
+    lexmax,
+    solve_lp,
+)
+
+SP = Space(("i", "j"))
+
+
+def tri_constraints(n: int):
+    return (
+        Constraint.ge((1, 0), 0),
+        Constraint.ge((-1, 0), n - 1),
+        Constraint.ge((0, 1), 0),
+        Constraint.ge((1, -1), 0),
+    )
+
+
+class TestSolvers:
+    def test_lp_solve(self, benchmark):
+        cons = list(tri_constraints(100)) + [Constraint.ge((1, 1), -30)]
+
+        res = benchmark(solve_lp, [1, 1], cons, 2)
+        assert res.value == 30
+
+    def test_ilp_minimize(self, benchmark):
+        # fractional LP vertex forces branching
+        cons = [
+            Constraint.ge((2, 3), -7),
+            Constraint.ge((-1, 0), 50),
+            Constraint.ge((0, -1), 50),
+            Constraint.ge((1, 0), 0),
+            Constraint.ge((0, 1), 0),
+        ]
+
+        res = benchmark(ilp_minimize, [1, 1], cons, 2)
+        assert res.status.name == "OPTIMAL"
+
+    def test_lexmax(self, benchmark):
+        cons = list(tri_constraints(60))
+
+        res = benchmark(lexmax, cons, 2, 2)
+        assert res == (59, 59)
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("n", [32, 128])
+    def test_triangle_scan(self, benchmark, n):
+        bs = BasicSet(SP, tri_constraints(n))
+
+        pts = benchmark(enumerate_basic_set, bs)
+        assert pts.shape[0] == n * (n + 1) // 2
+
+
+class TestExplicitKernels:
+    @pytest.fixture(scope="class")
+    def big_relation(self):
+        rng = np.random.default_rng(7)
+        pairs = rng.integers(0, 200, size=(20_000, 4))
+        return PointRelation(pairs, 2)
+
+    def test_compose(self, benchmark, big_relation):
+        result = benchmark(big_relation.inverse().after, big_relation)
+        assert len(result) > 0
+
+    def test_lexmax_per_domain(self, benchmark, big_relation):
+        result = benchmark(big_relation.lexmax_per_domain)
+        assert result.is_single_valued()
+
+    def test_set_difference(self, benchmark, big_relation):
+        a = big_relation.domain()
+        b = big_relation.range()
+
+        result = benchmark(a.difference, b)
+        assert result.ndim == 2

@@ -1,0 +1,66 @@
+"""Per-task overhead of the execution layers.
+
+The granularity discussion (Section 7) hinges on how expensive one task
+is.  These benchmarks measure the bundled layers on no-op tasks: the
+threaded runtime, the CreateTask reference system, and the futures
+backend — giving the abstract `overhead` parameter of the simulator a
+measured counterpart for this Python substrate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tasking import (
+    FuturesBackend,
+    OmpTaskSystem,
+    TaskGraph,
+    execute,
+)
+
+N_TASKS = 200
+
+
+def chain_graph(n: int) -> TaskGraph:
+    g = TaskGraph()
+    prev = None
+    for k in range(n):
+        tid = g.add_task("S", k, action=lambda: None)
+        if prev is not None:
+            g.add_edge(prev, tid)
+        prev = tid
+    return g
+
+
+def test_threaded_runtime_chain(benchmark):
+    """Fully serialized no-op tasks: pure scheduling overhead."""
+    result = benchmark(lambda: execute(chain_graph(N_TASKS), workers=4))
+    assert result.ok
+
+
+def test_omp_task_system(benchmark):
+    def run():
+        sys_ = OmpTaskSystem(write_num=1)
+        for k in range(N_TASKS):
+            sys_.create_task(lambda p: None, None, out_depend=k, out_idx=0)
+        return sys_.run(workers=4)
+
+    result = benchmark(run)
+    assert result.ok
+
+
+def test_futures_backend(benchmark):
+    def run():
+        backend = FuturesBackend(write_num=1, workers=4)
+        for k in range(N_TASKS):
+            backend.create_task(lambda p: None, None, out_depend=k, out_idx=0)
+        backend.run()
+        return backend
+
+    backend = benchmark(run)
+    assert len(backend) == N_TASKS
+
+
+def test_graph_construction(benchmark):
+    graph = benchmark(chain_graph, N_TASKS)
+    assert len(graph) == N_TASKS

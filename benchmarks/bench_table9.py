@@ -1,0 +1,47 @@
+"""Table 9: the experimental-kernel definitions.
+
+Regenerates the paper's table (Specification / Memory access columns) and
+benchmarks the structural pipeline analysis of each kernel — the
+"compile-time" cost a Polly pass would pay.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import build_scop, format_table9, kernel_structure
+from repro.pipeline import detect_pipeline
+from repro.workloads import TABLE9
+
+KERNELS = sorted(TABLE9, key=lambda k: int(k[1:]))
+
+
+def test_regenerate_table9(capsys):
+    """Print the paper's Table 9 (visible with ``pytest -s``)."""
+    table = format_table9()
+    print()
+    print(table)
+    assert table.count("\n") == len(KERNELS)  # header + one row per kernel
+    for name in KERNELS:
+        assert name in table
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_table9_structure(name):
+    kern = TABLE9[name]
+    struct = kernel_structure(kern, n=24)
+    assert struct["nests"] == kern.num_nests
+    assert all(1 <= mi <= 24 and 1 <= mj <= 24 for mi, mj in struct["extents"])
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_analysis_cost(benchmark, name):
+    """Benchmark Algorithm 1 on each Table 9 kernel (N = 24)."""
+    kern = TABLE9[name]
+    scop = build_scop(kern.source(24))
+    scop.statements[0].points  # warm the domain cache out of the timing
+
+    info = benchmark(detect_pipeline, scop)
+    assert info.num_tasks() > 0
+    benchmark.extra_info["tasks"] = info.num_tasks()
+    benchmark.extra_info["pipeline_maps"] = len(info.pipeline_maps)

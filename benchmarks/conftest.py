@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark suite."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run benchmark grids at the paper's full problem sizes",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_scale(request) -> bool:
+    return request.config.getoption("--paper-scale")

@@ -1,0 +1,12 @@
+// Listing 3 of the paper: three loop nests, combined blocking.
+for(i=0; i<N-1; i++)
+  for(j=0; j<N-1; j++)
+    S: A[i][j] = f(A[i][j], A[i][j+1], A[i+1][j+1]);
+
+for(i=0; i<N/2-1; i++)
+  for(j=0; j<N/2-1; j++)
+    R: B[i][j] = g(A[i][2*j], B[i][j+1], B[i+1][j+1], B[i][j]);
+
+for(i=0; i<N/2-1; i++)
+  for(j=0; j<N/2-1; j++)
+    U: C[i][j] = h(A[2*i][2*j], B[i][j], C[i][j+1], C[i+1][j+1], C[i][j]);

@@ -1,0 +1,30 @@
+"""repro — cross-loop pipeline pattern detection in the polyhedral model.
+
+A from-scratch Python reproduction of *"A Pipeline Pattern Detection
+Technique in Polly"* (Talaashrafi, Doerfert, Moreno Maza; IMPACT 2022):
+a miniature integer-set library, a C-like loop-nest frontend, SCoP
+extraction and dependence analysis, the cross-loop pipeline detection
+algorithm, schedule-tree construction, task code generation, and an
+OpenMP-task-style runtime with both a threaded executor and a
+discrete-event performance simulator.
+
+See :mod:`repro.pipeline` for the paper's core contribution and
+``examples/quickstart.py`` for a guided tour.
+"""
+
+__version__ = "1.0.0"
+
+from .driver import (
+    TransformOptions,
+    TransformResult,
+    VerificationFailedError,
+    transform,
+)
+
+__all__ = [
+    "TransformOptions",
+    "TransformResult",
+    "VerificationFailedError",
+    "transform",
+    "__version__",
+]

@@ -1,0 +1,65 @@
+"""Sensitivity of the evaluation to the simulator's free parameter.
+
+The discrete-event model has exactly one tunable: the per-task
+creation/dispatch overhead (in abstract cost units).  The paper's wall
+clock bakes the OpenMP task overhead into its numbers; here we expose it
+and sweep it, so EXPERIMENTS.md can state how robust each figure's *shape*
+is to the choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..tasking import simulate
+from ..workloads import TABLE9
+from .harness import PAPER_WORKERS, build_scop, pipeline_task_graph
+
+DEFAULT_OVERHEADS = (0.0, 0.5, 1.0, 2.0, 4.0)
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    kernel: str
+    n: int
+    size: int
+    #: overhead value -> pipelined speed-up
+    speedups: dict[float, float]
+
+    def spread(self) -> float:
+        values = list(self.speedups.values())
+        return max(values) - min(values)
+
+
+def overhead_sensitivity(
+    kernels: list[str],
+    n: int = 20,
+    size: int = 8,
+    overheads: tuple[float, ...] = DEFAULT_OVERHEADS,
+    workers: int = PAPER_WORKERS,
+) -> list[SensitivityRow]:
+    """Sweep the task overhead for each kernel at one problem size."""
+    rows: list[SensitivityRow] = []
+    for name in kernels:
+        kern = TABLE9[name]
+        scop = build_scop(kern.source(n))
+        graph = pipeline_task_graph(scop, kern.cost_model(size))
+        total = graph.total_cost()
+        speedups = {
+            oh: total / simulate(graph, workers, overhead=oh).makespan
+            for oh in overheads
+        }
+        rows.append(SensitivityRow(name, n, size, speedups))
+    return rows
+
+
+def format_sensitivity(rows: list[SensitivityRow]) -> str:
+    if not rows:
+        return "(no rows)"
+    overheads = sorted(rows[0].speedups)
+    header = f"{'kernel':>8}" + "".join(f"  oh={oh:g}".rjust(10) for oh in overheads)
+    lines = [header]
+    for row in rows:
+        cells = "".join(f"{row.speedups[oh]:10.2f}" for oh in overheads)
+        lines.append(f"{row.kernel:>8}{cells}")
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Experiment harness: one call per (kernel, configuration) cell.
+
+Runs the full stack — frontend, SCoP extraction, Algorithm 1, Algorithm 2,
+task-graph construction — then simulates pipelined execution and the
+baselines on the same cost model, returning the speed-up figures the
+paper's evaluation reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..baselines import polly_task_graph, sequential_time
+from ..lang import parse
+from ..lang.ast import Program
+from ..pipeline import detect_pipeline
+from ..schedule import generate_task_ast
+from ..scop import Scop, extract_scop
+from ..tasking import TaskGraph, simulate
+from ..workloads import CostModel
+
+#: Paper hardware: x86 quad-core, two threads per core (Section 6).
+PAPER_WORKERS = 8
+#: Task creation/dispatch overhead in abstract cost units (one unit is one
+#: iteration of a num=1, SIZE=1 statement); exposed for ablation.
+DEFAULT_OVERHEAD = 1.0
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Simulated outcome of one kernel under one strategy."""
+
+    kernel: str
+    strategy: str
+    sequential: float
+    makespan: float
+    tasks: int
+    workers: int
+
+    @property
+    def speedup(self) -> float:
+        return self.sequential / self.makespan if self.makespan else 1.0
+
+
+def build_scop(
+    source_or_program: str | Program, params: Mapping[str, int] | None = None
+) -> Scop:
+    program = (
+        parse(source_or_program)
+        if isinstance(source_or_program, str)
+        else source_or_program
+    )
+    return extract_scop(program, dict(params or {}))
+
+
+def pipeline_task_graph(scop: Scop, cost_model: CostModel) -> TaskGraph:
+    """The paper's transformation: Algorithm 1 + 2 + task extraction."""
+    info = detect_pipeline(scop)
+    ast = generate_task_ast(info)
+    return TaskGraph.from_task_ast(ast, cost_of_block=cost_model.block_cost)
+
+
+def run_pipeline(
+    kernel: str,
+    scop: Scop,
+    cost_model: CostModel,
+    workers: int = PAPER_WORKERS,
+    overhead: float = DEFAULT_OVERHEAD,
+    policy: str = "fifo",
+) -> ExperimentResult:
+    """Simulated cross-loop pipelined execution."""
+    graph = pipeline_task_graph(scop, cost_model)
+    sim = simulate(graph, workers=workers, overhead=overhead, policy=policy)
+    seq = sequential_time(scop, cost_model.iter_costs)
+    return ExperimentResult(
+        kernel, "pipeline", seq, sim.makespan, len(graph), workers
+    )
+
+
+def run_polly(
+    kernel: str,
+    scop: Scop,
+    cost_model: CostModel,
+    threads: int,
+    overhead: float = DEFAULT_OVERHEAD,
+) -> ExperimentResult:
+    """Simulated Polly baseline with ``threads`` threads."""
+    graph = polly_task_graph(scop, threads, cost_model.iter_costs)
+    sim = simulate(graph, workers=threads, overhead=overhead)
+    seq = sequential_time(scop, cost_model.iter_costs)
+    return ExperimentResult(
+        kernel, f"polly_{threads}", seq, sim.makespan, len(graph), threads
+    )
+
+
+def run_sequential(
+    kernel: str, scop: Scop, cost_model: CostModel
+) -> ExperimentResult:
+    seq = sequential_time(scop, cost_model.iter_costs)
+    return ExperimentResult(kernel, "sequential", seq, seq, 1, 1)

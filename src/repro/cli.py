@@ -1,0 +1,255 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``analyze <kernel.c> --param N=32``
+    Parse a kernel, run Algorithm 1, print the pipeline summary and the
+    Figure-6 style task AST.
+``run <kernel.c> --param N=32 [--workers 4]``
+    Execute the kernel sequentially and pipelined (threaded runtime) and
+    report whether the results match, plus the simulated speed-up.
+``codegen <kernel.c> --param N=32``
+    Emit the generated task program source to stdout.
+``deps <kernel.c> --param N=32``
+    Print the statement-level dependence graph (flow/anti/output) and the
+    value-based dataflow summary.
+``table9`` / ``figure10`` / ``figure11``
+    Regenerate the paper's evaluation artifacts.
+``report --out DIR``
+    Write every artifact (Table 9, Figures 2/10/11, overhead sensitivity)
+    into a directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _parse_params(items: list[str]) -> dict[str, int]:
+    params: dict[str, int] = {}
+    for item in items or []:
+        name, _, value = item.partition("=")
+        if not value:
+            raise SystemExit(f"bad --param {item!r}; expected NAME=INT")
+        params[name] = int(value)
+    return params
+
+
+def _load(path: str, params: dict[str, int]):
+    from .interp import Interpreter
+
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    return Interpreter.from_source(source, params)
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from .pipeline import NoPatternError, describe_pipeline_map, detect_pipeline
+    from .schedule import build_schedule, generate_task_ast
+
+    interp = _load(args.kernel, _parse_params(args.param))
+    info = detect_pipeline(interp.scop, coarsen=args.coarsen)
+    print(info.summary())
+    for pm in info.pipeline_maps.values():
+        try:
+            print(f"  {describe_pipeline_map(pm)}")
+        except NoPatternError:
+            print(f"  {pm} (no closed form)")
+    print()
+    print(build_schedule(info).pretty())
+    print()
+    print(generate_task_ast(info).pretty())
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from .bench import ascii_timeline
+    from .pipeline import detect_pipeline
+    from .schedule import generate_task_ast
+    from .tasking import (
+        TaskGraph,
+        bind_interpreter_actions,
+        execute,
+        hybrid_task_graph,
+        simulate,
+    )
+
+    interp = _load(args.kernel, _parse_params(args.param))
+    info = detect_pipeline(interp.scop, coarsen=args.coarsen)
+    ast = generate_task_ast(info)
+    if args.hybrid:
+        graph = hybrid_task_graph(interp.scop, info, ast)
+    else:
+        graph = TaskGraph.from_task_ast(ast)
+
+    seq_store = interp.run_sequential(interp.new_store())
+    par_store = interp.new_store()
+    bind_interpreter_actions(graph, interp, par_store)
+    execute(graph, workers=args.workers)
+    match = seq_store.equal(par_store)
+
+    sim = simulate(graph, workers=args.workers)
+    mode = "hybrid" if args.hybrid else "pipelined"
+    print(f"tasks: {len(graph)}, edges: {graph.num_edges}")
+    print(f"{mode} result matches sequential: {match}")
+    print(
+        f"simulated speed-up on {args.workers} workers: "
+        f"{graph.total_cost() / sim.makespan:.2f}x"
+    )
+    if args.timeline:
+        print()
+        print(ascii_timeline(graph, sim))
+    return 0 if match else 1
+
+
+def cmd_codegen(args: argparse.Namespace) -> int:
+    from .codegen import emit_task_program
+    from .pipeline import detect_pipeline
+
+    interp = _load(args.kernel, _parse_params(args.param))
+    info = detect_pipeline(interp.scop, coarsen=args.coarsen)
+    print(emit_task_program(info))
+    return 0
+
+
+def cmd_deps(args: argparse.Namespace) -> int:
+    from .scop import analyze_dataflow, build_dependence_graph
+
+    interp = _load(args.kernel, _parse_params(args.param))
+    graph = build_dependence_graph(interp.scop)
+    print(graph.summary())
+    df = analyze_dataflow(interp.scop)
+    print()
+    print("value-based (last-writer) flows:")
+    for (src, tgt), rel in sorted(df.flows.items()):
+        print(f"  {src} -> {tgt}: {len(rel)} pairs")
+    for name, count in sorted(df.reads_from_input.items()):
+        if count:
+            print(f"  {name}: {count} reads of initial array contents")
+    if args.dot:
+        print()
+        print(graph.to_dot())
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Regenerate every evaluation artifact into a directory."""
+    import os
+
+    from .bench import (
+        format_figure2,
+        format_figure10,
+        format_figure11,
+        format_table9,
+        run_figure2,
+        run_figure10,
+        run_figure11,
+    )
+    from .bench.calibration import format_sensitivity, overhead_sensitivity
+
+    os.makedirs(args.out, exist_ok=True)
+    artifacts = {
+        "table9.txt": format_table9(),
+        "figure2.txt": format_figure2(run_figure2(n=20)),
+        "figure10.txt": format_figure10(run_figure10(ns=tuple(args.sizes))),
+        "figure11.txt": format_figure11(run_figure11(size=args.matrix_size)),
+        "sensitivity.txt": format_sensitivity(
+            overhead_sensitivity(["P1", "P3", "P5", "P8"])
+        ),
+    }
+    for name, text in artifacts.items():
+        path = os.path.join(args.out, name)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_table9(args: argparse.Namespace) -> int:
+    from .bench import format_table9
+
+    print(format_table9())
+    return 0
+
+
+def cmd_figure10(args: argparse.Namespace) -> int:
+    from .bench import format_figure10, run_figure10
+
+    cells = run_figure10(ns=tuple(args.sizes), workers=args.workers)
+    print(format_figure10(cells))
+    return 0
+
+
+def cmd_figure11(args: argparse.Namespace) -> int:
+    from .bench import format_figure11, run_figure11
+
+    rows = run_figure11(size=args.matrix_size, workers=args.workers)
+    print(format_figure11(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cross-loop pipeline pattern detection (IMPACT 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def kernel_cmd(name: str, fn) -> argparse.ArgumentParser:
+        p = sub.add_parser(name)
+        p.add_argument("kernel", help="path to a kernel source file")
+        p.add_argument(
+            "--param", action="append", default=[], metavar="NAME=INT"
+        )
+        p.add_argument("--coarsen", type=int, default=1)
+        p.set_defaults(fn=fn)
+        return p
+
+    kernel_cmd("analyze", cmd_analyze)
+    p_run = kernel_cmd("run", cmd_run)
+    p_run.add_argument("--workers", type=int, default=4)
+    p_run.add_argument(
+        "--hybrid",
+        action="store_true",
+        help="combine cross-loop pipelining with intra-nest parallelism",
+    )
+    p_run.add_argument(
+        "--timeline",
+        action="store_true",
+        help="print a per-statement ASCII timeline of the simulated schedule",
+    )
+    kernel_cmd("codegen", cmd_codegen)
+    p_deps = kernel_cmd("deps", cmd_deps)
+    p_deps.add_argument(
+        "--dot", action="store_true", help="also print Graphviz DOT"
+    )
+
+    p = sub.add_parser("table9")
+    p.set_defaults(fn=cmd_table9)
+
+    p = sub.add_parser("report")
+    p.add_argument("--out", default="evaluation")
+    p.add_argument("--sizes", type=int, nargs="+", default=[16, 24, 32])
+    p.add_argument("--matrix-size", type=int, default=24)
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("figure10")
+    p.add_argument("--sizes", type=int, nargs="+", default=[16, 24, 32])
+    p.add_argument("--workers", type=int, default=8)
+    p.set_defaults(fn=cmd_figure10)
+
+    p = sub.add_parser("figure11")
+    p.add_argument("--matrix-size", type=int, default=32)
+    p.add_argument("--workers", type=int, default=8)
+    p.set_defaults(fn=cmd_figure11)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

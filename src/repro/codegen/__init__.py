@@ -1,0 +1,19 @@
+"""Code generation targeting the CreateTask tasking layer (Section 5.4)."""
+
+from .emit import (
+    emit_task_program,
+    load_task_program,
+    run_generated,
+    statement_columns,
+    statement_packers,
+)
+from .packing import VectorPacker
+
+__all__ = [
+    "VectorPacker",
+    "emit_task_program",
+    "load_task_program",
+    "run_generated",
+    "statement_columns",
+    "statement_packers",
+]

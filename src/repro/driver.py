@@ -1,0 +1,166 @@
+"""High-level driver: the whole pipeline in one call.
+
+:func:`transform` runs frontend → SCoP → Algorithm 1 → Algorithm 2 →
+task graph, optionally verifies the transformation (legality check and/or
+a real threaded execution compared against the sequential interpreter),
+and simulates performance — returning everything in one
+:class:`TransformResult`.
+
+    from repro import transform
+
+    result = transform(KERNEL_SOURCE, {"N": 32})
+    print(result.report())
+    assert result.verified
+    print(result.speedup)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .interp import ArrayStore, Interpreter
+from .lang.ast import Program
+from .pipeline import PipelineInfo, detect_pipeline
+from .schedule import (
+    LegalityReport,
+    ScheduleTree,
+    TaskAst,
+    build_schedule,
+    check_legality,
+    generate_task_ast,
+)
+from .scop import DepKind, Scop
+from .tasking import (
+    SimResult,
+    TaskGraph,
+    bind_interpreter_actions,
+    execute,
+    hybrid_task_graph,
+    simulate,
+)
+from .workloads import CostModel
+
+
+@dataclass(frozen=True)
+class TransformOptions:
+    """Knobs of the transformation and its evaluation."""
+
+    #: dependence classes to pipeline (paper default: flow only)
+    kinds: tuple[DepKind, ...] = (DepKind.FLOW,)
+    #: merge every ``coarsen`` consecutive blocks into one task
+    coarsen: int = 1
+    #: relax per-statement chains using intra-statement dependences
+    hybrid: bool = False
+    #: run the instance-exact legality checker
+    check: bool = True
+    #: execute pipelined on threads and compare with sequential output
+    verify: bool = True
+    #: worker threads for verification and simulation
+    workers: int = 4
+    #: per-task overhead charged by the simulator
+    overhead: float = 0.0
+    #: cost model for the simulator (uniform unit cost by default)
+    cost_model: CostModel = field(default_factory=CostModel.uniform)
+
+
+@dataclass(frozen=True)
+class TransformResult:
+    """Everything the driver produced."""
+
+    scop: Scop
+    info: PipelineInfo
+    schedule: ScheduleTree
+    task_ast: TaskAst
+    graph: TaskGraph
+    options: TransformOptions
+    legality: LegalityReport | None
+    verified: bool | None
+    simulation: SimResult
+
+    @property
+    def speedup(self) -> float:
+        return self.graph.total_cost() / self.simulation.makespan
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.graph)
+
+    def report(self) -> str:
+        lines = [self.info.summary()]
+        if self.legality is not None:
+            lines.append(str(self.legality))
+        if self.verified is not None:
+            lines.append(
+                "threaded execution matches sequential: "
+                f"{self.verified}"
+            )
+        lines.append(
+            f"simulated speed-up on {self.options.workers} workers: "
+            f"{self.speedup:.2f}x ({self.num_tasks} tasks)"
+        )
+        return "\n".join(lines)
+
+
+class VerificationFailedError(RuntimeError):
+    """The pipelined execution diverged from the sequential program."""
+
+
+def transform(
+    source_or_program: str | Program,
+    params: Mapping[str, int] | None = None,
+    options: TransformOptions | None = None,
+    funcs: Mapping | None = None,
+) -> TransformResult:
+    """Detect, schedule, verify and simulate the cross-loop pipeline."""
+    options = options or TransformOptions()
+    interp = Interpreter.from_source(
+        source_or_program, dict(params or {}), funcs
+    )
+    scop = interp.scop
+    info = detect_pipeline(
+        scop, kinds=options.kinds, coarsen=options.coarsen
+    )
+    schedule = build_schedule(info)
+    task_ast = generate_task_ast(info, schedule)
+    if options.hybrid:
+        graph = hybrid_task_graph(
+            scop, info, task_ast, cost_of_block=options.cost_model.block_cost
+        )
+    else:
+        graph = TaskGraph.from_task_ast(
+            task_ast, cost_of_block=options.cost_model.block_cost
+        )
+
+    legality: LegalityReport | None = None
+    if options.check:
+        legality = check_legality(scop, info, graph)
+        legality.raise_if_illegal()
+
+    verified: bool | None = None
+    if options.verify:
+        seq = interp.run_sequential(interp.new_store())
+        par = interp.new_store()
+        bind_interpreter_actions(graph, interp, par)
+        execute(graph, workers=options.workers)
+        verified = seq.equal(par)
+        if not verified:
+            raise VerificationFailedError(
+                "pipelined arrays differ from the sequential execution "
+                f"(max abs diff {seq.max_abs_diff(par):g})"
+            )
+
+    sim = simulate(
+        graph, workers=options.workers, overhead=options.overhead
+    )
+    return TransformResult(
+        scop=scop,
+        info=info,
+        schedule=schedule,
+        task_ast=task_ast,
+        graph=graph,
+        options=options,
+        legality=legality,
+        verified=verified,
+        simulation=sim,
+    )

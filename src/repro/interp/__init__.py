@@ -1,0 +1,16 @@
+"""Kernel execution: array store, statement compilation, reference interpreter."""
+
+from .compile import CompiledStatement, StatementFn, compile_scop, compile_statement
+from .interp import DEFAULT_FUNCS, Interpreter
+from .store import ArrayStore, ArrayView
+
+__all__ = [
+    "ArrayStore",
+    "ArrayView",
+    "CompiledStatement",
+    "DEFAULT_FUNCS",
+    "Interpreter",
+    "StatementFn",
+    "compile_scop",
+    "compile_statement",
+]

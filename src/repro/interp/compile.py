@@ -1,0 +1,119 @@
+"""Compilation of kernel statements to Python callables.
+
+Each labelled assignment is translated once into a Python function that
+executes a *batch* of iterations against an :class:`ArrayStore` — the same
+compiled body is used by the sequential interpreter, the task runtime, and
+the emitted task programs, so all execution paths share identical
+semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from ..lang.ast import ArrayAccess, BinOp, Call, Expr, IntLit, VarRef
+from ..lang.errors import SemanticError
+from ..scop import Scop, ScopStatement
+from .store import ArrayStore
+
+#: A compiled statement body: (store, funcs, iterations) -> None
+StatementFn = Callable[[ArrayStore, Mapping[str, Callable], Iterable], None]
+
+
+@dataclass(frozen=True)
+class CompiledStatement:
+    """A statement body compiled to a Python batch executor."""
+
+    name: str
+    source: str
+    fn: StatementFn
+    func_names: tuple[str, ...]
+
+    def __call__(self, store, funcs, iterations) -> None:
+        self.fn(store, funcs, iterations)
+
+
+def _expr_to_py(
+    expr: Expr,
+    loop_vars: set[str],
+    params: Mapping[str, int],
+    offsets: Mapping[str, tuple[int, ...]],
+    funcs: set[str],
+) -> str:
+    if isinstance(expr, IntLit):
+        return str(expr.value)
+    if isinstance(expr, VarRef):
+        if expr.name in loop_vars:
+            return expr.name
+        if expr.name in params:
+            return str(params[expr.name])
+        raise SemanticError(f"unknown variable {expr.name!r}", expr.location)
+    if isinstance(expr, BinOp):
+        lhs = _expr_to_py(expr.lhs, loop_vars, params, offsets, funcs)
+        rhs = _expr_to_py(expr.rhs, loop_vars, params, offsets, funcs)
+        op = "//" if expr.op == "/" else expr.op
+        return f"({lhs} {op} {rhs})"
+    if isinstance(expr, ArrayAccess):
+        idx = []
+        offs = offsets[expr.array]
+        for k, e in enumerate(expr.indices):
+            sub = _expr_to_py(e, loop_vars, params, offsets, funcs)
+            off = offs[k]
+            idx.append(f"({sub}) - ({off})" if off else sub)
+        return f"__arr_{expr.array}[{', '.join(idx)}]"
+    if isinstance(expr, Call):
+        funcs.add(expr.func)
+        args = ", ".join(
+            _expr_to_py(a, loop_vars, params, offsets, funcs)
+            for a in expr.args
+        )
+        return f"__fn_{expr.func}({args})"
+    raise SemanticError(f"cannot compile expression {expr!r}")
+
+
+def compile_statement(scop: Scop, stmt: ScopStatement) -> CompiledStatement:
+    """Compile one statement into a batch executor over iteration rows."""
+    loop_vars = set(stmt.space.dims)
+    offsets = {
+        name: tuple(lo for lo, _ in scop.array_extent(name))
+        for name in scop.arrays
+    }
+    func_names: set[str] = set()
+
+    lhs = _expr_to_py(
+        stmt.assign.target, loop_vars, scop.params, offsets, func_names
+    )
+    rhs = _expr_to_py(
+        stmt.assign.value, loop_vars, scop.params, offsets, func_names
+    )
+    if stmt.assign.op == "+=":
+        rhs = f"{lhs} + ({rhs})"
+
+    arrays_used = sorted(
+        {a.array for a in stmt.accesses}
+    )
+    ivs = ", ".join(stmt.space.dims)
+    unpack = f"for {ivs} in __iters:" if stmt.depth > 1 else (
+        f"for ({ivs},) in __iters:"
+    )
+    lines = [
+        f"def __stmt_{stmt.name}(__store, __funcs, __iters):",
+    ]
+    for arr in arrays_used:
+        lines.append(f"    __arr_{arr} = __store.arrays[{arr!r}].data")
+    for fname in sorted(func_names):
+        lines.append(f"    __fn_{fname} = __funcs[{fname!r}]")
+    lines.append(f"    {unpack}")
+    lines.append(f"        {lhs} = {rhs}")
+    source = "\n".join(lines)
+
+    namespace: dict[str, object] = {}
+    exec(source, namespace)  # noqa: S102 - compiling our own AST
+    fn = namespace[f"__stmt_{stmt.name}"]
+    return CompiledStatement(stmt.name, source, fn, tuple(sorted(func_names)))
+
+
+def compile_scop(scop: Scop) -> dict[str, CompiledStatement]:
+    """Compile every statement of a SCoP."""
+    return {s.name: compile_statement(scop, s) for s in scop.statements}

@@ -1,0 +1,95 @@
+"""Array storage for kernel execution.
+
+Arrays are NumPy ``float64`` buffers sized from the SCoP's access extents;
+an offset per dimension maps (possibly negative) source indices onto the
+buffer.  The store is shared between the sequential interpreter, the task
+runtime, and generated code, so results can be compared bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..scop import Scop
+
+
+@dataclass
+class ArrayView:
+    """One kernel array: a buffer plus per-dimension index offsets."""
+
+    name: str
+    data: np.ndarray
+    offsets: tuple[int, ...]
+
+    def __getitem__(self, idx: tuple[int, ...]) -> float:
+        return self.data[self._shift(idx)]
+
+    def __setitem__(self, idx: tuple[int, ...], value: float) -> None:
+        self.data[self._shift(idx)] = value
+
+    def _shift(self, idx: tuple[int, ...]) -> tuple[int, ...]:
+        if not isinstance(idx, tuple):
+            idx = (idx,)
+        return tuple(i - o for i, o in zip(idx, self.offsets))
+
+
+class ArrayStore:
+    """All arrays of one kernel execution."""
+
+    def __init__(self, arrays: dict[str, ArrayView]):
+        self.arrays = arrays
+
+    @staticmethod
+    def for_scop(scop: Scop, init: str = "index") -> "ArrayStore":
+        """Allocate and deterministically initialize every array.
+
+        ``init`` selects the fill: ``"index"`` (a distinct affine value per
+        cell — good for correctness diffs), ``"zeros"`` or ``"ones"``.
+        """
+        arrays: dict[str, ArrayView] = {}
+        for name in sorted(scop.arrays):
+            extent = scop.array_extent(name)
+            shape = tuple(hi - lo + 1 for lo, hi in extent)
+            offsets = tuple(lo for lo, _ in extent)
+            if init == "zeros":
+                data = np.zeros(shape, dtype=np.float64)
+            elif init == "ones":
+                data = np.ones(shape, dtype=np.float64)
+            elif init == "index":
+                data = np.arange(
+                    int(np.prod(shape)), dtype=np.float64
+                ).reshape(shape)
+                data = (data % 97.0) + 1.0  # bounded, nonzero, per-cell distinct-ish
+            else:
+                raise ValueError(f"unknown init {init!r}")
+            arrays[name] = ArrayView(name, data, offsets)
+        return ArrayStore(arrays)
+
+    def __getitem__(self, name: str) -> ArrayView:
+        return self.arrays[name]
+
+    def copy(self) -> "ArrayStore":
+        return ArrayStore(
+            {
+                name: ArrayView(view.name, view.data.copy(), view.offsets)
+                for name, view in self.arrays.items()
+            }
+        )
+
+    def equal(self, other: "ArrayStore") -> bool:
+        if set(self.arrays) != set(other.arrays):
+            return False
+        return all(
+            np.array_equal(self.arrays[n].data, other.arrays[n].data)
+            for n in self.arrays
+        )
+
+    def max_abs_diff(self, other: "ArrayStore") -> float:
+        worst = 0.0
+        for n in self.arrays:
+            diff = np.abs(self.arrays[n].data - other.arrays[n].data)
+            if diff.size:
+                worst = max(worst, float(diff.max()))
+        return worst

@@ -1,0 +1,55 @@
+"""C-like kernel language frontend (Clang/LLVM-IR substitute).
+
+Parses the loop-nest kernels of the paper's listings into an AST that
+:mod:`repro.scop` turns into a polyhedral SCoP.
+"""
+
+from .ast import (
+    ArrayAccess,
+    Assign,
+    BinOp,
+    Call,
+    Expr,
+    IntLit,
+    Loop,
+    Program,
+    VarRef,
+    expr_reads,
+    expr_vars,
+    walk_expr,
+)
+from .errors import (
+    FrontendError,
+    LexerError,
+    ParseError,
+    SemanticError,
+    SourceLocation,
+)
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse
+from .printer import print_program
+
+__all__ = [
+    "ArrayAccess",
+    "Assign",
+    "BinOp",
+    "Call",
+    "Expr",
+    "FrontendError",
+    "IntLit",
+    "Lexer",
+    "LexerError",
+    "Loop",
+    "ParseError",
+    "Parser",
+    "Program",
+    "SemanticError",
+    "SourceLocation",
+    "VarRef",
+    "expr_reads",
+    "expr_vars",
+    "parse",
+    "print_program",
+    "tokenize",
+    "walk_expr",
+]

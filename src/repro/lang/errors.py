@@ -1,0 +1,37 @@
+"""Diagnostics for the kernel language frontend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """1-based line/column position in the kernel source."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+class FrontendError(Exception):
+    """Base class for lexer/parser/semantic errors with a location."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.location = location
+        prefix = f"{location}: " if location else ""
+        super().__init__(prefix + message)
+
+
+class LexerError(FrontendError):
+    pass
+
+
+class ParseError(FrontendError):
+    pass
+
+
+class SemanticError(FrontendError):
+    """Raised when a syntactically valid program violates SCoP rules."""

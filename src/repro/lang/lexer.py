@@ -1,0 +1,126 @@
+"""Hand-written lexer for the kernel language.
+
+The language is the C-like subset used in the paper's listings: ``for``
+loops, labelled assignment statements, array accesses, integer arithmetic,
+and function calls.  ``//`` line comments and ``/* */`` block comments are
+skipped.
+"""
+
+from __future__ import annotations
+
+from .errors import LexerError, SourceLocation
+from .tokens import KEYWORDS, Token, TokenKind
+
+_TWO_CHAR = {
+    "+=": TokenKind.PLUS_ASSIGN,
+    "++": TokenKind.PLUS_PLUS,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+}
+
+_ONE_CHAR = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    ";": TokenKind.SEMI,
+    ":": TokenKind.COLON,
+    ",": TokenKind.COMMA,
+    "=": TokenKind.ASSIGN,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+}
+
+
+class Lexer:
+    """Converts kernel source text into a token stream."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # ------------------------------------------------------------------
+    def tokenize(self) -> list[Token]:
+        tokens: list[Token] = []
+        while True:
+            tok = self.next_token()
+            tokens.append(tok)
+            if tok.kind is TokenKind.EOF:
+                return tokens
+
+    # ------------------------------------------------------------------
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        loc = SourceLocation(self.line, self.column)
+        if self.pos >= len(self.source):
+            return Token(TokenKind.EOF, "", loc)
+        ch = self.source[self.pos]
+
+        if ch.isalpha() or ch == "_":
+            text = self._take_while(lambda c: c.isalnum() or c == "_")
+            kind = KEYWORDS.get(text, TokenKind.IDENT)
+            return Token(kind, text, loc)
+
+        if ch.isdigit():
+            text = self._take_while(str.isdigit)
+            return Token(TokenKind.NUMBER, text, loc)
+
+        two = self.source[self.pos : self.pos + 2]
+        if two in _TWO_CHAR:
+            self._advance(2)
+            return Token(_TWO_CHAR[two], two, loc)
+
+        if ch in _ONE_CHAR:
+            self._advance(1)
+            return Token(_ONE_CHAR[ch], ch, loc)
+
+        raise LexerError(f"unexpected character {ch!r}", loc)
+
+    # ------------------------------------------------------------------
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self.source[self.pos]
+            if ch in " \t\r\n":
+                self._advance(1)
+            elif self.source.startswith("//", self.pos):
+                while self.pos < len(self.source) and self.source[self.pos] != "\n":
+                    self._advance(1)
+            elif self.source.startswith("/*", self.pos):
+                start = SourceLocation(self.line, self.column)
+                self._advance(2)
+                while not self.source.startswith("*/", self.pos):
+                    if self.pos >= len(self.source):
+                        raise LexerError("unterminated block comment", start)
+                    self._advance(1)
+                self._advance(2)
+            else:
+                return
+
+    def _take_while(self, predicate) -> str:
+        start = self.pos
+        while self.pos < len(self.source) and predicate(self.source[self.pos]):
+            self._advance(1)
+        return self.source[start : self.pos]
+
+    def _advance(self, n: int) -> None:
+        for _ in range(n):
+            if self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize kernel source text, ending with an EOF token."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,36 @@
+"""Pretty-printing of kernel-language ASTs back to source form."""
+
+from __future__ import annotations
+
+from .ast import Assign, Loop, Program
+
+
+def print_program(program: Program, indent: str = "  ") -> str:
+    lines: list[str] = []
+    for nest in program.nests:
+        _print_loop(nest, lines, 0, indent)
+    return "\n".join(lines) + "\n"
+
+
+def _print_loop(loop: Loop, lines: list[str], depth: int, indent: str) -> None:
+    pad = indent * depth
+    rel = "<" if loop.upper_strict else "<="
+    lines.append(
+        f"{pad}for ({loop.var} = {loop.lower}; "
+        f"{loop.var} {rel} {loop.upper}; {loop.var}++)"
+    )
+    multi = len(loop.body) > 1
+    if multi:
+        lines.append(f"{pad}{{")
+    for item in loop.body:
+        if isinstance(item, Loop):
+            _print_loop(item, lines, depth + 1, indent)
+        else:
+            _print_stmt(item, lines, depth + 1, indent)
+    if multi:
+        lines.append(f"{pad}}}")
+
+
+def _print_stmt(stmt: Assign, lines: list[str], depth: int, indent: str) -> None:
+    pad = indent * depth
+    lines.append(f"{pad}{stmt.label}: {stmt.target} {stmt.op} {stmt.value};")

@@ -1,0 +1,67 @@
+"""Cross-loop pipeline pattern detection — the paper's core contribution.
+
+* :mod:`~repro.pipeline.pipeline_map` — Section 4.1, the ``T_{S,T}`` maps.
+* :mod:`~repro.pipeline.blocking` — Section 4.2, blocking maps and the
+  Equation-3 refinement ``E_S``.
+* :mod:`~repro.pipeline.dependencies` — Section 4.3, the ``Q_S``/``Q_S^O``
+  block dependency relations.
+* :mod:`~repro.pipeline.detect` — Algorithm 1 tying it all together.
+"""
+
+from .blocking import (
+    Blocking,
+    blocking_from_ends,
+    combine_blockings,
+    pointwise_lexmin,
+    source_blocking,
+    target_blocking,
+)
+from .dependencies import BlockDependency, block_dependency, out_dependency
+from .detect import PipelineInfo, UncoveredDependenceError, detect_pipeline
+from .patterns import (
+    NoPatternError,
+    QuasiAffineForm,
+    consistent_across_sizes,
+    describe_pipeline_map,
+    infer_quasi_affine,
+    infer_relation_pattern,
+)
+from .reference import (
+    blocking_bruteforce,
+    pipeline_pairs_bruteforce,
+    pipeline_relation_as_dict,
+)
+from .pipeline_map import (
+    PipelineMap,
+    compute_pipeline_map,
+    prefix_lexmax,
+    raw_dependence_map,
+)
+
+__all__ = [
+    "BlockDependency",
+    "Blocking",
+    "PipelineInfo",
+    "NoPatternError",
+    "PipelineMap",
+    "QuasiAffineForm",
+    "UncoveredDependenceError",
+    "block_dependency",
+    "blocking_bruteforce",
+    "blocking_from_ends",
+    "combine_blockings",
+    "compute_pipeline_map",
+    "consistent_across_sizes",
+    "describe_pipeline_map",
+    "detect_pipeline",
+    "infer_quasi_affine",
+    "infer_relation_pattern",
+    "out_dependency",
+    "pipeline_pairs_bruteforce",
+    "pipeline_relation_as_dict",
+    "pointwise_lexmin",
+    "prefix_lexmax",
+    "raw_dependence_map",
+    "source_blocking",
+    "target_blocking",
+]

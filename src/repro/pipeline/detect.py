@@ -1,0 +1,216 @@
+"""Algorithm 1: the cross-loop pipeline detection driver.
+
+Walks every ordered statement pair of the SCoP, computes pipeline maps
+where a dependence exists, derives per-statement source/target blocking
+maps, refines them into the combined blocking ``E_S`` (Equation 3), and
+attaches the pipeline dependency relations ``Q_S`` / ``Q_S^O``
+(Equation 4).  The result, :class:`PipelineInfo`, is the "SCoP with
+pipeline information" the paper's transformation phase consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..scop import DepKind, Scop, ScopStatement, validate_scop
+from ..presburger import PointRelation
+from .blocking import (
+    Blocking,
+    combine_blockings,
+    source_blocking,
+    target_blocking,
+)
+from .dependencies import BlockDependency, block_dependency, out_dependency
+from .pipeline_map import PipelineMap, compute_pipeline_map
+
+
+@dataclass(frozen=True)
+class PipelineInfo:
+    """Everything Algorithm 1 adds to a SCoP."""
+
+    scop: Scop
+    #: (source name, target name) -> pipeline map
+    pipeline_maps: dict[tuple[str, str], PipelineMap]
+    #: statement name -> combined blocking map E_S
+    blockings: dict[str, Blocking]
+    #: statement name -> in-dependency relations Q_S (one per pipeline map
+    #: targeting the statement)
+    in_deps: dict[str, tuple[BlockDependency, ...]]
+    #: statement name -> out-dependency Q_S^O (identity on block ends)
+    out_deps: dict[str, PointRelation]
+
+    # ------------------------------------------------------------------
+    def blocking(self, name: str) -> Blocking:
+        return self.blockings[name]
+
+    def num_tasks(self) -> int:
+        return sum(b.num_blocks for b in self.blockings.values())
+
+    def pipelined_statements(self) -> list[str]:
+        """Statements participating in at least one pipeline map."""
+        names: set[str] = set()
+        for s, t in self.pipeline_maps:
+            names.add(s)
+            names.add(t)
+        return [s.name for s in self.scop.statements if s.name in names]
+
+    def summary(self) -> str:
+        lines = [f"PipelineInfo: {len(self.pipeline_maps)} pipeline maps, "
+                 f"{self.num_tasks()} tasks"]
+        for (s, t), pm in sorted(self.pipeline_maps.items()):
+            lines.append(f"  {pm}")
+        for name, blocking in self.blockings.items():
+            deps = ", ".join(d.source for d in self.in_deps.get(name, ()))
+            dep_str = f" <- [{deps}]" if deps else ""
+            lines.append(
+                f"  {name}: {blocking.num_blocks} blocks{dep_str}"
+            )
+        return "\n".join(lines)
+
+
+def detect_pipeline(
+    scop: Scop,
+    kinds: tuple[DepKind, ...] = (DepKind.FLOW,),
+    validate: bool = True,
+    coarsen: int = 1,
+) -> PipelineInfo:
+    """Run Algorithm 1 on an extracted SCoP.
+
+    Parameters
+    ----------
+    scop:
+        The instantiated SCoP.
+    kinds:
+        Dependence classes to pipeline.  The paper uses flow only; adding
+        :data:`DepKind.ANTI` / :data:`DepKind.OUTPUT` enables the
+        future-work extension (safe, coarser blocks).
+    validate:
+        Check the paper's structural assumptions first (single write per
+        statement, injective writes) and raise on violations.
+    coarsen:
+        Merge every ``coarsen`` consecutive blocks of each statement into
+        one task before computing dependencies — the task-granularity knob
+        (1 = the paper's finest safe blocks).
+
+    Raises
+    ------
+    UncoveredDependenceError
+        When a cross-nest dependence of a class *not* in ``kinds`` exists:
+        the transformed program could then reorder it.  Add the class to
+        ``kinds`` (the future-work extension) or rewrite the kernel.
+    """
+    if validate:
+        validate_scop(scop).raise_if_invalid()
+        _check_dependence_coverage(scop, kinds)
+
+    pipeline_maps: dict[tuple[str, str], PipelineMap] = {}
+    per_stmt_blockings: dict[str, list[Blocking]] = {
+        s.name: [] for s in scop.statements
+    }
+
+    # Lines 1-7 of Algorithm 1: pipeline + blocking maps per dependent pair.
+    for source in scop.statements:
+        for target in scop.statements:
+            if source.nest_index >= target.nest_index:
+                continue
+            pmap = _best_pipeline_map(scop, source, target, kinds)
+            if pmap is None:
+                continue
+            pipeline_maps[(source.name, target.name)] = pmap
+            per_stmt_blockings[source.name].append(
+                source_blocking(source.name, source.points, pmap)
+            )
+            per_stmt_blockings[target.name].append(
+                target_blocking(target.name, target.points, pmap)
+            )
+
+    # Lines 8-10: E_S = lexmin over all blocking maps; Q_S^O = identity.
+    blockings: dict[str, Blocking] = {}
+    out_deps: dict[str, PointRelation] = {}
+    for stmt in scop.statements:
+        combined = combine_blockings(
+            stmt.name, stmt.points, per_stmt_blockings[stmt.name]
+        )
+        if coarsen > 1:
+            combined = combined.coarsened(coarsen)
+        blockings[stmt.name] = combined
+        out_deps[stmt.name] = out_dependency(combined)
+
+    # Lines 11-12: in-dependencies per pipeline map targeting each statement.
+    in_deps: dict[str, tuple[BlockDependency, ...]] = {
+        s.name: () for s in scop.statements
+    }
+    for (src_name, tgt_name), pmap in pipeline_maps.items():
+        target = scop.statement(tgt_name)
+        dep = block_dependency(
+            pmap,
+            blockings[src_name],
+            blockings[tgt_name],
+            target.points,
+        )
+        in_deps[tgt_name] = in_deps[tgt_name] + (dep,)
+
+    return PipelineInfo(scop, pipeline_maps, blockings, in_deps, out_deps)
+
+
+class UncoveredDependenceError(ValueError):
+    """A cross-nest dependence class is not covered by the pipeline maps."""
+
+
+def _check_dependence_coverage(
+    scop: Scop, kinds: tuple[DepKind, ...]
+) -> None:
+    """Reject programs with cross-nest dependences the maps won't order.
+
+    The paper's transformation serializes blocks of one statement and
+    orders cross-statement blocks only along the computed pipeline maps; a
+    cross-nest anti or output dependence outside ``kinds`` would be free to
+    execute backwards.
+    """
+    from ..scop import dependence_relation
+
+    missing = tuple(k for k in DepKind if k not in kinds)
+    if not missing:
+        return
+    for source in scop.statements:
+        for target in scop.statements:
+            if source.nest_index >= target.nest_index:
+                continue
+            for kind in missing:
+                rel = dependence_relation(scop, source, target, kind)
+                if not rel.is_empty():
+                    raise UncoveredDependenceError(
+                        f"cross-nest {kind.value} dependence "
+                        f"{source.name} -> {target.name} is not covered; "
+                        f"pass kinds including DepKind.{kind.name} to "
+                        "detect_pipeline"
+                    )
+
+
+def _best_pipeline_map(
+    scop: Scop,
+    source: ScopStatement,
+    target: ScopStatement,
+    kinds: tuple[DepKind, ...],
+) -> PipelineMap | None:
+    """Pipeline map combining the requested dependence classes.
+
+    Each class yields its own requirement relation; they are merged by
+    taking, per target iteration, the lexicographically largest requirement
+    (the safe intersection of the individual pipeline conditions), then
+    re-deriving the anchor map.
+    """
+    from .pipeline_map import prefix_lexmax
+
+    requirement: PointRelation | None = None
+    for kind in kinds:
+        pmap = compute_pipeline_map(scop, source, target, kind)
+        if pmap is None:
+            continue
+        req = pmap.requirement
+        requirement = req if requirement is None else requirement.union(req)
+    if requirement is None:
+        return None
+    merged = prefix_lexmax(requirement.lexmax_per_domain())
+    anchors = merged.inverse().lexmax_per_domain()
+    return PipelineMap(source.name, target.name, anchors, merged)

@@ -1,0 +1,86 @@
+"""Definition-level reference implementations (test oracles, ablations).
+
+These recompute Section 4's objects *directly from their definitions* with
+plain Python loops over points — independent of the vectorized algorithm in
+:mod:`repro.pipeline.pipeline_map` — so the test-suite can cross-check the
+fast path, and the backend ablation can price the naive approach.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..presburger import PointRelation
+from ..scop import DepKind, Scop, ScopStatement
+from .pipeline_map import raw_dependence_map
+
+
+def pipeline_pairs_bruteforce(
+    scop: Scop,
+    source: ScopStatement,
+    target: ScopStatement,
+    kind: DepKind = DepKind.FLOW,
+) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+    """The pipeline map straight from the paper's definition.
+
+    ``(i, j)`` belongs to the map iff (1) running T up to ``j`` is safe
+    once S finished up to ``i``; (2) ``i`` is the smallest vector and ``j``
+    the largest vector with property (1).
+    """
+    P = raw_dependence_map(scop, source, target, kind)
+    if P.is_empty():
+        return []
+    deps = [
+        (tuple(int(v) for v in row[: P.n_in]), tuple(int(v) for v in row[P.n_in :]))
+        for row in P.pairs
+    ]  # (target j', source i') pairs
+
+    src_points = [tuple(int(v) for v in r) for r in source.points.points]
+    tgt_points = [tuple(int(v) for v in r) for r in target.points.points]
+
+    def safe(i: tuple[int, ...], j: tuple[int, ...]) -> bool:
+        return all(ip <= i for jp, ip in deps if jp <= j)
+
+    # For each target point j: the minimal source prefix enabling it.
+    def min_source_for(j: tuple[int, ...]) -> tuple[int, ...] | None:
+        needed = [ip for jp, ip in deps if jp <= j]
+        return max(needed) if needed else None
+
+    # Pair each source anchor with the largest safe target point.
+    anchors: dict[tuple[int, ...], tuple[int, ...]] = {}
+    for j in tgt_points:
+        i_min = min_source_for(j)
+        if i_min is None:
+            continue
+        if i_min not in anchors or j > anchors[i_min]:
+            anchors[i_min] = j
+    out = sorted(anchors.items())
+    for i, j in out:
+        assert safe(i, j), "oracle inconsistency"
+    return out
+
+
+def blocking_bruteforce(
+    domain: np.ndarray, ends: list[tuple[int, ...]]
+) -> dict[tuple[int, ...], tuple[int, ...]]:
+    """Blocking map from its definition: smallest end >= each iteration."""
+    pts = sorted(tuple(int(v) for v in r) for r in domain)
+    sorted_ends = sorted(ends)
+    top = pts[-1]
+    out: dict[tuple[int, ...], tuple[int, ...]] = {}
+    for x in pts:
+        chosen = next((e for e in sorted_ends if e >= x), top)
+        out[x] = chosen
+    return out
+
+
+def pipeline_relation_as_dict(
+    rel: PointRelation,
+) -> dict[tuple[int, ...], tuple[int, ...]]:
+    """Single-valued relation → Python dict (for oracle comparisons)."""
+    return {
+        tuple(int(v) for v in row[: rel.n_in]): tuple(
+            int(v) for v in row[rel.n_in :]
+        )
+        for row in rel.pairs
+    }

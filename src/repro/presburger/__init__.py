@@ -1,0 +1,112 @@
+"""A miniature integer-set library (ISL substitute).
+
+This package provides the polyhedral substrate of the reproduction:
+
+* **Symbolic layer** — :class:`Space`/:class:`MapSpace`,
+  :class:`AffineExpr`, :class:`Constraint`, :class:`BasicSet`/:class:`Set`,
+  :class:`BasicMap`/:class:`Map`, with exact LP/ILP solvers underneath
+  (:mod:`~repro.presburger.lp`, :mod:`~repro.presburger.ilp`) and
+  lexicographic-order map builders (:mod:`~repro.presburger.ops`).
+* **Explicit layer** — :class:`PointSet` and :class:`PointRelation`,
+  vectorized NumPy tabulations of bounded sets and relations, where the
+  heavy per-point lexmin/lexmax algebra of the paper runs.
+* **Bridge** — :func:`to_point_set` / :func:`to_point_relation` enumerate
+  bounded symbolic objects into explicit ones.
+"""
+
+from .affine import AffineExpr
+from .algebra import (
+    QuantifiedSetError,
+    complement,
+    is_subset,
+    maps_equal,
+    sets_equal,
+    simplify,
+    simplify_basic_set,
+    subtract,
+)
+from .basic_map import BasicMap
+from .basic_set import BasicSet
+from .constraint import Constraint, Kind
+from .coalesce import coalesce_set
+from .convert import to_point_relation, to_point_set
+from .enumeration import UnboundedSetError, enumerate_basic_set, enumerate_set
+from .explicit import (
+    PointRelation,
+    PointSet,
+    joint_ranks,
+    lex_ranks,
+    lexsorted_rows,
+    rowwise_lex_le,
+    rowwise_lex_lt,
+    unique_rows,
+)
+from .ilp import (
+    ILPResult,
+    ILPStatus,
+    column_bounds,
+    ilp_minimize,
+    integer_feasible_point,
+    is_empty,
+    lexmax,
+    lexmin,
+)
+from .imap import Map
+from .iset import Set
+from .lp import LPResult, LPStatus, solve_lp
+from .notation import NotationError, parse_map, parse_set
+from .ops import lex_ge_map, lex_gt_map, lex_le_map, lex_lt_map
+from .space import MapSpace, Space, anonymous
+
+__all__ = [
+    "AffineExpr",
+    "BasicMap",
+    "BasicSet",
+    "Constraint",
+    "Kind",
+    "ILPResult",
+    "ILPStatus",
+    "LPResult",
+    "LPStatus",
+    "Map",
+    "MapSpace",
+    "NotationError",
+    "PointRelation",
+    "PointSet",
+    "QuantifiedSetError",
+    "Set",
+    "Space",
+    "UnboundedSetError",
+    "anonymous",
+    "coalesce_set",
+    "column_bounds",
+    "complement",
+    "enumerate_basic_set",
+    "enumerate_set",
+    "ilp_minimize",
+    "integer_feasible_point",
+    "is_empty",
+    "is_subset",
+    "joint_ranks",
+    "lex_ge_map",
+    "lex_gt_map",
+    "lex_le_map",
+    "lex_lt_map",
+    "lex_ranks",
+    "lexmax",
+    "lexmin",
+    "maps_equal",
+    "lexsorted_rows",
+    "parse_map",
+    "parse_set",
+    "sets_equal",
+    "simplify",
+    "simplify_basic_set",
+    "subtract",
+    "rowwise_lex_le",
+    "rowwise_lex_lt",
+    "solve_lp",
+    "to_point_relation",
+    "to_point_set",
+    "unique_rows",
+]

@@ -1,0 +1,110 @@
+"""Higher-level set algebra: complement, subtraction, subset, simplify.
+
+These operations complete the symbolic layer for quantifier-free sets
+(pieces without existential columns — the common case for iteration
+domains).  Complementation of a conjunction is the union of its negated
+constraints; subtraction, subset and equality tests follow.  ``simplify``
+removes redundant constraints with exact LP reasoning, playing the role of
+ISL's coalesce/gist in keeping derived systems small.
+"""
+
+from __future__ import annotations
+
+from .basic_set import BasicSet
+from .constraint import Constraint, Kind
+from .ilp import is_empty
+from .imap import Map
+from .iset import Set
+from .lp import LPStatus, solve_lp
+
+
+class QuantifiedSetError(ValueError):
+    """Operation requires quantifier-free (div-free) operands."""
+
+
+def _require_div_free(bs: BasicSet, op: str) -> None:
+    if bs.n_div:
+        raise QuantifiedSetError(
+            f"{op} requires quantifier-free sets (piece has {bs.n_div} divs)"
+        )
+
+
+def complement(s: Set) -> Set:
+    """The integer points not in ``s`` (over the whole space).
+
+    The complement of a union is the intersection of the piece
+    complements; the complement of one conjunction is the union of its
+    negated constraints (equalities split into two strict sides).
+    """
+    result = Set.universe(s.space)
+    for bs in s.pieces:
+        _require_div_free(bs, "complement")
+        negated: list[BasicSet] = []
+        for con in bs.constraints:
+            if con.kind is Kind.EQ:
+                # e == 0 fails when e >= 1 or e <= -1
+                above = Constraint.ge(con.coeffs, con.const - 1)
+                below = Constraint.ge(
+                    tuple(-c for c in con.coeffs), -con.const - 1
+                )
+                negated.append(BasicSet(s.space, (above,)))
+                negated.append(BasicSet(s.space, (below,)))
+            else:
+                negated.append(BasicSet(s.space, (con.negated_ge(),)))
+        piece_complement = Set(s.space, tuple(negated))
+        result = result.intersect(piece_complement)
+    return result
+
+
+def subtract(a: Set, b: Set) -> Set:
+    """``a \\ b`` for quantifier-free ``b``."""
+    return a.intersect(complement(b)).coalesce()
+
+
+def is_subset(a: Set, b: Set) -> bool:
+    """``a ⊆ b`` (b quantifier-free)."""
+    return subtract(a, b).is_empty()
+
+
+def sets_equal(a: Set, b: Set) -> bool:
+    """Extensional equality (both quantifier-free)."""
+    return is_subset(a, b) and is_subset(b, a)
+
+
+def maps_equal(a: Map, b: Map) -> bool:
+    """Extensional equality of maps via their wrapped sets."""
+    return sets_equal(a.wrap(), b.wrap())
+
+
+# ----------------------------------------------------------------------
+def simplify_basic_set(bs: BasicSet) -> BasicSet:
+    """Drop constraints implied by the others (exact LP redundancy test).
+
+    An inequality ``e >= 0`` is redundant when minimizing ``e`` over the
+    remaining constraints stays ``>= 0``.  Equalities are kept.  The result
+    describes the same rational polyhedron (hence the same integer set).
+    """
+    cons = [c.normalized() for c in bs.constraints]
+    kept: list[Constraint] = [c for c in cons if c.kind is Kind.EQ]
+    candidates = [c for c in cons if c.kind is Kind.GE and not c.is_trivial()]
+
+    for k, con in enumerate(candidates):
+        others = kept + candidates[k + 1 :]
+        res = solve_lp(list(con.coeffs), others, bs.ncols)
+        if res.status is LPStatus.OPTIMAL and res.value + con.const >= 0:
+            continue  # implied by the rest; drop it
+        kept.append(con)
+    # keep original relative order for reproducible printing
+    order = {id(c): i for i, c in enumerate(cons)}
+    kept.sort(key=lambda c: order.get(id(c), len(cons)))
+    return BasicSet(bs.space, tuple(kept), bs.n_div)
+
+
+def simplify(s: Set) -> Set:
+    """Simplify every piece and drop empty ones."""
+    pieces = []
+    for bs in s.pieces:
+        if is_empty(bs.constraints, bs.ncols):
+            continue
+        pieces.append(simplify_basic_set(bs))
+    return Set(s.space, tuple(pieces))

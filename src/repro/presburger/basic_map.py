@@ -1,0 +1,226 @@
+"""Basic integer maps: binary relations cut out by affine constraints.
+
+A :class:`BasicMap` relates input tuples to output tuples; its constraint
+columns are laid out ``[in dims | out dims | divs]``.  Composition and
+domain/range projection are implemented by reclassifying columns as
+existentials rather than by quantifier elimination — sound for every
+operation the pipeline algebra needs, and exactly how the enumeration and
+ILP back ends consume the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from .affine import AffineExpr
+from .basic_set import BasicSet
+from .constraint import Constraint
+from .space import MapSpace, Space
+
+
+@dataclass(frozen=True)
+class BasicMap:
+    """Integer relation defined by a conjunction of affine constraints."""
+
+    space: MapSpace
+    constraints: tuple[Constraint, ...] = ()
+    n_div: int = 0
+
+    def __post_init__(self) -> None:
+        for con in self.constraints:
+            if con.ncols != self.ncols:
+                raise ValueError(
+                    f"constraint has {con.ncols} columns, map has {self.ncols}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_in(self) -> int:
+        return self.space.n_in
+
+    @property
+    def n_out(self) -> int:
+        return self.space.n_out
+
+    @property
+    def ncols(self) -> int:
+        return self.n_in + self.n_out + self.n_div
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def universe(space: MapSpace) -> "BasicMap":
+        return BasicMap(space)
+
+    @staticmethod
+    def from_affine(
+        domain: BasicSet, range_space: Space, exprs: Sequence[AffineExpr]
+    ) -> "BasicMap":
+        """Graph of an affine function restricted to ``domain``.
+
+        ``exprs[k]`` gives output dimension ``k`` as an affine expression in
+        the *names* of the domain's dimensions.
+        """
+        if len(exprs) != range_space.ndim:
+            raise ValueError("one expression per output dimension required")
+        space = MapSpace(domain.space, range_space)
+        n_in, n_out, n_div = domain.ndim, range_space.ndim, domain.n_div
+        ncols = n_in + n_out + n_div
+        # Domain constraints: in dims keep their columns, divs move past out.
+        perm = list(range(n_in)) + [n_in + n_out + k for k in range(n_div)]
+        cons = [c.permuted(perm, ncols) for c in domain.constraints]
+        # out_k - expr_k(in) == 0
+        for k, expr in enumerate(exprs):
+            vec, const = expr.vector(domain.space)
+            coeffs = [0] * ncols
+            for j, c in enumerate(vec):
+                coeffs[j] = -c
+            coeffs[n_in + k] = 1
+            cons.append(Constraint.eq(tuple(coeffs), -const))
+        return BasicMap(space, tuple(cons), n_div)
+
+    @staticmethod
+    def identity(domain: BasicSet) -> "BasicMap":
+        exprs = [AffineExpr.var(d) for d in domain.space.dims]
+        out_space = domain.space.renamed(domain.space.name)
+        return BasicMap.from_affine(domain, out_space, exprs)
+
+    # ------------------------------------------------------------------
+    # structural operations
+    # ------------------------------------------------------------------
+    def wrap(self) -> BasicSet:
+        """Flatten the relation into a set over ``[in, out]`` dimensions."""
+        return BasicSet(self.space.wrapped(), self.constraints, self.n_div)
+
+    @staticmethod
+    def from_wrapped(space: MapSpace, wrapped: BasicSet) -> "BasicMap":
+        if wrapped.ndim != space.ndim:
+            raise ValueError("wrapped set arity mismatch")
+        return BasicMap(space, wrapped.constraints, wrapped.n_div)
+
+    def inverse(self) -> "BasicMap":
+        n_in, n_out = self.n_in, self.n_out
+        perm = (
+            [n_out + k for k in range(n_in)]
+            + list(range(n_out))
+            + [n_in + n_out + k for k in range(self.n_div)]
+        )
+        cons = tuple(c.permuted(perm) for c in self.constraints)
+        return BasicMap(self.space.reversed(), cons, self.n_div)
+
+    def domain(self) -> BasicSet:
+        return self.wrap().project_onto(list(range(self.n_in)))
+
+    def range(self) -> BasicSet:
+        return self.wrap().project_onto(
+            [self.n_in + k for k in range(self.n_out)]
+        )
+
+    def after(self, other: "BasicMap") -> "BasicMap":
+        """Composition ``self ∘ other`` (apply ``other`` first).
+
+        Matches the paper's ``M1(M2)`` notation: for ``other : A -> B`` and
+        ``self : B -> C`` the result is ``A -> C`` with the shared B tuple
+        existentially quantified.
+        """
+        if other.n_out != self.n_in:
+            raise ValueError(
+                f"cannot compose: other produces {other.n_out} dims, "
+                f"self consumes {self.n_in}"
+            )
+        n_a, n_b, n_c = other.n_in, other.n_out, self.n_out
+        ncols = n_a + n_c + n_b + other.n_div + self.n_div
+        # other's columns [A | B | divs_o] -> [A | (skip C) B | divs_o]
+        perm_o = (
+            list(range(n_a))
+            + [n_a + n_c + k for k in range(n_b)]
+            + [n_a + n_c + n_b + k for k in range(other.n_div)]
+        )
+        cons = [c.permuted(perm_o, ncols) for c in other.constraints]
+        # self's columns [B | C | divs_s] -> [... B slots ..., C, divs_s]
+        perm_s = (
+            [n_a + n_c + k for k in range(n_b)]
+            + [n_a + k for k in range(n_c)]
+            + [n_a + n_c + n_b + other.n_div + k for k in range(self.n_div)]
+        )
+        cons += [c.permuted(perm_s, ncols) for c in self.constraints]
+        space = MapSpace(other.space.domain, self.space.range)
+        return BasicMap(space, tuple(cons), n_b + other.n_div + self.n_div)
+
+    def apply(self, s: BasicSet) -> BasicSet:
+        """Image of ``s`` under the relation (input tuple quantified away)."""
+        if s.ndim != self.n_in:
+            raise ValueError("set arity does not match map input")
+        restricted = self.intersect_domain(s)
+        return restricted.range()
+
+    def intersect_domain(self, s: BasicSet) -> "BasicMap":
+        if s.ndim != self.n_in:
+            raise ValueError("set arity does not match map input")
+        ncols = self.ncols + s.n_div
+        mine = tuple(c.padded(ncols) for c in self.constraints)
+        perm = list(range(s.ndim)) + [self.ncols + k for k in range(s.n_div)]
+        theirs = tuple(c.permuted(perm, ncols) for c in s.constraints)
+        return BasicMap(self.space, mine + theirs, self.n_div + s.n_div)
+
+    def intersect_range(self, s: BasicSet) -> "BasicMap":
+        if s.ndim != self.n_out:
+            raise ValueError("set arity does not match map output")
+        ncols = self.ncols + s.n_div
+        mine = tuple(c.padded(ncols) for c in self.constraints)
+        perm = [self.n_in + k for k in range(s.ndim)] + [
+            self.ncols + k for k in range(s.n_div)
+        ]
+        theirs = tuple(c.permuted(perm, ncols) for c in s.constraints)
+        return BasicMap(self.space, mine + theirs, self.n_div + s.n_div)
+
+    def intersect(self, other: "BasicMap") -> "BasicMap":
+        if not self.space.compatible(other.space):
+            raise ValueError("map space mismatch")
+        ncols = self.ncols + other.n_div
+        mine = tuple(c.padded(ncols) for c in self.constraints)
+        nd = self.n_in + self.n_out
+        perm = list(range(nd)) + [self.ncols + k for k in range(other.n_div)]
+        theirs = tuple(c.permuted(perm, ncols) for c in other.constraints)
+        return BasicMap(self.space, mine + theirs, self.n_div + other.n_div)
+
+    def fix(self, values: Mapping[int, int]) -> "BasicMap":
+        return BasicMap.from_wrapped(self.space, self.wrap().fix(values))
+
+    def deltas(self) -> BasicSet:
+        """The distance set ``{ out - in }`` (equal-arity maps only).
+
+        Built by appending difference columns ``z_k = out_k - in_k`` to the
+        wrapped set and projecting onto them; the original tuple columns
+        become existentials.
+        """
+        if self.n_in != self.n_out:
+            raise ValueError("deltas require equal input/output arity")
+        n = self.n_in
+        ncols = self.ncols + n
+        cons = [c.padded(ncols) for c in self.constraints]
+        for k in range(n):
+            coeffs = [0] * ncols
+            coeffs[self.ncols + k] = 1   # z_k
+            coeffs[n + k] = -1           # -out_k
+            coeffs[k] = 1                # +in_k
+            cons.append(Constraint.eq(tuple(coeffs), 0))
+        dims = tuple(f"d{k}" for k in range(n))
+        wrapped = BasicSet(
+            Space(self.space.wrapped().dims + dims, "delta"),
+            tuple(c.padded(ncols) for c in cons),
+            self.n_div,
+        )
+        keep = [2 * n + k for k in range(n)]
+        return wrapped.project_onto(keep).with_space(Space(dims, "delta"))
+
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        return self.wrap().is_empty()
+
+    def __str__(self) -> str:
+        body = " and ".join(str(c) for c in self.constraints) or "true"
+        divs = f" exists {self.n_div} divs:" if self.n_div else ""
+        return f"{{ {self.space} :{divs} {body} }}"

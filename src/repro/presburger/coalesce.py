@@ -1,0 +1,94 @@
+"""Coalescing unions: merge pieces whose union is one conjunction.
+
+ISL's ``coalesce`` keeps unions small by replacing pairs of basic sets
+with a single basic set when that is exact.  This implementation uses a
+sound candidate-and-verify scheme on quantifier-free pieces:
+
+* candidate: the conjunction of the constraints *common* to both pieces
+  (each piece's other constraints dropped);
+* verification: the candidate equals the union iff ``candidate \\ (A ∪ B)``
+  is empty (checked exactly with the integer algebra of
+  :mod:`repro.presburger.algebra`).
+
+This merges the common cases — adjacent intervals, a set split by a
+redundant case distinction, unions produced by ``or`` conditions that are
+actually convex — while never changing the set of integer points.
+"""
+
+from __future__ import annotations
+
+from .algebra import is_subset, simplify_basic_set
+from .basic_set import BasicSet
+from .constraint import Constraint, Kind
+from .ilp import is_empty
+from .iset import Set
+from .lp import LPStatus, solve_lp
+
+
+def _valid_for(con: Constraint, piece: BasicSet) -> bool:
+    """True when every (rational) point of ``piece`` satisfies ``con``.
+
+    For an inequality, minimize its left-hand side over the piece; for an
+    equality, both directions must be valid.  Rational reasoning is
+    conservative (may miss an integer-only validity), which only reduces
+    the merges found — never their correctness.
+    """
+    directions = (
+        [con.coeffs]
+        if con.kind is Kind.GE
+        else [con.coeffs, tuple(-c for c in con.coeffs)]
+    )
+    consts = [con.const] if con.kind is Kind.GE else [con.const, -con.const]
+    for coeffs, const in zip(directions, consts):
+        res = solve_lp(list(coeffs), piece.constraints, piece.ncols)
+        if res.status is LPStatus.UNBOUNDED:
+            return False
+        if res.status is LPStatus.INFEASIBLE:
+            continue  # empty piece satisfies everything
+        if res.value + const < 0:
+            return False
+    return True
+
+
+def _try_merge(a: BasicSet, b: BasicSet) -> BasicSet | None:
+    """One basic set equal to ``a ∪ b``, or None when not found.
+
+    Candidate: every constraint of either piece that is valid for *both*
+    pieces (the shared face lattice).  The candidate contains the union by
+    construction; it equals it iff ``candidate ⊆ a ∪ b``.
+    """
+    if a.n_div or b.n_div:
+        return None
+    kept = [c for c in a.constraints if _valid_for(c, b)]
+    seen = {(c.coeffs, c.const, c.kind) for c in kept}
+    for c in b.constraints:
+        if (c.coeffs, c.const, c.kind) not in seen and _valid_for(c, a):
+            kept.append(c)
+    candidate = BasicSet(a.space, tuple(kept))
+    union = Set(a.space, (a, b))
+    if is_subset(Set.from_basic(candidate), union):
+        return simplify_basic_set(candidate)
+    return None
+
+
+def coalesce_set(s: Set) -> Set:
+    """Repeatedly merge piece pairs until no merge applies."""
+    pieces = [
+        bs for bs in s.pieces if not is_empty(bs.constraints, bs.ncols)
+    ]
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(pieces)):
+            for j in range(i + 1, len(pieces)):
+                merged = _try_merge(pieces[i], pieces[j]) or _try_merge(
+                    pieces[j], pieces[i]
+                )
+                if merged is not None:
+                    pieces[i] = merged
+                    del pieces[j]
+                    changed = True
+                    break
+            if changed:
+                break
+    return Set(s.space, tuple(pieces))

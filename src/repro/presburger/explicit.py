@@ -1,0 +1,408 @@
+"""Explicit (tabulated) integer sets and relations on NumPy arrays.
+
+For instantiated SCoPs the pipeline algebra of the paper is computed on
+*explicit* point sets: every set is an ``(n, d)`` ``int64`` array of points,
+every relation an ``(n, d_in + d_out)`` array of pairs.  All operations are
+vectorized (lexsort / unique / searchsorted); nothing loops over points in
+Python, per the HPC guides.
+
+Lexicographic machinery is built on *joint ranks*: rows of the participating
+arrays are ranked together with :func:`joint_ranks`, giving scalar keys whose
+order is exactly lexicographic row order — robust against overflow, unlike
+fixed-radix packing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "PointSet",
+    "PointRelation",
+    "lexsorted_rows",
+    "unique_rows",
+    "joint_ranks",
+    "lex_ranks",
+    "rowwise_lex_lt",
+    "rowwise_lex_le",
+]
+
+
+def _as_points(arr: object, ndim: int | None = None) -> np.ndarray:
+    a = np.asarray(arr, dtype=np.int64)
+    if a.ndim == 1 and a.size == 0:
+        a = a.reshape(0, ndim if ndim is not None else 0)
+    if a.ndim != 2:
+        raise ValueError(f"expected a 2-D point array, got shape {a.shape}")
+    if ndim is not None and a.shape[1] != ndim:
+        raise ValueError(f"expected {ndim} columns, got {a.shape[1]}")
+    return a
+
+
+def lexsorted_rows(arr: np.ndarray) -> np.ndarray:
+    """Rows sorted in lexicographic order (first column most significant)."""
+    if arr.shape[0] <= 1:
+        return arr
+    return arr[np.lexsort(arr.T[::-1])]
+
+
+def unique_rows(arr: np.ndarray) -> np.ndarray:
+    """Lexicographically sorted rows with duplicates removed."""
+    if arr.shape[0] == 0:
+        return arr
+    return np.unique(arr, axis=0)
+
+
+def joint_ranks(*arrays: np.ndarray) -> list[np.ndarray]:
+    """Rank rows of several arrays under one shared lexicographic order.
+
+    Equal rows (across arrays) get equal ranks; ``rank(a) < rank(b)`` iff row
+    ``a`` is lexicographically smaller than row ``b``.
+    """
+    nonempty = [a for a in arrays if a.shape[0]]
+    if not nonempty:
+        return [np.zeros(0, dtype=np.int64) for _ in arrays]
+    stacked = np.concatenate(nonempty, axis=0)
+    _, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    inverse = inverse.astype(np.int64).ravel()
+    out: list[np.ndarray] = []
+    offset = 0
+    for a in arrays:
+        n = a.shape[0]
+        if n == 0:
+            out.append(np.zeros(0, dtype=np.int64))
+        else:
+            out.append(inverse[offset : offset + n])
+            offset += n
+    return out
+
+
+def lex_ranks(arr: np.ndarray) -> np.ndarray:
+    """Dense lexicographic ranks of the rows of one array."""
+    return joint_ranks(arr)[0]
+
+
+def rowwise_lex_lt(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise ``a[k] <lex b[k]`` over two equal-shaped row arrays."""
+    if a.shape != b.shape:
+        raise ValueError("shape mismatch")
+    n, d = a.shape
+    result = np.zeros(n, dtype=bool)
+    undecided = np.ones(n, dtype=bool)
+    for col in range(d):
+        less = undecided & (a[:, col] < b[:, col])
+        result |= less
+        undecided &= a[:, col] == b[:, col]
+    return result
+
+
+def rowwise_lex_le(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise ``a[k] <=lex b[k]`` over two equal-shaped row arrays."""
+    equal = np.all(a == b, axis=1)
+    return rowwise_lex_lt(a, b) | equal
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PointSet:
+    """A finite set of integer points, canonically sorted and deduplicated."""
+
+    points: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "points", unique_rows(_as_points(self.points)))
+
+    # -- construction ---------------------------------------------------
+    @staticmethod
+    def empty(ndim: int) -> "PointSet":
+        return PointSet(np.zeros((0, ndim), dtype=np.int64))
+
+    @staticmethod
+    def single(point: tuple[int, ...]) -> "PointSet":
+        return PointSet(np.asarray([point], dtype=np.int64))
+
+    # -- structure ------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return self.points.shape[1]
+
+    def __len__(self) -> int:
+        return self.points.shape[0]
+
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PointSet):
+            return NotImplemented
+        return self.points.shape == other.points.shape and bool(
+            np.array_equal(self.points, other.points)
+        )
+
+    def __hash__(self) -> int:  # frozen dataclass with array payload
+        return hash((self.points.shape, self.points.tobytes()))
+
+    # -- set algebra ------------------------------------------------------
+    def union(self, other: "PointSet") -> "PointSet":
+        self._check(other)
+        return PointSet(np.concatenate([self.points, other.points], axis=0))
+
+    def intersect(self, other: "PointSet") -> "PointSet":
+        self._check(other)
+        return PointSet(self.points[self.contains_rows(other=other.points)])
+
+    def difference(self, other: "PointSet") -> "PointSet":
+        self._check(other)
+        return PointSet(self.points[~self.contains_rows(other=other.points)])
+
+    def contains_rows(self, other: np.ndarray) -> np.ndarray:
+        """Boolean mask over *self's* rows: which appear in ``other``."""
+        if self.is_empty():
+            return np.zeros(0, dtype=bool)
+        mine, theirs = joint_ranks(self.points, _as_points(other, self.ndim))
+        return np.isin(mine, theirs)
+
+    def contains(self, point: tuple[int, ...]) -> bool:
+        if self.is_empty():
+            return False
+        row = np.asarray(point, dtype=np.int64)
+        return bool(np.any(np.all(self.points == row, axis=1)))
+
+    # -- lexicographic queries -------------------------------------------
+    def lexmin(self) -> tuple[int, ...]:
+        if self.is_empty():
+            raise ValueError("lexmin of an empty point set")
+        return tuple(int(v) for v in self.points[0])
+
+    def lexmax(self) -> tuple[int, ...]:
+        if self.is_empty():
+            raise ValueError("lexmax of an empty point set")
+        return tuple(int(v) for v in self.points[-1])
+
+    def first_geq(self, targets: "PointSet") -> np.ndarray:
+        """For each of *self's* points, index into ``targets`` of the
+        lexicographically smallest target ``>=`` the point, or ``len(targets)``
+        when every target is smaller."""
+        if targets.ndim != self.ndim:
+            raise ValueError("dimensionality mismatch")
+        mine, theirs = joint_ranks(self.points, targets.points)
+        return np.searchsorted(theirs, mine, side="left")
+
+    def _check(self, other: "PointSet") -> None:
+        if other.ndim != self.ndim:
+            raise ValueError(
+                f"dimensionality mismatch: {self.ndim} vs {other.ndim}"
+            )
+
+    def __str__(self) -> str:
+        return f"PointSet({len(self)} points, dim {self.ndim})"
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PointRelation:
+    """A finite binary relation between integer tuples.
+
+    ``pairs`` holds one row per related pair: the first ``n_in`` columns are
+    the input tuple, the rest the output tuple.  Rows are kept canonically
+    sorted and deduplicated.
+    """
+
+    pairs: np.ndarray
+    n_in: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "pairs", unique_rows(_as_points(self.pairs)))
+        if not 0 <= self.n_in <= self.pairs.shape[1]:
+            raise ValueError("n_in out of range")
+
+    # -- construction ---------------------------------------------------
+    @staticmethod
+    def empty(n_in: int, n_out: int) -> "PointRelation":
+        return PointRelation(np.zeros((0, n_in + n_out), dtype=np.int64), n_in)
+
+    @staticmethod
+    def from_arrays(dom: np.ndarray, out: np.ndarray) -> "PointRelation":
+        dom = _as_points(dom)
+        out = _as_points(out)
+        if dom.shape[0] != out.shape[0]:
+            raise ValueError("domain/range row counts differ")
+        return PointRelation(np.concatenate([dom, out], axis=1), dom.shape[1])
+
+    @staticmethod
+    def from_affine(
+        points: PointSet, matrix: np.ndarray, const: np.ndarray
+    ) -> "PointRelation":
+        """Graph of the affine function ``x -> matrix @ x + const``."""
+        matrix = np.asarray(matrix, dtype=np.int64)
+        const = np.asarray(const, dtype=np.int64)
+        out = points.points @ matrix.T + const
+        return PointRelation.from_arrays(points.points, out)
+
+    @staticmethod
+    def identity(points: PointSet) -> "PointRelation":
+        return PointRelation.from_arrays(points.points, points.points)
+
+    # -- structure ------------------------------------------------------
+    @property
+    def n_out(self) -> int:
+        return self.pairs.shape[1] - self.n_in
+
+    @property
+    def in_part(self) -> np.ndarray:
+        return self.pairs[:, : self.n_in]
+
+    @property
+    def out_part(self) -> np.ndarray:
+        return self.pairs[:, self.n_in :]
+
+    def __len__(self) -> int:
+        return self.pairs.shape[0]
+
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PointRelation):
+            return NotImplemented
+        return (
+            self.n_in == other.n_in
+            and self.pairs.shape == other.pairs.shape
+            and bool(np.array_equal(self.pairs, other.pairs))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n_in, self.pairs.shape, self.pairs.tobytes()))
+
+    # -- relational algebra ----------------------------------------------
+    def inverse(self) -> "PointRelation":
+        return PointRelation(
+            np.concatenate([self.out_part, self.in_part], axis=1), self.n_out
+        )
+
+    def domain(self) -> PointSet:
+        return PointSet(self.in_part)
+
+    def range(self) -> PointSet:
+        return PointSet(self.out_part)
+
+    def union(self, other: "PointRelation") -> "PointRelation":
+        self._check(other)
+        return PointRelation(
+            np.concatenate([self.pairs, other.pairs], axis=0), self.n_in
+        )
+
+    def intersect(self, other: "PointRelation") -> "PointRelation":
+        self._check(other)
+        mine, theirs = joint_ranks(self.pairs, other.pairs)
+        return PointRelation(self.pairs[np.isin(mine, theirs)], self.n_in)
+
+    def difference(self, other: "PointRelation") -> "PointRelation":
+        self._check(other)
+        mine, theirs = joint_ranks(self.pairs, other.pairs)
+        return PointRelation(self.pairs[~np.isin(mine, theirs)], self.n_in)
+
+    def after(self, other: "PointRelation") -> "PointRelation":
+        """Composition ``self ∘ other`` (apply ``other`` first).
+
+        Sort-merge join of ``other``'s outputs against ``self``'s inputs;
+        duplicate keys on both sides produce the full per-key cross product.
+        """
+        if other.n_out != self.n_in:
+            raise ValueError("composition arity mismatch")
+        left = other  # A -> B
+        right = self  # B -> C
+        kl, kr = joint_ranks(left.out_part, right.in_part)
+        ol = np.argsort(kl, kind="stable")
+        orr = np.argsort(kr, kind="stable")
+        kl_s, kr_s = kl[ol], kr[orr]
+        common = np.intersect1d(kl_s, kr_s)
+        if common.size == 0:
+            return PointRelation.empty(left.n_in, right.n_out)
+        l_lo = np.searchsorted(kl_s, common, side="left")
+        l_hi = np.searchsorted(kl_s, common, side="right")
+        r_lo = np.searchsorted(kr_s, common, side="left")
+        r_hi = np.searchsorted(kr_s, common, side="right")
+        l_cnt = l_hi - l_lo
+        r_cnt = r_hi - r_lo
+        pair_cnt = l_cnt * r_cnt
+        total = int(pair_cnt.sum())
+        within = np.arange(total) - np.repeat(
+            np.concatenate(([0], np.cumsum(pair_cnt)[:-1])), pair_cnt
+        )
+        li = ol[np.repeat(l_lo, pair_cnt) + within // np.repeat(r_cnt, pair_cnt)]
+        ri = orr[np.repeat(r_lo, pair_cnt) + within % np.repeat(r_cnt, pair_cnt)]
+        pairs = np.concatenate(
+            [left.in_part[li], right.out_part[ri]], axis=1
+        )
+        return PointRelation(pairs, left.n_in)
+
+    def apply(self, s: PointSet) -> PointSet:
+        """Image of ``s`` under the relation."""
+        if s.ndim != self.n_in:
+            raise ValueError("set arity does not match relation input")
+        mine, theirs = joint_ranks(self.in_part, s.points)
+        return PointSet(self.out_part[np.isin(mine, theirs)])
+
+    def restrict_domain(self, s: PointSet) -> "PointRelation":
+        mine, theirs = joint_ranks(self.in_part, s.points)
+        return PointRelation(self.pairs[np.isin(mine, theirs)], self.n_in)
+
+    def restrict_range(self, s: PointSet) -> "PointRelation":
+        mine, theirs = joint_ranks(self.out_part, s.points)
+        return PointRelation(self.pairs[np.isin(mine, theirs)], self.n_in)
+
+    # -- lexicographic reductions ------------------------------------------
+    def lexmax_per_domain(self) -> "PointRelation":
+        """Keep, for each input tuple, the lexicographically largest output."""
+        return self._lexopt_per_domain(keep_last=True)
+
+    def lexmin_per_domain(self) -> "PointRelation":
+        return self._lexopt_per_domain(keep_last=False)
+
+    def _lexopt_per_domain(self, keep_last: bool) -> "PointRelation":
+        if self.is_empty():
+            return self
+        # pairs are already sorted by (in, out); group boundaries on the
+        # input columns give the min as first row, the max as last row.
+        inp = self.in_part
+        change = np.any(inp[1:] != inp[:-1], axis=1)
+        if keep_last:
+            mask = np.concatenate([change, [True]])
+        else:
+            mask = np.concatenate([[True], change])
+        return PointRelation(self.pairs[mask], self.n_in)
+
+    def deltas(self) -> PointSet:
+        """The distance set ``{ out - in }`` (equal-arity relations only)."""
+        if self.n_in != self.n_out:
+            raise ValueError("deltas require equal input/output arity")
+        return PointSet(self.out_part - self.in_part)
+
+    def is_single_valued(self) -> bool:
+        # Pairs are deduplicated, so the relation is a function exactly when
+        # every pair has a distinct input tuple.
+        return len(self) == len(self.domain())
+
+    def is_injective(self) -> bool:
+        return self.inverse().is_single_valued()
+
+    def is_bijective(self) -> bool:
+        return self.is_single_valued() and self.is_injective()
+
+    def lookup(self, point: tuple[int, ...]) -> np.ndarray:
+        """All outputs related to one input tuple (rows of an array)."""
+        row = np.asarray(point, dtype=np.int64)
+        mask = np.all(self.in_part == row, axis=1)
+        return self.out_part[mask]
+
+    def _check(self, other: "PointRelation") -> None:
+        if other.n_in != self.n_in or other.pairs.shape[1] != self.pairs.shape[1]:
+            raise ValueError("relation shape mismatch")
+
+    def __str__(self) -> str:
+        return (
+            f"PointRelation({len(self)} pairs, {self.n_in} -> {self.n_out})"
+        )

@@ -1,0 +1,229 @@
+"""Integer linear programming by branch and bound.
+
+Exact integer feasibility, optimization, and lexicographic optimization over
+systems of :class:`~repro.presburger.constraint.Constraint`, built on the
+rational simplex of :mod:`repro.presburger.lp`.
+
+These routines power the symbolic layer of the mini integer-set library:
+emptiness tests, per-dimension bounds for enumeration, and reference
+implementations of ``lexmin``/``lexmax`` used to validate the fast NumPy
+backend.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from fractions import Fraction
+from typing import Sequence
+
+from .constraint import Constraint, Kind
+from .lp import LPStatus, solve_lp
+
+
+class ILPStatus(Enum):
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+
+
+@dataclass(frozen=True)
+class ILPResult:
+    status: ILPStatus
+    value: int | None = None
+    point: tuple[int, ...] | None = None
+
+
+class SearchLimitExceeded(RuntimeError):
+    """Raised when branch and bound exceeds its node budget."""
+
+
+_DEFAULT_NODE_LIMIT = 20_000
+
+
+def _unit(ncols: int, col: int, sign: int = 1) -> list[int]:
+    vec = [0] * ncols
+    vec[col] = sign
+    return vec
+
+
+def ilp_minimize(
+    objective: Sequence[int],
+    constraints: Sequence[Constraint],
+    ncols: int,
+    node_limit: int = _DEFAULT_NODE_LIMIT,
+) -> ILPResult:
+    """Minimize an integer objective over the integer points of a polyhedron."""
+    nodes_used = 0
+    incumbent_value: int | None = None
+    incumbent_point: tuple[int, ...] | None = None
+    stack: list[list[Constraint]] = [list(constraints)]
+
+    while stack:
+        cons = stack.pop()
+        nodes_used += 1
+        if nodes_used > node_limit:
+            raise SearchLimitExceeded(
+                f"branch-and-bound exceeded {node_limit} nodes"
+            )
+        res = solve_lp(objective, cons, ncols)
+        if res.status is LPStatus.INFEASIBLE:
+            continue
+        if res.status is LPStatus.UNBOUNDED:
+            # A rational unbounded direction on a feasible polyhedron scales
+            # to an integer ray, so the integer problem is unbounded too
+            # (provided some integer point exists, checked below).
+            if integer_feasible_point(cons, ncols, node_limit=node_limit) is None:
+                continue
+            return ILPResult(ILPStatus.UNBOUNDED)
+        assert res.value is not None and res.point is not None
+        lower = _ceil_fraction(res.value)
+        if incumbent_value is not None and lower >= incumbent_value:
+            continue
+        frac_col = _first_fractional(res.point)
+        if frac_col is None:
+            value = int(res.value)
+            point = tuple(int(v) for v in res.point)
+            if incumbent_value is None or value < incumbent_value:
+                incumbent_value, incumbent_point = value, point
+            continue
+        split = res.point[frac_col]
+        floor_v = math.floor(split)
+        # x <= floor(v)  and  x >= floor(v)+1
+        stack.append(
+            cons + [Constraint.ge(_unit(ncols, frac_col, -1), floor_v)]
+        )
+        stack.append(
+            cons + [Constraint.ge(_unit(ncols, frac_col, 1), -(floor_v + 1))]
+        )
+
+    if incumbent_value is None:
+        return ILPResult(ILPStatus.INFEASIBLE)
+    return ILPResult(ILPStatus.OPTIMAL, incumbent_value, incumbent_point)
+
+
+def integer_feasible_point(
+    constraints: Sequence[Constraint],
+    ncols: int,
+    node_limit: int = _DEFAULT_NODE_LIMIT,
+) -> tuple[int, ...] | None:
+    """Some integer point of the polyhedron, or ``None`` when empty.
+
+    Depth-first branch and bound on the zero objective; the first integral
+    LP vertex wins.
+    """
+    stack: list[list[Constraint]] = [list(constraints)]
+    nodes_used = 0
+    zero = [0] * ncols
+    while stack:
+        cons = stack.pop()
+        nodes_used += 1
+        if nodes_used > node_limit:
+            raise SearchLimitExceeded(
+                f"feasibility search exceeded {node_limit} nodes"
+            )
+        res = solve_lp(zero, cons, ncols)
+        if res.status is LPStatus.INFEASIBLE:
+            continue
+        assert res.point is not None
+        frac_col = _first_fractional(res.point)
+        if frac_col is None:
+            return tuple(int(v) for v in res.point)
+        split = res.point[frac_col]
+        floor_v = math.floor(split)
+        stack.append(cons + [Constraint.ge(_unit(ncols, frac_col, -1), floor_v)])
+        stack.append(
+            cons + [Constraint.ge(_unit(ncols, frac_col, 1), -(floor_v + 1))]
+        )
+    return None
+
+
+def is_empty(
+    constraints: Sequence[Constraint],
+    ncols: int,
+    node_limit: int = _DEFAULT_NODE_LIMIT,
+) -> bool:
+    """True when the constraint system has no integer solution."""
+    for con in constraints:
+        if con.normalized().is_contradiction():
+            return True
+    return integer_feasible_point(constraints, ncols, node_limit) is None
+
+
+def lexopt(
+    constraints: Sequence[Constraint],
+    ncols: int,
+    nlead: int,
+    maximize: bool,
+    node_limit: int = _DEFAULT_NODE_LIMIT,
+) -> tuple[int, ...] | None:
+    """Lexicographic optimum of the first ``nlead`` columns.
+
+    Optimizes column 0, pins it, optimizes column 1, and so on.  Returns the
+    optimal prefix, or ``None`` when the system is infeasible.  Raises
+    :class:`ILPUnboundedError` when some leading column is unbounded in the
+    requested direction.
+    """
+    cons = list(constraints)
+    prefix: list[int] = []
+    for col in range(nlead):
+        objective = _unit(ncols, col, -1 if maximize else 1)
+        res = ilp_minimize(objective, cons, ncols, node_limit)
+        if res.status is ILPStatus.INFEASIBLE:
+            return None
+        if res.status is ILPStatus.UNBOUNDED:
+            raise ILPUnboundedError(
+                f"column {col} unbounded during lexicographic optimization"
+            )
+        assert res.value is not None
+        value = -res.value if maximize else res.value
+        prefix.append(value)
+        cons.append(Constraint.eq(_unit(ncols, col), -value))
+    return tuple(prefix)
+
+
+def lexmin(
+    constraints: Sequence[Constraint], ncols: int, nlead: int
+) -> tuple[int, ...] | None:
+    return lexopt(constraints, ncols, nlead, maximize=False)
+
+
+def lexmax(
+    constraints: Sequence[Constraint], ncols: int, nlead: int
+) -> tuple[int, ...] | None:
+    return lexopt(constraints, ncols, nlead, maximize=True)
+
+
+def column_bounds(
+    constraints: Sequence[Constraint],
+    ncols: int,
+    col: int,
+    node_limit: int = _DEFAULT_NODE_LIMIT,
+) -> tuple[int | None, int | None]:
+    """Integer (min, max) of one column; ``None`` marks an unbounded side.
+
+    Returns ``(0, -1)`` — an empty range — when the system is infeasible.
+    """
+    lo_res = ilp_minimize(_unit(ncols, col, 1), constraints, ncols, node_limit)
+    if lo_res.status is ILPStatus.INFEASIBLE:
+        return (0, -1)
+    hi_res = ilp_minimize(_unit(ncols, col, -1), constraints, ncols, node_limit)
+    lo = lo_res.value if lo_res.status is ILPStatus.OPTIMAL else None
+    hi = -hi_res.value if hi_res.status is ILPStatus.OPTIMAL else None
+    return (lo, hi)
+
+
+class ILPUnboundedError(RuntimeError):
+    """A lexicographic optimization ran along an unbounded direction."""
+
+
+def _first_fractional(point: Sequence[Fraction]) -> int | None:
+    for j, v in enumerate(point):
+        if v.denominator != 1:
+            return j
+    return None
+
+
+def _ceil_fraction(v: Fraction) -> int:
+    return -((-v.numerator) // v.denominator)

@@ -1,0 +1,106 @@
+"""Unions of basic maps (``isl_map`` analogue)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from .basic_map import BasicMap
+from .basic_set import BasicSet
+from .iset import Set
+from .space import MapSpace
+
+
+@dataclass(frozen=True)
+class Map:
+    """A finite union of :class:`BasicMap` pieces over one map space."""
+
+    space: MapSpace
+    pieces: tuple[BasicMap, ...] = ()
+
+    def __post_init__(self) -> None:
+        for bm in self.pieces:
+            if bm.n_in != self.space.n_in or bm.n_out != self.space.n_out:
+                raise ValueError("piece arity mismatch")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_basic(bm: BasicMap) -> "Map":
+        return Map(bm.space, (bm,))
+
+    @staticmethod
+    def empty(space: MapSpace) -> "Map":
+        return Map(space, ())
+
+    # ------------------------------------------------------------------
+    @property
+    def n_in(self) -> int:
+        return self.space.n_in
+
+    @property
+    def n_out(self) -> int:
+        return self.space.n_out
+
+    def union(self, other: "Map") -> "Map":
+        if not self.space.compatible(other.space):
+            raise ValueError("map space mismatch")
+        return Map(self.space, self.pieces + other.pieces)
+
+    def inverse(self) -> "Map":
+        return Map(self.space.reversed(), tuple(p.inverse() for p in self.pieces))
+
+    def domain(self) -> Set:
+        return Set(self.space.domain, tuple(p.domain() for p in self.pieces))
+
+    def range(self) -> Set:
+        return Set(self.space.range, tuple(p.range() for p in self.pieces))
+
+    def wrap(self) -> Set:
+        return Set(self.space.wrapped(), tuple(p.wrap() for p in self.pieces))
+
+    def after(self, other: "Map") -> "Map":
+        """Composition ``self ∘ other`` (apply ``other`` first)."""
+        out = tuple(a.after(b) for a in self.pieces for b in other.pieces)
+        return Map(MapSpace(other.space.domain, self.space.range), out)
+
+    def apply(self, s: Set) -> Set:
+        out = tuple(p.apply(bs) for p in self.pieces for bs in s.pieces)
+        return Set(self.space.range, out)
+
+    def intersect(self, other: "Map") -> "Map":
+        out = tuple(a.intersect(b) for a in self.pieces for b in other.pieces)
+        return Map(self.space, out)
+
+    def intersect_domain(self, s: Set) -> "Map":
+        out = tuple(
+            p.intersect_domain(bs) for p in self.pieces for bs in s.pieces
+        )
+        return Map(self.space, out)
+
+    def intersect_range(self, s: Set) -> "Map":
+        out = tuple(
+            p.intersect_range(bs) for p in self.pieces for bs in s.pieces
+        )
+        return Map(self.space, out)
+
+    def map_pieces(self, fn: Callable[[BasicMap], BasicMap]) -> "Map":
+        return Map(self.space, tuple(fn(p) for p in self.pieces))
+
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        return all(p.is_empty() for p in self.pieces)
+
+    def contains(self, pair: Sequence[int]) -> bool:
+        """Membership of a flattened ``(in..., out...)`` tuple."""
+        return any(p.wrap().contains(pair) for p in self.pieces)
+
+    def coalesce(self) -> "Map":
+        return Map(self.space, tuple(p for p in self.pieces if not p.is_empty()))
+
+    def __iter__(self) -> Iterable[BasicMap]:
+        return iter(self.pieces)
+
+    def __str__(self) -> str:
+        if not self.pieces:
+            return f"{{ {self.space} : false }}"
+        return " ∪ ".join(str(p) for p in self.pieces)

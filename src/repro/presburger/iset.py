@@ -1,0 +1,140 @@
+"""Unions of basic sets (``isl_set`` analogue)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from .basic_set import BasicSet
+from .space import Space
+
+
+@dataclass(frozen=True)
+class Set:
+    """A finite union of :class:`BasicSet` pieces over one space."""
+
+    space: Space
+    pieces: tuple[BasicSet, ...] = ()
+
+    def __post_init__(self) -> None:
+        for bs in self.pieces:
+            if bs.ndim != self.space.ndim:
+                raise ValueError("piece dimensionality mismatch")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_basic(bs: BasicSet) -> "Set":
+        return Set(bs.space, (bs,))
+
+    @staticmethod
+    def empty(space: Space) -> "Set":
+        return Set(space, ())
+
+    @staticmethod
+    def universe(space: Space) -> "Set":
+        return Set(space, (BasicSet.universe(space),))
+
+    # ------------------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return self.space.ndim
+
+    def union(self, other: "Set") -> "Set":
+        if other.ndim != self.ndim:
+            raise ValueError("cannot union sets of different dimensionality")
+        return Set(self.space, self.pieces + other.pieces)
+
+    def intersect(self, other: "Set") -> "Set":
+        out = tuple(
+            a.intersect(b)
+            for a in self.pieces
+            for b in other.pieces
+        )
+        return Set(self.space, out)
+
+    def map_pieces(self, fn: Callable[[BasicSet], BasicSet]) -> "Set":
+        return Set(self.space, tuple(fn(bs) for bs in self.pieces))
+
+    def fix(self, values: Mapping[int, int]) -> "Set":
+        return self.map_pieces(lambda bs: bs.fix(values))
+
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        return all(bs.is_empty() for bs in self.pieces)
+
+    def contains(self, point: Sequence[int]) -> bool:
+        return any(bs.contains(point) for bs in self.pieces)
+
+    def sample(self) -> tuple[int, ...] | None:
+        for bs in self.pieces:
+            pt = bs.sample()
+            if pt is not None:
+                return pt
+        return None
+
+    def lexmin(self) -> tuple[int, ...] | None:
+        best: tuple[int, ...] | None = None
+        for bs in self.pieces:
+            pt = bs.lexmin()
+            if pt is not None and (best is None or pt < best):
+                best = pt
+        return best
+
+    def lexmax(self) -> tuple[int, ...] | None:
+        best: tuple[int, ...] | None = None
+        for bs in self.pieces:
+            pt = bs.lexmax()
+            if pt is not None and (best is None or pt > best):
+                best = pt
+        return best
+
+    def dim_bounds(self, col: int) -> tuple[int | None, int | None]:
+        lo: int | None = None
+        hi: int | None = None
+        nonempty = False
+        for bs in self.pieces:
+            blo, bhi = bs.dim_bounds(col)
+            if (blo, bhi) == (0, -1):  # empty piece
+                continue
+            nonempty = True
+            lo = blo if (lo is None or blo is None or blo < lo) else lo
+            if blo is None:
+                lo = None
+            hi = bhi if (hi is None or bhi is None or bhi > hi) else hi
+            if bhi is None:
+                hi = None
+        if not nonempty:
+            return (0, -1)
+        return lo, hi
+
+    def coalesce(self) -> "Set":
+        """Drop empty pieces (a lightweight stand-in for isl's coalesce)."""
+        return Set(self.space, tuple(bs for bs in self.pieces if not bs.is_empty()))
+
+    def __iter__(self) -> Iterable[BasicSet]:
+        return iter(self.pieces)
+
+    # -- operator sugar ----------------------------------------------------
+    def __or__(self, other: "Set") -> "Set":
+        return self.union(other)
+
+    def __and__(self, other: "Set") -> "Set":
+        return self.intersect(other)
+
+    def __sub__(self, other: "Set") -> "Set":
+        from .algebra import subtract
+
+        return subtract(self, other)
+
+    def __le__(self, other: "Set") -> bool:
+        from .algebra import is_subset
+
+        return is_subset(self, other)
+
+    def __contains__(self, point) -> bool:
+        return self.contains(tuple(point))
+
+    def __str__(self) -> str:
+        if not self.pieces:
+            return f"{{ {self.space} : false }}"
+        return " ∪ ".join(str(bs) for bs in self.pieces)

@@ -1,0 +1,239 @@
+"""Exact rational linear programming.
+
+A small, dependency-free two-phase primal simplex over
+:class:`fractions.Fraction`, used as the base solver for the integer
+branch-and-bound in :mod:`repro.presburger.ilp`.
+
+The entry point :func:`solve_lp` minimizes an integer objective over free
+rational variables subject to a list of
+:class:`~repro.presburger.constraint.Constraint`.  Exact arithmetic keeps the
+polyhedral analyses sound: no tolerance tuning, no false (in)feasibility.
+Bland's anti-cycling rule guarantees termination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from fractions import Fraction
+from typing import Sequence
+
+from .constraint import Constraint, Kind
+
+
+class LPStatus(Enum):
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+
+
+@dataclass(frozen=True)
+class LPResult:
+    status: LPStatus
+    value: Fraction | None = None
+    point: tuple[Fraction, ...] | None = None
+
+
+def solve_lp(
+    objective: Sequence[int | Fraction],
+    constraints: Sequence[Constraint],
+    ncols: int,
+    maximize: bool = False,
+) -> LPResult:
+    """Minimize (or maximize) ``objective · x`` over free rational ``x``.
+
+    Parameters
+    ----------
+    objective:
+        Length-``ncols`` coefficient vector.
+    constraints:
+        Affine constraints over the same ``ncols`` columns.
+    ncols:
+        Number of decision variables.
+    maximize:
+        Maximize instead of minimize.
+    """
+    obj = [Fraction(c) for c in objective]
+    if len(obj) != ncols:
+        raise ValueError("objective length does not match ncols")
+    if maximize:
+        obj = [-c for c in obj]
+
+    # Free variables are split: x_j = u_j - v_j with u, v >= 0, so the
+    # standard-form problem has 2*ncols structural columns plus one slack
+    # per inequality.
+    n_struct = 2 * ncols
+    n_slack = sum(1 for c in constraints if c.kind is Kind.GE)
+    n_total = n_struct + n_slack
+
+    rows: list[list[Fraction]] = []
+    rhs: list[Fraction] = []
+    slack_at = 0
+    for con in constraints:
+        if con.ncols != ncols:
+            raise ValueError("constraint arity mismatch")
+        row = [Fraction(0)] * n_total
+        for j, a in enumerate(con.coeffs):
+            row[2 * j] = Fraction(a)
+            row[2 * j + 1] = Fraction(-a)
+        b = Fraction(-con.const)  # a.x (>=|==) -const
+        if con.kind is Kind.GE:
+            row[n_struct + slack_at] = Fraction(-1)  # a.x - s = -const
+            slack_at += 1
+        rows.append(row)
+        rhs.append(b)
+
+    cost = [Fraction(0)] * n_total
+    for j, c in enumerate(obj):
+        cost[2 * j] = c
+        cost[2 * j + 1] = -c
+
+    status, value, solution = _two_phase_simplex(rows, rhs, cost)
+    if status is not LPStatus.OPTIMAL:
+        return LPResult(status)
+    point = tuple(solution[2 * j] - solution[2 * j + 1] for j in range(ncols))
+    if maximize:
+        value = -value
+    return LPResult(LPStatus.OPTIMAL, value, point)
+
+
+def _two_phase_simplex(
+    rows: list[list[Fraction]],
+    rhs: list[Fraction],
+    cost: list[Fraction],
+) -> tuple[LPStatus, Fraction | None, list[Fraction]]:
+    """Solve ``min cost·z  s.t.  rows·z == rhs, z >= 0`` exactly."""
+    m = len(rows)
+    n = len(cost)
+    if m == 0:
+        # Unconstrained: optimum is 0 iff cost is identically zero, else the
+        # problem is unbounded below (all z >= 0, pick the negative column).
+        if any(c < 0 for c in cost):
+            return LPStatus.UNBOUNDED, None, []
+        return LPStatus.OPTIMAL, Fraction(0), [Fraction(0)] * n
+
+    # Make rhs non-negative.
+    tableau = []
+    for i in range(m):
+        row = list(rows[i])
+        b = rhs[i]
+        if b < 0:
+            row = [-a for a in row]
+            b = -b
+        tableau.append(row + [b])
+
+    # Phase 1: add artificial variables, minimize their sum.
+    basis = list(range(n, n + m))
+    for i in range(m):
+        ext = [Fraction(0)] * m
+        ext[i] = Fraction(1)
+        tableau[i] = tableau[i][:-1] + ext + [tableau[i][-1]]
+    width = n + m
+
+    phase1_cost = [Fraction(0)] * n + [Fraction(1)] * m
+    obj_row = _reduced_costs(tableau, basis, phase1_cost, width)
+    if not _pivot_to_optimal(tableau, basis, obj_row, width):
+        raise AssertionError("phase-1 LP cannot be unbounded")
+    if -obj_row[width] > 0:  # positive artificial residue
+        return LPStatus.INFEASIBLE, None, []
+
+    # Drive any artificial variables out of the basis where possible.
+    for i in range(m):
+        if basis[i] >= n:
+            pivot_col = next(
+                (j for j in range(n) if tableau[i][j] != 0), None
+            )
+            if pivot_col is not None:
+                _pivot(tableau, basis, i, pivot_col, width)
+    # Rows still basic in an artificial variable after the pivot-out loop
+    # have no structural column left to enter: they are redundant (their rhs
+    # is zero at a phase-1 optimum) and are dropped.
+    keep = [i for i in range(m) if basis[i] < n]
+    tableau = [tableau[i] for i in keep]
+    basis = [basis[i] for i in keep]
+
+    # Phase 2 on the original columns.
+    tableau = [row[:n] + [row[width]] for row in tableau]
+    width = n
+    phase2_cost = list(cost)
+    obj_row = _reduced_costs(tableau, basis, phase2_cost, width)
+    if not _pivot_to_optimal(tableau, basis, obj_row, width):
+        return LPStatus.UNBOUNDED, None, []
+
+    solution = [Fraction(0)] * n
+    for i, bj in enumerate(basis):
+        if bj < n:
+            solution[bj] = tableau[i][width]
+    value = sum(c * v for c, v in zip(cost, solution))
+    return LPStatus.OPTIMAL, value, solution
+
+
+def _reduced_costs(
+    tableau: list[list[Fraction]],
+    basis: list[int],
+    cost: list[Fraction],
+    width: int,
+) -> list[Fraction]:
+    """Objective row ``c_j - c_B · B^{-1} A_j`` with the value in the last slot."""
+    obj = list(cost) + [Fraction(0)]
+    for i, bj in enumerate(basis):
+        cb = cost[bj]
+        if cb == 0:
+            continue
+        row = tableau[i]
+        for j in range(width):
+            obj[j] -= cb * row[j]
+        obj[width] -= cb * row[width]
+    return obj
+
+
+def _pivot_to_optimal(
+    tableau: list[list[Fraction]],
+    basis: list[int],
+    obj_row: list[Fraction],
+    width: int,
+) -> bool:
+    """Run primal simplex with Bland's rule.  Returns False when unbounded."""
+    while True:
+        enter = next((j for j in range(width) if obj_row[j] < 0), None)
+        if enter is None:
+            return True
+        leave, best = None, None
+        for i, row in enumerate(tableau):
+            if row[enter] > 0:
+                ratio = row[width] / row[enter]
+                if (
+                    best is None
+                    or ratio < best
+                    or (ratio == best and basis[i] < basis[leave])
+                ):
+                    best, leave = ratio, i
+        if leave is None:
+            return False
+        _pivot(tableau, basis, leave, enter, width, obj_row)
+
+
+def _pivot(
+    tableau: list[list[Fraction]],
+    basis: list[int],
+    row_i: int,
+    col_j: int,
+    width: int,
+    obj_row: list[Fraction] | None = None,
+) -> None:
+    """Pivot ``col_j`` into the basis at ``row_i`` (in place)."""
+    pivot_row = tableau[row_i]
+    p = pivot_row[col_j]
+    tableau[row_i] = [a / p for a in pivot_row]
+    pivot_row = tableau[row_i]
+    targets = list(enumerate(tableau))
+    for i, row in targets:
+        if i == row_i or row[col_j] == 0:
+            continue
+        f = row[col_j]
+        tableau[i] = [a - f * b for a, b in zip(row, pivot_row)]
+    if obj_row is not None and obj_row[col_j] != 0:
+        f = obj_row[col_j]
+        for j in range(width + 1):
+            obj_row[j] -= f * pivot_row[j]
+    basis[row_i] = col_j

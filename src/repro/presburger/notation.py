@@ -1,0 +1,336 @@
+"""ISL-style textual notation for sets and maps.
+
+Parses a practical subset of ISL's set/map syntax into the symbolic layer::
+
+    parse_set("{ S[i, j] : 0 <= i < 10 and j <= i }")
+    parse_set("{ [i] : 0 <= i <= 4 or 8 <= i <= 9 }")       # unions
+    parse_map("{ S[i, j] -> A[2i, j + 1] : 0 <= i, j < N }", params={"N": 8})
+    parse_map("{ [i] -> [j] : 0 <= i < 4 and i <= j < 4 }")
+
+Supported: named/unnamed tuples, affine expressions with implicit
+multiplication (``2i``), chained comparisons (``0 <= i < N``), ``and`` /
+``or`` (disjunctions become union pieces), ``=``/``==``, parameters
+supplied as concrete integers (consistent with the instantiated analysis,
+see DESIGN.md §2).  Not supported: ``exists``, ``mod``/``floordiv``,
+quantifiers — the library builds such sets programmatically instead.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .affine import AffineExpr
+from .basic_map import BasicMap
+from .basic_set import BasicSet
+from .constraint import Constraint
+from .imap import Map
+from .iset import Set
+from .space import MapSpace, Space
+
+
+class NotationError(ValueError):
+    """Malformed set/map notation."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>\d+)|(?P<name>[A-Za-z_]\w*)|(?P<op><=|>=|==|->|[{}\[\],:;+\-*<>=()]))"
+)
+
+_KEYWORDS = {"and", "or"}
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            if text[pos:].strip():
+                raise NotationError(
+                    f"unexpected character {text[pos:].lstrip()[0]!r}"
+                )
+            break
+        tokens.append(m.group(m.lastgroup))
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str, params: dict[str, int]):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+        self.params = params
+
+    # -- token plumbing --------------------------------------------------
+    @property
+    def current(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def accept(self, tok: str) -> bool:
+        if self.current == tok:
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, tok: str) -> None:
+        if not self.accept(tok):
+            raise NotationError(
+                f"expected {tok!r}, found {self.current!r}"
+            )
+
+    # -- tuples ------------------------------------------------------------
+    def parse_tuple(self) -> tuple[str | None, list[str]]:
+        name: str | None = None
+        cur = self.current
+        if cur is not None and re.fullmatch(r"[A-Za-z_]\w*", cur) and cur not in _KEYWORDS:
+            name = cur
+            self.pos += 1
+        self.expect("[")
+        entries: list[str] = []
+        if self.current != "]":
+            entries.append(self._tuple_entry())
+            while self.accept(","):
+                entries.append(self._tuple_entry())
+        self.expect("]")
+        return name, entries
+
+    def _tuple_entry(self) -> str:
+        """Collect raw tokens of one tuple entry (re-parsed later)."""
+        depth = 0
+        start = self.pos
+        while self.current is not None:
+            tok = self.current
+            if tok == "(":
+                depth += 1
+            elif tok == ")":
+                depth -= 1
+            elif depth == 0 and tok in (",", "]"):
+                break
+            self.pos += 1
+        return " ".join(self.tokens[start : self.pos])
+
+    # -- affine expressions -----------------------------------------------
+    def parse_expr(self, dims: dict[str, str]) -> AffineExpr:
+        expr = self.parse_term(dims)
+        while self.current in ("+", "-"):
+            op = self.current
+            self.pos += 1
+            rhs = self.parse_term(dims)
+            expr = expr + rhs if op == "+" else expr - rhs
+        return expr
+
+    def parse_term(self, dims: dict[str, str]) -> AffineExpr:
+        expr = self.parse_factor(dims)
+        while True:
+            if self.accept("*"):
+                rhs = self.parse_factor(dims)
+            elif self.current is not None and (
+                re.fullmatch(r"[A-Za-z_]\w*", self.current)
+                and self.current not in _KEYWORDS
+            ):
+                # implicit multiplication: "2i" tokenizes as NUM NAME
+                rhs = self.parse_factor(dims)
+            else:
+                return expr
+            if expr.is_constant:
+                expr = rhs * expr.const
+            elif rhs.is_constant:
+                expr = expr * rhs.const
+            else:
+                raise NotationError("non-affine product of variables")
+
+    def parse_factor(self, dims: dict[str, str]) -> AffineExpr:
+        if self.accept("-"):
+            return -self.parse_factor(dims)
+        if self.accept("("):
+            inner = self.parse_expr(dims)
+            self.expect(")")
+            return inner
+        tok = self.current
+        if tok is None:
+            raise NotationError("unexpected end of input in expression")
+        self.pos += 1
+        if tok.isdigit():
+            return AffineExpr.constant(int(tok))
+        if tok in dims:
+            return AffineExpr.var(dims[tok])
+        if tok in self.params:
+            return AffineExpr.constant(self.params[tok])
+        raise NotationError(
+            f"unknown identifier {tok!r} (dims: {sorted(dims)}, "
+            f"params: {sorted(self.params)})"
+        )
+
+    # -- conditions ----------------------------------------------------
+    def parse_condition(self, dims: dict[str, str]) -> list[list[AffineExpr]]:
+        """Boolean condition in disjunctive normal form.
+
+        Returns a list of conjunctions; each conjunction is a list of
+        affine expressions meaning ``expr >= 0``.  Equalities are encoded
+        as the two opposite inequalities.  ``and`` over nested disjunctions
+        distributes, so parenthesized conditions are supported.
+        """
+        disjuncts = self.parse_conjunction(dims)
+        while self.accept("or"):
+            disjuncts = disjuncts + self.parse_conjunction(dims)
+        return disjuncts
+
+    def parse_conjunction(self, dims: dict[str, str]) -> list[list[AffineExpr]]:
+        dnf = self.parse_condition_atom(dims)
+        while self.accept("and"):
+            rhs = self.parse_condition_atom(dims)
+            dnf = [left + right for left in dnf for right in rhs]
+        return dnf
+
+    def parse_condition_atom(
+        self, dims: dict[str, str]
+    ) -> list[list[AffineExpr]]:
+        """A chain, or a parenthesized sub-condition.
+
+        ``(`` is ambiguous (it may open an arithmetic group as in
+        ``(i + 1) < 5``); try the condition reading first and backtrack on
+        failure.
+        """
+        if self.current == "(":
+            save = self.pos
+            try:
+                self.expect("(")
+                inner = self.parse_condition(dims)
+                self.expect(")")
+                return inner
+            except NotationError:
+                self.pos = save
+        return [self.parse_chain(dims)]
+
+    def parse_chain(self, dims: dict[str, str]) -> list[AffineExpr]:
+        """A chained comparison over comma groups, as in ISL.
+
+        ``0 <= i, j < N`` constrains every member of each group against
+        every member of the adjacent groups (so it means
+        ``0 <= i and 0 <= j and i < N and j < N``).
+        """
+        groups = [self.parse_group(dims)]
+        ops: list[str] = []
+        while self.current in ("<", "<=", ">", ">=", "=", "=="):
+            ops.append(self.current)
+            self.pos += 1
+            groups.append(self.parse_group(dims))
+        if not ops:
+            raise NotationError("expected a comparison")
+        atoms: list[AffineExpr] = []
+        for left, op, right in zip(groups, ops, groups[1:]):
+            for lhs in left:
+                for rhs in right:
+                    if op == "<":
+                        atoms.append(rhs - lhs - 1)
+                    elif op == "<=":
+                        atoms.append(rhs - lhs)
+                    elif op == ">":
+                        atoms.append(lhs - rhs - 1)
+                    elif op == ">=":
+                        atoms.append(lhs - rhs)
+                    else:  # equality
+                        atoms.append(rhs - lhs)
+                        atoms.append(lhs - rhs)
+        return atoms
+
+    def parse_group(self, dims: dict[str, str]) -> list[AffineExpr]:
+        exprs = [self.parse_expr(dims)]
+        while self.accept(","):
+            exprs.append(self.parse_expr(dims))
+        return exprs
+
+
+def _build_basic_set(
+    space: Space, conjunction: list[AffineExpr]
+) -> BasicSet:
+    cons = []
+    for expr in conjunction:
+        vec, const = expr.vector(space)
+        cons.append(Constraint.ge(vec, const))
+    return BasicSet(space, tuple(cons))
+
+
+def parse_set(text: str, params: dict[str, int] | None = None) -> Set:
+    """Parse ISL-style set notation into a :class:`Set`."""
+    p = _Parser(text, dict(params or {}))
+    p.expect("{")
+    name, entries = p.parse_tuple()
+    for e in entries:
+        if not re.fullmatch(r"[A-Za-z_]\w*", e):
+            raise NotationError(
+                f"set tuple entries must be identifiers, got {e!r}"
+            )
+    space = Space(tuple(entries), name)
+    dims = {d: d for d in entries}
+    if p.accept(":"):
+        disjuncts = p.parse_condition(dims)
+    else:
+        disjuncts = [[]]
+    p.expect("}")
+    if p.current is not None:
+        raise NotationError(f"trailing input {p.current!r}")
+    pieces = tuple(_build_basic_set(space, conj) for conj in disjuncts)
+    return Set(space, pieces)
+
+
+def parse_map(text: str, params: dict[str, int] | None = None) -> Map:
+    """Parse ISL-style map notation into a :class:`Map`.
+
+    Output-tuple entries may be fresh identifiers (named output dimensions)
+    or affine expressions over the input dimensions (adding the equality
+    ``out_k = expr``).
+    """
+    p = _Parser(text, dict(params or {}))
+    p.expect("{")
+    in_name, in_entries = p.parse_tuple()
+    p.expect("->")
+    out_name, out_entries = p.parse_tuple()
+
+    in_space = Space(tuple(in_entries), in_name)
+    in_dims = {d: d for d in in_entries}
+
+    out_dim_names: list[str] = []
+    equalities: list[tuple[str, str]] = []  # (out dim, raw expr text)
+    for k, raw in enumerate(out_entries):
+        if re.fullmatch(r"[A-Za-z_]\w*", raw) and raw not in in_dims and (
+            raw not in p.params
+        ):
+            out_dim_names.append(raw)
+        else:
+            fresh = f"o{k}"
+            while fresh in in_entries or fresh in out_dim_names:
+                fresh += "'"
+            out_dim_names.append(fresh)
+            equalities.append((fresh, raw))
+    out_space = Space(tuple(out_dim_names), out_name)
+    mspace = MapSpace(in_space, out_space)
+
+    all_dims = dict(in_dims)
+    all_dims.update({d: d for d in out_dim_names})
+    flat_space = Space(tuple(in_entries) + tuple(out_dim_names))
+
+    eq_atoms: list[AffineExpr] = []
+    for out_dim, raw in equalities:
+        sub = _Parser(raw, p.params)
+        expr = sub.parse_expr(in_dims)
+        if sub.current is not None:
+            raise NotationError(f"trailing tokens in expression {raw!r}")
+        diff = AffineExpr.var(out_dim) - expr
+        eq_atoms.append(diff)
+        eq_atoms.append(-diff)
+
+    if p.accept(":"):
+        disjuncts = p.parse_condition(all_dims)
+    else:
+        disjuncts = [[]]
+    p.expect("}")
+    if p.current is not None:
+        raise NotationError(f"trailing input {p.current!r}")
+
+    pieces = []
+    for conj in disjuncts:
+        bs = _build_basic_set(flat_space, eq_atoms + conj)
+        pieces.append(BasicMap(mspace, bs.constraints, 0))
+    return Map(mspace, tuple(pieces))

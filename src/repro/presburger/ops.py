@@ -1,0 +1,55 @@
+"""Derived symbolic operations: lexicographic order maps.
+
+The pipeline algebra of the paper repeatedly relates points of one space by
+lexicographic order (the ``D'`` map of Section 4.1, the ``lexleset`` of
+Section 4.2).  A lexicographic comparison ``x < y`` over ``d`` dimensions is
+the union of ``d`` basic maps — one per position of the first strict
+difference — which is exactly how these builders assemble it.
+"""
+
+from __future__ import annotations
+
+from .basic_map import BasicMap
+from .constraint import Constraint
+from .imap import Map
+from .space import MapSpace, Space
+
+
+def _piece(space: Space, strict_at: int, strict: bool) -> BasicMap:
+    """The basic map ``x_0=y_0, …, x_{k-1}=y_{k-1}, x_k (<|<=) y_k``."""
+    n = space.ndim
+    mspace = MapSpace(space, space)
+    cons: list[Constraint] = []
+    for j in range(strict_at):
+        coeffs = [0] * (2 * n)
+        coeffs[j] = 1
+        coeffs[n + j] = -1
+        cons.append(Constraint.eq(tuple(coeffs), 0))
+    coeffs = [0] * (2 * n)
+    coeffs[strict_at] = -1
+    coeffs[n + strict_at] = 1
+    # y_k - x_k >= 1 (strict) or >= 0 (final non-strict piece)
+    cons.append(Constraint.ge(tuple(coeffs), -1 if strict else 0))
+    return BasicMap(mspace, tuple(cons))
+
+
+def lex_lt_map(space: Space) -> Map:
+    """``{ x -> y : x <lex y }`` over ``space``."""
+    pieces = tuple(_piece(space, k, strict=True) for k in range(space.ndim))
+    return Map(MapSpace(space, space), pieces)
+
+
+def lex_le_map(space: Space) -> Map:
+    """``{ x -> y : x <=lex y }`` over ``space``."""
+    n = space.ndim
+    pieces = [_piece(space, k, strict=True) for k in range(n - 1)]
+    pieces.append(_piece(space, n - 1, strict=False))
+    return Map(MapSpace(space, space), tuple(pieces))
+
+
+def lex_gt_map(space: Space) -> Map:
+    return lex_lt_map(space).inverse()
+
+
+def lex_ge_map(space: Space) -> Map:
+    return lex_le_map(space).inverse()

@@ -1,0 +1,119 @@
+"""Dimension spaces for integer sets and maps.
+
+A :class:`Space` names the dimensions of a set of integer tuples, mirroring
+``isl_space``.  Set spaces carry one tuple of dimension names; map spaces are
+represented by :class:`MapSpace`, a pair of set spaces (domain and range).
+
+Spaces are immutable value objects: two spaces compare equal when their tuple
+names and dimension names match.  Most algebraic operations in this package
+require operand spaces to be *compatible*, meaning they have the same number
+of dimensions (names are kept for printing and debugging but do not affect
+semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class Space:
+    """An ordered tuple of dimension names, optionally labelled.
+
+    Parameters
+    ----------
+    dims:
+        Names of the dimensions, e.g. ``("i", "j")``.
+    name:
+        Optional tuple name, e.g. ``"S"`` for a statement ``S[i, j]``.
+    """
+
+    dims: tuple[str, ...]
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        if len(set(self.dims)) != len(self.dims):
+            raise ValueError(f"duplicate dimension names in {self.dims!r}")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.dims)
+
+    def index(self, dim: str) -> int:
+        """Position of dimension ``dim`` in this space."""
+        return self.dims.index(dim)
+
+    def renamed(self, name: str | None) -> "Space":
+        return Space(self.dims, name)
+
+    def with_dims(self, dims: Iterable[str]) -> "Space":
+        return Space(tuple(dims), self.name)
+
+    def compatible(self, other: "Space") -> bool:
+        """True when ``other`` has the same dimensionality."""
+        return self.ndim == other.ndim
+
+    def __str__(self) -> str:
+        label = self.name or ""
+        return f"{label}[{', '.join(self.dims)}]"
+
+
+@dataclass(frozen=True)
+class MapSpace:
+    """The space of a binary relation: a domain space and a range space."""
+
+    domain: Space
+    range: Space = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.range is None:
+            raise ValueError("MapSpace requires both domain and range spaces")
+
+    @property
+    def n_in(self) -> int:
+        return self.domain.ndim
+
+    @property
+    def n_out(self) -> int:
+        return self.range.ndim
+
+    @property
+    def ndim(self) -> int:
+        return self.n_in + self.n_out
+
+    def reversed(self) -> "MapSpace":
+        """Space of the inverse relation."""
+        return MapSpace(self.range, self.domain)
+
+    def flat_dims(self) -> tuple[str, ...]:
+        """Domain and range dimension names flattened into one tuple.
+
+        Name collisions between domain and range are disambiguated with a
+        prime suffix so the flattened (wrapped) space stays well formed.
+        """
+        out = list(self.domain.dims)
+        for d in self.range.dims:
+            cand = d
+            while cand in out:
+                cand += "'"
+            out.append(cand)
+        return tuple(out)
+
+    def wrapped(self) -> Space:
+        """The set space obtained by wrapping the relation into tuples."""
+        dn = self.domain.name or ""
+        rn = self.range.name or ""
+        label = f"{dn}->{rn}" if (dn or rn) else None
+        return Space(self.flat_dims(), label)
+
+    def compatible(self, other: "MapSpace") -> bool:
+        return self.n_in == other.n_in and self.n_out == other.n_out
+
+    def __str__(self) -> str:
+        return f"{self.domain} -> {self.range}"
+
+
+def anonymous(ndim: int, prefix: str = "d", name: str | None = None) -> Space:
+    """A set space with auto-generated dimension names ``d0, d1, ...``."""
+    return Space(tuple(f"{prefix}{k}" for k in range(ndim)), name)

@@ -1,0 +1,59 @@
+"""Schedule trees, Algorithm 2, and task-AST generation (Section 5.2–5.3)."""
+
+from .astgen import TaskAst, TaskBlock, TaskLoopNest, Token, generate_task_ast
+from .legality import (
+    IllegalScheduleError,
+    LegalityReport,
+    Violation,
+    check_legality,
+)
+from .serialize import (
+    dumps_task_ast,
+    load_task_ast,
+    loads_task_ast,
+    save_task_ast,
+)
+from .build import (
+    PIPELINE_MARK,
+    PipelineMarkPayload,
+    build_schedule,
+    build_statement_tree,
+)
+from .tree import (
+    BandNode,
+    DomainNode,
+    ExpansionNode,
+    Leaf,
+    MarkNode,
+    ScheduleNode,
+    ScheduleTree,
+    SequenceNode,
+)
+
+__all__ = [
+    "BandNode",
+    "DomainNode",
+    "IllegalScheduleError",
+    "LegalityReport",
+    "ExpansionNode",
+    "Leaf",
+    "MarkNode",
+    "PIPELINE_MARK",
+    "PipelineMarkPayload",
+    "ScheduleNode",
+    "ScheduleTree",
+    "SequenceNode",
+    "TaskAst",
+    "TaskBlock",
+    "TaskLoopNest",
+    "Token",
+    "Violation",
+    "check_legality",
+    "dumps_task_ast",
+    "load_task_ast",
+    "loads_task_ast",
+    "save_task_ast",
+    "build_schedule",
+    "build_statement_tree",
+    "generate_task_ast",
+]

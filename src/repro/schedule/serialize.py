@@ -1,0 +1,98 @@
+"""Serialization of task ASTs (analysis-result caching).
+
+The pipeline analysis is a compile-time pass; for large instantiations it
+is worth caching.  A :class:`~repro.schedule.astgen.TaskAst` is fully
+self-contained (blocks, iterations, dependency tokens), so saving it is
+enough to rebuild task graphs and run/simulate later without re-running
+Algorithm 1 — ``save_task_ast`` / ``load_task_ast`` round-trip it through
+a single ``.npz`` file (NumPy arrays for the bulk, a JSON header for the
+structure).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+
+from .astgen import TaskAst, TaskBlock, TaskLoopNest
+
+FORMAT_VERSION = 1
+
+
+def save_task_ast(path: str, ast: TaskAst) -> None:
+    """Write a task AST to ``path`` (``.npz``)."""
+    header: dict = {"version": FORMAT_VERSION, "nests": []}
+    arrays: dict[str, np.ndarray] = {}
+    for n_idx, nest in enumerate(ast.nests):
+        nest_rec = {
+            "statement": nest.statement,
+            "depth": nest.depth,
+            "blocks": [],
+        }
+        for block in nest.blocks:
+            key = f"iters_{n_idx}_{block.block_id}"
+            arrays[key] = block.iterations
+            nest_rec["blocks"].append(
+                {
+                    "block_id": block.block_id,
+                    "end": list(block.end),
+                    "iters": key,
+                    "in_tokens": [
+                        [stmt, list(end)] for stmt, end in block.in_tokens
+                    ],
+                }
+            )
+        header["nests"].append(nest_rec)
+    arrays["__header__"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_task_ast(path: str) -> TaskAst:
+    """Read a task AST written by :func:`save_task_ast`."""
+    with np.load(path) as data:
+        header = json.loads(bytes(data["__header__"]).decode("utf-8"))
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported task-AST format version {header.get('version')}"
+            )
+        nests: list[TaskLoopNest] = []
+        for nest_rec in header["nests"]:
+            statement = nest_rec["statement"]
+            blocks: list[TaskBlock] = []
+            for rec in nest_rec["blocks"]:
+                iters = np.asarray(data[rec["iters"]], dtype=np.int64)
+                end = tuple(int(v) for v in rec["end"])
+                in_tokens = tuple(
+                    (stmt, tuple(int(v) for v in e))
+                    for stmt, e in rec["in_tokens"]
+                )
+                blocks.append(
+                    TaskBlock(
+                        statement=statement,
+                        block_id=int(rec["block_id"]),
+                        end=end,
+                        iterations=iters,
+                        in_tokens=in_tokens,
+                        out_token=(statement, end),
+                    )
+                )
+            nests.append(
+                TaskLoopNest(statement, int(nest_rec["depth"]), tuple(blocks))
+            )
+    return TaskAst(tuple(nests))
+
+
+def dumps_task_ast(ast: TaskAst) -> bytes:
+    """In-memory variant of :func:`save_task_ast`."""
+    buffer = io.BytesIO()
+    save_task_ast(buffer, ast)  # type: ignore[arg-type]
+    return buffer.getvalue()
+
+
+def loads_task_ast(blob: bytes) -> TaskAst:
+    """Inverse of :func:`dumps_task_ast`."""
+    return load_task_ast(io.BytesIO(blob))  # type: ignore[arg-type]

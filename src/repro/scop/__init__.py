@@ -1,0 +1,41 @@
+"""SCoP extraction and dependence analysis (Polly-analysis substitute)."""
+
+from .access import Access, AccessKind
+from .dataflow import DataflowResult, analyze_dataflow
+from .ddg import DepEdge, DependenceGraph, build_dependence_graph
+from .deps import (
+    DependenceInfo,
+    DepKind,
+    analyze_dependences,
+    carried_levels,
+    dependence_relation,
+    depends_on,
+    parallel_levels,
+)
+from .extract import extract_scop, to_affine
+from .scop import Scop, ScopStatement
+from .validate import InvalidScopError, ValidationReport, validate_scop
+
+__all__ = [
+    "Access",
+    "AccessKind",
+    "DataflowResult",
+    "DepEdge",
+    "DepKind",
+    "DependenceGraph",
+    "DependenceInfo",
+    "InvalidScopError",
+    "Scop",
+    "ScopStatement",
+    "ValidationReport",
+    "analyze_dataflow",
+    "analyze_dependences",
+    "build_dependence_graph",
+    "carried_levels",
+    "dependence_relation",
+    "depends_on",
+    "extract_scop",
+    "parallel_levels",
+    "to_affine",
+    "validate_scop",
+]

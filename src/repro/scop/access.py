@@ -1,0 +1,87 @@
+"""Memory access relations.
+
+Each access of a statement is an affine function from the statement's
+iteration domain to the cells of one array.  To let reads and writes of
+*different* arrays meet in one shared memory space (as the paper's ``M``),
+cells are encoded as tuples ``(array_id, idx_0, …, idx_{r-1}, 0, …)`` padded
+with zeros up to the maximal array rank of the SCoP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..presburger import (
+    AffineExpr,
+    BasicMap,
+    BasicSet,
+    PointRelation,
+    PointSet,
+    Space,
+)
+
+
+class AccessKind(Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Access:
+    """One affine array access of a statement.
+
+    Parameters
+    ----------
+    array:
+        Name of the accessed array.
+    indices:
+        One :class:`AffineExpr` per array dimension, in the statement's loop
+        variables.
+    kind:
+        Read or write.
+    """
+
+    array: str
+    indices: tuple[AffineExpr, ...]
+    kind: AccessKind
+
+    @property
+    def rank(self) -> int:
+        return len(self.indices)
+
+    def symbolic_relation(
+        self, domain: BasicSet, array_id: int, mem_rank: int
+    ) -> BasicMap:
+        """Iteration → encoded-cell relation as a symbolic map."""
+        dims = ("arr",) + tuple(f"m{k}" for k in range(mem_rank))
+        mem_space = Space(dims, "Mem")
+        exprs: list[AffineExpr] = [AffineExpr.constant(array_id)]
+        exprs.extend(self.indices)
+        exprs.extend(AffineExpr.constant(0) for _ in range(mem_rank - self.rank))
+        return BasicMap.from_affine(domain, mem_space, exprs)
+
+    def explicit_relation(
+        self, points: PointSet, space: Space, array_id: int, mem_rank: int
+    ) -> PointRelation:
+        """Iteration → encoded-cell relation tabulated over ``points``.
+
+        ``space`` names the iteration dimensions so index expressions can be
+        aligned into a coefficient matrix.
+        """
+        n_in = space.ndim
+        matrix = np.zeros((mem_rank + 1, n_in), dtype=np.int64)
+        const = np.zeros(mem_rank + 1, dtype=np.int64)
+        const[0] = array_id
+        for k, expr in enumerate(self.indices):
+            vec, c = expr.vector(space)
+            matrix[1 + k, :] = vec
+            const[1 + k] = c
+        return PointRelation.from_affine(points, matrix, const)
+
+    def __str__(self) -> str:
+        subs = "".join(f"[{i}]" for i in self.indices)
+        tag = "W" if self.kind is AccessKind.WRITE else "R"
+        return f"{tag}:{self.array}{subs}"

@@ -1,0 +1,182 @@
+"""Memory-based dependence analysis on explicit relations.
+
+Computes flow (read-after-write), anti (write-after-read) and output
+(write-after-write) dependences between statement instances, ordered by the
+sequential execution of the program: nests run one after another, and within
+a nest instances follow lexicographic order of the shared loops with textual
+order breaking ties.
+
+These relations feed (a) the "T depends on S" test of Algorithm 1, (b) the
+correctness oracle used throughout the test-suite, and (c) the Polly-like
+baseline's parallel-dimension detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..presburger import PointRelation, rowwise_lex_lt
+from .scop import Scop, ScopStatement
+
+
+class DepKind(Enum):
+    FLOW = "flow"  # src writes, tgt reads
+    ANTI = "anti"  # src reads, tgt writes
+    OUTPUT = "output"  # src writes, tgt writes
+
+
+def dependence_relation(
+    scop: Scop,
+    src: ScopStatement,
+    tgt: ScopStatement,
+    kind: DepKind = DepKind.FLOW,
+) -> PointRelation:
+    """Instances of ``tgt`` mapped to the ``src`` instances they depend on.
+
+    The result only contains pairs where the source instance executes
+    strictly before the target instance in the original sequential program.
+    """
+    if kind is DepKind.FLOW:
+        src_rel, tgt_rel = scop.write_relation(src), scop.read_relation(tgt)
+    elif kind is DepKind.ANTI:
+        src_rel, tgt_rel = scop.read_relation(src), scop.write_relation(tgt)
+    else:
+        src_rel, tgt_rel = scop.write_relation(src), scop.write_relation(tgt)
+
+    # tgt iteration -> src iteration touching the same cell
+    candidates = src_rel.inverse().after(tgt_rel)
+    return _filter_execution_order(candidates, src, tgt)
+
+
+def _filter_execution_order(
+    candidates: PointRelation, src: ScopStatement, tgt: ScopStatement
+) -> PointRelation:
+    if candidates.is_empty():
+        return candidates
+    tgt_iters = candidates.in_part
+    src_iters = candidates.out_part
+
+    if src.nest_index < tgt.nest_index:
+        return candidates
+    if src.nest_index > tgt.nest_index:
+        return PointRelation.empty(candidates.n_in, candidates.n_out)
+
+    # Same nest: order on the shared loop dimensions, textual order as tie
+    # break; same statement requires strict lexicographic precedence.
+    common = min(src.depth, tgt.depth)
+    src_prefix = src_iters[:, :common]
+    tgt_prefix = tgt_iters[:, :common]
+    before = rowwise_lex_lt(src_prefix, tgt_prefix)
+    equal = np.all(src_prefix == tgt_prefix, axis=1)
+    if src.name == tgt.name:
+        keep = before | (equal & rowwise_lex_lt(src_iters, tgt_iters))
+    elif src.position < tgt.position:
+        keep = before | equal
+    else:
+        keep = before
+    return PointRelation(candidates.pairs[keep], candidates.n_in)
+
+
+def depends_on(
+    scop: Scop,
+    tgt: ScopStatement,
+    src: ScopStatement,
+    kinds: tuple[DepKind, ...] = (DepKind.FLOW,),
+) -> bool:
+    """True when some instance of ``tgt`` depends on an instance of ``src``."""
+    return any(
+        not dependence_relation(scop, src, tgt, kind).is_empty()
+        for kind in kinds
+    )
+
+
+@dataclass(frozen=True)
+class DependenceInfo:
+    """All pairwise dependence relations of a SCoP."""
+
+    scop: Scop
+    relations: dict[tuple[str, str, DepKind], PointRelation]
+
+    def get(
+        self, src: str, tgt: str, kind: DepKind = DepKind.FLOW
+    ) -> PointRelation:
+        key = (src, tgt, kind)
+        if key in self.relations:
+            return self.relations[key]
+        s, t = self.scop.statement(src), self.scop.statement(tgt)
+        return PointRelation.empty(t.depth, s.depth)
+
+    def sources_of(self, tgt: str, kind: DepKind = DepKind.FLOW) -> list[str]:
+        """Names of statements some instance of ``tgt`` depends on."""
+        return [
+            s
+            for (s, t, k), rel in self.relations.items()
+            if t == tgt and k is kind and len(rel) > 0 and s != tgt
+        ]
+
+    def targets_of(self, src: str, kind: DepKind = DepKind.FLOW) -> list[str]:
+        return [
+            t
+            for (s, t, k), rel in self.relations.items()
+            if s == src and k is kind and len(rel) > 0 and s != t
+        ]
+
+
+def analyze_dependences(
+    scop: Scop, kinds: tuple[DepKind, ...] = (DepKind.FLOW,)
+) -> DependenceInfo:
+    """Compute all non-empty pairwise dependence relations."""
+    relations: dict[tuple[str, str, DepKind], PointRelation] = {}
+    for src in scop.statements:
+        for tgt in scop.statements:
+            if tgt.position < src.position:
+                continue
+            for kind in kinds:
+                rel = dependence_relation(scop, src, tgt, kind)
+                if not rel.is_empty():
+                    relations[(src.name, tgt.name, kind)] = rel
+    return DependenceInfo(scop, relations)
+
+
+# ----------------------------------------------------------------------
+# Loop-level parallelism (used by the Polly-like baseline)
+# ----------------------------------------------------------------------
+def carried_levels(scop: Scop, nest_index: int) -> set[int]:
+    """Loop levels of a nest that carry a dependence.
+
+    Level ``k`` (0-based) carries a dependence when two dependent instances
+    share loop indices ``0..k-1`` but differ at ``k``.  A level that carries
+    no dependence can run in parallel, which is the decision the Polly/Pluto
+    baseline takes per loop nest.
+    """
+    stmts = [s for s in scop.statements if s.nest_index == nest_index]
+    carried: set[int] = set()
+    for src in stmts:
+        for tgt in stmts:
+            for kind in DepKind:
+                rel = dependence_relation(scop, src, tgt, kind)
+                if rel.is_empty():
+                    continue
+                common = min(src.depth, tgt.depth)
+                a = rel.out_part[:, :common]  # src iterations
+                b = rel.in_part[:, :common]  # tgt iterations
+                decided = np.zeros(a.shape[0], dtype=bool)
+                for level in range(common):
+                    differs = ~decided & (a[:, level] != b[:, level])
+                    if np.any(differs):
+                        carried.add(level)
+                    decided |= differs
+    return carried
+
+
+def parallel_levels(scop: Scop, nest_index: int) -> list[int]:
+    """Loop levels of a nest that are dependence-free (parallelizable)."""
+    stmts = [s for s in scop.statements if s.nest_index == nest_index]
+    if not stmts:
+        return []
+    depth = min(s.depth for s in stmts)
+    carried = carried_levels(scop, nest_index)
+    return [k for k in range(depth) if k not in carried]

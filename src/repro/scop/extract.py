@@ -1,0 +1,209 @@
+"""SCoP extraction from kernel-language ASTs.
+
+Turns a parsed :class:`~repro.lang.ast.Program` plus concrete structure
+parameters (e.g. ``N=32``) into a :class:`~repro.scop.scop.Scop`:
+iteration domains become basic sets, subscripts become affine access
+functions, and each labelled assignment becomes one statement.
+
+Parameters are instantiated here — the analysis downstream is exact for the
+given sizes, matching the explicit-relation backend (see DESIGN.md §2 for
+why this substitution is faithful).
+"""
+
+from __future__ import annotations
+
+from ..lang.ast import (
+    ArrayAccess,
+    Assign,
+    BinOp,
+    Call,
+    Expr,
+    IntLit,
+    Loop,
+    Program,
+    VarRef,
+    expr_reads,
+)
+from ..lang.errors import SemanticError
+from ..presburger import AffineExpr, BasicSet, Constraint, Space
+from .access import Access, AccessKind
+from .scop import Scop, ScopStatement
+
+
+def to_affine(
+    expr: Expr, loop_vars: set[str], params: dict[str, int]
+) -> AffineExpr:
+    """Lower an AST expression to an affine form over the loop variables.
+
+    Structure parameters are substituted by their integer values; ``/`` and
+    ``%`` are only allowed between constant-folded operands (so ``N/2`` is
+    fine, ``i/2`` is rejected — exactly Polly's affine-subscript rule).
+    """
+    if isinstance(expr, IntLit):
+        return AffineExpr.constant(expr.value)
+    if isinstance(expr, VarRef):
+        if expr.name in loop_vars:
+            return AffineExpr.var(expr.name)
+        if expr.name in params:
+            return AffineExpr.constant(params[expr.name])
+        raise SemanticError(
+            f"unknown variable {expr.name!r} (not a loop variable; "
+            f"known parameters: {sorted(params)})",
+            expr.location,
+        )
+    if isinstance(expr, BinOp):
+        lhs = to_affine(expr.lhs, loop_vars, params)
+        rhs = to_affine(expr.rhs, loop_vars, params)
+        if expr.op == "+":
+            return lhs + rhs
+        if expr.op == "-":
+            return lhs - rhs
+        if expr.op == "*":
+            if lhs.is_constant:
+                return rhs * lhs.const
+            if rhs.is_constant:
+                return lhs * rhs.const
+            raise SemanticError(
+                "non-affine product of two variables", expr.location
+            )
+        if expr.op in ("/", "%"):
+            if not (lhs.is_constant and rhs.is_constant):
+                raise SemanticError(
+                    f"non-constant {expr.op!r} is not affine", expr.location
+                )
+            if rhs.const == 0:
+                raise SemanticError("division by zero", expr.location)
+            value = (
+                lhs.const // rhs.const
+                if expr.op == "/"
+                else lhs.const % rhs.const
+            )
+            return AffineExpr.constant(value)
+        raise SemanticError(f"unsupported operator {expr.op!r}", expr.location)
+    if isinstance(expr, (ArrayAccess, Call)):
+        raise SemanticError(
+            "array accesses and calls cannot appear in bounds or subscripts",
+            expr.location,
+        )
+    raise SemanticError(f"cannot lower {expr!r} to an affine expression")
+
+
+def extract_scop(program: Program, params: dict[str, int] | None = None) -> Scop:
+    """Extract the polyhedral representation of a kernel program."""
+    params = dict(params or {})
+    statements: list[ScopStatement] = []
+    arrays: dict[str, int] = {}
+    position = 0
+
+    for nest_index, nest in enumerate(program.nests):
+        position = _walk_loop(
+            nest, nest_index, [], [], statements, arrays, params, position
+        )
+
+    return Scop(tuple(statements), arrays, params)
+
+
+def _walk_loop(
+    loop: Loop,
+    nest_index: int,
+    loop_vars: list[str],
+    bound_exprs: list[AffineExpr],
+    statements: list[ScopStatement],
+    arrays: dict[str, int],
+    params: dict[str, int],
+    position: int,
+) -> int:
+    if loop.var in loop_vars:
+        raise SemanticError(
+            f"loop variable {loop.var!r} shadows an outer loop", loop.location
+        )
+    if loop.var in params:
+        raise SemanticError(
+            f"loop variable {loop.var!r} collides with a parameter",
+            loop.location,
+        )
+    vars_here = loop_vars + [loop.var]
+    var_set = set(vars_here)
+    lb = to_affine(loop.lower, var_set - {loop.var}, params)
+    ub = to_affine(loop.upper, var_set - {loop.var}, params)
+    iv = AffineExpr.var(loop.var)
+    lower_c = iv - lb  # iv - lb >= 0
+    upper_c = (ub - iv - 1) if loop.upper_strict else (ub - iv)
+    bounds_here = bound_exprs + [lower_c, upper_c]
+
+    for item in loop.body:
+        if isinstance(item, Loop):
+            position = _walk_loop(
+                item,
+                nest_index,
+                vars_here,
+                bounds_here,
+                statements,
+                arrays,
+                params,
+                position,
+            )
+        else:
+            _add_statement(
+                item,
+                nest_index,
+                vars_here,
+                bounds_here,
+                statements,
+                arrays,
+                params,
+                position,
+            )
+            position += 1
+    return position
+
+
+def _add_statement(
+    stmt: Assign,
+    nest_index: int,
+    loop_vars: list[str],
+    bound_exprs: list[AffineExpr],
+    statements: list[ScopStatement],
+    arrays: dict[str, int],
+    params: dict[str, int],
+    position: int,
+) -> None:
+    space = Space(tuple(loop_vars), stmt.label)
+    constraints = []
+    for expr in bound_exprs:
+        vec, const = expr.vector(space)
+        constraints.append(Constraint.ge(vec, const))
+    domain = BasicSet(space, tuple(constraints))
+
+    var_set = set(loop_vars)
+    accesses: list[Access] = []
+
+    def lower_access(acc: ArrayAccess, kind: AccessKind) -> Access:
+        indices = tuple(to_affine(ix, var_set, params) for ix in acc.indices)
+        rank = len(indices)
+        known = arrays.setdefault(acc.array, rank)
+        if known != rank:
+            raise SemanticError(
+                f"array {acc.array!r} used with rank {rank} here "
+                f"but rank {known} elsewhere",
+                acc.location,
+            )
+        return Access(acc.array, indices, kind)
+
+    accesses.append(lower_access(stmt.target, AccessKind.WRITE))
+    if stmt.op == "+=":
+        accesses.append(lower_access(stmt.target, AccessKind.READ))
+    for acc in expr_reads(stmt.value):
+        accesses.append(lower_access(acc, AccessKind.READ))
+
+    statements.append(
+        ScopStatement(
+            name=stmt.label,
+            nest_index=nest_index,
+            position=position,
+            space=space,
+            domain=domain,
+            accesses=tuple(accesses),
+            assign=stmt,
+        )
+    )

@@ -1,0 +1,184 @@
+"""Static control part (SCoP) representation.
+
+A :class:`Scop` is the polyhedral abstraction of a kernel program: one
+:class:`ScopStatement` per labelled assignment, each carrying its iteration
+domain (symbolic and explicit), its read/write access relations, and enough
+of the original AST to execute the statement.  This mirrors what Polly's
+analysis passes hand to the paper's pipeline detection.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..lang.ast import Assign
+from ..presburger import (
+    BasicMap,
+    BasicSet,
+    PointRelation,
+    PointSet,
+    Space,
+    to_point_set,
+)
+from .access import Access, AccessKind
+
+
+@dataclass(frozen=True)
+class ScopStatement:
+    """One statement instance set plus its memory behaviour."""
+
+    name: str
+    nest_index: int
+    position: int
+    space: Space
+    domain: BasicSet
+    accesses: tuple[Access, ...]
+    assign: Assign
+
+    @property
+    def depth(self) -> int:
+        return self.space.ndim
+
+    @property
+    def writes(self) -> tuple[Access, ...]:
+        return tuple(a for a in self.accesses if a.kind is AccessKind.WRITE)
+
+    @property
+    def reads(self) -> tuple[Access, ...]:
+        return tuple(a for a in self.accesses if a.kind is AccessKind.READ)
+
+    @functools.cached_property
+    def points(self) -> PointSet:
+        """The enumerated iteration domain (cached)."""
+        return to_point_set(self.domain)
+
+    def __str__(self) -> str:
+        acc = ", ".join(str(a) for a in self.accesses)
+        return f"{self.name}{list(self.space.dims)} in nest {self.nest_index}: {acc}"
+
+
+@dataclass(frozen=True)
+class Scop:
+    """An analyzed static control part."""
+
+    statements: tuple[ScopStatement, ...]
+    arrays: dict[str, int] = field(default_factory=dict)  # name -> rank
+    params: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        names = [s.name for s in self.statements]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate statement labels: {names}")
+
+    # ------------------------------------------------------------------
+    @property
+    def mem_rank(self) -> int:
+        """Common padded rank of the encoded memory space."""
+        return max(self.arrays.values(), default=0)
+
+    @functools.cached_property
+    def array_ids(self) -> dict[str, int]:
+        return {name: k for k, name in enumerate(sorted(self.arrays))}
+
+    def statement(self, name: str) -> ScopStatement:
+        for s in self.statements:
+            if s.name == name:
+                return s
+        raise KeyError(f"no statement named {name!r}")
+
+    def __iter__(self):
+        return iter(self.statements)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    # ------------------------------------------------------------------
+    # access relations
+    # ------------------------------------------------------------------
+    def write_relation(self, stmt: ScopStatement) -> PointRelation:
+        """Explicit ``Wr`` relation (iterations → encoded cells), cached."""
+        return self._cached_relation(stmt, AccessKind.WRITE)
+
+    def read_relation(self, stmt: ScopStatement) -> PointRelation:
+        """Explicit ``Rd`` relation (iterations → encoded cells), cached."""
+        return self._cached_relation(stmt, AccessKind.READ)
+
+    def _cached_relation(
+        self, stmt: ScopStatement, kind: AccessKind
+    ) -> PointRelation:
+        # The dependence and pipeline passes request these repeatedly;
+        # tabulating an access relation is the analysis' hottest kernel.
+        cache: dict = self.__dict__.setdefault("_relation_cache", {})
+        key = (stmt.name, kind)
+        if key not in cache:
+            cache[key] = self._access_relation(stmt, kind)
+        return cache[key]
+
+    def _access_relation(
+        self, stmt: ScopStatement, kind: AccessKind
+    ) -> PointRelation:
+        rank = self.mem_rank
+        rels = [
+            acc.explicit_relation(
+                stmt.points, stmt.space, self.array_ids[acc.array], rank
+            )
+            for acc in stmt.accesses
+            if acc.kind is kind
+        ]
+        if not rels:
+            return PointRelation.empty(stmt.depth, rank + 1)
+        out = rels[0]
+        for r in rels[1:]:
+            out = out.union(r)
+        return out
+
+    def symbolic_write_relation(self, stmt: ScopStatement) -> list[BasicMap]:
+        rank = self.mem_rank
+        return [
+            acc.symbolic_relation(stmt.domain, self.array_ids[acc.array], rank)
+            for acc in stmt.accesses
+            if acc.kind is AccessKind.WRITE
+        ]
+
+    def symbolic_read_relation(self, stmt: ScopStatement) -> list[BasicMap]:
+        rank = self.mem_rank
+        return [
+            acc.symbolic_relation(stmt.domain, self.array_ids[acc.array], rank)
+            for acc in stmt.accesses
+            if acc.kind is AccessKind.READ
+        ]
+
+    # ------------------------------------------------------------------
+    def array_extent(self, name: str) -> tuple[tuple[int, int], ...]:
+        """Conservative per-dimension (min, max) touched by any access.
+
+        Used by the interpreter and runtime to size backing NumPy arrays.
+        """
+        rank = self.arrays[name]
+        lo = np.full(rank, np.iinfo(np.int64).max, dtype=np.int64)
+        hi = np.full(rank, np.iinfo(np.int64).min, dtype=np.int64)
+        seen = False
+        for stmt in self.statements:
+            for acc in stmt.accesses:
+                if acc.array != name:
+                    continue
+                rel = acc.explicit_relation(
+                    stmt.points, stmt.space, 0, self.arrays[name]
+                )
+                cells = rel.out_part[:, 1 : 1 + rank]
+                if cells.shape[0] == 0:
+                    continue
+                seen = True
+                np.minimum(lo, cells.min(axis=0), out=lo)
+                np.maximum(hi, cells.max(axis=0), out=hi)
+        if not seen:
+            return tuple((0, 0) for _ in range(rank))
+        return tuple((int(a), int(b)) for a, b in zip(lo, hi))
+
+    def __str__(self) -> str:
+        lines = [f"Scop with {len(self.statements)} statements:"]
+        lines += [f"  {s}" for s in self.statements]
+        return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Validation of the paper's structural assumptions.
+
+Section 4 of the paper assumes: the program is a sequence of for-loop
+nests; an iteration may depend only on earlier iterations of its own nest
+or on nests before it (guaranteed by construction for sequential programs);
+and each statement's write relation is injective (no over-writes within one
+statement's iteration domain).  :func:`validate_scop` checks what can be
+violated and reports precise diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .scop import Scop, ScopStatement
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of SCoP validation: hard errors and advisory warnings."""
+
+    errors: tuple[str, ...] = ()
+    warnings: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_if_invalid(self) -> None:
+        if self.errors:
+            raise InvalidScopError("; ".join(self.errors))
+
+
+class InvalidScopError(ValueError):
+    """The SCoP violates an assumption the pipeline algorithm relies on."""
+
+
+def validate_scop(scop: Scop, require_injective_writes: bool = True) -> ValidationReport:
+    """Check the paper's preconditions on an extracted SCoP."""
+    errors: list[str] = []
+    warnings: list[str] = []
+
+    if not scop.statements:
+        errors.append("SCoP has no statements")
+
+    for stmt in scop.statements:
+        if stmt.depth == 0:
+            errors.append(f"statement {stmt.name} has no enclosing loop")
+            continue
+        if len(stmt.writes) != 1:
+            errors.append(
+                f"statement {stmt.name} must have exactly one write "
+                f"(found {len(stmt.writes)})"
+            )
+        if len(stmt.points) == 0:
+            warnings.append(f"statement {stmt.name} has an empty domain")
+        if require_injective_writes and not _injective_write(scop, stmt):
+            errors.append(
+                f"write relation of statement {stmt.name} is not injective "
+                "(the paper's transformation assumes no over-writes)"
+            )
+
+    nests: dict[int, list[ScopStatement]] = {}
+    for stmt in scop.statements:
+        nests.setdefault(stmt.nest_index, []).append(stmt)
+    for nest_index, stmts in nests.items():
+        if len(stmts) > 1:
+            warnings.append(
+                f"nest {nest_index} holds {len(stmts)} statements; the "
+                "prototype pipelines one statement per nest (Section 5.4)"
+            )
+
+    return ValidationReport(tuple(errors), tuple(warnings))
+
+
+def _injective_write(scop: Scop, stmt: ScopStatement) -> bool:
+    wr = scop.write_relation(stmt)
+    if wr.is_empty():
+        return True
+    return wr.is_injective()

@@ -1,0 +1,35 @@
+"""Tasking layer: task graphs, OpenMP-style depend semantics, runtime, simulator."""
+
+from .api import OmpTaskSystem
+from .backends import FuturesBackend, SerialBackend
+from .dot import to_dot, write_dot
+from .hybrid import hybrid_task_graph, intra_block_edges
+from .runtime import (
+    RunResult,
+    TaskRuntimeError,
+    bind_interpreter_actions,
+    execute,
+)
+from .simulator import SimResult, scaling_curve, sequential_time, simulate
+from .task import CyclicTaskGraphError, Task, TaskGraph
+
+__all__ = [
+    "CyclicTaskGraphError",
+    "FuturesBackend",
+    "SerialBackend",
+    "OmpTaskSystem",
+    "RunResult",
+    "SimResult",
+    "Task",
+    "TaskGraph",
+    "TaskRuntimeError",
+    "bind_interpreter_actions",
+    "hybrid_task_graph",
+    "intra_block_edges",
+    "execute",
+    "scaling_curve",
+    "sequential_time",
+    "simulate",
+    "to_dot",
+    "write_dot",
+]

@@ -1,0 +1,17 @@
+"""Benchmark workloads: Table 9 P-kernels and Figure 11 matmul chains."""
+
+from .costmodel import CostModel
+from .matmul import VARIANTS, MatmulKernel, figure11_kernels
+from .pkernels import TABLE9, NestSpec, PKernel, ReadSpec, kernel
+
+__all__ = [
+    "CostModel",
+    "MatmulKernel",
+    "NestSpec",
+    "PKernel",
+    "ReadSpec",
+    "TABLE9",
+    "VARIANTS",
+    "figure11_kernels",
+    "kernel",
+]

@@ -1,0 +1,40 @@
+"""Cost models for simulated execution.
+
+The paper's kernels spend their time in opaque compute functions
+(``next_prime`` over multi-precision arrays of ``SIZE`` elements, dot
+products of length ``N``).  A :class:`CostModel` assigns each statement a
+per-iteration cost in abstract time units; block costs are the sum over
+the block's iterations, which is what the discrete-event simulator charges
+per task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..schedule import TaskBlock
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-statement, per-iteration execution costs."""
+
+    per_iteration: dict[str, float]
+    default: float = 1.0
+
+    def cost_of(self, statement: str) -> float:
+        return self.per_iteration.get(statement, self.default)
+
+    def iter_costs(self, statement: str, iters: np.ndarray) -> np.ndarray:
+        """Vector of costs for a batch of iterations (uniform per statement)."""
+        return np.full(iters.shape[0], self.cost_of(statement))
+
+    def block_cost(self, block: TaskBlock) -> float:
+        """Total cost of one pipeline block (simulator task weight)."""
+        return self.cost_of(block.statement) * block.size
+
+    @staticmethod
+    def uniform(value: float = 1.0) -> "CostModel":
+        return CostModel({}, default=value)

@@ -1,0 +1,107 @@
+"""Matrix-multiplication chain kernels of Figure 11.
+
+``nmm``/``nmmt`` are chains of ``n`` matrix multiplications (Polybench 2mm /
+3mm plus a 4mm sibling); ``ngmm``/``ngmmt`` are the paper's *generalized*
+variants where each result element is additionally combined with its
+neighbours ``C[i+1][j]`` and ``C[i][j-1]`` — which makes both loop levels
+carry dependences, defeating Polly, while the cross-nest pipeline remains.
+
+**Row-anchor encoding.**  The paper expresses each multiplication as
+consecutive vector–matrix products whose inner dot product is an opaque
+compute call (their prototype generates code for depth-2 nests with a
+single write each).  Computing ``C[i][j]`` needs *all* of row ``i`` of the
+previous result: the lexicographically last cell of that row, ``[i][N-1]``,
+is written last, so a single read of ``Prev[i][N-1]`` induces exactly the
+same pipeline map, blocking, and task dependencies as reading the whole
+row — the declared access is the dependence *anchor*.  (Verified against
+full-row access sets in ``tests/workloads/test_matmul.py``.)  Execution
+semantics use the same anchor cells through a deterministic mixing
+function; numerical equality with a real matmul is not needed for any
+figure, only the dependence/cost structure is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang import parse
+from ..lang.ast import Program
+from .costmodel import CostModel
+
+VARIANTS = ("mm", "mmt", "gmm", "gmmt")
+
+
+@dataclass(frozen=True)
+class MatmulKernel:
+    """One Figure 11 kernel: ``{n}{variant}`` for n in 2..4."""
+
+    n: int
+    variant: str
+
+    def __post_init__(self) -> None:
+        if self.variant not in VARIANTS:
+            raise ValueError(f"variant must be one of {VARIANTS}")
+        if self.n < 2:
+            raise ValueError("need at least two multiplications")
+
+    @property
+    def name(self) -> str:
+        return f"{self.n}{self.variant}"
+
+    @property
+    def generalized(self) -> bool:
+        return self.variant.startswith("g")
+
+    @property
+    def transposed(self) -> bool:
+        return self.variant.endswith("t")
+
+    # ------------------------------------------------------------------
+    def source(self, size: int) -> str:
+        """Kernel source for ``size``×``size`` matrices."""
+        last = size - 1
+        chunks: list[str] = []
+        for k in range(1, self.n + 1):
+            prev = "A0" if k == 1 else f"C{k - 1}"
+            operand = (
+                f"B{k}[j][{last}]" if self.transposed else f"B{k}[{last}][j]"
+            )
+            row_anchor = f"{prev}[i][{last}]"
+            if self.generalized:
+                # gemm-like neighbour coupling: C[i][j] also combines
+                # C[i+1][j] (anti dep, level 0) and C[i][j-1] (flow, level 1).
+                chunks.append(
+                    f"for(i=0; i<{size - 1}; i++)\n"
+                    f"  for(j=1; j<{size}; j++)\n"
+                    f"    M{k}: C{k}[i][j] = dot({row_anchor}, {operand}, "
+                    f"C{k}[i+1][j], C{k}[i][j-1], C{k}[i][j]);"
+                )
+            else:
+                chunks.append(
+                    f"for(i=0; i<{size}; i++)\n"
+                    f"  for(j=0; j<{size}; j++)\n"
+                    f"    M{k}: C{k}[i][j] = dot({row_anchor}, {operand});"
+                )
+        return "\n".join(chunks)
+
+    def program(self, size: int) -> Program:
+        return parse(self.source(size))
+
+    def cost_model(self, size: int) -> CostModel:
+        """Each element costs a length-``size`` dot product (+3 for gemm)."""
+        per = float(size + (3 if self.generalized else 0))
+        return CostModel(
+            {f"M{k}": per for k in range(1, self.n + 1)}
+        )
+
+    def statement_names(self) -> list[str]:
+        return [f"M{k}" for k in range(1, self.n + 1)]
+
+
+def figure11_kernels() -> list[MatmulKernel]:
+    """The twelve kernels of Figure 11, in the paper's x-axis order."""
+    out: list[MatmulKernel] = []
+    for n in (2, 3, 4):
+        for variant in VARIANTS:
+            out.append(MatmulKernel(n, variant))
+    return out

@@ -1,0 +1,249 @@
+"""The P1–P10 synthetic kernels of Table 9.
+
+Each kernel is a sequence of depth-2 loop nests; nest ``k`` updates matrix
+``A{k}`` by calling a compute-intensive function of its own cell and the
+listed read accesses into earlier arrays.  In the paper the function finds
+the ``num``-th next prime over a ``SIZE``-element multi-precision array,
+which Polly treats as an opaque call; here the same role is played by the
+cost model (``cost = num * SIZE`` abstract units per iteration) while a
+deterministic mixing function supplies real values for correctness runs.
+
+Table 9's access column is reproduced below (reconstructed from the paper;
+the OCR of the original table is noisy — where ambiguous we chose the
+reading consistent with the prose and with Figure 10's speed-up ordering,
+see EXPERIMENTS.md).  Loop bounds are derived automatically so that every
+read stays inside the region written by its producer nest, the paper's
+"lower and upper bounds of the loops are set accordingly".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang import parse
+from ..lang.ast import Program
+from .costmodel import CostModel
+
+
+@dataclass(frozen=True)
+class ReadSpec:
+    """One read access: source nest (1-based) and index templates."""
+
+    source: int
+    row: str
+    col: str
+
+    def render(self) -> str:
+        return f"A{self.source}[{self.row}][{self.col}]"
+
+
+@dataclass(frozen=True)
+class NestSpec:
+    """One loop nest: its ``num`` weight and its cross-nest reads."""
+
+    num: int
+    reads: tuple[ReadSpec, ...] = ()
+
+
+@dataclass(frozen=True)
+class PKernel:
+    """A Table 9 kernel definition."""
+
+    name: str
+    nests: tuple[NestSpec, ...]
+
+    @property
+    def num_nests(self) -> int:
+        return len(self.nests)
+
+    # ------------------------------------------------------------------
+    def extents(self, n: int) -> list[tuple[int, int]]:
+        """Per-nest ``(rows, cols)`` extents keeping reads in their producers.
+
+        Nest 1 spans ``n``×``n``; later nests take, per dimension, the
+        largest extent such that every read index stays within the producer
+        nest's written region.  A template mentioning only ``i`` constrains
+        the row extent, only ``j`` the column extent; a coupled template
+        (e.g. ``2*i+j``) conservatively constrains both.
+        """
+        extents: list[tuple[int, int]] = []
+        for spec in self.nests:
+            mi = mj = n
+            for read in spec.reads:
+                src_i, src_j = extents[read.source - 1]
+                for template, limit in ((read.row, src_i), (read.col, src_j)):
+                    uses_i = "i" in template
+                    uses_j = "j" in template
+                    bound = _max_extent(template, limit)
+                    if uses_i:
+                        mi = min(mi, bound)
+                    if uses_j:
+                        mj = min(mj, bound)
+                    if not (uses_i or uses_j) and not (
+                        0 <= int(template) < limit
+                    ):
+                        raise ValueError(
+                            f"constant access {template} out of range"
+                        )
+            if mi < 1 or mj < 1:
+                raise ValueError(
+                    f"kernel {self.name}: N={n} too small for access bounds"
+                )
+            extents.append((mi, mj))
+        return extents
+
+    def source(self, n: int) -> str:
+        """Kernel source text for problem size ``n``."""
+        extents = self.extents(n)
+        chunks: list[str] = []
+        for k, (spec, (mi, mj)) in enumerate(
+            zip(self.nests, extents), start=1
+        ):
+            # The paper designs the kernels so Polly cannot parallelize any
+            # loop: like Listing 1's f(), each nest reads its own array at
+            # [i][j+1] and [i+1][j+1], carrying (anti) dependences at both
+            # loop levels while keeping the write injective.
+            args = [
+                f"A{k}[i][j]",
+                f"A{k}[i][j+1]",
+                f"A{k}[i+1][j+1]",
+            ] + [r.render() for r in spec.reads]
+            chunks.append(
+                f"for(i=0; i<{mi}; i++)\n"
+                f"  for(j=0; j<{mj}; j++)\n"
+                f"    S{k}: A{k}[i][j] = compute({', '.join(args)});"
+            )
+        return "\n".join(chunks)
+
+    def program(self, n: int) -> Program:
+        return parse(self.source(n))
+
+    def cost_model(self, size: int) -> CostModel:
+        """Per-iteration cost ``num_k * SIZE`` for statement ``S{k}``."""
+        return CostModel(
+            {
+                f"S{k}": float(spec.num * size)
+                for k, spec in enumerate(self.nests, start=1)
+            }
+        )
+
+    def statement_names(self) -> list[str]:
+        return [f"S{k}" for k in range(1, self.num_nests + 1)]
+
+
+def _max_extent(template: str, src_extent: int) -> int:
+    """Largest M with ``template`` in range over ``i, j < M``.
+
+    Index templates are monotone in ``i``/``j`` with non-negative
+    coefficients, so the maximum index occurs at ``i = j = M - 1``.
+    """
+    for m in range(src_extent, 0, -1):
+        value = eval(template, {"__builtins__": {}}, {"i": m - 1, "j": m - 1})
+        if 0 <= value < src_extent:
+            return m
+    raise ValueError(f"no feasible extent for access template {template!r}")
+
+
+def _k(name: str, *nests: NestSpec) -> PKernel:
+    return PKernel(name, tuple(nests))
+
+
+#: Table 9, reconstructed.  ``NestSpec(num, reads)``; ``ReadSpec(src, i, j)``.
+TABLE9: dict[str, PKernel] = {
+    "P1": _k(
+        "P1",
+        NestSpec(1),
+        NestSpec(1, (ReadSpec(1, "i", "j"),)),
+    ),
+    "P2": _k(
+        "P2",
+        NestSpec(2),
+        NestSpec(6, (ReadSpec(1, "2*i", "2*j"),)),
+    ),
+    "P3": _k(
+        "P3",
+        NestSpec(1),
+        NestSpec(1, (ReadSpec(1, "i", "j"),)),
+        NestSpec(1, (ReadSpec(1, "i", "j"), ReadSpec(2, "i", "j"))),
+    ),
+    "P4": _k(
+        "P4",
+        NestSpec(2),
+        NestSpec(2, (ReadSpec(1, "i+3", "j"),)),
+        NestSpec(
+            8,
+            (ReadSpec(1, "2*i+j", "2*j"), ReadSpec(2, "2*i", "2*j")),
+        ),
+    ),
+    "P5": _k(
+        "P5",
+        NestSpec(1),
+        NestSpec(1, (ReadSpec(1, "i", "j"),)),
+        NestSpec(1, (ReadSpec(1, "i", "j"), ReadSpec(2, "i", "j"))),
+        NestSpec(
+            1,
+            (
+                ReadSpec(1, "i", "j"),
+                ReadSpec(2, "i", "j"),
+                ReadSpec(3, "i", "j"),
+            ),
+        ),
+    ),
+    "P6": _k(
+        "P6",
+        NestSpec(1),
+        NestSpec(8, (ReadSpec(1, "i+3", "j"),)),
+        NestSpec(32, (ReadSpec(1, "i+3", "j"), ReadSpec(2, "i", "j"))),
+        NestSpec(
+            32,
+            (
+                ReadSpec(1, "i+3", "j"),
+                ReadSpec(2, "i", "j"),
+                ReadSpec(3, "i", "j"),
+            ),
+        ),
+    ),
+    "P7": _k(
+        "P7",
+        NestSpec(1),
+        NestSpec(8, (ReadSpec(1, "2*i", "2*j"),)),
+        NestSpec(
+            8,
+            (ReadSpec(1, "2*i", "2*j"), ReadSpec(2, "2*i", "2*j")),
+        ),
+        NestSpec(8, (ReadSpec(1, "i", "j"), ReadSpec(2, "i", "j"))),
+    ),
+    "P8": _k(
+        "P8",
+        NestSpec(1),
+        NestSpec(1, (ReadSpec(1, "i", "j"),)),
+        NestSpec(1, (ReadSpec(1, "i", "j"),)),
+        NestSpec(1, (ReadSpec(1, "i", "j"),)),
+    ),
+    "P9": _k(
+        "P9",
+        NestSpec(1),
+        NestSpec(1, (ReadSpec(1, "i", "2*j"),)),
+        NestSpec(1, (ReadSpec(1, "i", "j"), ReadSpec(2, "i", "2*j"))),
+        NestSpec(
+            1,
+            (ReadSpec(1, "i", "2*j"), ReadSpec(3, "i", "j")),
+        ),
+    ),
+    "P10": _k(
+        "P10",
+        NestSpec(1),
+        NestSpec(2, (ReadSpec(1, "i+3", "j"),)),
+        NestSpec(2, (ReadSpec(2, "i", "j"),)),
+        NestSpec(2, (ReadSpec(3, "i", "j"),)),
+    ),
+}
+
+
+def kernel(name: str) -> PKernel:
+    try:
+        return TABLE9[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown P-kernel {name!r}; available: {sorted(TABLE9)}"
+        ) from None

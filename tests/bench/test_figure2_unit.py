@@ -1,0 +1,56 @@
+"""Unit tests for the Figure 2 regeneration machinery."""
+
+import numpy as np
+import pytest
+
+from repro.bench.figure2 import _statement_overlap, run_figure2
+from repro.tasking import TaskGraph, simulate
+
+
+class FakeSim:
+    def __init__(self, start, finish):
+        self.start = np.asarray(start, dtype=float)
+        self.finish = np.asarray(finish, dtype=float)
+
+
+def graph_with(statements):
+    g = TaskGraph()
+    for k, s in enumerate(statements):
+        g.add_task(s, k, cost=1)
+    return g
+
+
+class TestOverlap:
+    def test_disjoint_intervals(self):
+        g = graph_with(["S", "R"])
+        sim = FakeSim([0, 5], [4, 9])
+        assert _statement_overlap(g, sim, "S", "R") == 0.0
+
+    def test_full_containment(self):
+        g = graph_with(["S", "R"])
+        sim = FakeSim([0, 2], [10, 4])
+        assert _statement_overlap(g, sim, "S", "R") == 2.0
+
+    def test_partial_overlap(self):
+        g = graph_with(["S", "R"])
+        sim = FakeSim([0, 3], [5, 8])
+        assert _statement_overlap(g, sim, "S", "R") == 2.0
+
+    def test_merges_adjacent_spans(self):
+        # two S tasks back to back must count as one busy interval
+        g = graph_with(["S", "S", "R"])
+        sim = FakeSim([0, 2, 1], [2, 4, 3])
+        assert _statement_overlap(g, sim, "S", "R") == 2.0
+
+
+class TestRunFigure2:
+    def test_claims_hold_at_small_size(self):
+        result = run_figure2(n=12)
+        assert result.overlap > 0
+        assert result.pipelined_makespan < result.sequential_makespan
+        assert result.r_off_critical_path
+
+    def test_texts_render(self):
+        result = run_figure2(n=12)
+        assert "S |" in result.pipelined_text
+        assert "R |" in result.sequential_text

@@ -1,0 +1,100 @@
+"""Tests for the figure/table regeneration code (small sizes)."""
+
+import math
+
+import pytest
+
+from repro.bench import (
+    format_figure10,
+    format_figure11,
+    format_table9,
+    kernel_structure,
+    run_cell,
+    run_figure10,
+    run_figure11,
+    run_kernel,
+)
+from repro.workloads import TABLE9, MatmulKernel
+
+
+class TestTable9:
+    def test_format_rows(self):
+        table = format_table9()
+        lines = table.splitlines()
+        assert len(lines) == 11
+        assert lines[1].lstrip().startswith("P1")
+        assert "S2 <- A1[2*i][2*j]" in table
+
+    def test_structure_record(self):
+        struct = kernel_structure(TABLE9["P2"], 16)
+        assert struct["nums"] == [2, 6]
+        assert struct["extents"][1] == (8, 8)
+
+
+class TestFigure10:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return run_figure10(
+            kernels=["P1", "P5"], ns=(10, 14), sizes=(4,)
+        )
+
+    def test_grid_shape(self, cells):
+        assert len(cells) == 4
+        assert {c.kernel for c in cells} == {"P1", "P5"}
+
+    def test_all_gain(self, cells):
+        assert all(c.speedup > 1.0 for c in cells)
+
+    def test_p5_beats_p1(self, cells):
+        mean = {}
+        for c in cells:
+            mean.setdefault(c.kernel, []).append(c.speedup)
+        assert sum(mean["P5"]) > sum(mean["P1"])
+
+    def test_format(self, cells):
+        text = format_figure10(cells)
+        assert "N10/S4" in text
+        assert text.count("\n") == 2  # header + 2 kernel rows
+
+    def test_single_cell(self):
+        cell = run_cell(TABLE9["P1"], 8, 4)
+        assert cell.n == 8 and cell.size == 4
+        assert 1.0 < cell.speedup < 2.0
+
+
+class TestFigure11:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_figure11(size=10)
+
+    def test_twelve_rows(self, rows):
+        assert len(rows) == 12
+
+    def test_polly_wins_plain(self, rows):
+        table = {r.kernel: r for r in rows}
+        for n in (2, 3, 4):
+            r = table[f"{n}mm"]
+            assert r.polly_8 > r.pipeline
+            assert r.polly_8 > r.polly_n
+
+    def test_pipeline_wins_generalized(self, rows):
+        table = {r.kernel: r for r in rows}
+        for n in (2, 3, 4):
+            r = table[f"{n}gmm"]
+            assert r.pipeline > 1.2
+            assert r.polly_8 <= 1.0 + 1e-9
+
+    def test_log2_helper(self, rows):
+        r = rows[0]
+        lp, l8, ln = r.log2()
+        assert lp == pytest.approx(math.log2(r.pipeline))
+
+    def test_format(self, rows):
+        text = format_figure11(rows)
+        assert "log2(pipeline)" in text
+        assert "4gmmt" in text
+
+    def test_single_kernel_runner(self):
+        row = run_kernel(MatmulKernel(2, "gmmt"), size=8)
+        assert row.kernel == "2gmmt"
+        assert row.pipeline > 1.0

@@ -1,0 +1,80 @@
+"""Tests for the experiment harness."""
+
+import pytest
+
+from repro.bench import (
+    build_scop,
+    pipeline_task_graph,
+    run_pipeline,
+    run_polly,
+    run_sequential,
+)
+from repro.workloads import TABLE9, MatmulKernel
+
+
+@pytest.fixture(scope="module")
+def p3():
+    kern = TABLE9["P3"]
+    return build_scop(kern.source(10)), kern.cost_model(2)
+
+
+class TestRunners:
+    def test_pipeline_result_fields(self, p3):
+        scop, cost = p3
+        res = run_pipeline("P3", scop, cost)
+        assert res.strategy == "pipeline"
+        assert res.sequential > res.makespan
+        assert 1.0 < res.speedup <= 3.0
+        assert res.tasks > 3
+
+    def test_sequential_speedup_is_one(self, p3):
+        scop, cost = p3
+        res = run_sequential("P3", scop, cost)
+        assert res.speedup == 1.0
+
+    def test_polly_on_sequential_kernel(self, p3):
+        scop, cost = p3
+        res = run_polly("P3", scop, cost, threads=8)
+        assert res.speedup <= 1.0 + 1e-9  # P3's loops carry deps
+
+    def test_polly_on_parallel_kernel(self):
+        kern = MatmulKernel(2, "mm")
+        scop = build_scop(kern.source(8))
+        res = run_polly("2mm", kern and scop, kern.cost_model(8), threads=4,
+                        overhead=0.0)
+        assert res.speedup == pytest.approx(4.0)
+
+    def test_overhead_lowers_speedup(self, p3):
+        scop, cost = p3
+        light = run_pipeline("P3", scop, cost, overhead=0.0)
+        heavy = run_pipeline("P3", scop, cost, overhead=5.0)
+        assert heavy.speedup < light.speedup
+
+    def test_policy_passthrough(self, p3):
+        scop, cost = p3
+        fifo = run_pipeline("P3", scop, cost, policy="fifo")
+        lifo = run_pipeline("P3", scop, cost, policy="lifo")
+        assert fifo.speedup > 0 and lifo.speedup > 0
+
+
+class TestBuildScop:
+    def test_from_source_string(self):
+        scop = build_scop("for(i=0; i<4; i++) S: A[i][0] = f(A[i][0]);")
+        assert len(scop) == 1
+
+    def test_from_program(self):
+        from repro.lang import parse
+
+        prog = parse("for(i=0; i<N; i++) S: A[i][0] = f(A[i][0]);")
+        scop = build_scop(prog, {"N": 6})
+        assert len(scop.statement("S").points) == 6
+
+
+class TestGraphBuilder:
+    def test_costs_applied(self, p3):
+        scop, cost = p3
+        graph = pipeline_task_graph(scop, cost)
+        expected = sum(
+            cost.cost_of(s.name) * len(s.points) for s in scop.statements
+        )
+        assert graph.total_cost() == pytest.approx(expected)

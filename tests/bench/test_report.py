@@ -1,0 +1,103 @@
+"""Tests for the report/visualization helpers."""
+
+import pytest
+
+from repro.bench import (
+    ascii_timeline,
+    build_scop,
+    pipeline_task_graph,
+    strategy_table,
+    worker_timeline,
+)
+from repro.tasking import TaskGraph, simulate
+from repro.workloads import CostModel
+
+
+@pytest.fixture(scope="module")
+def sim_setup():
+    src = (
+        "for(i=0; i<8; i++) for(j=0; j<8; j++) S1: A1[i][j]=f(A1[i][j]);\n"
+        "for(i=0; i<8; i++) for(j=0; j<8; j++) "
+        "S2: A2[i][j]=f(A2[i][j], A1[i][j]);"
+    )
+    scop = build_scop(src)
+    graph = pipeline_task_graph(scop, CostModel.uniform(1.0))
+    sim = simulate(graph, workers=4)
+    return graph, sim
+
+
+class TestAsciiTimeline:
+    def test_one_row_per_statement(self, sim_setup):
+        graph, sim = sim_setup
+        text = ascii_timeline(graph, sim)
+        lines = text.splitlines()
+        assert lines[0].startswith("S1 |")
+        assert lines[1].startswith("S2 |")
+
+    def test_overlap_visible(self, sim_setup):
+        graph, sim = sim_setup
+        lines = ascii_timeline(graph, sim, width=40).splitlines()
+        row1 = lines[0].split("|")[1]
+        row2 = lines[1].split("|")[1]
+        overlap = sum(
+            1 for a, b in zip(row1, row2) if a == "#" and b == "#"
+        )
+        assert overlap > 10  # the nests genuinely pipeline
+
+    def test_scale_line(self, sim_setup):
+        graph, sim = sim_setup
+        assert ascii_timeline(graph, sim).splitlines()[-1].strip().startswith("0")
+
+    def test_width_checked(self, sim_setup):
+        graph, sim = sim_setup
+        with pytest.raises(ValueError):
+            ascii_timeline(graph, sim, width=2)
+
+    def test_empty_schedule(self):
+        g = TaskGraph()
+        sim = simulate(g, workers=1)
+        assert "empty" in ascii_timeline(g, sim)
+
+
+class TestWorkerTimeline:
+    def test_rows_match_worker_count(self, sim_setup):
+        graph, sim = sim_setup
+        lines = worker_timeline(graph, sim).splitlines()
+        assert len(lines) == sim.workers
+        assert lines[0].startswith("w0")
+
+    def test_active_workers_busy(self, sim_setup):
+        graph, sim = sim_setup
+        lines = worker_timeline(graph, sim).splitlines()
+        assert "#" in lines[0]
+        assert "#" in lines[1]
+
+
+class TestStrategyTable:
+    def test_layout(self):
+        text = strategy_table(
+            {
+                "2mm": {"pipeline": 1.9, "polly": 2.0},
+                "2gmm": {"pipeline": 1.8, "polly": 1.0},
+            }
+        )
+        lines = text.splitlines()
+        assert "pipeline" in lines[0] and "polly" in lines[0]
+        assert lines[1].startswith("2mm")
+        assert "1.90" in lines[1]
+
+    def test_explicit_strategy_order(self):
+        text = strategy_table(
+            {"k": {"a": 1.0, "b": 2.0}}, strategies=["b", "a"]
+        )
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_missing_cell_nan(self):
+        text = strategy_table(
+            {"k1": {"a": 1.0}, "k2": {"b": 2.0}}
+        )
+        assert "nan" in text
+
+    def test_empty(self):
+        assert "no results" in strategy_table({})

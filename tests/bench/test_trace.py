@@ -1,0 +1,65 @@
+"""Tests for Chrome trace export."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    build_scop,
+    pipeline_task_graph,
+    trace_events,
+    trace_json,
+    write_trace,
+)
+from repro.tasking import simulate
+from repro.workloads import CostModel
+from tests.conftest import LISTING1
+
+
+@pytest.fixture(scope="module")
+def sim_setup():
+    scop = build_scop(LISTING1, {"N": 8})
+    graph = pipeline_task_graph(scop, CostModel.uniform(1.0))
+    return graph, simulate(graph, workers=4)
+
+
+class TestTraceEvents:
+    def test_one_event_per_task(self, sim_setup):
+        graph, sim = sim_setup
+        events = trace_events(graph, sim)
+        assert len(events) == len(graph)
+        assert all(e["ph"] == "X" for e in events)
+
+    def test_durations_match_sim(self, sim_setup):
+        graph, sim = sim_setup
+        for e, task in zip(trace_events(graph, sim), graph.tasks):
+            assert e["ts"] == float(sim.start[task.task_id])
+            assert e["dur"] == pytest.approx(
+                float(sim.finish[task.task_id] - sim.start[task.task_id])
+            )
+            assert e["tid"] == int(sim.worker[task.task_id])
+
+    def test_predecessors_recorded(self, sim_setup):
+        graph, sim = sim_setup
+        events = trace_events(graph, sim)
+        with_preds = [e for e in events if e["args"]["predecessors"]]
+        assert with_preds
+
+
+class TestTraceDocument:
+    def test_valid_json_with_metadata(self, sim_setup):
+        graph, sim = sim_setup
+        doc = json.loads(trace_json(graph, sim))
+        assert doc["otherData"]["tasks"] == len(graph)
+        assert doc["otherData"]["workers"] == 4
+        names = [
+            e for e in doc["traceEvents"] if e.get("name") == "thread_name"
+        ]
+        assert len(names) == 4
+
+    def test_write_trace(self, sim_setup, tmp_path):
+        graph, sim = sim_setup
+        path = tmp_path / "trace.json"
+        write_trace(str(path), graph, sim)
+        doc = json.loads(path.read_text())
+        assert "traceEvents" in doc

@@ -1,0 +1,98 @@
+"""Tests for dependency-vector integer packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen import VectorPacker
+
+
+class TestBasics:
+    def test_pack_unpack(self):
+        p = VectorPacker(mins=(0, 0), ranges=(10, 20))
+        assert p.unpack(p.pack((3, 7))) == (3, 7)
+        assert p.pack((0, 0)) == 0
+        assert p.pack((9, 19)) == p.capacity - 1
+
+    def test_negative_mins(self):
+        p = VectorPacker(mins=(-5, -2), ranges=(11, 5))
+        assert p.unpack(p.pack((-5, -2))) == (-5, -2)
+        assert p.unpack(p.pack((5, 2))) == (5, 2)
+
+    def test_out_of_range_rejected(self):
+        p = VectorPacker(mins=(0,), ranges=(4,))
+        with pytest.raises(ValueError):
+            p.pack((4,))
+        with pytest.raises(ValueError):
+            p.unpack(4)
+
+    def test_shape_checks(self):
+        with pytest.raises(ValueError):
+            VectorPacker(mins=(0,), ranges=(2, 2))
+        with pytest.raises(ValueError):
+            VectorPacker(mins=(0,), ranges=(0,))
+        p = VectorPacker(mins=(0, 0), ranges=(2, 2))
+        with pytest.raises(ValueError):
+            p.pack((1,))
+
+    def test_for_points(self):
+        pts = np.array([[2, -1], [5, 3], [2, 0]])
+        p = VectorPacker.for_points(pts)
+        assert p.mins == (2, -1)
+        assert p.ranges == (4, 5)
+        for row in pts:
+            assert p.unpack(p.pack(tuple(row))) == tuple(row)
+
+    def test_for_points_requires_rows(self):
+        with pytest.raises(ValueError):
+            VectorPacker.for_points(np.zeros((0, 2)))
+
+
+class TestBijectivity:
+    def test_all_codes_distinct(self):
+        p = VectorPacker(mins=(0, 0), ranges=(7, 9))
+        codes = {
+            p.pack((a, b)) for a in range(7) for b in range(9)
+        }
+        assert len(codes) == 63
+        assert codes == set(range(63))
+
+    @settings(max_examples=50)
+    @given(
+        st.tuples(st.integers(-10, 10), st.integers(-10, 10)),
+        st.tuples(st.integers(1, 30), st.integers(1, 30)),
+        st.data(),
+    )
+    def test_roundtrip_property(self, mins, ranges, data):
+        p = VectorPacker(mins=mins, ranges=ranges)
+        vec = tuple(
+            data.draw(st.integers(lo, lo + r - 1))
+            for lo, r in zip(mins, ranges)
+        )
+        assert p.unpack(p.pack(vec)) == vec
+
+    def test_pack_rows_matches_scalar(self):
+        p = VectorPacker(mins=(0, -2), ranges=(5, 6))
+        rows = np.array([[0, -2], [4, 3], [2, 0]])
+        vec = p.pack_rows(rows)
+        assert vec.tolist() == [p.pack(tuple(r)) for r in rows.tolist()]
+
+    def test_pack_rows_range_checked(self):
+        p = VectorPacker(mins=(0,), ranges=(3,))
+        with pytest.raises(ValueError):
+            p.pack_rows(np.array([[5]]))
+
+
+def test_statement_packers_cover_all_block_ends(listing3_scop):
+    from repro.codegen import statement_packers
+    from repro.pipeline import detect_pipeline
+    from repro.schedule import generate_task_ast
+
+    info = detect_pipeline(listing3_scop)
+    ast = generate_task_ast(info)
+    packers = statement_packers(ast)
+    for nest in ast.nests:
+        packer = packers[nest.statement]
+        codes = {packer.pack(b.end) for b in nest.blocks}
+        assert len(codes) == len(nest.blocks)  # injective on real ends

@@ -1,0 +1,64 @@
+"""Shared fixtures: the paper's kernels and small SCoP factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interp import Interpreter
+from repro.scop import extract_scop
+from repro.lang import parse
+
+LISTING1 = """
+for(i=0; i<N-1; i++)
+  for(j=0; j<N-1; j++)
+    S: A[i][j] = f(A[i][j], A[i][j+1], A[i+1][j+1]);
+
+for(i=0; i<N/2-1; i++)
+  for(j=0; j<N/2-1; j++)
+    R: B[i][j] = g(A[i][2*j], B[i][j+1], B[i+1][j+1], B[i][j]);
+"""
+
+LISTING3 = LISTING1 + """
+for(i=0; i<N/2-1; i++)
+  for(j=0; j<N/2-1; j++)
+    U: C[i][j] = h(A[2*i][2*j], B[i][j], C[i][j+1], C[i+1][j+1], C[i][j]);
+"""
+
+TWO_NEST_COPY = """
+for(i=0; i<N; i++)
+  for(j=0; j<N; j++)
+    S: A[i][j] = f(A[i][j]);
+for(i=0; i<N; i++)
+  for(j=0; j<N; j++)
+    T: B[i][j] = g(A[i][j], B[i][j]);
+"""
+
+
+@pytest.fixture
+def listing1_scop():
+    return extract_scop(parse(LISTING1), {"N": 20})
+
+
+@pytest.fixture
+def listing1_scop_small():
+    return extract_scop(parse(LISTING1), {"N": 10})
+
+
+@pytest.fixture
+def listing3_scop():
+    return extract_scop(parse(LISTING3), {"N": 16})
+
+
+@pytest.fixture
+def listing1_interp():
+    return Interpreter.from_source(LISTING1, {"N": 12})
+
+
+@pytest.fixture
+def listing3_interp():
+    return Interpreter.from_source(LISTING3, {"N": 12})
+
+
+@pytest.fixture
+def copy_scop():
+    return extract_scop(parse(TWO_NEST_COPY), {"N": 8})

@@ -1,0 +1,104 @@
+"""Tests for the sequential reference interpreter."""
+
+import pytest
+
+from repro.interp import DEFAULT_FUNCS, Interpreter
+
+
+class TestSequentialSemantics:
+    def test_known_small_result(self):
+        interp = Interpreter.from_source(
+            "for(i=0; i<3; i++) S: A[i][0] = f(A[i][0]);",
+            {},
+            funcs={"f": lambda x: x + 10},
+        )
+        store = interp.new_store(init="zeros")
+        interp.run_sequential(store)
+        assert store["A"].data[:3, 0].tolist() == [10.0, 10.0, 10.0]
+
+    def test_loop_carried_order(self):
+        """A[i] = A[i-1] + 1 — a prefix chain proves execution order."""
+        interp = Interpreter.from_source(
+            "for(i=1; i<6; i++) S: A[i][0] = f(A[i-1][0]);",
+            {},
+            funcs={"f": lambda x: x + 1},
+        )
+        store = interp.new_store(init="zeros")
+        interp.run_sequential(store)
+        assert store["A"].data[:6, 0].tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_imperfect_nest_interleaving(self):
+        """Two statements in one loop body interleave per iteration."""
+        log = []
+        interp = Interpreter.from_source(
+            "for(i=0; i<3; i++) {\n"
+            "  S: A[i][0] = s(A[i][0]);\n"
+            "  T: B[i][0] = t(B[i][0]);\n"
+            "}",
+            {},
+            funcs={
+                "s": lambda x: log.append("S") or 0.0,
+                "t": lambda x: log.append("T") or 0.0,
+            },
+        )
+        interp.run_sequential(interp.new_store())
+        assert log == ["S", "T", "S", "T", "S", "T"]
+
+    def test_parameterized_bounds(self):
+        interp = Interpreter.from_source(
+            "for(i=0; i<N; i++) S: A[i][0] = f(A[i][0]);",
+            {"N": 4},
+            funcs={"f": lambda x: 1.0},
+        )
+        store = interp.new_store(init="zeros")
+        interp.run_sequential(store)
+        assert store["A"].data[:, 0].sum() == 4.0
+
+    def test_triangular_bounds(self):
+        count = []
+        interp = Interpreter.from_source(
+            "for(i=0; i<4; i++) for(j=0; j<=i; j++) "
+            "S: A[i][j] = f(A[i][j]);",
+            {},
+            funcs={"f": lambda x: count.append(1) or 0.0},
+        )
+        interp.run_sequential(interp.new_store())
+        assert len(count) == 10
+
+    def test_empty_loop_runs_nothing(self):
+        interp = Interpreter.from_source(
+            "for(i=0; i<0; i++) S: A[i][0] = f(A[i][0]);",
+            {},
+            funcs={"f": lambda x: pytest.fail("should not run")},
+        )
+        interp.run_sequential(interp.new_store())
+
+
+class TestDefaultFuncs:
+    def test_mix_is_deterministic(self):
+        f = DEFAULT_FUNCS["f"]
+        assert f(1.0, 2.0) == f(1.0, 2.0)
+
+    def test_mix_is_order_sensitive(self):
+        f = DEFAULT_FUNCS["f"]
+        assert f(1.0, 2.0) != f(2.0, 1.0)
+
+    def test_mix_bounded(self):
+        f = DEFAULT_FUNCS["f"]
+        assert 0 <= f(1e9, -1e9, 123.0) < 65521.0
+
+
+class TestBlockExecution:
+    def test_execute_blocks_in_order(self, listing1_interp):
+        from repro.pipeline import detect_pipeline
+        from repro.schedule import generate_task_ast
+
+        interp = listing1_interp
+        info = detect_pipeline(interp.scop)
+        ast = generate_task_ast(info)
+        seq = interp.run_sequential(interp.new_store())
+        # program order of blocks is one valid topological order
+        store = interp.execute_blocks_in_order(
+            interp.new_store(), ast.all_blocks()
+        )
+        assert seq.equal(store)

@@ -1,0 +1,95 @@
+"""Tests for the kernel-language lexer."""
+
+import pytest
+
+from repro.lang import LexerError, tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(src: str) -> list[TokenKind]:
+    return [t.kind for t in tokenize(src)][:-1]  # drop EOF
+
+
+class TestTokens:
+    def test_identifier_and_keyword(self):
+        toks = tokenize("for foo")
+        assert toks[0].kind is TokenKind.KW_FOR
+        assert toks[1].kind is TokenKind.IDENT
+        assert toks[1].text == "foo"
+
+    def test_number(self):
+        toks = tokenize("12345")
+        assert toks[0].kind is TokenKind.NUMBER
+        assert toks[0].value == 12345
+
+    def test_value_on_non_number_raises(self):
+        with pytest.raises(ValueError):
+            tokenize("x")[0].value
+
+    def test_two_char_operators(self):
+        assert kinds("++ += <= >=") == [
+            TokenKind.PLUS_PLUS,
+            TokenKind.PLUS_ASSIGN,
+            TokenKind.LE,
+            TokenKind.GE,
+        ]
+
+    def test_one_char_operators(self):
+        assert kinds("( ) [ ] { } ; : , = + - * / % < >") == [
+            TokenKind.LPAREN, TokenKind.RPAREN, TokenKind.LBRACKET,
+            TokenKind.RBRACKET, TokenKind.LBRACE, TokenKind.RBRACE,
+            TokenKind.SEMI, TokenKind.COLON, TokenKind.COMMA,
+            TokenKind.ASSIGN, TokenKind.PLUS, TokenKind.MINUS,
+            TokenKind.STAR, TokenKind.SLASH, TokenKind.PERCENT,
+            TokenKind.LT, TokenKind.GT,
+        ]
+
+    def test_plus_plus_vs_plus(self):
+        assert kinds("i++ + 1") == [
+            TokenKind.IDENT,
+            TokenKind.PLUS_PLUS,
+            TokenKind.PLUS,
+            TokenKind.NUMBER,
+        ]
+
+    def test_underscore_identifiers(self):
+        toks = tokenize("_foo bar_2")
+        assert toks[0].text == "_foo"
+        assert toks[1].text == "bar_2"
+
+    def test_eof_always_present(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF
+
+
+class TestTrivia:
+    def test_line_comment(self):
+        assert kinds("x // comment here\ny") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_block_comment(self):
+        assert kinds("x /* multi\nline */ y") == [
+            TokenKind.IDENT,
+            TokenKind.IDENT,
+        ]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexerError, match="unterminated"):
+            tokenize("x /* oops")
+
+    def test_whitespace_variants(self):
+        assert kinds("a\tb\r\nc") == [TokenKind.IDENT] * 3
+
+
+class TestLocations:
+    def test_line_column_tracking(self):
+        toks = tokenize("ab\n  cd")
+        assert (toks[0].location.line, toks[0].location.column) == (1, 1)
+        assert (toks[1].location.line, toks[1].location.column) == (2, 3)
+
+    def test_error_has_location(self):
+        with pytest.raises(LexerError) as err:
+            tokenize("a\n  @")
+        assert err.value.location.line == 2
+        assert err.value.location.column == 3
+
+    def test_str(self):
+        assert "1:1" in str(tokenize("x")[0])

@@ -1,0 +1,150 @@
+"""Tests for the kernel-language parser."""
+
+import pytest
+
+from repro.lang import (
+    ArrayAccess,
+    Assign,
+    BinOp,
+    Call,
+    IntLit,
+    Loop,
+    ParseError,
+    VarRef,
+    expr_reads,
+    expr_vars,
+    parse,
+)
+
+LISTING1 = """
+for(i=0; i<N-1; i++)
+  for(j=0; j<N-1; j++)
+    S: A[i][j] = f(A[i][j], A[i][j+1], A[i+1][j+1]);
+for(i=0; i<N/2-1; i++)
+  for(j=0; j<N/2-1; j++)
+    R: B[i][j] = g(A[i][2*j], B[i][j+1], B[i+1][j+1], B[i][j]);
+"""
+
+
+class TestStructure:
+    def test_listing1(self):
+        prog = parse(LISTING1)
+        assert len(prog.nests) == 2
+        assert prog.labels() == ["S", "R"]
+        outer = prog.nests[0]
+        assert outer.var == "i"
+        assert isinstance(outer.body[0], Loop)
+        inner = outer.body[0]
+        assert inner.var == "j"
+        stmt = inner.body[0]
+        assert isinstance(stmt, Assign)
+        assert stmt.target.array == "A"
+
+    def test_depth(self):
+        prog = parse(LISTING1)
+        assert prog.nests[0].depth() == 2
+
+    def test_braced_body(self):
+        prog = parse(
+            "for(i=0; i<4; i++) { S: A[i][0] = f(A[i][0]); "
+            "T: B[i][0] = g(A[i][0]); }"
+        )
+        assert prog.labels() == ["S", "T"]
+
+    def test_nested_braces(self):
+        prog = parse(
+            "for(i=0; i<4; i++) { for(j=0; j<4; j++) { S: A[i][j] = f(A[i][j]); } }"
+        )
+        assert prog.nests[0].depth() == 2
+
+    def test_auto_labels(self):
+        prog = parse(
+            "for(i=0; i<2; i++) A[i][0] = f(A[i][0]);\n"
+            "for(i=0; i<2; i++) B[i][0] = f(B[i][0]);"
+        )
+        assert prog.labels() == ["S0", "S1"]
+
+    def test_le_condition(self):
+        prog = parse("for(i=0; i<=5; i++) S: A[i][0] = f(A[i][0]);")
+        assert not prog.nests[0].upper_strict
+
+    def test_plus_assign_statement(self):
+        prog = parse("for(i=0; i<4; i++) S: A[i][0] += B[i][0];")
+        stmt = next(prog.statements())
+        assert stmt.op == "+="
+
+    def test_step_plus_equals_one(self):
+        prog = parse("for(i=0; i<4; i+=1) S: A[i][0] = f(A[i][0]);")
+        assert prog.nests[0].var == "i"
+
+
+class TestExpressions:
+    def stmt(self, rhs: str) -> Assign:
+        return next(
+            parse(f"for(i=0; i<4; i++) S: A[i][0] = {rhs};").statements()
+        )
+
+    def test_precedence(self):
+        e = self.stmt("1 + 2 * 3").value
+        assert isinstance(e, BinOp) and e.op == "+"
+        assert isinstance(e.rhs, BinOp) and e.rhs.op == "*"
+
+    def test_parentheses(self):
+        e = self.stmt("(1 + 2) * 3").value
+        assert e.op == "*"
+        assert isinstance(e.lhs, BinOp) and e.lhs.op == "+"
+
+    def test_unary_minus(self):
+        e = self.stmt("-i").value
+        assert isinstance(e, BinOp) and e.op == "-"
+        assert isinstance(e.lhs, IntLit) and e.lhs.value == 0
+
+    def test_call_with_args(self):
+        e = self.stmt("f(A[i][0], 3, i)").value
+        assert isinstance(e, Call)
+        assert len(e.args) == 3
+
+    def test_call_no_args(self):
+        e = self.stmt("f()").value
+        assert isinstance(e, Call) and e.args == ()
+
+    def test_nested_access_subscripts(self):
+        e = self.stmt("B[i+1][2*i]").value
+        assert isinstance(e, ArrayAccess)
+        assert len(e.indices) == 2
+
+    def test_expr_reads_collects(self):
+        e = self.stmt("f(A[i][0], g(B[i][1]))").value
+        reads = expr_reads(e)
+        assert [r.array for r in reads] == ["A", "B"]
+
+    def test_expr_vars(self):
+        e = self.stmt("f(i + N)").value
+        assert expr_vars(e) == {"i", "N"}
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "src,msg",
+        [
+            ("", "empty|expected"),
+            ("x = 1;", "top-level"),
+            ("for(i=0; j<4; i++) S: A[i][0]=f();", "condition tests"),
+            ("for(i=0; i<4; j++) S: A[i][0]=f();", "increment"),
+            ("for(i=0; i<4; i+=2) S: A[i][0]=f();", "unit-step"),
+            ("for(i=0; i>4; i++) S: A[i][0]=f();", "expected '<'"),
+            ("for(i=0; i<4; i++) S: x = f();", "subscripted"),
+            ("for(i=0; i<4; i++) S: A[i][0] < f();", "expected"),
+            ("for(i=0; i<4; i++) { S: A[i][0]=f();", "unterminated"),
+            ("for(i=0; i<4; i++) S: A[i][0] = ;", "unexpected"),
+        ],
+    )
+    def test_bad_programs(self, src, msg):
+        with pytest.raises(ParseError, match=msg):
+            parse(src)
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as err:
+            parse("for(i=0; i<4; i++)\n  S: A[i][0] = ;")
+        assert err.value.location is not None
+        assert err.value.location.line == 2

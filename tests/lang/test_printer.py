@@ -1,0 +1,41 @@
+"""Round-trip tests for the AST printer."""
+
+import pytest
+
+from repro.lang import parse, print_program
+
+KERNELS = [
+    "for(i=0; i<4; i++) S: A[i][0] = f(A[i][0]);",
+    (
+        "for(i=0; i<N-1; i++)\n"
+        "  for(j=0; j<N-1; j++)\n"
+        "    S: A[i][j] = f(A[i][j], A[i][j+1]);"
+    ),
+    (
+        "for(i=0; i<4; i++) {\n"
+        "  S: A[i][0] = f(A[i][0]);\n"
+        "  T: B[i][0] = g(A[i][0], 2*i - 1);\n"
+        "}"
+    ),
+    "for(i=0; i<=M; i++) S: A[i][0] += B[2*i][0];",
+]
+
+
+@pytest.mark.parametrize("src", KERNELS)
+def test_roundtrip_structure(src):
+    """print(parse(src)) reparses to an equivalent program."""
+    prog = parse(src)
+    printed = print_program(prog)
+    reparsed = parse(printed)
+    assert reparsed.nests == prog.nests
+
+
+def test_printer_output_shape():
+    out = print_program(parse(KERNELS[1]))
+    assert "for (i = 0; i < (N - 1); i++)" in out
+    assert out.endswith("\n")
+
+
+def test_printer_braces_for_multi_statement():
+    out = print_program(parse(KERNELS[2]))
+    assert "{" in out and "}" in out

@@ -1,0 +1,204 @@
+"""Tests for complement/subtract/subset/simplify and deltas."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.presburger import (
+    AffineExpr,
+    BasicMap,
+    BasicSet,
+    Constraint,
+    QuantifiedSetError,
+    Set,
+    Space,
+    complement,
+    enumerate_basic_set,
+    is_subset,
+    maps_equal,
+    parse_map,
+    parse_set,
+    sets_equal,
+    simplify,
+    simplify_basic_set,
+    subtract,
+    to_point_relation,
+    to_point_set,
+)
+
+SP = Space(("i",))
+
+
+def interval(lo, hi):
+    return Set.from_basic(BasicSet.from_box(SP, [(lo, hi)]))
+
+
+class TestComplement:
+    def test_interval_complement(self):
+        comp = complement(interval(2, 5))
+        assert comp.contains((1,))
+        assert comp.contains((6,))
+        assert not comp.contains((3,))
+
+    def test_union_complement(self):
+        s = interval(0, 1).union(interval(4, 5))
+        comp = complement(s)
+        assert comp.contains((2,))
+        assert comp.contains((3,))
+        assert not comp.contains((0,))
+        assert not comp.contains((5,))
+
+    def test_equality_complement(self):
+        s = parse_set("{ [i] : i = 3 }")
+        comp = complement(s)
+        assert comp.contains((2,)) and comp.contains((4,))
+        assert not comp.contains((3,))
+
+    def test_div_sets_rejected(self):
+        even = Set.from_basic(
+            BasicSet(SP, (Constraint.eq((1, -2), 0),), n_div=1)
+        )
+        with pytest.raises(QuantifiedSetError):
+            complement(even)
+
+
+class TestSubtract:
+    def test_interval_difference(self):
+        diff = subtract(interval(0, 9), interval(3, 5))
+        got = to_point_set(diff)
+        assert got.points.ravel().tolist() == [0, 1, 2, 6, 7, 8, 9]
+
+    def test_self_difference_empty(self):
+        assert subtract(interval(0, 4), interval(0, 4)).is_empty()
+
+    def test_matches_explicit_difference(self):
+        a = parse_set("{ [i, j] : 0 <= i, j < 5 }")
+        b = parse_set("{ [i, j] : 0 <= j <= i < 5 }")
+        sym = to_point_set(subtract(a, b))
+        exp = to_point_set(a).difference(to_point_set(b))
+        assert sym == exp
+
+
+class TestSubsetEquality:
+    def test_subset(self):
+        assert is_subset(interval(2, 3), interval(0, 5))
+        assert not is_subset(interval(0, 5), interval(2, 3))
+
+    def test_equal_different_representations(self):
+        a = parse_set("{ [i] : 0 <= i < 6 and i < 100 }")
+        b = parse_set("{ [i] : 0 <= i <= 5 }")
+        assert sets_equal(a, b)
+
+    def test_union_pieces_equal_single_piece(self):
+        a = interval(0, 2).union(interval(3, 5))
+        b = interval(0, 5)
+        assert sets_equal(a, b)
+
+    def test_maps_equal(self):
+        a = parse_map("{ [i] -> [i + 1] : 0 <= i < 4 }")
+        b = parse_map("{ [i] -> [j] : j = i + 1 and 0 <= i <= 3 }")
+        assert maps_equal(a, b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(-4, 4), st.integers(-4, 4),
+        st.integers(-4, 4), st.integers(-4, 4),
+    )
+    def test_subset_matches_enumeration(self, a_lo, a_hi, b_lo, b_hi):
+        a = interval(a_lo, a_hi)
+        b = interval(b_lo, b_hi)
+        pa = set(map(tuple, to_point_set(a).points.tolist()))
+        pb = set(map(tuple, to_point_set(b).points.tolist()))
+        assert is_subset(a, b) == pa.issubset(pb)
+
+
+class TestSimplify:
+    def test_redundant_dropped(self):
+        bs = BasicSet(
+            SP,
+            (
+                Constraint.ge((1,), 0),      # i >= 0
+                Constraint.ge((1,), 5),      # i >= -5 (redundant)
+                Constraint.ge((-1,), 9),     # i <= 9
+                Constraint.ge((-1,), 20),    # i <= 20 (redundant)
+            ),
+        )
+        simplified = simplify_basic_set(bs)
+        assert len(simplified.constraints) == 2
+        assert np.array_equal(
+            enumerate_basic_set(simplified), enumerate_basic_set(bs)
+        )
+
+    def test_equalities_kept(self):
+        bs = BasicSet(
+            Space(("i", "j")),
+            (
+                Constraint.eq((1, -1), 0),
+                Constraint.ge((1, 0), 0),
+                Constraint.ge((-1, 0), 5),
+            ),
+        )
+        simplified = simplify_basic_set(bs)
+        assert any(c.kind.name == "EQ" for c in simplified.constraints)
+
+    def test_simplify_set_drops_empty_pieces(self):
+        empty_piece = BasicSet(SP, (Constraint.ge((0,), -1),))
+        s = Set(SP, (empty_piece, BasicSet.from_box(SP, [(0, 1)])))
+        assert len(simplify(s).pieces) == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(-3, 3), st.integers(-6, 6)), max_size=6
+        )
+    )
+    def test_simplify_preserves_points(self, extra):
+        cons = [
+            Constraint.ge((1,), 5),
+            Constraint.ge((-1,), 5),
+        ] + [Constraint.ge((a,), c) for a, c in extra]
+        bs = BasicSet(SP, tuple(cons))
+        simplified = simplify_basic_set(bs)
+        assert len(simplified.constraints) <= len(bs.constraints)
+        got = enumerate_basic_set(simplified).tolist()
+        assert got == enumerate_basic_set(bs).tolist()
+
+
+class TestDeltas:
+    def test_symbolic_matches_explicit(self):
+        m = parse_map("{ [i, j] -> [i + 2, j - 1] : 0 <= i, j < 4 }")
+        sym = to_point_set(
+            Set.from_basic(m.pieces[0].deltas())
+        )
+        exp = to_point_relation(m).deltas()
+        assert sym == exp
+        assert sym.points.tolist() == [[2, -1]]
+
+    def test_lex_map_deltas(self):
+        m = parse_map("{ [i] -> [j] : 0 <= i <= j < 4 }")
+        deltas = to_point_relation(m).deltas()
+        assert deltas.points.ravel().tolist() == [0, 1, 2, 3]
+
+    def test_arity_checked(self):
+        m = parse_map("{ [i] -> [i, i] : 0 <= i < 2 }")
+        with pytest.raises(ValueError):
+            to_point_relation(m).deltas()
+        with pytest.raises(ValueError):
+            m.pieces[0].deltas()
+
+    def test_dependence_distance_use(self):
+        """Deltas give the classic dependence distance vectors."""
+        from repro.lang import parse
+        from repro.scop import DepKind, dependence_relation, extract_scop
+
+        scop = extract_scop(
+            parse(
+                "for(i=1; i<5; i++) for(j=1; j<5; j++) "
+                "S: A[i][j] = f(A[i-1][j], A[i][j-1]);"
+            )
+        )
+        S = scop.statement("S")
+        rel = dependence_relation(scop, S, S, DepKind.FLOW)
+        dist = rel.inverse().deltas()  # src -> tgt distances
+        assert dist.points.tolist() == [[0, 1], [1, 0]]

@@ -1,0 +1,152 @@
+"""Tests for basic maps and map unions."""
+
+import numpy as np
+import pytest
+
+from repro.presburger import (
+    AffineExpr,
+    BasicMap,
+    BasicSet,
+    Map,
+    MapSpace,
+    Space,
+    to_point_relation,
+    to_point_set,
+)
+
+SP = Space(("i", "j"))
+OUT = Space(("a", "b"), "A")
+i, j = AffineExpr.var("i"), AffineExpr.var("j")
+
+
+def box(n: int) -> BasicSet:
+    return BasicSet.from_box(SP, [(0, n - 1), (0, n - 1)])
+
+
+class TestFromAffine:
+    def test_graph_values(self):
+        m = BasicMap.from_affine(box(3), OUT, [2 * i, j + 1])
+        rel = to_point_relation(m)
+        assert rel.lookup((1, 2)).tolist() == [[2, 3]]
+        assert len(rel) == 9
+
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            BasicMap.from_affine(box(2), OUT, [i])
+
+    def test_identity(self):
+        m = BasicMap.identity(box(2))
+        rel = to_point_relation(m)
+        assert np.array_equal(rel.in_part, rel.out_part)
+
+
+class TestStructure:
+    def test_inverse_swaps(self):
+        m = BasicMap.from_affine(box(3), OUT, [2 * i, j])
+        inv = to_point_relation(m.inverse())
+        assert inv.lookup((2, 1)).tolist() == [[1, 1]]
+
+    def test_domain_range(self):
+        m = BasicMap.from_affine(box(3), OUT, [i + 5, j])
+        assert to_point_set(m.domain()) == to_point_set(box(3))
+        rng = to_point_set(m.range())
+        assert rng.lexmin() == (5, 0)
+        assert rng.lexmax() == (7, 2)
+
+    def test_wrap_roundtrip(self):
+        m = BasicMap.from_affine(box(2), OUT, [i, j])
+        wrapped = m.wrap()
+        back = BasicMap.from_wrapped(m.space, wrapped)
+        assert to_point_relation(back) == to_point_relation(m)
+
+
+class TestComposition:
+    def test_after_applies_right_first(self):
+        # g: x -> 2x over [0,3]; f: y -> y + 1; f.after(g): x -> 2x + 1
+        dom = BasicSet.from_box(Space(("x",)), [(0, 3)])
+        g = BasicMap.from_affine(dom, Space(("y",)), [2 * AffineExpr.var("x")])
+        dom_y = BasicSet.from_box(Space(("y",)), [(0, 6)])
+        f = BasicMap.from_affine(dom_y, Space(("z",)), [AffineExpr.var("y") + 1])
+        comp = to_point_relation(f.after(g))
+        assert comp.lookup((2,)).tolist() == [[5]]
+        assert len(comp) == 4
+
+    def test_after_filters_through_middle_domain(self):
+        dom = BasicSet.from_box(Space(("x",)), [(0, 5)])
+        g = BasicMap.from_affine(dom, Space(("y",)), [2 * AffineExpr.var("x")])
+        dom_y = BasicSet.from_box(Space(("y",)), [(0, 4)])  # cuts x >= 3
+        f = BasicMap.from_affine(dom_y, Space(("z",)), [AffineExpr.var("y")])
+        comp = to_point_relation(f.after(g))
+        assert comp.domain().points.ravel().tolist() == [0, 1, 2]
+
+    def test_arity_mismatch(self):
+        m1 = BasicMap.from_affine(box(2), OUT, [i, j])
+        m2 = BasicMap.from_affine(
+            BasicSet.from_box(Space(("x",)), [(0, 1)]),
+            Space(("y",)),
+            [AffineExpr.var("x")],
+        )
+        with pytest.raises(ValueError):
+            m2.after(m1)
+
+
+class TestRestriction:
+    def test_intersect_domain(self):
+        m = BasicMap.from_affine(box(4), OUT, [i, j])
+        sub = BasicSet.from_box(SP, [(0, 1), (0, 3)])
+        rel = to_point_relation(m.intersect_domain(sub))
+        assert len(rel) == 8
+
+    def test_intersect_range(self):
+        m = BasicMap.from_affine(box(4), OUT, [i, j])
+        sub = BasicSet.from_box(OUT, [(2, 3), (0, 0)])
+        rel = to_point_relation(m.intersect_range(sub))
+        assert len(rel) == 2
+
+    def test_apply(self):
+        m = BasicMap.from_affine(box(4), OUT, [i + j, j])
+        img = to_point_set(m.apply(BasicSet.from_box(SP, [(1, 1), (1, 2)])))
+        assert img.points.tolist() == [[2, 1], [3, 2]]
+
+    def test_fix(self):
+        m = BasicMap.from_affine(box(3), OUT, [i, j]).fix({0: 1})
+        rel = to_point_relation(m)
+        assert np.all(rel.in_part[:, 0] == 1)
+
+
+class TestMapUnion:
+    def test_union_and_inverse(self):
+        m1 = Map.from_basic(BasicMap.from_affine(box(2), OUT, [i, j]))
+        m2 = Map.from_basic(BasicMap.from_affine(box(2), OUT, [i + 1, j]))
+        u = m1.union(m2)
+        rel = to_point_relation(u)
+        assert len(rel) == 8
+        assert to_point_relation(u.inverse()) == rel.inverse()
+
+    def test_empty_map(self):
+        ms = MapSpace(SP, OUT)
+        assert Map.empty(ms).is_empty()
+
+    def test_after_distributes(self):
+        dom = BasicSet.from_box(Space(("x",)), [(0, 2)])
+        g = Map.from_basic(
+            BasicMap.from_affine(dom, Space(("y",)), [AffineExpr.var("x")])
+        )
+        f1 = BasicMap.from_affine(
+            BasicSet.from_box(Space(("y",)), [(0, 2)]),
+            Space(("z",)),
+            [AffineExpr.var("y") * 2],
+        )
+        f = Map.from_basic(f1)
+        comp = to_point_relation(f.after(g))
+        assert comp.lookup((2,)).tolist() == [[4]]
+
+    def test_contains_flattened_pair(self):
+        m = Map.from_basic(BasicMap.from_affine(box(2), OUT, [i, j + 1]))
+        assert m.contains((1, 0, 1, 1))
+        assert not m.contains((1, 0, 1, 0))
+
+    def test_coalesce(self):
+        empty_piece = BasicMap.from_affine(BasicSet.empty(SP), OUT, [i, j])
+        m = Map(MapSpace(SP, OUT), (empty_piece,))
+        assert len(m.coalesce().pieces) == 0

@@ -1,0 +1,142 @@
+"""Tests for basic sets."""
+
+import pytest
+
+from repro.presburger import (
+    BasicSet,
+    Constraint,
+    Space,
+    enumerate_basic_set,
+)
+
+SP = Space(("i", "j"))
+
+
+def tri(n: int) -> BasicSet:
+    """Lower-triangular set 0 <= j <= i < n."""
+    return BasicSet(
+        SP,
+        (
+            Constraint.ge((1, 0), 0),
+            Constraint.ge((-1, 0), n - 1),
+            Constraint.ge((0, 1), 0),
+            Constraint.ge((1, -1), 0),
+        ),
+    )
+
+
+class TestConstruction:
+    def test_universe(self):
+        assert not BasicSet.universe(SP).constraints
+
+    def test_empty(self):
+        assert BasicSet.empty(SP).is_empty()
+
+    def test_from_box(self):
+        bs = BasicSet.from_box(SP, [(0, 3), (1, 2)])
+        assert bs.contains((0, 1))
+        assert bs.contains((3, 2))
+        assert not bs.contains((4, 1))
+        assert not bs.contains((0, 0))
+
+    def test_from_box_arity(self):
+        with pytest.raises(ValueError):
+            BasicSet.from_box(SP, [(0, 1)])
+
+    def test_with_constraints_pads(self):
+        bs = BasicSet.from_box(SP, [(0, 5), (0, 5)])
+        bs2 = bs.with_constraints([Constraint.ge((1, -1), 0)])  # i >= j
+        assert bs2.contains((3, 2))
+        assert not bs2.contains((2, 3))
+
+
+class TestQueries:
+    def test_lexmin_lexmax_box(self):
+        bs = BasicSet.from_box(SP, [(2, 4), (1, 3)])
+        assert bs.lexmin() == (2, 1)
+        assert bs.lexmax() == (4, 3)
+
+    def test_lexmin_triangle(self):
+        assert tri(5).lexmin() == (0, 0)
+        assert tri(5).lexmax() == (4, 4)
+
+    def test_sample_in_set(self):
+        bs = tri(6)
+        pt = bs.sample()
+        assert pt is not None and bs.contains(pt)
+
+    def test_empty_sample(self):
+        assert BasicSet.empty(SP).sample() is None
+
+    def test_dim_bounds(self):
+        assert tri(5).dim_bounds(0) == (0, 4)
+        assert tri(5).dim_bounds(1) == (0, 4)
+
+    def test_is_bounded(self):
+        assert tri(4).is_bounded()
+        half = BasicSet(SP, (Constraint.ge((1, 0), 0),))
+        assert not half.is_bounded()
+        assert BasicSet.empty(SP).is_bounded()
+
+    def test_fix(self):
+        bs = tri(5).fix({0: 3})
+        pts = enumerate_basic_set(bs)
+        assert pts[:, 0].tolist() == [3, 3, 3, 3]
+        assert pts[:, 1].tolist() == [0, 1, 2, 3]
+
+
+class TestAlgebra:
+    def test_intersect(self):
+        a = BasicSet.from_box(SP, [(0, 5), (0, 5)])
+        b = tri(6)
+        inter = a.intersect(b)
+        assert inter.contains((4, 2))
+        assert not inter.contains((2, 4))
+
+    def test_intersect_aligns_divs(self):
+        # a: even i via div; b: i >= 3 -> intersection {4, 6}x{0}
+        even = BasicSet(
+            Space(("i",)),
+            (
+                Constraint.eq((1, -2), 0),  # i == 2e
+                Constraint.ge((1, 0), 0),
+                Constraint.ge((-1, 0), 6),
+            ),
+            n_div=1,
+        )
+        ge3 = BasicSet(Space(("i",)), (Constraint.ge((1,), -3),))
+        inter = even.intersect(ge3)
+        pts = enumerate_basic_set(inter)
+        assert pts.ravel().tolist() == [4, 6]
+
+    def test_project_onto_keeps_selected(self):
+        bs = tri(4)
+        proj = bs.project_onto([1])  # keep j
+        assert proj.ndim == 1
+        pts = enumerate_basic_set(proj)
+        assert pts.ravel().tolist() == [0, 1, 2, 3]
+
+    def test_project_onto_reorders(self):
+        bs = BasicSet.from_box(SP, [(0, 1), (5, 6)])
+        proj = bs.project_onto([1, 0])
+        assert proj.contains((5, 0))
+        assert not proj.contains((0, 5))
+
+
+class TestMembershipWithDivs:
+    def test_contains_uses_ilp_when_divs(self):
+        even = BasicSet(
+            Space(("i",)),
+            (Constraint.eq((1, -2), 0),),
+            n_div=1,
+        )
+        assert even.contains((4,))
+        assert not even.contains((5,))
+
+    def test_contains_arity(self):
+        with pytest.raises(ValueError):
+            tri(3).contains((1,))
+
+    def test_str_mentions_divs(self):
+        even = BasicSet(Space(("i",)), (Constraint.eq((1, -2), 0),), n_div=1)
+        assert "divs" in str(even)

@@ -1,0 +1,135 @@
+"""Tests for union coalescing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.presburger import (
+    BasicSet,
+    Constraint,
+    Set,
+    Space,
+    coalesce_set,
+    parse_set,
+    to_point_set,
+)
+
+SP = Space(("i",))
+
+
+def check_exact(s: Set) -> Set:
+    c = coalesce_set(s)
+    assert to_point_set(c) == to_point_set(s)
+    return c
+
+
+class TestMerges:
+    def test_adjacent_intervals(self):
+        c = check_exact(parse_set("{ [i] : 0 <= i <= 4 or 5 <= i <= 9 }"))
+        assert len(c.pieces) == 1
+
+    def test_overlapping_intervals(self):
+        c = check_exact(parse_set("{ [i] : 0 <= i <= 6 or 4 <= i <= 9 }"))
+        assert len(c.pieces) == 1
+
+    def test_contained_piece(self):
+        c = check_exact(parse_set("{ [i] : 0 <= i <= 9 or 2 <= i <= 5 }"))
+        assert len(c.pieces) == 1
+
+    def test_stacked_rectangles(self):
+        c = check_exact(
+            parse_set(
+                "{ [i, j] : (0 <= i < 5 and 0 <= j < 3) "
+                "or (0 <= i < 5 and 3 <= j < 6) }"
+            )
+        )
+        assert len(c.pieces) == 1
+
+    def test_three_way_chain(self):
+        c = check_exact(
+            parse_set(
+                "{ [i] : 0 <= i <= 2 or 3 <= i <= 5 or 6 <= i <= 8 }"
+            )
+        )
+        assert len(c.pieces) == 1
+
+
+class TestNonMerges:
+    def test_gap_kept_apart(self):
+        c = check_exact(parse_set("{ [i] : 0 <= i <= 2 or 7 <= i <= 9 }"))
+        assert len(c.pieces) == 2
+
+    def test_l_shape_kept_apart(self):
+        c = check_exact(
+            parse_set(
+                "{ [i, j] : (0 <= i < 2 and 0 <= j < 4) "
+                "or (0 <= i < 4 and 0 <= j < 2) }"
+            )
+        )
+        assert len(c.pieces) == 2
+
+    def test_empty_pieces_dropped(self):
+        empty = BasicSet(SP, (Constraint.ge((0,), -1),))
+        s = Set(SP, (empty, BasicSet.from_box(SP, [(0, 3)])))
+        assert len(coalesce_set(s).pieces) == 1
+
+    def test_div_pieces_left_alone(self):
+        even = BasicSet(
+            SP,
+            (
+                Constraint.ge((1, 0), 0),
+                Constraint.ge((-1, 0), 8),
+                Constraint.eq((1, -2), 0),
+            ),
+            n_div=1,
+        )
+        s = Set(SP, (even, BasicSet.from_box(SP, [(0, 3)])))
+        assert len(coalesce_set(s).pieces) == 2
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(-6, 6), st.integers(-6, 6)),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_random_interval_unions_exact(self, intervals):
+        pieces = tuple(
+            BasicSet.from_box(SP, [(min(a, b), max(a, b))])
+            for a, b in intervals
+        )
+        s = Set(SP, pieces)
+        c = coalesce_set(s)
+        assert to_point_set(c) == to_point_set(s)
+        assert len(c.pieces) <= len(s.pieces)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 5), st.integers(0, 5))
+    def test_idempotent(self, a, b):
+        s = Set(
+            SP,
+            (
+                BasicSet.from_box(SP, [(0, a)]),
+                BasicSet.from_box(SP, [(b, b + 3)]),
+            ),
+        )
+        once = coalesce_set(s)
+        twice = coalesce_set(once)
+        assert len(once.pieces) == len(twice.pieces)
+
+
+class TestParenConditions:
+    """The notation-parser extension that motivated these shapes."""
+
+    def test_nested_disjunction_distributes(self):
+        s = parse_set(
+            "{ [i] : 0 <= i <= 9 and (i <= 2 or i >= 7) }"
+        )
+        assert to_point_set(s).points.ravel().tolist() == [0, 1, 2, 7, 8, 9]
+
+    def test_arithmetic_parens_still_work(self):
+        s = parse_set("{ [i] : (i + 1) * 2 <= 6 and i >= 0 }")
+        assert to_point_set(s).points.ravel().tolist() == [0, 1, 2]

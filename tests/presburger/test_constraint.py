@@ -1,0 +1,102 @@
+"""Tests for positional constraints."""
+
+import pytest
+
+from repro.presburger import Constraint, Kind
+
+
+class TestBasics:
+    def test_ge(self):
+        c = Constraint.ge((1, -1), 3)
+        assert c.kind is Kind.GE
+        assert c.ncols == 2
+
+    def test_satisfied_ge(self):
+        c = Constraint.ge((1, -1), 0)  # x - y >= 0
+        assert c.satisfied((5, 3))
+        assert c.satisfied((3, 3))
+        assert not c.satisfied((2, 3))
+
+    def test_satisfied_eq(self):
+        c = Constraint.eq((1, 1), -4)  # x + y == 4
+        assert c.satisfied((1, 3))
+        assert not c.satisfied((1, 2))
+
+    def test_trivial(self):
+        assert Constraint.ge((0, 0), 5).is_trivial()
+        assert Constraint.eq((0,), 0).is_trivial()
+        assert not Constraint.ge((1,), 5).is_trivial()
+
+    def test_contradiction(self):
+        assert Constraint.ge((0,), -1).is_contradiction()
+        assert Constraint.eq((0,), 2).is_contradiction()
+        assert not Constraint.ge((1,), -1).is_contradiction()
+
+
+class TestColumnJuggling:
+    def test_padded(self):
+        c = Constraint.ge((1,), 2).padded(3)
+        assert c.coeffs == (1, 0, 0)
+
+    def test_padded_cannot_shrink(self):
+        with pytest.raises(ValueError):
+            Constraint.ge((1, 2), 0).padded(1)
+
+    def test_shifted(self):
+        c = Constraint.ge((1, 2), 5).shifted(1, 4)
+        assert c.coeffs == (0, 1, 2, 0)
+        assert c.const == 5
+
+    def test_permuted(self):
+        c = Constraint.eq((1, 2, 3), 0).permuted([2, 0, 1])
+        assert c.coeffs == (2, 3, 1)
+
+    def test_permuted_grow(self):
+        c = Constraint.ge((1, 2), 0).permuted([3, 0], ncols=4)
+        assert c.coeffs == (2, 0, 0, 1)
+
+
+class TestNormalization:
+    def test_ineq_gcd_tightens(self):
+        # 2x + 4y + 3 >= 0  ->  x + 2y + 1 >= 0 (floor(3/2) = 1)
+        c = Constraint.ge((2, 4), 3).normalized()
+        assert c.coeffs == (1, 2)
+        assert c.const == 1
+
+    def test_eq_divisible(self):
+        c = Constraint.eq((2, 4), -6).normalized()
+        assert c.coeffs == (1, 2)
+        assert c.const == -3
+
+    def test_eq_indivisible_becomes_contradiction(self):
+        c = Constraint.eq((2, 4), 3).normalized()
+        assert c.is_contradiction()
+
+    def test_already_normal(self):
+        c = Constraint.ge((1, 2), 5)
+        assert c.normalized() is c
+
+    def test_tightening_preserves_integer_points(self):
+        original = Constraint.ge((3,), 4)  # 3x >= -4 -> x >= -4/3 -> x >= -1
+        tight = original.normalized()
+        for x in range(-5, 6):
+            assert original.satisfied((x,)) == tight.satisfied((x,))
+
+
+class TestNegation:
+    def test_negated_ge(self):
+        c = Constraint.ge((1,), -3)  # x >= 3
+        neg = c.negated_ge()  # x <= 2
+        for x in range(-2, 8):
+            assert c.satisfied((x,)) != neg.satisfied((x,))
+
+    def test_cannot_negate_eq(self):
+        with pytest.raises(ValueError):
+            Constraint.eq((1,), 0).negated_ge()
+
+
+def test_arity_check_in_sets():
+    from repro.presburger import BasicSet, Space
+
+    with pytest.raises(ValueError, match="columns"):
+        BasicSet(Space(("i",)), (Constraint.ge((1, 1), 0),))

@@ -1,0 +1,166 @@
+"""Tests for bounded-set enumeration (Fourier–Motzkin scan)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.presburger import (
+    BasicSet,
+    Constraint,
+    Set,
+    Space,
+    UnboundedSetError,
+    enumerate_basic_set,
+    enumerate_set,
+)
+
+SP = Space(("i", "j"))
+
+
+def brute(cons, lo=-8, hi=8, ncols=2):
+    pts = []
+    import itertools
+
+    for p in itertools.product(range(lo, hi + 1), repeat=ncols):
+        if all(c.satisfied(p) for c in cons):
+            pts.append(list(p))
+    return sorted(pts)
+
+
+class TestShapes:
+    def test_box(self):
+        bs = BasicSet.from_box(SP, [(0, 2), (1, 3)])
+        pts = enumerate_basic_set(bs)
+        assert pts.shape == (9, 2)
+        assert pts.tolist() == brute(bs.constraints, 0, 3)
+
+    def test_triangle(self):
+        cons = (
+            Constraint.ge((1, 0), 0),
+            Constraint.ge((-1, 0), 4),
+            Constraint.ge((0, 1), 0),
+            Constraint.ge((1, -1), 0),  # j <= i
+        )
+        bs = BasicSet(SP, cons)
+        assert enumerate_basic_set(bs).tolist() == brute(cons, 0, 4)
+
+    def test_diagonal_equality(self):
+        cons = (
+            Constraint.ge((1, 0), 0),
+            Constraint.ge((-1, 0), 5),
+            Constraint.ge((0, 1), 0),
+            Constraint.ge((0, -1), 5),
+            Constraint.eq((1, -1), 0),
+        )
+        pts = enumerate_basic_set(BasicSet(SP, cons))
+        assert pts.tolist() == [[k, k] for k in range(6)]
+
+    def test_empty(self):
+        bs = BasicSet.from_box(SP, [(0, 3), (0, 3)]).with_constraints(
+            [Constraint.ge((1, 1), -100)]
+        )
+        assert enumerate_basic_set(bs).shape == (0, 2)
+
+    def test_zero_dim(self):
+        bs = BasicSet(Space(()), ())
+        assert enumerate_basic_set(bs).shape == (1, 0)
+
+    def test_lex_sorted_output(self):
+        bs = BasicSet.from_box(SP, [(0, 3), (0, 3)])
+        pts = enumerate_basic_set(bs)
+        keys = [tuple(r) for r in pts.tolist()]
+        assert keys == sorted(keys)
+
+
+class TestDivs:
+    def test_floor_division_set(self):
+        # { i : 0 <= i <= 9, exists e: i = 2e }  -> even numbers
+        bs = BasicSet(
+            Space(("i",)),
+            (
+                Constraint.ge((1, 0), 0),
+                Constraint.ge((-1, 0), 9),
+                Constraint.eq((1, -2), 0),
+            ),
+            n_div=1,
+        )
+        pts = enumerate_basic_set(bs)
+        assert pts.ravel().tolist() == [0, 2, 4, 6, 8]
+
+    def test_div_projection_dedupes(self):
+        # e = floor(i / 2): each e covers two i values; project onto e.
+        bs = BasicSet(
+            Space(("e",)),
+            (
+                # 0 <= i <= 5, i - 2e in [0, 1]
+                Constraint.ge((0, 1), 0),
+                Constraint.ge((0, -1), 5),
+                Constraint.ge((-2, 1), 0),
+                Constraint.ge((2, -1), 1),
+            ),
+            n_div=1,
+        )
+        pts = enumerate_basic_set(bs)
+        assert pts.ravel().tolist() == [0, 1, 2]
+
+
+class TestUnbounded:
+    def test_unbounded_raises(self):
+        bs = BasicSet(SP, (Constraint.ge((1, 0), 0),))
+        with pytest.raises(UnboundedSetError):
+            enumerate_basic_set(bs)
+
+    def test_one_sided_column(self):
+        bs = BasicSet(
+            SP,
+            (
+                Constraint.ge((1, 0), 0),
+                Constraint.ge((-1, 0), 3),
+                Constraint.ge((0, 1), 0),  # j unbounded above
+            ),
+        )
+        with pytest.raises(UnboundedSetError):
+            enumerate_basic_set(bs)
+
+
+class TestSetUnion:
+    def test_enumerate_set(self):
+        a = BasicSet.from_box(SP, [(0, 1), (0, 1)])
+        b = BasicSet.from_box(SP, [(1, 2), (1, 2)])
+        pts = enumerate_set(Set(SP, (a, b)))
+        assert len(pts) == 7  # 4 + 4 - 1 shared
+
+    def test_enumerate_empty_union(self):
+        assert enumerate_set(Set.empty(SP)).shape == (0, 2)
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-3, 3), st.integers(-3, 3), st.integers(-5, 5)
+            ),
+            max_size=4,
+        )
+    )
+    def test_random_polytopes(self, extra):
+        cons = tuple(
+            [
+                Constraint.ge((1, 0), 4),
+                Constraint.ge((-1, 0), 4),
+                Constraint.ge((0, 1), 4),
+                Constraint.ge((0, -1), 4),
+            ]
+            + [Constraint.ge((a, b), c) for a, b, c in extra]
+        )
+        bs = BasicSet(SP, cons)
+        got = enumerate_basic_set(bs).tolist()
+        assert got == brute(cons, -4, 4)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 4), st.integers(1, 4))
+    def test_counts(self, w, h):
+        bs = BasicSet.from_box(SP, [(0, w - 1), (0, h - 1)])
+        assert enumerate_basic_set(bs).shape[0] == w * h

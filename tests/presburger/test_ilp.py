@@ -1,0 +1,164 @@
+"""Tests for the branch-and-bound ILP layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.presburger import (
+    Constraint,
+    ILPStatus,
+    column_bounds,
+    ilp_minimize,
+    integer_feasible_point,
+    is_empty,
+    lexmax,
+    lexmin,
+)
+
+
+def box(lo: int, hi: int, ncols: int) -> list[Constraint]:
+    cons = []
+    for k in range(ncols):
+        unit = [0] * ncols
+        unit[k] = 1
+        cons.append(Constraint.ge(tuple(unit), -lo))
+        unit2 = [0] * ncols
+        unit2[k] = -1
+        cons.append(Constraint.ge(tuple(unit2), hi))
+    return cons
+
+
+def grid_points(cons, lo=-6, hi=6):
+    return [
+        (x, y)
+        for x in range(lo, hi + 1)
+        for y in range(lo, hi + 1)
+        if all(c.satisfied((x, y)) for c in cons)
+    ]
+
+
+class TestMinimize:
+    def test_rounding_up(self):
+        # min x s.t. 2x >= 1: LP gives 1/2, ILP must give 1.
+        res = ilp_minimize([1], [Constraint.ge((2,), -1)], 1)
+        assert res.status is ILPStatus.OPTIMAL
+        assert res.value == 1
+
+    def test_infeasible_interval(self):
+        # 3 <= 2x <= 3 has no integer solution
+        cons = [Constraint.ge((2,), -3), Constraint.ge((-2,), 3)]
+        res = ilp_minimize([1], cons, 1)
+        assert res.status is ILPStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        res = ilp_minimize([-1], [Constraint.ge((1,), 0)], 1)
+        assert res.status is ILPStatus.UNBOUNDED
+
+    def test_point_returned_is_optimal(self):
+        cons = box(0, 5, 2) + [Constraint.ge((1, 1), -7)]  # x + y >= 7
+        res = ilp_minimize([1, 1], cons, 2)
+        assert res.value == 7
+        assert sum(res.point) == 7
+
+    def test_eq_parity_infeasible(self):
+        # 2x == 5 over the integers
+        assert is_empty([Constraint.eq((2,), -5)], 1)
+
+
+class TestFeasibility:
+    def test_feasible_point_satisfies(self):
+        cons = box(-3, 3, 2) + [Constraint.eq((1, 1), -2)]
+        pt = integer_feasible_point(cons, 2)
+        assert pt is not None
+        assert all(c.satisfied(pt) for c in cons)
+
+    def test_empty_detection(self):
+        cons = [Constraint.ge((1,), -5), Constraint.ge((-1,), 4)]
+        assert is_empty(cons, 1)
+
+    def test_normalized_contradiction_shortcut(self):
+        assert is_empty([Constraint.eq((2, 2), -3)], 2)
+
+
+class TestLexOpt:
+    def test_lexmin_box(self):
+        assert lexmin(box(1, 4, 2), 2, 2) == (1, 1)
+
+    def test_lexmax_box(self):
+        assert lexmax(box(1, 4, 2), 2, 2) == (4, 4)
+
+    def test_lexmin_prefers_first_dim(self):
+        # x + y == 5 over [0,5]^2: lexmin is (0,5) not (5,0)
+        cons = box(0, 5, 2) + [Constraint.eq((1, 1), -5)]
+        assert lexmin(cons, 2, 2) == (0, 5)
+        assert lexmax(cons, 2, 2) == (5, 0)
+
+    def test_lexmin_infeasible_returns_none(self):
+        cons = [Constraint.ge((1,), -5), Constraint.ge((-1,), 2)]
+        assert lexmin(cons, 1, 1) is None
+
+    def test_lexopt_with_existential_column(self):
+        # dims (x,), div e: x == 2e, 0 <= x <= 7 -> even x only
+        cons = box(0, 7, 2)[:4] and [
+            Constraint.ge((1, 0), 0),
+            Constraint.ge((-1, 0), 7),
+            Constraint.eq((1, -2), 0),
+        ]
+        assert lexmax(cons, 2, 1) == (6,)
+        assert lexmin(cons, 2, 1) == (0,)
+
+
+class TestColumnBounds:
+    def test_bounds(self):
+        cons = box(2, 9, 2)
+        assert column_bounds(cons, 2, 0) == (2, 9)
+
+    def test_empty_sentinel(self):
+        cons = [Constraint.ge((1,), -5), Constraint.ge((-1,), 2)]
+        assert column_bounds(cons, 1, 0) == (0, -1)
+
+    def test_unbounded_side(self):
+        lo, hi = column_bounds([Constraint.ge((1,), 0)], 1, 0)
+        assert lo == 0 and hi is None
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-3, 3), st.integers(-3, 3), st.integers(-6, 6)
+            ),
+            max_size=4,
+        ),
+        st.tuples(st.integers(-3, 3), st.integers(-3, 3)),
+    )
+    def test_minimize_matches_grid(self, extra, obj):
+        cons = box(-4, 4, 2) + [Constraint.ge((a, b), c) for a, b, c in extra]
+        pts = grid_points(cons)
+        res = ilp_minimize(list(obj), cons, 2)
+        if not pts:
+            assert res.status is ILPStatus.INFEASIBLE
+        else:
+            best = min(obj[0] * x + obj[1] * y for x, y in pts)
+            assert res.status is ILPStatus.OPTIMAL
+            assert res.value == best
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-3, 3), st.integers(-3, 3), st.integers(-6, 6)
+            ),
+            max_size=4,
+        )
+    )
+    def test_lexmin_matches_grid(self, extra):
+        cons = box(-4, 4, 2) + [Constraint.ge((a, b), c) for a, b, c in extra]
+        pts = grid_points(cons)
+        got = lexmin(cons, 2, 2)
+        if not pts:
+            assert got is None
+        else:
+            assert got == min(pts)
+            assert lexmax(cons, 2, 2) == max(pts)

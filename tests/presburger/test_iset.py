@@ -1,0 +1,79 @@
+"""Tests for set unions."""
+
+from repro.presburger import BasicSet, Constraint, Set, Space, enumerate_set
+
+SP = Space(("i",))
+
+
+def interval(lo: int, hi: int) -> BasicSet:
+    return BasicSet.from_box(SP, [(lo, hi)])
+
+
+class TestUnion:
+    def test_union_members(self):
+        s = Set.from_basic(interval(0, 2)).union(
+            Set.from_basic(interval(5, 6))
+        )
+        assert s.contains((1,))
+        assert s.contains((5,))
+        assert not s.contains((4,))
+
+    def test_enumerate_dedupes_overlap(self):
+        s = Set.from_basic(interval(0, 4)).union(Set.from_basic(interval(3, 6)))
+        pts = enumerate_set(s)
+        assert pts.ravel().tolist() == list(range(7))
+
+    def test_empty(self):
+        assert Set.empty(SP).is_empty()
+        assert Set.empty(SP).sample() is None
+
+    def test_universe_nonempty(self):
+        assert not Set.universe(SP).is_empty()
+
+
+class TestLexAndBounds:
+    def test_lexmin_across_pieces(self):
+        s = Set.from_basic(interval(5, 6)).union(Set.from_basic(interval(0, 2)))
+        assert s.lexmin() == (0,)
+        assert s.lexmax() == (6,)
+
+    def test_lexmin_skips_empty_pieces(self):
+        s = Set(SP, (BasicSet.empty(SP), interval(3, 4)))
+        assert s.lexmin() == (3,)
+
+    def test_dim_bounds_union(self):
+        s = Set.from_basic(interval(2, 3)).union(Set.from_basic(interval(7, 9)))
+        assert s.dim_bounds(0) == (2, 9)
+
+    def test_dim_bounds_all_empty(self):
+        s = Set(SP, (BasicSet.empty(SP),))
+        assert s.dim_bounds(0) == (0, -1)
+
+    def test_dim_bounds_unbounded_piece(self):
+        half = BasicSet(SP, (Constraint.ge((1,), 0),))
+        s = Set.from_basic(interval(0, 1)).union(Set.from_basic(half))
+        lo, hi = s.dim_bounds(0)
+        assert lo == 0 and hi is None
+
+
+class TestOperations:
+    def test_intersect_distributes(self):
+        a = Set.from_basic(interval(0, 5)).union(Set.from_basic(interval(8, 9)))
+        b = Set.from_basic(interval(4, 8))
+        got = enumerate_set(a.intersect(b)).ravel().tolist()
+        assert got == [4, 5, 8]
+
+    def test_fix(self):
+        s = Set.from_basic(interval(0, 5)).fix({0: 3})
+        assert enumerate_set(s).ravel().tolist() == [3]
+
+    def test_coalesce_drops_empty(self):
+        s = Set(SP, (BasicSet.empty(SP), interval(0, 1)))
+        assert len(s.coalesce().pieces) == 1
+
+    def test_sample(self):
+        s = Set.from_basic(interval(4, 4))
+        assert s.sample() == (4,)
+
+    def test_str(self):
+        assert "false" in str(Set.empty(SP))

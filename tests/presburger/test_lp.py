@@ -1,0 +1,146 @@
+"""Tests for the exact rational simplex."""
+
+from fractions import Fraction
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.presburger import Constraint, LPStatus, solve_lp
+
+
+def box(lo: int, hi: int, ncols: int) -> list[Constraint]:
+    cons = []
+    for k in range(ncols):
+        unit = [0] * ncols
+        unit[k] = 1
+        cons.append(Constraint.ge(tuple(unit), -lo))
+        unit2 = [0] * ncols
+        unit2[k] = -1
+        cons.append(Constraint.ge(tuple(unit2), hi))
+    return cons
+
+
+class TestBasicLPs:
+    def test_min_with_lower_bound(self):
+        res = solve_lp([1], [Constraint.ge((1,), -3)], 1)  # x >= 3
+        assert res.status is LPStatus.OPTIMAL
+        assert res.value == 3
+
+    def test_max_with_upper_bound(self):
+        res = solve_lp([1], [Constraint.ge((-1,), 7)], 1, maximize=True)
+        assert res.value == 7
+
+    def test_infeasible(self):
+        cons = [Constraint.ge((1,), -5), Constraint.ge((-1,), 2)]  # x>=5, x<=2
+        assert solve_lp([1], cons, 1).status is LPStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        res = solve_lp([-1], [Constraint.ge((1,), 0)], 1)  # min -x, x >= 0
+        assert res.status is LPStatus.UNBOUNDED
+
+    def test_equality_constraint(self):
+        # min x + y  s.t.  x + y == 10, x >= 2, y >= 3
+        cons = [
+            Constraint.eq((1, 1), -10),
+            Constraint.ge((1, 0), -2),
+            Constraint.ge((0, 1), -3),
+        ]
+        res = solve_lp([1, 1], cons, 2)
+        assert res.value == 10
+
+    def test_fractional_optimum_exact(self):
+        # min x  s.t.  2x >= 1  ->  x = 1/2 exactly
+        res = solve_lp([1], [Constraint.ge((2,), -1)], 1)
+        assert res.value == Fraction(1, 2)
+
+    def test_free_variables_go_negative(self):
+        res = solve_lp([1], [Constraint.ge((1,), 5)], 1)  # x >= -5
+        assert res.value == -5
+
+    def test_two_dim_vertex(self):
+        # max x + y over x <= 4, y <= 3, x, y >= 0
+        cons = box(0, 10, 2) + [
+            Constraint.ge((-1, 0), 4),
+            Constraint.ge((0, -1), 3),
+        ]
+        res = solve_lp([1, 1], cons, 2, maximize=True)
+        assert res.value == 7
+        assert res.point == (4, 3)
+
+    def test_no_constraints_zero_objective(self):
+        res = solve_lp([0, 0], [], 2)
+        assert res.status is LPStatus.OPTIMAL
+        assert res.value == 0
+
+    def test_no_constraints_nonzero_objective_unbounded(self):
+        assert solve_lp([1], [], 1).status is LPStatus.UNBOUNDED
+
+    def test_redundant_equalities(self):
+        cons = [
+            Constraint.eq((1, 1), -4),
+            Constraint.eq((2, 2), -8),  # same hyperplane
+            Constraint.ge((1, 0), 0),
+            Constraint.ge((0, 1), 0),
+        ]
+        res = solve_lp([1, 0], cons, 2)
+        assert res.status is LPStatus.OPTIMAL
+        assert res.value == 0
+
+    def test_degenerate_vertex_terminates(self):
+        # Many constraints meeting at one point; Bland's rule must not cycle.
+        cons = [
+            Constraint.ge((1, 0), 0),
+            Constraint.ge((0, 1), 0),
+            Constraint.ge((1, 1), 0),
+            Constraint.ge((2, 1), 0),
+            Constraint.ge((1, 2), 0),
+            Constraint.ge((-1, -1), 0),  # x + y <= 0
+        ]
+        res = solve_lp([1, 1], cons, 2)
+        assert res.status is LPStatus.OPTIMAL
+        assert res.value == 0
+
+    def test_objective_length_checked(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            solve_lp([1], [], 2)
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-4, 4), st.integers(-4, 4), st.integers(-8, 8)
+            ),
+            min_size=0,
+            max_size=6,
+        ),
+        st.tuples(st.integers(-3, 3), st.integers(-3, 3)),
+    )
+    def test_optimum_feasible_and_minimal_on_box(self, extra, obj):
+        """On a boxed polytope the LP optimum is feasible and no sampled
+        rational point does better."""
+        cons = box(-5, 5, 2) + [
+            Constraint.ge((a, b), c) for a, b, c in extra
+        ]
+        res = solve_lp(list(obj), cons, 2)
+        if res.status is not LPStatus.OPTIMAL:
+            assert res.status is LPStatus.INFEASIBLE  # boxed: never unbounded
+            # cross-check with integer grid: no integer point satisfies all
+            for x in range(-5, 6):
+                for y in range(-5, 6):
+                    assert not all(c.satisfied((x, y)) for c in cons)
+            return
+        pt = res.point
+        assert all(
+            c.const + c.coeffs[0] * pt[0] + c.coeffs[1] * pt[1] >= 0
+            if c.kind is c.kind.GE
+            else c.const + c.coeffs[0] * pt[0] + c.coeffs[1] * pt[1] == 0
+            for c in cons
+        )
+        # every feasible integer point has objective >= optimum
+        for x in range(-5, 6):
+            for y in range(-5, 6):
+                if all(c.satisfied((x, y)) for c in cons):
+                    assert obj[0] * x + obj[1] * y >= res.value

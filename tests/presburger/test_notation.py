@@ -1,0 +1,171 @@
+"""Tests for the ISL-style notation parser."""
+
+import pytest
+
+from repro.presburger import (
+    NotationError,
+    parse_map,
+    parse_set,
+    to_point_relation,
+    to_point_set,
+)
+
+
+class TestSets:
+    def test_box(self):
+        s = parse_set("{ [i, j] : 0 <= i < 3 and 0 <= j < 2 }")
+        assert len(to_point_set(s)) == 6
+
+    def test_named_tuple(self):
+        s = parse_set("{ S[i] : 0 <= i <= 4 }")
+        assert s.space.name == "S"
+        assert s.space.dims == ("i",)
+
+    def test_triangle(self):
+        s = parse_set("{ [i, j] : 0 <= j <= i < 5 }")
+        assert len(to_point_set(s)) == 15
+
+    def test_union_via_or(self):
+        s = parse_set("{ [i] : 0 <= i <= 2 or 7 <= i <= 8 }")
+        assert to_point_set(s).points.ravel().tolist() == [0, 1, 2, 7, 8]
+        assert len(s.pieces) == 2
+
+    def test_comma_groups(self):
+        s = parse_set("{ [i, j] : 0 <= i, j < 4 }")
+        assert len(to_point_set(s)) == 16
+
+    def test_equality(self):
+        s = parse_set("{ [i, j] : i = j and 0 <= i < 4 }")
+        assert to_point_set(s).points.tolist() == [[k, k] for k in range(4)]
+
+    def test_double_equals(self):
+        s = parse_set("{ [i] : i == 3 }")
+        assert to_point_set(s).points.ravel().tolist() == [3]
+
+    def test_params_substituted(self):
+        s = parse_set("{ [i] : 0 <= i < N - 1 }", params={"N": 5})
+        assert len(to_point_set(s)) == 4
+
+    def test_implicit_multiplication(self):
+        s = parse_set("{ [i] : 0 <= 2i <= 6 }")
+        assert to_point_set(s).points.ravel().tolist() == [0, 1, 2, 3]
+
+    def test_negative_and_parens(self):
+        s = parse_set("{ [i] : -(2 - i) >= 0 and i < 5 }")
+        assert to_point_set(s).points.ravel().tolist() == [2, 3, 4]
+
+    def test_universe_condition_optional(self):
+        s = parse_set("{ [i] }")
+        assert len(s.pieces) == 1
+
+    def test_membership_matches_text(self):
+        s = parse_set("{ [i, j] : 0 <= i < 10 and i <= j < 10 and j < 2i + 1 }")
+        for i in range(10):
+            for j in range(10):
+                expected = i <= j < min(10, 2 * i + 1)
+                assert s.contains((i, j)) == expected
+
+
+class TestMaps:
+    def test_affine_image(self):
+        m = parse_map("{ S[i] -> A[2i + 1] : 0 <= i < 3 }")
+        rel = to_point_relation(m)
+        assert rel.pairs.tolist() == [[0, 1], [1, 3], [2, 5]]
+
+    def test_named_output_dims(self):
+        m = parse_map("{ [i] -> [j] : 0 <= i < 3 and i <= j < 3 }")
+        rel = to_point_relation(m)
+        assert len(rel) == 6
+
+    def test_mixed_output(self):
+        m = parse_map("{ [i] -> [i, k] : 0 <= i < 2 and 0 <= k < 2 }")
+        rel = to_point_relation(m)
+        assert rel.n_out == 2
+        assert all(r[0] == r[1] for r in rel.pairs.tolist())
+
+    def test_spaces_named(self):
+        m = parse_map("{ S[i] -> T[j] : i = j and 0 <= i < 2 }")
+        assert m.space.domain.name == "S"
+        assert m.space.range.name == "T"
+
+    def test_paper_style_strided_map(self):
+        m = parse_map(
+            "{ S[i, j] -> R[i, o] : 2o <= j < 2o + 2 and 0 <= i, j < 8 "
+            "and 0 <= o < 4 }"
+        )
+        rel = to_point_relation(m)
+        table = {
+            (r[0], r[1]): (r[2], r[3]) for r in rel.pairs.tolist()
+        }
+        assert table[(1, 5)] == (1, 2)
+
+    def test_union_map(self):
+        m = parse_map(
+            "{ [i] -> [i] : 0 <= i < 2 or 4 <= i < 6 }"
+        )
+        assert len(to_point_relation(m)) == 4
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "{ [i] : i }",  # no comparison
+            "{ [i] : 0 <= q }",  # unknown identifier
+            "{ [i] : i * j >= 0 }",  # non-affine (j unknown anyway)
+            "[i] : 0 <= i",  # missing braces
+            "{ [i] : 0 <= i } trailing",
+            "{ [i+1] : 0 <= i }",  # set tuples must be identifiers
+        ],
+    )
+    def test_bad_sets(self, text):
+        with pytest.raises(NotationError):
+            parse_set(text)
+
+    def test_bad_character(self):
+        with pytest.raises(NotationError):
+            parse_set("{ [i] : i @ 0 }")
+
+    def test_nonaffine_product(self):
+        with pytest.raises(NotationError):
+            parse_set("{ [i, j] : i j >= 0 }")
+
+
+class TestRoundtripWithLibrary:
+    def test_matches_programmatic_box(self):
+        from repro.presburger import BasicSet, Space
+
+        textual = parse_set("{ [i, j] : 1 <= i <= 3 and 0 <= j <= 2 }")
+        built = BasicSet.from_box(Space(("i", "j")), [(1, 3), (0, 2)])
+        assert to_point_set(textual) == to_point_set(built)
+
+    def test_lex_order_map(self):
+        from repro.presburger import Space, lex_le_map, Set, BasicSet
+
+        sp = Space(("i",))
+        textual = parse_map("{ [i] -> [j] : i <= j and 0 <= i, j < 4 }")
+        box = Set.from_basic(BasicSet.from_box(sp, [(0, 3)]))
+        builtin = lex_le_map(sp).intersect_domain(box).intersect_range(box)
+        assert to_point_relation(textual) == to_point_relation(builtin)
+
+
+class TestFuzz:
+    def test_arbitrary_text_never_crashes(self):
+        import random
+
+        from repro.presburger import NotationError
+
+        rng = random.Random(42)
+        alphabet = "{}[]()<>=+-*, andorij0123456789:S"
+        for _ in range(300):
+            text = "".join(
+                rng.choice(alphabet) for _ in range(rng.randrange(0, 40))
+            )
+            try:
+                parse_set(text)
+            except NotationError:
+                pass
+            try:
+                parse_map(text)
+            except NotationError:
+                pass

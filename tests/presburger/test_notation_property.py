@@ -1,0 +1,79 @@
+"""Property tests: notation parsing agrees with programmatic construction."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.presburger import (
+    BasicSet,
+    Space,
+    parse_map,
+    parse_set,
+    to_point_relation,
+    to_point_set,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(-6, 6), st.integers(0, 5)),
+        min_size=1,
+        max_size=3,
+    )
+)
+def test_random_boxes_roundtrip(bounds):
+    """A random box written in notation equals the programmatic box."""
+    dims = [f"x{k}" for k in range(len(bounds))]
+    conds = " and ".join(
+        f"{lo} <= {d} <= {lo + width}" for d, (lo, width) in zip(dims, bounds)
+    )
+    textual = parse_set(f"{{ [{', '.join(dims)}] : {conds} }}")
+    built = BasicSet.from_box(
+        Space(tuple(dims)), [(lo, lo + width) for lo, width in bounds]
+    )
+    assert to_point_set(textual) == to_point_set(built)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(1, 6),
+    st.integers(-3, 3),
+    st.integers(-5, 5),
+)
+def test_affine_map_roundtrip(n, coeff, offset):
+    """``[i] -> [c*i + o]`` in notation equals manual tabulation."""
+    term = f"{coeff}*i + {offset}" if coeff else str(offset)
+    m = parse_map(f"{{ [i] -> [{term}] : 0 <= i < {n} }}")
+    rel = to_point_relation(m)
+    assert rel.pairs.tolist() == [
+        [i, coeff * i + offset] for i in range(n)
+    ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(0, 5), st.integers(0, 5), st.integers(0, 5), st.integers(0, 5)
+)
+def test_or_is_union(a_lo, a_w, b_lo, b_w):
+    s = parse_set(
+        f"{{ [i] : {a_lo} <= i <= {a_lo + a_w} "
+        f"or {b_lo} <= i <= {b_lo + b_w} }}"
+    )
+    expected = sorted(
+        set(range(a_lo, a_lo + a_w + 1)) | set(range(b_lo, b_lo + b_w + 1))
+    )
+    assert to_point_set(s).points.ravel().tolist() == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 5), st.integers(1, 4))
+def test_chain_groups_against_loop(n, k):
+    """``0 <= i, j < n`` equals the double loop membership."""
+    s = parse_set(f"{{ [i, j] : 0 <= i, j < {n} and j < i + {k} }}")
+    expected = sorted(
+        [i, j]
+        for i in range(n)
+        for j in range(n)
+        if j < i + k
+    )
+    assert to_point_set(s).points.tolist() == expected

@@ -1,0 +1,34 @@
+"""Tests for the Set operator sugar."""
+
+from repro.presburger import parse_set, to_point_set
+
+
+def interval(lo, hi):
+    return parse_set(f"{{ [i] : {lo} <= i <= {hi} }}")
+
+
+class TestOperators:
+    def test_or_is_union(self):
+        s = interval(0, 2) | interval(5, 6)
+        assert to_point_set(s).points.ravel().tolist() == [0, 1, 2, 5, 6]
+
+    def test_and_is_intersection(self):
+        s = interval(0, 6) & interval(4, 9)
+        assert to_point_set(s).points.ravel().tolist() == [4, 5, 6]
+
+    def test_sub_is_difference(self):
+        s = interval(0, 9) - interval(3, 7)
+        assert to_point_set(s).points.ravel().tolist() == [0, 1, 2, 8, 9]
+
+    def test_le_is_subset(self):
+        assert interval(2, 3) <= interval(0, 5)
+        assert not (interval(0, 5) <= interval(2, 3))
+
+    def test_contains(self):
+        assert (3,) in interval(0, 5)
+        assert (7,) not in interval(0, 5)
+        assert [4] in interval(0, 5)  # any sequence works
+
+    def test_composition(self):
+        s = (interval(0, 9) - interval(4, 5)) & interval(3, 7)
+        assert to_point_set(s).points.ravel().tolist() == [3, 6, 7]

@@ -1,0 +1,58 @@
+"""Tests for the lexicographic-order map builders."""
+
+import itertools
+
+import pytest
+
+from repro.presburger import (
+    BasicSet,
+    Set,
+    Space,
+    lex_ge_map,
+    lex_gt_map,
+    lex_le_map,
+    lex_lt_map,
+    to_point_relation,
+)
+
+SP2 = Space(("i", "j"))
+SP1 = Space(("i",))
+
+
+def restrict(m, space, lo, hi):
+    bs = BasicSet.from_box(space, [(lo, hi)] * space.ndim)
+    s = Set.from_basic(bs)
+    return to_point_relation(m.intersect_domain(s).intersect_range(s))
+
+
+@pytest.mark.parametrize(
+    "builder,cmp",
+    [
+        (lex_lt_map, lambda a, b: a < b),
+        (lex_le_map, lambda a, b: a <= b),
+        (lex_gt_map, lambda a, b: a > b),
+        (lex_ge_map, lambda a, b: a >= b),
+    ],
+)
+@pytest.mark.parametrize("space", [SP1, SP2])
+def test_matches_tuple_order(builder, cmp, space):
+    rel = restrict(builder(space), space, 0, 2)
+    got = {
+        (tuple(r[: space.ndim]), tuple(r[space.ndim :]))
+        for r in rel.pairs.tolist()
+    }
+    pts = list(itertools.product(range(3), repeat=space.ndim))
+    expected = {(a, b) for a in pts for b in pts if cmp(a, b)}
+    assert got == expected
+
+
+def test_lt_le_differ_by_diagonal():
+    lt = restrict(lex_lt_map(SP2), SP2, 0, 1)
+    le = restrict(lex_le_map(SP2), SP2, 0, 1)
+    assert len(le) - len(lt) == 4  # the four diagonal pairs
+
+
+def test_inverse_relationship():
+    lt = restrict(lex_lt_map(SP2), SP2, 0, 1)
+    gt = restrict(lex_gt_map(SP2), SP2, 0, 1)
+    assert lt.inverse() == gt

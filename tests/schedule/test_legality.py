@@ -1,0 +1,83 @@
+"""Tests for the schedule legality checker."""
+
+import pytest
+
+from repro.bench import build_scop
+from repro.pipeline import detect_pipeline
+from repro.schedule import (
+    IllegalScheduleError,
+    check_legality,
+    generate_task_ast,
+)
+from repro.scop import DepKind
+from repro.tasking import TaskGraph, hybrid_task_graph
+from repro.workloads import TABLE9, MatmulKernel
+from tests.conftest import LISTING1, LISTING3
+
+
+def setup(source: str, params=None, coarsen: int = 1):
+    scop = build_scop(source, params)
+    info = detect_pipeline(scop, coarsen=coarsen)
+    ast = generate_task_ast(info)
+    return scop, info, ast
+
+
+class TestLegalGraphs:
+    def test_listing1_pipeline_graph(self):
+        scop, info, ast = setup(LISTING1, {"N": 10})
+        report = check_legality(scop, info, TaskGraph.from_task_ast(ast))
+        assert report.ok
+        assert report.checked_pairs > 100
+        report.raise_if_illegal()  # no exception
+
+    def test_listing3_graph(self):
+        scop, info, ast = setup(LISTING3, {"N": 10})
+        assert check_legality(scop, info, TaskGraph.from_task_ast(ast)).ok
+
+    @pytest.mark.parametrize("coarsen", [1, 3])
+    def test_coarsened_graphs_legal(self, coarsen):
+        scop, info, ast = setup(LISTING1, {"N": 12}, coarsen=coarsen)
+        assert check_legality(scop, info, TaskGraph.from_task_ast(ast)).ok
+
+    @pytest.mark.parametrize("name", ["P1", "P5", "P9"])
+    def test_pkernels_legal(self, name):
+        scop, info, ast = setup(TABLE9[name].source(8))
+        assert check_legality(scop, info, TaskGraph.from_task_ast(ast)).ok
+
+    def test_hybrid_graphs_legal(self):
+        kern = MatmulKernel(3, "mm")
+        scop, info, ast = setup(kern.source(8))
+        graph = hybrid_task_graph(scop, info, ast)
+        assert check_legality(scop, info, graph).ok
+
+
+class TestIllegalGraphs:
+    def test_missing_self_chain_detected(self):
+        scop, info, ast = setup(LISTING1, {"N": 10})
+        broken = TaskGraph.from_task_ast(ast, self_chain=False)
+        report = check_legality(scop, info, broken)
+        assert not report.ok
+        v = report.violations[0]
+        assert v.source == v.target == "S"
+        with pytest.raises(IllegalScheduleError):
+            report.raise_if_illegal()
+
+    def test_violation_cap_respected(self):
+        scop, info, ast = setup(LISTING1, {"N": 12})
+        broken = TaskGraph.from_task_ast(ast, self_chain=False)
+        report = check_legality(scop, info, broken, max_violations=5)
+        assert len(report.violations) == 5
+
+    def test_kind_filter(self):
+        scop, info, ast = setup(LISTING1, {"N": 10})
+        broken = TaskGraph.from_task_ast(ast, self_chain=False)
+        # Listing 1's intra-statement deps are anti only; checking flow
+        # alone must stay silent about them.
+        flow_only = check_legality(scop, info, broken, kinds=(DepKind.FLOW,))
+        full = check_legality(scop, info, broken)
+        assert len(flow_only.violations) < len(full.violations)
+
+    def test_str(self):
+        scop, info, ast = setup(LISTING1, {"N": 8})
+        report = check_legality(scop, info, TaskGraph.from_task_ast(ast))
+        assert "legal" in str(report)

@@ -1,0 +1,102 @@
+"""Tests for value-based (last-writer) dataflow analysis."""
+
+import numpy as np
+import pytest
+
+from repro.lang import parse
+from repro.scop import (
+    DepKind,
+    analyze_dataflow,
+    dependence_relation,
+    extract_scop,
+)
+
+
+def scop_of(src: str, **params):
+    return extract_scop(parse(src), params or None)
+
+
+class TestSingleWriter:
+    """With injective single-writer arrays, value == memory flow."""
+
+    def test_listing1(self, listing1_scop_small):
+        df = analyze_dataflow(listing1_scop_small)
+        S = listing1_scop_small.statement("S")
+        R = listing1_scop_small.statement("R")
+        mem = dependence_relation(listing1_scop_small, S, R, DepKind.FLOW)
+        assert df.flow("S", "R") == mem
+
+    def test_self_flow(self):
+        scop = scop_of("for(i=1; i<6; i++) S: A[i][0] = f(A[i-1][0]);")
+        df = analyze_dataflow(scop)
+        S = scop.statement("S")
+        mem = dependence_relation(scop, S, S, DepKind.FLOW)
+        assert df.flow("S", "S") == mem
+
+    def test_reads_from_input_counted(self):
+        scop = scop_of("for(i=0; i<5; i++) S: A[i][0] = f(B[i][0]);")
+        df = analyze_dataflow(scop)
+        assert df.reads_from_input["S"] == 5  # B never written
+        assert not df.flows
+
+
+class TestMultiWriter:
+    SRC = """
+for(i=0; i<6; i++) S: A[i][0] = f(B[i][0]);
+for(i=0; i<6; i++) T: A[i][0] = g(C[i][0], A[i][0]);
+for(i=0; i<6; i++) U: D[i][0] = h(A[i][0]);
+"""
+
+    def test_last_writer_wins(self):
+        df = analyze_dataflow(scop_of(self.SRC))
+        # U reads A last written by T, never by S
+        assert len(df.flow("T", "U")) == 6
+        assert df.flow("S", "U").is_empty()
+
+    def test_intermediate_reader_sees_first_writer(self):
+        df = analyze_dataflow(scop_of(self.SRC))
+        # T itself reads A written by S (before T overwrites it)
+        assert len(df.flow("S", "T")) == 6
+
+    def test_sharper_than_memory_based(self):
+        scop = scop_of(self.SRC)
+        df = analyze_dataflow(scop)
+        mem = dependence_relation(
+            scop, scop.statement("S"), scop.statement("U"), DepKind.FLOW
+        )
+        assert len(mem) == 6  # memory-based keeps the stale pair
+        assert df.flow("S", "U").is_empty()  # dataflow kills it
+
+
+class TestOrderingSubtleties:
+    def test_same_iteration_write_not_own_source(self):
+        scop = scop_of("for(i=0; i<5; i++) S: A[i][0] = f(A[i][0]);")
+        df = analyze_dataflow(scop)
+        # A[i] is read before S writes it at the same instance.
+        assert df.flow("S", "S").is_empty()
+        assert df.reads_from_input["S"] == 5
+
+    def test_same_nest_textual_order(self):
+        scop = scop_of(
+            "for(i=0; i<4; i++) {\n"
+            "  S: A[i][0] = f(B[i][0]);\n"
+            "  T: C[i][0] = g(A[i][0]);\n"
+            "}"
+        )
+        df = analyze_dataflow(scop)
+        rel = df.flow("S", "T")
+        assert len(rel) == 4
+        assert np.array_equal(rel.in_part, rel.out_part)
+
+    def test_later_iteration_overwrite_ignored(self):
+        # T[i] reads A[i]; S writes A in reverse-ish pattern? simpler:
+        # within one statement, A[i] = f(A[i+1]): read sees the ORIGINAL
+        # A[i+1], not the value written later at instance i+1.
+        scop = scop_of("for(i=0; i<5; i++) S: A[i][0] = f(A[i+1][0]);")
+        df = analyze_dataflow(scop)
+        assert df.flow("S", "S").is_empty()
+        assert df.reads_from_input["S"] == 5
+
+    def test_missing_pair_returns_empty(self, listing1_scop_small):
+        df = analyze_dataflow(listing1_scop_small)
+        assert df.flow("R", "S").is_empty()

@@ -1,0 +1,90 @@
+"""Property test: dataflow analysis vs a simulated last-writer oracle."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import parse
+from repro.scop import analyze_dataflow, extract_scop
+
+
+@st.composite
+def kernels(draw) -> str:
+    """Random kernels where several nests may write the same array."""
+    n = draw(st.integers(3, 6))
+    num_nests = draw(st.integers(2, 4))
+    chunks = []
+    for k in range(1, num_nests + 1):
+        # each nest writes either its own array or the shared one
+        target = draw(st.sampled_from(["Shared", f"Own{k}"]))
+        reads = [f"{target}[i][j]"]
+        for src_arr in ["Shared"] + [f"Own{m}" for m in range(1, k)]:
+            if draw(st.booleans()):
+                oi = draw(st.integers(0, 1))
+                reads.append(f"{src_arr}[i][j]" if not oi else f"{src_arr}[i][0]")
+        chunks.append(
+            f"for(i=0; i<{n}; i++) for(j=0; j<{n}; j++) "
+            f"S{k}: {target}[i][j] = compute({', '.join(reads)});"
+        )
+    return "\n".join(chunks)
+
+
+def oracle_last_writers(scop):
+    """Simulate execution, tracking the last writer of every cell."""
+    last: dict[tuple, tuple[str, tuple]] = {}
+    flows: dict[tuple[str, str], set[tuple]] = {}
+    inputs: dict[str, int] = {s.name: 0 for s in scop.statements}
+
+    events = []
+    for stmt in scop.statements:
+        wr = scop.write_relation(stmt)
+        rd = scop.read_relation(stmt)
+        by_iter: dict[tuple, dict[str, list[tuple]]] = {}
+        for row in rd.pairs.tolist():
+            it = tuple(row[: rd.n_in])
+            by_iter.setdefault(it, {"r": [], "w": []})["r"].append(
+                tuple(row[rd.n_in :])
+            )
+        for row in wr.pairs.tolist():
+            it = tuple(row[: wr.n_in])
+            by_iter.setdefault(it, {"r": [], "w": []})["w"].append(
+                tuple(row[wr.n_in :])
+            )
+        for it in sorted(by_iter):
+            events.append((stmt.nest_index, it, stmt.position, stmt, by_iter[it]))
+    events.sort(key=lambda e: (e[0], e[1], e[2]))
+
+    for _, it, _, stmt, rw in events:
+        for cell in rw["r"]:
+            if cell in last:
+                src_name, src_iter = last[cell]
+                flows.setdefault((src_name, stmt.name), set()).add(
+                    (it, src_iter)
+                )
+            else:
+                inputs[stmt.name] += 1
+        for cell in rw["w"]:
+            last[cell] = (stmt.name, it)
+    return flows, inputs
+
+
+@settings(max_examples=25, deadline=None)
+@given(kernels())
+def test_dataflow_matches_execution_oracle(src):
+    scop = extract_scop(parse(src))
+    result = analyze_dataflow(scop)
+    oracle_flows, oracle_inputs = oracle_last_writers(scop)
+
+    got = {
+        key: {
+            (
+                tuple(row[: rel.n_in]),
+                tuple(row[rel.n_in :]),
+            )
+            for row in rel.pairs.tolist()
+        }
+        for key, rel in result.flows.items()
+    }
+    assert got == oracle_flows, src
+    assert result.reads_from_input == oracle_inputs, src

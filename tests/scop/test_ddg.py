@@ -1,0 +1,50 @@
+"""Tests for statement-level dependence graphs."""
+
+from repro.scop import DepKind, build_dependence_graph
+
+
+class TestGraph:
+    def test_listing3_edges(self, listing3_scop):
+        g = build_dependence_graph(listing3_scop)
+        cross = {
+            (e.source, e.target, e.kind)
+            for e in g.edges
+            if not e.self_dep
+        }
+        assert cross == {
+            ("S", "R", DepKind.FLOW),
+            ("S", "U", DepKind.FLOW),
+            ("R", "U", DepKind.FLOW),
+        }
+
+    def test_self_edges_marked(self, listing1_scop_small):
+        g = build_dependence_graph(listing1_scop_small)
+        self_edges = [e for e in g.edges if e.self_dep]
+        assert self_edges
+        assert all(e.source == e.target for e in self_edges)
+
+    def test_predecessors(self, listing3_scop):
+        g = build_dependence_graph(listing3_scop)
+        assert g.predecessors("U") == {"S", "R"}
+        assert g.predecessors("S") == set()
+
+    def test_edges_between(self, listing3_scop):
+        g = build_dependence_graph(listing3_scop)
+        edges = g.edges_between("S", "R")
+        assert len(edges) == 1
+        assert edges[0].pairs > 0
+
+    def test_kind_filter(self, listing1_scop_small):
+        flow_only = build_dependence_graph(
+            listing1_scop_small, kinds=(DepKind.FLOW,)
+        )
+        assert all(e.kind is DepKind.FLOW for e in flow_only.edges)
+
+    def test_summary_and_dot(self, listing3_scop):
+        g = build_dependence_graph(listing3_scop)
+        assert "Dependence graph" in g.summary()
+        dot = g.to_dot()
+        assert dot.startswith("digraph deps {")
+        assert "S -> R" in dot
+        assert "style=solid" in dot  # flow edges
+        assert "style=dashed" in dot  # anti self-deps

@@ -1,0 +1,152 @@
+"""Tests for dependence analysis."""
+
+import numpy as np
+import pytest
+
+from repro.lang import parse
+from repro.scop import (
+    DepKind,
+    analyze_dependences,
+    carried_levels,
+    dependence_relation,
+    depends_on,
+    extract_scop,
+    parallel_levels,
+)
+
+
+def scop_of(src: str, **params):
+    return extract_scop(parse(src), params or None)
+
+
+class TestCrossNestFlow:
+    def test_copy_chain(self, copy_scop):
+        S, T = copy_scop.statement("S"), copy_scop.statement("T")
+        rel = dependence_relation(copy_scop, S, T, DepKind.FLOW)
+        # T[i][j] reads exactly A[i][j] written by S[i][j]
+        assert len(rel) == 64
+        assert np.array_equal(rel.in_part, rel.out_part)
+
+    def test_direction_matters(self, copy_scop):
+        S, T = copy_scop.statement("S"), copy_scop.statement("T")
+        rel = dependence_relation(copy_scop, T, S, DepKind.FLOW)
+        assert rel.is_empty()
+
+    def test_strided_read(self, listing1_scop_small):
+        S = listing1_scop_small.statement("S")
+        R = listing1_scop_small.statement("R")
+        rel = dependence_relation(listing1_scop_small, S, R, DepKind.FLOW)
+        assert rel.lookup((1, 2)).tolist() == [[1, 4]]  # R[1,2] needs A[1,4]
+
+    def test_depends_on(self, listing1_scop_small):
+        S = listing1_scop_small.statement("S")
+        R = listing1_scop_small.statement("R")
+        assert depends_on(listing1_scop_small, R, S)
+        assert not depends_on(listing1_scop_small, S, R)
+
+
+class TestSelfDeps:
+    def test_flow_self_dep_strict_order(self):
+        scop = scop_of(
+            "for(i=1; i<6; i++) S: A[i][0] = f(A[i-1][0]);"
+        )
+        S = scop.statement("S")
+        rel = dependence_relation(scop, S, S, DepKind.FLOW)
+        # A[i-1] written at i-1 (for i-1 >= 1); pairs (i -> i-1)
+        assert len(rel) == 4
+        assert all(row[1] == row[0] - 1 for row in rel.pairs.tolist())
+
+    def test_same_iteration_not_a_dep(self):
+        scop = scop_of("for(i=0; i<5; i++) S: A[i][0] = f(A[i][0]);")
+        S = scop.statement("S")
+        assert dependence_relation(scop, S, S, DepKind.FLOW).is_empty()
+
+    def test_anti_dep(self):
+        scop = scop_of("for(i=0; i<5; i++) S: A[i][0] = f(A[i+1][0]);")
+        S = scop.statement("S")
+        anti = dependence_relation(scop, S, S, DepKind.ANTI)
+        # read at i of cell i+1, overwritten at i+1: anti (i+1 waits for i)
+        assert len(anti) == 4
+        flow = dependence_relation(scop, S, S, DepKind.FLOW)
+        assert flow.is_empty()
+
+    def test_output_dep_injective_write_has_none(self):
+        scop = scop_of("for(i=0; i<6; i++) S: A[i][0] = f(B[i][0]);")
+        S = scop.statement("S")
+        assert dependence_relation(scop, S, S, DepKind.OUTPUT).is_empty()
+
+    def test_output_dep_across_nests(self):
+        scop = scop_of(
+            "for(i=0; i<4; i++) S: A[i][0] = f(B[i][0]);\n"
+            "for(i=0; i<4; i++) T: A[i][0] = g(C[i][0]);"
+        )
+        S, T = scop.statement("S"), scop.statement("T")
+        rel = dependence_relation(scop, S, T, DepKind.OUTPUT)
+        assert len(rel) == 4
+
+
+class TestSameNestStatements:
+    SRC = (
+        "for(i=0; i<4; i++) {\n"
+        "  S: A[i][0] = f(A[i][0]);\n"
+        "  T: B[i][0] = g(A[i][0]);\n"
+        "}"
+    )
+
+    def test_textual_order_same_iteration(self):
+        scop = scop_of(self.SRC)
+        S, T = scop.statement("S"), scop.statement("T")
+        rel = dependence_relation(scop, S, T, DepKind.FLOW)
+        assert len(rel) == 4  # T[i] reads what S[i] just wrote
+        assert np.array_equal(rel.in_part, rel.out_part)
+
+    def test_no_backwards_pair(self):
+        scop = scop_of(self.SRC)
+        S, T = scop.statement("S"), scop.statement("T")
+        assert dependence_relation(scop, T, S, DepKind.ANTI).is_empty()
+
+
+class TestAnalyzeAll:
+    def test_listing3_flow_edges(self, listing3_scop):
+        info = analyze_dependences(listing3_scop)
+        pairs = {
+            (s, t) for (s, t, k) in info.relations if s != t
+        }
+        assert pairs == {("S", "R"), ("S", "U"), ("R", "U")}
+        assert set(info.sources_of("U")) == {"S", "R"}
+        assert set(info.targets_of("S")) == {"R", "U"}
+
+    def test_get_missing_returns_empty(self, listing1_scop_small):
+        info = analyze_dependences(listing1_scop_small)
+        assert info.get("R", "S").is_empty()
+
+
+class TestParallelLevels:
+    def test_fully_parallel_nest(self):
+        scop = scop_of(
+            "for(i=0; i<4; i++) for(j=0; j<4; j++) S: A[i][j] = f(B[i][j]);"
+        )
+        assert parallel_levels(scop, 0) == [0, 1]
+        assert carried_levels(scop, 0) == set()
+
+    def test_inner_sequential(self):
+        scop = scop_of(
+            "for(i=0; i<4; i++) for(j=1; j<4; j++) "
+            "S: A[i][j] = f(A[i][j-1]);"
+        )
+        assert parallel_levels(scop, 0) == [0]
+        assert carried_levels(scop, 0) == {1}
+
+    def test_outer_sequential(self):
+        scop = scop_of(
+            "for(i=1; i<4; i++) for(j=0; j<4; j++) "
+            "S: A[i][j] = f(A[i-1][j]);"
+        )
+        assert parallel_levels(scop, 0) == [1]
+
+    def test_listing1_fully_sequential(self, listing1_scop_small):
+        assert parallel_levels(listing1_scop_small, 0) == []
+        assert parallel_levels(listing1_scop_small, 1) == []
+
+    def test_empty_nest_index(self, listing1_scop_small):
+        assert parallel_levels(listing1_scop_small, 7) == []

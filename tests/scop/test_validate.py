@@ -1,0 +1,60 @@
+"""Tests for SCoP validation."""
+
+import pytest
+
+from repro.lang import parse
+from repro.scop import InvalidScopError, extract_scop, validate_scop
+
+
+def scop_of(src: str, **params):
+    return extract_scop(parse(src), params or None)
+
+
+class TestValid:
+    def test_listing1_valid(self, listing1_scop):
+        report = validate_scop(listing1_scop)
+        assert report.ok
+        assert not report.warnings
+        report.raise_if_invalid()  # no exception
+
+    def test_listing3_valid(self, listing3_scop):
+        assert validate_scop(listing3_scop).ok
+
+
+class TestInvalid:
+    def test_noninjective_write(self):
+        scop = scop_of(
+            "for(i=0; i<4; i++) for(j=0; j<4; j++) S: A[i][0] = f(A[i][j]);"
+        )
+        report = validate_scop(scop)
+        assert not report.ok
+        assert "injective" in report.errors[0]
+        with pytest.raises(InvalidScopError):
+            report.raise_if_invalid()
+
+    def test_injectivity_check_can_be_disabled(self):
+        scop = scop_of(
+            "for(i=0; i<4; i++) for(j=0; j<4; j++) S: A[i][0] = f(A[i][j]);"
+        )
+        assert validate_scop(scop, require_injective_writes=False).ok
+
+    def test_empty_scop(self):
+        from repro.scop import Scop
+
+        report = validate_scop(Scop((), {}, {}))
+        assert not report.ok
+
+
+class TestWarnings:
+    def test_multi_statement_nest_warns(self):
+        scop = scop_of(
+            "for(i=0; i<4; i++) { S: A[i][0]=f(A[i][0]); T: B[i][0]=g(A[i][0]); }"
+        )
+        report = validate_scop(scop)
+        assert report.ok
+        assert any("statements" in w for w in report.warnings)
+
+    def test_empty_domain_warns(self):
+        scop = scop_of("for(i=0; i<0; i++) S: A[i][0]=f(A[i][0]);")
+        report = validate_scop(scop)
+        assert any("empty" in w for w in report.warnings)

@@ -1,0 +1,39 @@
+"""Tests for DOT export."""
+
+from repro.bench import build_scop, pipeline_task_graph
+from repro.tasking import simulate, to_dot, write_dot
+from repro.workloads import CostModel
+from tests.conftest import LISTING1
+
+
+def make():
+    scop = build_scop(LISTING1, {"N": 8})
+    return pipeline_task_graph(scop, CostModel.uniform(1.0))
+
+
+class TestDot:
+    def test_structure(self):
+        graph = make()
+        dot = to_dot(graph)
+        assert dot.startswith("digraph tasks {")
+        assert dot.rstrip().endswith("}")
+        assert 'label="S";' in dot and 'label="R";' in dot
+        assert dot.count("->") == graph.num_edges
+        assert dot.count("[label=") == len(graph)
+
+    def test_schedule_annotations(self):
+        graph = make()
+        sim = simulate(graph, workers=4)
+        dot = to_dot(graph, sim)
+        assert "[0," in dot  # some task starts at time 0
+
+    def test_iteration_labels(self):
+        graph = make()
+        dot = to_dot(graph, max_label_iters=1)
+        assert "[[0, 0]]" in dot
+
+    def test_write_dot(self, tmp_path):
+        graph = make()
+        path = tmp_path / "graph.dot"
+        write_dot(str(path), graph)
+        assert path.read_text().startswith("digraph")

@@ -1,0 +1,120 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+KERNEL = """
+for(i=0; i<N-1; i++)
+  for(j=0; j<N-1; j++)
+    S: A[i][j] = f(A[i][j], A[i][j+1], A[i+1][j+1]);
+for(i=0; i<N/2-1; i++)
+  for(j=0; j<N/2-1; j++)
+    R: B[i][j] = g(A[i][2*j], B[i][j+1], B[i+1][j+1], B[i][j]);
+"""
+
+
+@pytest.fixture
+def kernel_file(tmp_path):
+    path = tmp_path / "kernel.c"
+    path.write_text(KERNEL)
+    return str(path)
+
+
+class TestAnalyze:
+    def test_prints_summary_and_trees(self, kernel_file, capsys):
+        assert main(["analyze", kernel_file, "--param", "N=12"]) == 0
+        out = capsys.readouterr().out
+        assert "PipelineInfo" in out
+        assert "expansion" in out
+        assert "pipeline loop" in out
+
+    def test_coarsen_flag(self, kernel_file, capsys):
+        main(["analyze", kernel_file, "--param", "N=12", "--coarsen", "3"])
+        out = capsys.readouterr().out
+        assert "PipelineInfo" in out
+
+
+class TestRun:
+    def test_verifies_and_reports(self, kernel_file, capsys):
+        assert main(["run", kernel_file, "--param", "N=12"]) == 0
+        out = capsys.readouterr().out
+        assert "matches sequential: True" in out
+        assert "speed-up" in out
+
+    def test_hybrid_flag(self, kernel_file, capsys):
+        assert main(["run", kernel_file, "--param", "N=12", "--hybrid"]) == 0
+        assert "hybrid result matches sequential: True" in capsys.readouterr().out
+
+    def test_timeline_flag(self, kernel_file, capsys):
+        main(["run", kernel_file, "--param", "N=12", "--timeline"])
+        out = capsys.readouterr().out
+        assert "|" in out and "#" in out
+
+
+class TestCodegen:
+    def test_emits_program(self, kernel_file, capsys):
+        assert main(["codegen", kernel_file, "--param", "N=10"]) == 0
+        out = capsys.readouterr().out
+        assert "def build_tasks(system, run_block):" in out
+        assert "WRITE_NUM = 2" in out
+
+
+class TestDeps:
+    def test_prints_graph_and_dataflow(self, kernel_file, capsys):
+        assert main(["deps", kernel_file, "--param", "N=12"]) == 0
+        out = capsys.readouterr().out
+        assert "Dependence graph" in out
+        assert "S → R [flow" in out
+        assert "value-based" in out
+
+    def test_dot_flag(self, kernel_file, capsys):
+        main(["deps", kernel_file, "--param", "N=12", "--dot"])
+        assert "digraph deps {" in capsys.readouterr().out
+
+
+class TestEvaluationCommands:
+    def test_table9(self, capsys):
+        assert main(["table9"]) == 0
+        out = capsys.readouterr().out
+        assert "P10" in out
+
+    def test_figure10_small(self, capsys):
+        assert main(["figure10", "--sizes", "8", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "P5" in out and "N8/S4" in out
+
+    def test_figure11_small(self, capsys):
+        assert main(["figure11", "--matrix-size", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "4gmmt" in out
+
+
+class TestReport:
+    def test_writes_all_artifacts(self, tmp_path, capsys):
+        out = str(tmp_path / "eval")
+        assert main([
+            "report", "--out", out, "--sizes", "8", "--matrix-size", "8",
+        ]) == 0
+        import os
+
+        files = sorted(os.listdir(out))
+        assert files == [
+            "figure10.txt",
+            "figure11.txt",
+            "figure2.txt",
+            "sensitivity.txt",
+            "table9.txt",
+        ]
+        content = (tmp_path / "eval" / "figure2.txt").read_text()
+        assert "Pipeline execution" in content
+
+
+class TestErrors:
+    def test_bad_param_format(self, kernel_file):
+        with pytest.raises(SystemExit):
+            main(["analyze", kernel_file, "--param", "N"])
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,44 @@
+"""Performance regression guards.
+
+Loose wall-clock bounds on the analysis hot paths; they only trip on
+algorithmic regressions (e.g. the quadratic block-grouping this suite
+once caught), not on machine noise.
+"""
+
+import time
+
+from repro.bench import build_scop, pipeline_task_graph
+from repro.workloads import TABLE9
+
+
+def timed(fn, *args):
+    t0 = time.monotonic()
+    result = fn(*args)
+    return result, time.monotonic() - t0
+
+
+def test_analysis_scales_to_n64_within_budget():
+    kern = TABLE9["P5"]
+    scop = build_scop(kern.source(64))
+    for stmt in scop.statements:
+        stmt.points  # warm enumeration
+    graph, elapsed = timed(pipeline_task_graph, scop, kern.cost_model(1))
+    assert len(graph) > 10_000
+    assert elapsed < 30.0, f"analysis took {elapsed:.1f}s (was ~2.5s)"
+
+
+def test_analysis_roughly_quadratic_not_cubic():
+    """Doubling N (4x points) must not blow cost up ~8x repeatedly."""
+    kern = TABLE9["P1"]
+
+    def run(n):
+        scop = build_scop(kern.source(n))
+        for stmt in scop.statements:
+            stmt.points
+        _, elapsed = timed(pipeline_task_graph, scop, kern.cost_model(1))
+        return max(elapsed, 1e-3)
+
+    t16, t32, t64 = run(16), run(32), run(64)
+    # allow generous constant-factor noise; reject ~O(points^2) growth,
+    # where each doubling of N would multiply time by ~16.
+    assert t64 / t16 < 64, (t16, t32, t64)

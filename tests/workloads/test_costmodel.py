@@ -1,0 +1,38 @@
+"""Tests for the cost model."""
+
+import numpy as np
+
+from repro.schedule import TaskBlock
+from repro.workloads import CostModel
+
+
+def block(statement: str, size: int) -> TaskBlock:
+    return TaskBlock(
+        statement,
+        0,
+        (0,) * 2,
+        np.zeros((size, 2), dtype=np.int64),
+        (),
+        (statement, (0, 0)),
+    )
+
+
+class TestCostModel:
+    def test_per_statement(self):
+        cm = CostModel({"S1": 2.0, "S2": 5.0})
+        assert cm.cost_of("S1") == 2.0
+        assert cm.cost_of("S3") == 1.0  # default
+
+    def test_uniform(self):
+        cm = CostModel.uniform(3.0)
+        assert cm.cost_of("anything") == 3.0
+
+    def test_iter_costs_vector(self):
+        cm = CostModel({"S": 2.0})
+        iters = np.zeros((4, 2), dtype=np.int64)
+        assert cm.iter_costs("S", iters).tolist() == [2.0] * 4
+
+    def test_block_cost(self):
+        cm = CostModel({"S": 2.0})
+        assert cm.block_cost(block("S", 5)) == 10.0
+        assert cm.block_cost(block("T", 5)) == 5.0

@@ -1,0 +1,104 @@
+"""Tests for the Table 9 P-kernel generators."""
+
+import pytest
+
+from repro.bench import build_scop
+from repro.pipeline import detect_pipeline
+from repro.scop import validate_scop
+from repro.workloads import TABLE9, kernel
+
+NAMES = sorted(TABLE9, key=lambda k: int(k[1:]))
+
+
+class TestStructure:
+    def test_ten_kernels(self):
+        assert NAMES == [f"P{k}" for k in range(1, 11)]
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_parses_and_validates(self, name):
+        scop = build_scop(TABLE9[name].source(16))
+        report = validate_scop(scop)
+        assert report.ok, report.errors
+        assert len(scop) == TABLE9[name].num_nests
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_pipeline_detected_for_every_nest(self, name):
+        """Every later nest participates in at least one pipeline map."""
+        scop = build_scop(TABLE9[name].source(12))
+        info = detect_pipeline(scop)
+        targets = {t for (_, t) in info.pipeline_maps}
+        expected = {f"S{k}" for k in range(2, TABLE9[name].num_nests + 1)}
+        assert targets == expected
+
+    def test_statement_names(self):
+        assert kernel("P3").statement_names() == ["S1", "S2", "S3"]
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError, match="P99"):
+            kernel("P99")
+
+
+class TestExtents:
+    def test_identity_reads_full_extent(self):
+        assert kernel("P1").extents(20) == [(20, 20), (20, 20)]
+
+    def test_strided_reads_halve(self):
+        # P2 reads A1[2i][2j]
+        assert kernel("P2").extents(20)[1] == (10, 10)
+
+    def test_shifted_reads_shrink(self):
+        # P10's S2 reads A1[i+3][j]
+        assert kernel("P10").extents(20)[1] == (17, 20)
+
+    def test_per_dimension_extents(self):
+        # P9's S2 reads A1[i][2j]: rows full, cols halved
+        assert kernel("P9").extents(20)[1] == (20, 10)
+
+    def test_coupled_template_conservative(self):
+        # P4's S3 reads A1[2i+j][2j]: both dims constrained to A1's extent
+        mi, mj = kernel("P4").extents(21)[2]
+        assert 2 * (mi - 1) + (mj - 1) < 21
+        assert 2 * (mj - 1) < 21
+
+    def test_too_small_n_raises(self):
+        with pytest.raises(ValueError):
+            kernel("P10").extents(3)
+
+
+class TestSources:
+    def test_source_contains_compute_calls(self):
+        src = kernel("P5").source(8)
+        assert src.count("compute(") == 4
+        assert (
+            "S4: A4[i][j] = compute(A4[i][j], A4[i][j+1], A4[i+1][j+1], "
+            "A1[i][j], A2[i][j], A3[i][j])" in src
+        )
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_reads_within_producer_bounds(self, name):
+        """The generated bounds keep every read inside written regions —
+        checked by the interpreter's extent derivation not exceeding N."""
+        scop = build_scop(TABLE9[name].source(12))
+        for arr in scop.arrays:
+            for lo, hi in scop.array_extent(arr):
+                assert lo >= 0
+                # the serializing self-reads peek one past the written region
+                assert hi <= 12
+
+
+class TestCostModel:
+    def test_costs_scale_with_num_and_size(self):
+        cm = kernel("P2").cost_model(size=4)
+        assert cm.cost_of("S1") == 8.0  # num=2, SIZE=4
+        assert cm.cost_of("S2") == 24.0  # num=6, SIZE=4
+
+    def test_block_cost_multiplies_size(self):
+        import numpy as np
+
+        from repro.schedule import TaskBlock
+
+        cm = kernel("P1").cost_model(size=2)
+        block = TaskBlock(
+            "S2", 0, (0, 0), np.zeros((3, 2), dtype=np.int64), (), ("S2", (0, 0))
+        )
+        assert cm.block_cost(block) == 6.0

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Install the offline ``wheel`` shim into the active site-packages.
+
+Copies the shim package and writes a minimal ``.dist-info`` so setuptools'
+entry-point lookup finds the ``bdist_wheel`` command.  Idempotent; skips
+installation when a real ``wheel`` distribution is already present.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import site
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+ENTRY_POINTS = """\
+[distutils.commands]
+bdist_wheel = wheel.bdist_wheel:bdist_wheel
+"""
+
+METADATA = """\
+Metadata-Version: 2.1
+Name: wheel
+Version: 0.38.0+shim
+Summary: Offline shim exposing the wheel surface setuptools needs
+"""
+
+
+def main() -> int:
+    try:
+        import wheel  # noqa: F401
+
+        if "+shim" not in getattr(wheel, "__version__", "+shim"):
+            print("real wheel package present; nothing to do")
+            return 0
+    except ImportError:
+        pass
+
+    target = site.getsitepackages()[0]
+    pkg_dst = os.path.join(target, "wheel")
+    shutil.copytree(os.path.join(HERE, "wheel"), pkg_dst, dirs_exist_ok=True)
+
+    dist_info = os.path.join(target, "wheel-0.38.0+shim.dist-info")
+    os.makedirs(dist_info, exist_ok=True)
+    with open(os.path.join(dist_info, "METADATA"), "w") as fh:
+        fh.write(METADATA)
+    with open(os.path.join(dist_info, "entry_points.txt"), "w") as fh:
+        fh.write(ENTRY_POINTS)
+    with open(os.path.join(dist_info, "RECORD"), "w") as fh:
+        fh.write("")
+    print(f"wheel shim installed into {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

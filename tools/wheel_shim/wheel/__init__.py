@@ -1,0 +1,9 @@
+"""Minimal offline shim for the ``wheel`` package.
+
+This container has no network access and no ``wheel`` distribution, but
+``pip install -e .`` with setuptools>=64 requires ``wheel.wheelfile`` and the
+``bdist_wheel`` command.  This shim implements exactly the surface setuptools'
+editable-install path uses.  Install with ``tools/wheel_shim/install.py``.
+"""
+
+__version__ = "0.38.0+shim"

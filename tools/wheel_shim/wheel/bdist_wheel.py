@@ -1,0 +1,116 @@
+"""The slice of ``wheel.bdist_wheel`` used by setuptools editable installs."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from distutils.core import Command
+
+WHEEL_TEMPLATE = """\
+Wheel-Version: 1.0
+Generator: wheel-shim ({version})
+Root-Is-Purelib: {purelib}
+Tag: {tag}
+"""
+
+
+class bdist_wheel(Command):
+    description = "create a wheel distribution (offline shim)"
+
+    user_options = [
+        ("bdist-dir=", "b", "temporary directory for creating the distribution"),
+        ("dist-dir=", "d", "directory to put final built distributions in"),
+        ("plat-name=", "p", "platform name to embed in generated filenames"),
+        ("py-limited-api=", None, "Python tag for abi3 wheels"),
+    ]
+
+    def initialize_options(self):
+        self.bdist_dir = None
+        self.dist_dir = None
+        self.plat_name = None
+        self.py_limited_api = None
+
+    def finalize_options(self):
+        if self.dist_dir is None:
+            self.dist_dir = "dist"
+
+    @property
+    def root_is_pure(self) -> bool:
+        return not (
+            self.distribution.has_ext_modules()
+            or self.distribution.has_c_libraries()
+        )
+
+    def get_tag(self) -> tuple[str, str, str]:
+        if self.root_is_pure:
+            return ("py3", "none", "any")
+        major, minor = sys.version_info[:2]
+        return (f"cp{major}{minor}", "abi3", self.plat_name or "linux_x86_64")
+
+    def write_wheelfile(self, wheelfile_base: str) -> None:
+        from . import __version__
+
+        tag = "-".join(self.get_tag())
+        content = WHEEL_TEMPLATE.format(
+            version=__version__,
+            purelib="true" if self.root_is_pure else "false",
+            tag=tag,
+        )
+        path = os.path.join(wheelfile_base, "WHEEL")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(content)
+
+    def egg2dist(self, egginfo_path: str, distinfo_path: str) -> None:
+        """Convert ``.egg-info`` metadata into ``.dist-info`` metadata."""
+        import shutil
+
+        os.makedirs(distinfo_path, exist_ok=True)
+        pkg_info = os.path.join(egginfo_path, "PKG-INFO")
+        with open(pkg_info, "r", encoding="utf-8") as fh:
+            metadata = fh.read()
+
+        requires = os.path.join(egginfo_path, "requires.txt")
+        if os.path.exists(requires):
+            head, sep, description = metadata.partition("\n\n")
+            extra_lines = _requires_to_metadata(requires)
+            metadata = head + "\n" + "\n".join(extra_lines) + sep + description
+
+        with open(
+            os.path.join(distinfo_path, "METADATA"), "w", encoding="utf-8"
+        ) as fh:
+            fh.write(metadata)
+
+        for name in ("entry_points.txt", "top_level.txt"):
+            src = os.path.join(egginfo_path, name)
+            if os.path.exists(src):
+                shutil.copy2(src, os.path.join(distinfo_path, name))
+        shutil.rmtree(egginfo_path, ignore_errors=True)
+
+    def run(self):
+        raise NotImplementedError(
+            "the wheel shim only supports editable installs (PEP 660)"
+        )
+
+
+def _requires_to_metadata(requires_path: str) -> list[str]:
+    """Translate an egg-info ``requires.txt`` into METADATA field lines."""
+    lines: list[str] = []
+    extra: str | None = None
+    with open(requires_path, "r", encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("[") and line.endswith("]"):
+                section = line[1:-1]
+                extra, _, marker = section.partition(":")
+                if extra:
+                    lines.append(f"Provides-Extra: {extra}")
+                extra = extra or None
+                continue
+            if extra:
+                lines.append(f'Requires-Dist: {line} ; extra == "{extra}"')
+            else:
+                lines.append(f"Requires-Dist: {line}")
+    return lines

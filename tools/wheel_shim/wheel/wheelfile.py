@@ -1,0 +1,68 @@
+"""ZipFile subclass that records RECORD entries, as setuptools expects."""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import re
+import zipfile
+
+WHEEL_INFO_RE = re.compile(
+    r"^(?P<namever>(?P<name>[^-]+)-(?P<ver>[^-]+))(-(?P<build>\d[^-]*))?"
+    r"-(?P<pyver>[^-]+)-(?P<abi>[^-]+)-(?P<plat>[^-]+)\.whl$"
+)
+
+
+def _record_hash(data: bytes) -> str:
+    digest = hashlib.sha256(data).digest()
+    return "sha256=" + base64.urlsafe_b64encode(digest).rstrip(b"=").decode()
+
+
+class WheelFile(zipfile.ZipFile):
+    def __init__(self, file, mode="r", compression=zipfile.ZIP_DEFLATED):
+        super().__init__(file, mode, compression=compression, allowZip64=True)
+        basename = os.path.basename(str(file))
+        match = WHEEL_INFO_RE.match(basename)
+        if match is None:
+            raise ValueError(f"bad wheel filename {basename!r}")
+        self.parsed_filename = match
+        namever = match.group("namever")
+        self.dist_info_path = f"{namever}.dist-info"
+        self.record_path = f"{self.dist_info_path}/RECORD"
+        self._file_hashes: dict[str, str] = {}
+        self._file_sizes: dict[str, int] = {}
+
+    def writestr(self, zinfo_or_arcname, data, *args, **kwargs):
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        super().writestr(zinfo_or_arcname, data, *args, **kwargs)
+        name = getattr(zinfo_or_arcname, "filename", zinfo_or_arcname)
+        if name != self.record_path:
+            self._file_hashes[name] = _record_hash(data)
+            self._file_sizes[name] = len(data)
+
+    def write(self, filename, arcname=None, compress_type=None):
+        with open(filename, "rb") as fh:
+            data = fh.read()
+        arcname = arcname if arcname is not None else filename
+        self.writestr(str(arcname).replace(os.sep, "/"), data)
+
+    def write_files(self, base_dir):
+        for root, dirnames, filenames in os.walk(base_dir):
+            dirnames.sort()
+            for name in sorted(filenames):
+                path = os.path.join(root, name)
+                arcname = os.path.relpath(path, base_dir).replace(os.sep, "/")
+                if arcname != self.record_path:
+                    self.write(path, arcname)
+
+    def close(self):
+        if self.fp is not None and self.mode == "w":
+            lines = [
+                f"{name},{digest},{self._file_sizes[name]}"
+                for name, digest in sorted(self._file_hashes.items())
+            ]
+            lines.append(f"{self.record_path},,")
+            super().writestr(self.record_path, "\n".join(lines) + "\n")
+        super().close()
