@@ -2,7 +2,12 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench report examples clean
+.PHONY: install test bench report examples lint analyze-examples clean
+
+# Kernel sources checked by `make lint` / `make analyze-examples`; every
+# parameter any of them references must appear in LINT_PARAMS.
+LINT_KERNELS ?= $(wildcard examples/kernels/*.c)
+LINT_PARAMS ?= --param N=12
 
 install:
 	$(PYTHON) tools/wheel_shim/install.py
@@ -23,6 +28,21 @@ report:
 
 examples:
 	@for ex in examples/*.py; do echo "== $$ex =="; $(PYTHON) $$ex; done
+
+# Fail on any error-severity diagnostic (exit code 1) in the shipped kernels.
+lint:
+	@status=0; for k in $(LINT_KERNELS); do \
+		echo "== lint $$k =="; \
+		$(PYTHON) -m repro lint $$k $(LINT_PARAMS) || status=1; \
+	done; exit $$status
+
+# Deep analysis of every shipped kernel: SCoP validation, pipelinability
+# classification and task-graph checks; fails on error diagnostics.
+analyze-examples:
+	@status=0; for k in $(LINT_KERNELS); do \
+		echo "== analyze $$k =="; \
+		$(PYTHON) -m repro lint $$k --deep $(LINT_PARAMS) || status=1; \
+	done; exit $$status
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache evaluation

@@ -1,0 +1,12 @@
+// Deliberately non-pipelinable: R consumes A in fully reversed order,
+// so R's first iteration already needs S's last one — the pipeline map
+// of Section 4.1 degenerates to a full barrier, and fusion would run
+// the dependence backwards.  `repro analyze` classifies the nest pair
+// as sequential and names the blocking access pair (rule RPA031).
+for(i=0; i<N; i++)
+  for(j=0; j<N; j++)
+    S: A[i][j] = f(A[i][j], A[i][j+1], A[i+1][j+1]);
+
+for(i=0; i<N; i++)
+  for(j=0; j<N; j++)
+    R: B[i][j] = g(A[N-1-i][N-1-j], B[i][j+1], B[i+1][j+1], B[i][j]);

@@ -1,0 +1,91 @@
+"""Unified static-analysis subsystem.
+
+The package bundles four analyses behind one diagnostics engine
+(:mod:`~repro.analysis.diagnostics`, stable ``RPA0xx`` rule codes):
+
+* :mod:`~repro.analysis.lint` — AST-level DSL linting;
+* :mod:`~repro.analysis.explain` — pipelinability classification of
+  consecutive nest pairs with dependence blaming;
+* :mod:`~repro.analysis.taskcheck` — depend-slot packing, token-chain
+  dependence coverage and adversarial race checks on task graphs;
+* :mod:`~repro.analysis.engine` — the driver running the whole stack
+  (``repro lint`` / ``repro analyze``).
+
+Renderers for text, JSON and SARIF live in
+:mod:`~repro.analysis.render`; rule codes and output schemas are
+documented in ``docs/analysis.md``.
+
+Only the lang-level pieces (diagnostics, render, lint) are imported
+eagerly; ``explain``/``taskcheck``/``engine`` pull in the scop/pipeline/
+schedule layers — which themselves report through this package — so they
+are exposed lazily (PEP 562) to keep the import graph acyclic.
+"""
+
+from __future__ import annotations
+
+from .diagnostics import (
+    Collector,
+    Diagnostic,
+    DiagnosticReport,
+    Rule,
+    Severity,
+    Span,
+    all_rules,
+)
+from .lint import lint_program
+from .render import render_json, render_sarif, render_text
+
+_LAZY = {
+    "analyze_kernel": ("engine", "analyze_kernel"),
+    "AnalysisResult": ("engine", "AnalysisResult"),
+    "classify_nest_pairs": ("explain", "classify_nest_pairs"),
+    "explain_to_diagnostics": ("explain", "explain_to_diagnostics"),
+    "PairClass": ("explain", "PairClass"),
+    "PairExplanation": ("explain", "PairExplanation"),
+    "DependenceBlame": ("explain", "DependenceBlame"),
+    "check_task_graph": ("taskcheck", "check_task_graph"),
+    "check_packing": ("taskcheck", "check_packing"),
+    "check_token_coverage": ("taskcheck", "check_token_coverage"),
+    "check_races": ("taskcheck", "check_races"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value
+
+
+__all__ = [
+    "AnalysisResult",
+    "Collector",
+    "Diagnostic",
+    "DiagnosticReport",
+    "DependenceBlame",
+    "PairClass",
+    "PairExplanation",
+    "Rule",
+    "Severity",
+    "Span",
+    "all_rules",
+    "analyze_kernel",
+    "check_packing",
+    "check_races",
+    "check_task_graph",
+    "check_token_coverage",
+    "classify_nest_pairs",
+    "explain_to_diagnostics",
+    "lint_program",
+    "render_json",
+    "render_sarif",
+    "render_text",
+]

@@ -1,0 +1,144 @@
+"""The analysis driver: run every static check over one kernel.
+
+:func:`analyze_kernel` takes raw kernel source and runs the full stack —
+parse, lint, SCoP extraction, validation, pipelinability explanation,
+pipeline detection and the task-graph checks — collecting everything into
+one :class:`AnalysisResult`.  Frontend and semantic failures become
+``RPA001``/``RPA002`` diagnostics instead of exceptions, so ``repro lint``
+and ``repro analyze`` always produce a report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..lang.errors import FrontendError, ParseError, SemanticError
+from ..lang.parser import parse
+from . import diagnostics as D
+from .diagnostics import Collector, DiagnosticReport, Severity
+from .lint import lint_program
+
+
+@dataclass
+class AnalysisResult:
+    """Everything the static-analysis subsystem found about one kernel."""
+
+    source: str
+    file: str | None
+    report: DiagnosticReport = DiagnosticReport()
+    program: Any = None
+    scop: Any = None
+    info: Any = None  # PipelineInfo when detection succeeded
+    explanations: tuple = ()
+    detect_error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity diagnostic."""
+        return self.report.ok
+
+    def classifications(self) -> list[dict]:
+        return [e.to_dict() for e in self.explanations]
+
+    def exit_code(self) -> int:
+        """1 when any error diagnostic exists, else 0 (CI contract)."""
+        return 0 if self.ok else 1
+
+
+def analyze_kernel(
+    source: str,
+    params: dict[str, int] | None = None,
+    file: str | None = None,
+    deep: bool = True,
+) -> AnalysisResult:
+    """Run the full static-analysis stack over kernel source text.
+
+    ``deep=False`` stops after the AST-level checks (parse + lint) — the
+    ``repro lint`` mode.  ``deep=True`` additionally extracts and
+    validates the SCoP, explains pipelinability of every consecutive
+    nest pair, runs Algorithm 1 and checks the generated task graph.
+    """
+    result = AnalysisResult(source=source, file=file)
+    report = DiagnosticReport()
+
+    # 1. parse
+    try:
+        result.program = parse(source)
+    except FrontendError as exc:
+        out = Collector(file)
+        rule = D.PARSE_ERROR if isinstance(exc, ParseError) else (
+            D.SEMANTIC_ERROR if isinstance(exc, SemanticError)
+            else D.PARSE_ERROR
+        )
+        out.add(rule, str(exc.args[0] if exc.args else exc), exc.location)
+        result.report = report.merged(out.report()).sorted()
+        return result
+
+    # 2. lint (AST level)
+    report = report.merged(lint_program(result.program, params, file))
+    if not deep:
+        result.report = report.sorted()
+        return result
+
+    # 3. extract + validate the SCoP
+    from ..scop import extract_scop, validate_scop
+
+    try:
+        result.scop = extract_scop(result.program, params)
+    except SemanticError as exc:
+        out = Collector(file)
+        out.add(
+            D.SEMANTIC_ERROR,
+            str(exc.args[0] if exc.args else exc),
+            exc.location,
+        )
+        result.report = report.merged(out.report()).sorted()
+        return result
+
+    validation = validate_scop(result.scop, file=file)
+    report = report.merged(validation.diagnostics)
+
+    # 4. pipelinability explanation (classification of nest pairs)
+    from .explain import classify_nest_pairs, explain_to_diagnostics
+
+    if result.scop.statements:
+        result.explanations = classify_nest_pairs(result.scop)
+        report = report.merged(
+            explain_to_diagnostics(result.scop, result.explanations, file)
+        )
+
+    # 5. pipeline detection + task-graph checks, only on a valid SCoP
+    if validation.ok and result.scop.statements:
+        result.info, result.detect_error = _detect(result.scop)
+        if result.info is not None:
+            from .taskcheck import check_task_graph
+
+            report = report.merged(
+                check_task_graph(result.scop, result.info, file=file)
+            )
+
+    result.report = report.sorted()
+    return result
+
+
+def _detect(scop):
+    """Algorithm 1, falling back to the all-kinds extension when needed.
+
+    Returns ``(info or None, note or None)``.  The note explains why the
+    flow-only detection did not apply; the explainer has already emitted
+    the corresponding diagnostics.
+    """
+    from ..pipeline import UncoveredDependenceError, detect_pipeline
+    from ..scop import DepKind
+
+    try:
+        return detect_pipeline(scop), None
+    except UncoveredDependenceError as exc:
+        note = str(exc)
+        try:
+            return detect_pipeline(scop, kinds=tuple(DepKind)), note
+        except Exception as exc2:  # pragma: no cover - defensive
+            return None, f"{note}; extension also failed: {exc2}"
+    except Exception as exc:
+        return None, str(exc)

@@ -1,0 +1,265 @@
+"""The DSL linter: AST-level checks of the paper's assumptions.
+
+Runs before SCoP extraction, so every finding carries the token location
+of the offending construct.  Each rule maps to the paper precondition it
+guards (see the rule table in :mod:`repro.analysis.diagnostics`):
+
+* ``RPA020`` non-affine subscripts (Polly's SCoP rule, Section 4);
+* ``RPA021`` dead writes — an array written but never read;
+* ``RPA022`` write-after-write over-writes that break the injective-write
+  precondition (a write subscript missing an enclosing loop variable);
+* ``RPA023`` arrays only ever accessed at constant subscripts;
+* ``RPA024`` unused structure parameters;
+* ``RPA025`` shadowed induction variables.
+
+The linter is purely syntactic; the exact (instance-level) forms of the
+same checks run in :func:`repro.scop.validate.validate_scop` after
+extraction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from ..lang.ast import (
+    ArrayAccess,
+    Assign,
+    BinOp,
+    Call,
+    Expr,
+    IntLit,
+    Loop,
+    Program,
+    VarRef,
+    expr_reads,
+    walk_expr,
+)
+from . import diagnostics as D
+from .diagnostics import Collector, DiagnosticReport
+
+
+def lint_program(
+    program: Program,
+    params: Mapping[str, int] | None = None,
+    file: str | None = None,
+) -> DiagnosticReport:
+    """Run every lint rule over a parsed kernel program."""
+    out = Collector(file)
+    for nest in program.nests:
+        _lint_loop(nest, [], dict(params or {}), out)
+    _lint_array_usage(program, out)
+    if params:
+        _lint_unused_parameters(program, dict(params), out)
+    return out.report().sorted()
+
+
+# ----------------------------------------------------------------------
+# per-statement / per-loop rules
+# ----------------------------------------------------------------------
+def _lint_loop(
+    loop: Loop,
+    enclosing: list[str],
+    params: dict[str, int],
+    out: Collector,
+) -> None:
+    if loop.var in enclosing:
+        out.add(
+            D.SHADOWED_INDUCTION,
+            f"loop variable {loop.var!r} shadows an outer loop variable",
+            loop.location,
+            hints=(f"rename the inner loop variable {loop.var!r}",),
+        )
+    if loop.var in params:
+        out.add(
+            D.SHADOWED_INDUCTION,
+            f"loop variable {loop.var!r} shadows the structure parameter "
+            f"{loop.var!r}",
+            loop.location,
+            hints=("rename the loop variable or the parameter",),
+        )
+    loop_vars = set(enclosing)  # bounds may use outer variables only
+    for bound in (loop.lower, loop.upper):
+        _check_affine(bound, loop_vars, "loop bound", out)
+    inner = enclosing + [loop.var]
+    for item in loop.body:
+        if isinstance(item, Loop):
+            _lint_loop(item, inner, params, out)
+        else:
+            _lint_statement(item, inner, out)
+
+
+def _lint_statement(
+    stmt: Assign, enclosing: list[str], out: Collector
+) -> None:
+    loop_vars = set(enclosing)
+    target_ok = all(
+        _check_affine(ix, loop_vars, f"subscript of {stmt.target.array!r}", out)
+        for ix in stmt.target.indices
+    )
+    for acc in expr_reads(stmt.value):
+        for ix in acc.indices:
+            _check_affine(ix, loop_vars, f"subscript of {acc.array!r}", out)
+
+    # RPA022: an affine write whose subscripts ignore an enclosing loop
+    # variable over-writes the same cells on every iteration of that loop.
+    if target_ok and enclosing:
+        used = set()
+        for ix in stmt.target.indices:
+            used |= {
+                e.name
+                for e in walk_expr(ix)
+                if isinstance(e, VarRef) and e.name in loop_vars
+            }
+        missing = [v for v in enclosing if v not in used]
+        if missing:
+            out.add(
+                D.OVERWRITING_WRITE,
+                f"statement {stmt.label}: write to "
+                f"{stmt.target.array!r} never uses loop variable(s) "
+                f"{', '.join(repr(v) for v in missing)} — each of their "
+                "iterations over-writes the same cells",
+                stmt.target.location or stmt.location,
+                hints=(
+                    "make the write subscripts injective (use every "
+                    "enclosing loop variable), or hoist the statement out "
+                    f"of the {missing[0]!r} loop",
+                ),
+            )
+
+
+def _check_affine(
+    expr: Expr, loop_vars: set[str], what: str, out: Collector
+) -> bool:
+    """Flag the first non-affine construct in ``expr``; True when clean."""
+    offender = _affine_offender(expr, loop_vars)
+    if offender is None:
+        return True
+    node, reason = offender
+    out.add(
+        D.NON_AFFINE_SUBSCRIPT,
+        f"non-affine {what}: {reason}",
+        getattr(node, "location", None),
+        hints=(
+            "only sums of loop variables with constant coefficients are "
+            "analyzable (Polly's affine-subscript rule)",
+        ),
+    )
+    return False
+
+
+def _affine_offender(
+    expr: Expr, loop_vars: set[str]
+) -> tuple[Expr, str] | None:
+    """First sub-expression making ``expr`` non-affine, with a reason.
+
+    Names outside ``loop_vars`` are structure parameters, i.e. constants.
+    """
+    if isinstance(expr, (IntLit, VarRef)):
+        return None
+    if isinstance(expr, ArrayAccess):
+        return expr, f"array access {expr.array}[...] inside an index"
+    if isinstance(expr, Call):
+        return expr, f"call to {expr.func}() inside an index"
+    if isinstance(expr, BinOp):
+        for side in (expr.lhs, expr.rhs):
+            found = _affine_offender(side, loop_vars)
+            if found is not None:
+                return found
+        lhs_var = _uses_loop_var(expr.lhs, loop_vars)
+        rhs_var = _uses_loop_var(expr.rhs, loop_vars)
+        if expr.op == "*" and lhs_var and rhs_var:
+            return expr, f"product of loop variables ({expr})"
+        if expr.op in ("/", "%") and (lhs_var or rhs_var):
+            return expr, f"{expr.op!r} applied to a loop variable ({expr})"
+        return None
+    return expr, f"unsupported expression {expr}"
+
+
+def _uses_loop_var(expr: Expr, loop_vars: set[str]) -> bool:
+    return any(
+        isinstance(e, VarRef) and e.name in loop_vars for e in walk_expr(expr)
+    )
+
+
+# ----------------------------------------------------------------------
+# whole-program rules
+# ----------------------------------------------------------------------
+def _statements_with_context(
+    program: Program,
+) -> Iterator[Assign]:
+    for nest in program.nests:
+        yield from nest.statements()
+
+
+def _lint_array_usage(program: Program, out: Collector) -> None:
+    written: dict[str, Assign] = {}
+    read: set[str] = set()
+    accesses: dict[str, list[ArrayAccess]] = {}
+    for stmt in _statements_with_context(program):
+        written.setdefault(stmt.target.array, stmt)
+        accesses.setdefault(stmt.target.array, []).append(stmt.target)
+        if stmt.op == "+=":
+            read.add(stmt.target.array)
+        for acc in expr_reads(stmt.value):
+            read.add(acc.array)
+            accesses.setdefault(acc.array, []).append(acc)
+
+    for array, stmt in sorted(written.items()):
+        if array not in read:
+            out.add(
+                D.DEAD_WRITE,
+                f"array {array!r} is written (first by statement "
+                f"{stmt.label}) but never read",
+                stmt.target.location or stmt.location,
+                hints=(
+                    f"if {array!r} is the kernel output this is fine; "
+                    "otherwise the whole nest is dead code",
+                ),
+            )
+
+    for array, accs in sorted(accesses.items()):
+        if all(
+            all(isinstance(ix, IntLit) for ix in acc.indices) for acc in accs
+        ):
+            out.add(
+                D.UNUSED_ARRAY,
+                f"array {array!r} is only ever accessed at constant "
+                "subscripts — a scalar in disguise",
+                accs[0].location,
+                hints=(
+                    "index the array with loop variables, or fold the "
+                    "value into a parameter",
+                ),
+            )
+
+
+def _lint_unused_parameters(
+    program: Program, params: dict[str, int], out: Collector
+) -> None:
+    mentioned: set[str] = set()
+    for nest in program.nests:
+        for loop in _walk_loops(nest):
+            for bound in (loop.lower, loop.upper):
+                mentioned |= _names(bound)
+    for stmt in _statements_with_context(program):
+        for ix in stmt.target.indices:
+            mentioned |= _names(ix)
+        mentioned |= _names(stmt.value)
+    for name in sorted(set(params) - mentioned):
+        out.add(
+            D.UNUSED_PARAMETER,
+            f"parameter {name}={params[name]} is never referenced by the "
+            "kernel",
+            hints=(f"drop --param {name}=... or use it in a bound",),
+        )
+
+
+def _walk_loops(loop: Loop) -> Iterator[Loop]:
+    yield loop
+    for item in loop.body:
+        if isinstance(item, Loop):
+            yield from _walk_loops(item)
+
+
+def _names(expr: Expr) -> set[str]:
+    return {e.name for e in walk_expr(expr) if isinstance(e, VarRef)}

@@ -1,0 +1,148 @@
+"""Diagnostic renderers: plain text, JSON, and SARIF 2.1.0.
+
+The text renderer excerpts the offending source line with a caret when
+the kernel source is available — locations come from :mod:`repro.lang`
+tokens, threaded through extraction into every diagnostic.  JSON and
+SARIF are the machine-readable forms consumed by editors and CI; the
+schema is documented in ``docs/analysis.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping, Sequence
+
+from .diagnostics import Diagnostic, DiagnosticReport, all_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-analyze"
+
+
+def render_text(
+    report: DiagnosticReport, source: str | None = None
+) -> str:
+    """Clang-style one-line-per-diagnostic rendering with source excerpts."""
+    lines = source.splitlines() if source else []
+    chunks: list[str] = []
+    for diag in report.sorted():
+        chunks.append(diag.render())
+        excerpt = _excerpt(diag, lines)
+        if excerpt:
+            chunks.append(excerpt)
+    counts = (
+        f"{len(report.errors)} error(s), {len(report.warnings)} warning(s), "
+        f"{len(report.infos)} note(s)"
+    )
+    chunks.append(counts)
+    return "\n".join(chunks)
+
+
+def _excerpt(diag: Diagnostic, lines: Sequence[str]) -> str | None:
+    span = diag.span
+    if span is None or span.line is None or span.column is None:
+        return None
+    if not 1 <= span.line <= len(lines):
+        return None
+    text = lines[span.line - 1]
+    width = 1
+    if span.end_column is not None and span.end_column > span.column:
+        width = span.end_column - span.column
+    caret = " " * (span.column - 1) + "^" + "~" * (width - 1)
+    return f"    {text}\n    {caret}"
+
+
+# ----------------------------------------------------------------------
+def diagnostic_to_dict(diag: Diagnostic) -> dict[str, Any]:
+    span = diag.span
+    return {
+        "code": diag.code,
+        "rule": diag.rule.name,
+        "severity": diag.severity.value,
+        "message": diag.message,
+        "assumption": diag.rule.assumption,
+        "file": span.file if span else None,
+        "line": span.line if span else None,
+        "column": span.column if span else None,
+        "hints": list(diag.hints),
+    }
+
+
+def render_json(
+    report: DiagnosticReport,
+    classifications: Sequence[Mapping[str, Any]] = (),
+) -> str:
+    """The ``repro lint --format json`` / ``repro analyze`` payload."""
+    payload = {
+        "tool": TOOL_NAME,
+        "diagnostics": [diagnostic_to_dict(d) for d in report.sorted()],
+        "classifications": list(classifications),
+        "summary": {
+            "errors": len(report.errors),
+            "warnings": len(report.warnings),
+            "notes": len(report.infos),
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+# ----------------------------------------------------------------------
+def render_sarif(report: DiagnosticReport) -> str:
+    """Minimal standard-conforming SARIF log for CI upload."""
+    rules_meta = [
+        {
+            "id": r.code,
+            "name": r.name,
+            "shortDescription": {"text": r.name},
+            "fullDescription": {"text": r.assumption},
+            "defaultConfiguration": {"level": r.severity.sarif_level},
+        }
+        for r in all_rules()
+    ]
+    results = []
+    for diag in report.sorted():
+        result: dict[str, Any] = {
+            "ruleId": diag.code,
+            "level": diag.severity.sarif_level,
+            "message": {"text": diag.message},
+        }
+        span = diag.span
+        if span is not None and span.line is not None:
+            region: dict[str, Any] = {"startLine": span.line}
+            if span.column is not None:
+                region["startColumn"] = span.column
+            if span.end_column is not None:
+                region["endColumn"] = span.end_column
+            result["locations"] = [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": span.file or "<kernel>"
+                        },
+                        "region": region,
+                    }
+                }
+            ]
+        results.append(result)
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": (
+                            "https://github.com/repro/pipeline-detection"
+                        ),
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)

@@ -1,0 +1,399 @@
+"""Task-graph checking beyond schedule-level legality.
+
+:func:`repro.schedule.legality.check_legality` asks "is every dependence
+transitively ordered in the task graph?".  This module asks three harder
+questions about the *generated artefacts* (Sections 5.4–5.5):
+
+* :func:`check_packing` — is the depend-slot encoding collision-free?
+  The runtime addresses ``dependArr`` as ``write_num * depend + idx``
+  (Figure 8); two blocks packing to the same slot silently merge their
+  dependence chains.
+* :func:`check_token_coverage` — is every polyhedral dependence covered
+  by an explicit in/out *token chain* (self-chain* ∘ in-token ∘
+  self-chain*)?  This is deliberately **not** graph reachability: it
+  certifies the depend clauses themselves, the thing the generated code
+  actually declares to the runtime.
+* :func:`check_races` — do adversarial interleavings admitted by the
+  declared edges ever reorder a dependence?  Runs an adversarial Kahn
+  scheduler (prefer ready tasks with unfinished dependence sources) plus
+  a sweep of the discrete-event simulator across policies and worker
+  counts, checking ``start[target] >= finish[source]`` for every
+  instance pair.
+
+:func:`check_task_graph` bundles all three into one
+:class:`~repro.analysis.diagnostics.DiagnosticReport`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..pipeline import PipelineInfo
+from ..scop import DepKind, Scop, dependence_relation
+from . import diagnostics as D
+from .diagnostics import Collector, DiagnosticReport
+
+INT64_SLOTS = 2**63
+
+
+# ----------------------------------------------------------------------
+# depend-slot packing (Figure 8)
+# ----------------------------------------------------------------------
+def check_packing(
+    ast,
+    packers: Mapping[str, object] | None = None,
+    columns: Mapping[str, int] | None = None,
+    file: str | None = None,
+    max_reports: int = 5,
+) -> DiagnosticReport:
+    """Verify the ``write_num * depend + idx`` addressing is collision-free.
+
+    ``packers``/``columns`` default to what the emitter would use
+    (:func:`repro.codegen.emit.statement_packers` /
+    :func:`~repro.codegen.emit.statement_columns`); tests inject broken
+    ones to prove the checker catches seeded collisions.
+    """
+    from ..codegen.emit import statement_columns, statement_packers
+
+    out = Collector(file)
+    if columns is None:
+        columns = statement_columns(ast)
+    if packers is None:
+        packers = statement_packers(ast)
+    write_num = len(columns)
+
+    seen_cols: dict[int, str] = {}
+    for name, col in sorted(columns.items()):
+        if not 0 <= col < write_num:
+            out.add(
+                D.PACKING_COLLISION,
+                f"statement {name}: column index {col} outside "
+                f"[0, write_num={write_num}) — its slots alias another "
+                "statement's",
+            )
+        elif col in seen_cols:
+            out.add(
+                D.PACKING_COLLISION,
+                f"statements {seen_cols[col]} and {name} share dependArr "
+                f"column {col}; their tokens alias",
+            )
+        else:
+            seen_cols[col] = name
+
+    slot_owner: dict[int, tuple[str, int]] = {}
+    reported = 0
+    for nest in ast.nests:
+        name = nest.statement
+        packer = packers.get(name)
+        col = columns.get(name)
+        if packer is None or col is None:
+            out.add(
+                D.PACKING_COLLISION,
+                f"statement {name} has no packer/column assignment",
+            )
+            continue
+        capacity = getattr(packer, "capacity", 0)
+        if capacity >= INT64_SLOTS // max(write_num, 1):
+            out.add(
+                D.PACKER_OVERFLOW,
+                f"statement {name}: packer capacity {capacity} times "
+                f"write_num {write_num} exceeds the int64 slot space",
+                hints=("coarsen the blocking to shrink the block-end "
+                       "ranges (detect_pipeline(..., coarsen=k))",),
+            )
+        codes: dict[int, int] = {}
+        for block in nest.blocks:
+            try:
+                code = packer.pack(block.end)
+            except ValueError as exc:
+                out.add(
+                    D.PACKING_COLLISION,
+                    f"block end {list(block.end)} of {name}#"
+                    f"{block.block_id} is not packable: {exc}",
+                )
+                continue
+            if code in codes and reported < max_reports:
+                reported += 1
+                out.add(
+                    D.PACKING_COLLISION,
+                    f"blocks {name}#{codes[code]} and {name}#"
+                    f"{block.block_id} pack to the same code {code}; "
+                    "their depend tokens collide",
+                    hints=("the packer's ranges must cover every "
+                           "block-end dimension (VectorPacker.for_points)",),
+                )
+            codes.setdefault(code, block.block_id)
+            slot = write_num * code + (col if 0 <= col < write_num else 0)
+            owner = slot_owner.get(slot)
+            if owner is not None and owner[0] != name:
+                out.add(
+                    D.PACKING_COLLISION,
+                    f"slot {slot} is claimed by both {owner[0]}#{owner[1]} "
+                    f"and {name}#{block.block_id}",
+                )
+            slot_owner.setdefault(slot, (name, block.block_id))
+
+        # in-tokens must round-trip through the producer's packer
+        for block in nest.blocks:
+            for src, end in block.in_tokens:
+                src_packer = packers.get(src)
+                if src_packer is None:
+                    continue
+                try:
+                    src_packer.pack(end)
+                except ValueError as exc:
+                    out.add(
+                        D.PACKING_COLLISION,
+                        f"in-token {src}@{list(end)} of {name}#"
+                        f"{block.block_id} is not packable by the "
+                        f"producer's packer: {exc}",
+                    )
+    return out.report()
+
+
+# ----------------------------------------------------------------------
+# token-chain dependence coverage (Section 5.5)
+# ----------------------------------------------------------------------
+def check_token_coverage(
+    scop: Scop,
+    info: PipelineInfo,
+    ast,
+    file: str | None = None,
+    kinds: Sequence[DepKind] = tuple(DepKind),
+    max_reports: int = 5,
+) -> DiagnosticReport:
+    """Every dependence must be covered by a self-chain*/in-token chain.
+
+    A cross-statement dependence from block ``bs`` of S to block ``bt`` of
+    T is covered iff some T block ``b'' <= bt`` carries an in-token from an
+    S block ``b' >= bs`` — the token chain self-chain* ∘ in-token ∘
+    self-chain*.  Computed with running maxima over the in-tokens, never
+    touching the task graph's edges, so it certifies the declared depend
+    clauses rather than incidental reachability.
+    """
+    out = Collector(file)
+
+    end_to_block: dict[str, dict[tuple[int, ...], int]] = {}
+    for nest in ast.nests:
+        end_to_block[nest.statement] = {
+            b.end: k for k, b in enumerate(nest.blocks)
+        }
+
+    # cover[tgt][src][k] = highest src block index any in-token of target
+    # blocks 0..k refers to (running max along the target self-chain)
+    cover: dict[str, dict[str, np.ndarray]] = {}
+    for nest in ast.nests:
+        per_src: dict[str, np.ndarray] = {}
+        for src in end_to_block:
+            if src == nest.statement:
+                continue
+            best = -1
+            row = np.empty(len(nest.blocks), dtype=np.int64)
+            for k, block in enumerate(nest.blocks):
+                for token_src, token_end in block.in_tokens:
+                    if token_src != src:
+                        continue
+                    ref = end_to_block[src].get(token_end)
+                    if ref is not None and ref > best:
+                        best = ref
+                row[k] = best
+            per_src[src] = row
+        cover[nest.statement] = per_src
+
+    reported = 0
+    for source in scop.statements:
+        sb = info.blockings[source.name]
+        for target in scop.statements:
+            tb = info.blockings[target.name]
+            for kind in kinds:
+                rel = dependence_relation(scop, source, target, kind)
+                if rel.is_empty():
+                    continue
+                src_blocks = sb.block_of_rows(rel.out_part)
+                tgt_blocks = tb.block_of_rows(rel.in_part)
+                if source.name == target.name:
+                    # the self-chain orders blocks; within a block the
+                    # execution is lexicographic, matching the dependence
+                    bad = src_blocks > tgt_blocks
+                else:
+                    row = cover[target.name].get(source.name)
+                    if row is None:
+                        bad = np.ones(len(src_blocks), dtype=bool)
+                    else:
+                        bad = row[tgt_blocks] < src_blocks
+                for idx in np.nonzero(bad)[0]:
+                    if reported >= max_reports:
+                        break
+                    reported += 1
+                    out.add(
+                        D.UNCOVERED_DEPENDENCE,
+                        f"{kind.value} dependence "
+                        f"{source.name}{list(rel.out_part[idx])} -> "
+                        f"{target.name}{list(rel.in_part[idx])} is not "
+                        "covered by any in/out token chain "
+                        f"(source block {int(src_blocks[idx])}, target "
+                        f"block {int(tgt_blocks[idx])})",
+                        hints=(
+                            "the depend clauses under-approximate Q_S; "
+                            "re-run detect_pipeline with the dependence's "
+                            "kind included",
+                        ),
+                    )
+    return out.report()
+
+
+# ----------------------------------------------------------------------
+# adversarial interleaving race check (Section 5.5)
+# ----------------------------------------------------------------------
+def check_races(
+    scop: Scop,
+    info: PipelineInfo,
+    graph,
+    file: str | None = None,
+    workers: Sequence[int] = (2, 4),
+    policies: Sequence[str] = ("fifo", "lifo", "cp"),
+    max_reports: int = 5,
+) -> DiagnosticReport:
+    """Hunt for dependence-reordering interleavings of the task graph."""
+    from ..tasking.simulator import simulate
+
+    out = Collector(file)
+    pairs = _dependence_task_pairs(scop, info, graph)
+    cross = [p for p in pairs if p[1] != p[2]]
+    if not cross:
+        return out.report()
+
+    s_tids = np.asarray([p[1] for p in cross], dtype=np.int64)
+    t_tids = np.asarray([p[2] for p in cross], dtype=np.int64)
+
+    reported = 0
+
+    def report(indices: Iterable[int], how: str) -> None:
+        nonlocal reported
+        for i in indices:
+            if reported >= max_reports:
+                return
+            reported += 1
+            kind, s, t, s_inst, t_inst = cross[i]
+            st, tt = graph.tasks[s], graph.tasks[t]
+            out.add(
+                D.TASK_RACE,
+                f"{how}: task {tt.statement}#{tt.block_id} ran before "
+                f"task {st.statement}#{st.block_id} finished, reordering "
+                f"the {kind.value} dependence "
+                f"{st.statement}{list(s_inst)} -> "
+                f"{tt.statement}{list(t_inst)}",
+                hints=(
+                    "the declared depend edges admit this interleaving; "
+                    "the token chains miss the dependence",
+                ),
+            )
+
+    # adversarial Kahn: serialize tasks, always preferring the ready task
+    # with the most unfinished dependence sources
+    danger: dict[int, list[int]] = {}
+    for i, (_, s, t, _, _) in enumerate(cross):
+        danger.setdefault(t, []).append(i)
+    done = [False] * len(graph.tasks)
+    indeg = [len(p) for p in graph.preds]
+    ready = {t for t in range(len(graph.tasks)) if indeg[t] == 0}
+    raced: list[int] = []
+    while ready:
+        tid = max(
+            ready,
+            key=lambda t: (
+                sum(
+                    1
+                    for i in danger.get(t, ())
+                    if not done[cross[i][1]]
+                ),
+                -t,
+            ),
+        )
+        ready.remove(tid)
+        for i in danger.get(tid, ()):
+            if not done[cross[i][1]]:
+                raced.append(i)
+        done[tid] = True
+        for s in graph.succs[tid]:
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                ready.add(s)
+    report(raced, "adversarial schedule")
+
+    # simulator sweep: no policy/worker combination may start a dependence
+    # target before its source finished
+    for policy in policies:
+        for w in workers:
+            res = simulate(graph, w, policy=policy)
+            bad = res.start[t_tids] < res.finish[s_tids]
+            report(
+                np.nonzero(bad)[0],
+                f"simulated run (policy={policy}, workers={w})",
+            )
+    return out.report()
+
+
+def _dependence_task_pairs(scop: Scop, info: PipelineInfo, graph):
+    """(kind, source task, target task, source instance, target instance)."""
+    from ..schedule.legality import _tasks_by_block
+
+    token_to_task = {
+        task.block.out_token: task.task_id
+        for task in graph.tasks
+        if task.block is not None
+    }
+    pairs = []
+    for source in scop.statements:
+        sb = info.blockings[source.name]
+        s_tasks = _tasks_by_block(token_to_task, sb, source.name)
+        for target in scop.statements:
+            tb = info.blockings[target.name]
+            t_tasks = _tasks_by_block(token_to_task, tb, target.name)
+            for kind in DepKind:
+                rel = dependence_relation(scop, source, target, kind)
+                if rel.is_empty():
+                    continue
+                s_tids = s_tasks[sb.block_of_rows(rel.out_part)]
+                t_tids = t_tasks[tb.block_of_rows(rel.in_part)]
+                for k in range(len(rel)):
+                    pairs.append(
+                        (
+                            kind,
+                            int(s_tids[k]),
+                            int(t_tids[k]),
+                            tuple(int(v) for v in rel.out_part[k]),
+                            tuple(int(v) for v in rel.in_part[k]),
+                        )
+                    )
+    return pairs
+
+
+# ----------------------------------------------------------------------
+def check_task_graph(
+    scop: Scop,
+    info: PipelineInfo,
+    ast=None,
+    graph=None,
+    file: str | None = None,
+    max_reports: int = 5,
+) -> DiagnosticReport:
+    """Run packing, token-coverage and race checks; merge the reports."""
+    from ..schedule import generate_task_ast
+    from ..tasking import TaskGraph
+
+    if ast is None:
+        ast = generate_task_ast(info)
+    if graph is None:
+        graph = TaskGraph.from_task_ast(ast)
+    report = check_packing(ast, file=file, max_reports=max_reports)
+    report = report.merged(
+        check_token_coverage(scop, info, ast, file=file,
+                             max_reports=max_reports)
+    )
+    report = report.merged(
+        check_races(scop, info, graph, file=file, max_reports=max_reports)
+    )
+    return report

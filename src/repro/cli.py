@@ -2,9 +2,13 @@
 
 Commands
 --------
-``analyze <kernel.c> --param N=32``
-    Parse a kernel, run Algorithm 1, print the pipeline summary and the
+``analyze <kernel.c> --param N=32 [--format text|json|sarif]``
+    Run the full static analysis (diagnostics, nest-pair classification,
+    task-graph checks), then Algorithm 1, the pipeline summary and the
     Figure-6 style task AST.
+``lint <kernel.c> [--deep] [--format text|json|sarif]``
+    Run the AST-level lint rules (``--deep`` adds SCoP validation and the
+    pipelinability/task-graph checks); exit 1 on error diagnostics.
 ``run <kernel.c> --param N=32 [--workers 4]``
     Execute the kernel sequentially and pipelined (threaded runtime) and
     report whether the results match, plus the simulated speed-up.
@@ -44,12 +48,51 @@ def _load(path: str, params: dict[str, int]):
     return Interpreter.from_source(source, params)
 
 
+def _read_source(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as fh:
+        return fh.read()
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
-    from .pipeline import NoPatternError, describe_pipeline_map, detect_pipeline
+    from .analysis import analyze_kernel, render_json, render_sarif, render_text
+
+    source = _read_source(args.kernel)
+    result = analyze_kernel(
+        source, _parse_params(args.param), file=args.kernel
+    )
+
+    if args.format == "json":
+        print(render_json(result.report, result.classifications()))
+        return result.exit_code()
+    if args.format == "sarif":
+        print(render_sarif(result.report))
+        return result.exit_code()
+
+    print(render_text(result.report, source))
+    if result.detect_error:
+        print(f"note: {result.detect_error}")
+    if result.info is None or not result.ok:
+        return result.exit_code()
+
+    from .pipeline import (
+        NoPatternError,
+        UncoveredDependenceError,
+        describe_pipeline_map,
+        detect_pipeline,
+    )
     from .schedule import build_schedule, generate_task_ast
 
-    interp = _load(args.kernel, _parse_params(args.param))
-    info = detect_pipeline(interp.scop, coarsen=args.coarsen)
+    info = result.info
+    if args.coarsen != 1:
+        from .scop import DepKind
+
+        try:
+            info = detect_pipeline(result.scop, coarsen=args.coarsen)
+        except UncoveredDependenceError:
+            info = detect_pipeline(
+                result.scop, kinds=tuple(DepKind), coarsen=args.coarsen
+            )
+    print()
     print(info.summary())
     for pm in info.pipeline_maps.values():
         try:
@@ -61,6 +104,25 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     print()
     print(generate_task_ast(info).pretty())
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import analyze_kernel, render_json, render_sarif, render_text
+
+    source = _read_source(args.kernel)
+    result = analyze_kernel(
+        source,
+        _parse_params(args.param),
+        file=args.kernel,
+        deep=args.deep,
+    )
+    if args.format == "json":
+        print(render_json(result.report, result.classifications()))
+    elif args.format == "sarif":
+        print(render_sarif(result.report))
+    else:
+        print(render_text(result.report, source))
+    return result.exit_code()
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -206,7 +268,31 @@ def build_parser() -> argparse.ArgumentParser:
         p.set_defaults(fn=fn)
         return p
 
-    kernel_cmd("analyze", cmd_analyze)
+    p_analyze = kernel_cmd("analyze", cmd_analyze)
+    p_analyze.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="diagnostic output format (json/sarif suppress the trees)",
+    )
+
+    p_lint = sub.add_parser(
+        "lint", help="run the static-analysis rules and print diagnostics"
+    )
+    p_lint.add_argument("kernel", help="path to a kernel source file")
+    p_lint.add_argument(
+        "--param", action="append", default=[], metavar="NAME=INT"
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text"
+    )
+    p_lint.add_argument(
+        "--deep",
+        action="store_true",
+        help="also extract the SCoP and run pipelinability/task-graph checks",
+    )
+    p_lint.set_defaults(fn=cmd_lint)
+
     p_run = kernel_cmd("run", cmd_run)
     p_run.add_argument("--workers", type=int, default=4)
     p_run.add_argument(

@@ -7,9 +7,10 @@ from .emit import (
     statement_columns,
     statement_packers,
 )
-from .packing import VectorPacker
+from .packing import PackerOverflowError, VectorPacker
 
 __all__ = [
+    "PackerOverflowError",
     "VectorPacker",
     "emit_task_program",
     "load_task_program",

@@ -15,6 +15,22 @@ from typing import Sequence
 
 import numpy as np
 
+#: packed codes travel through int64 ``dependArr`` slots (Figure 8)
+INT64_CAPACITY = 2**63
+
+
+class PackerOverflowError(ValueError):
+    """The packed code space does not fit an int64 slot (rule RPA041)."""
+
+    code = "RPA041"
+
+    def diagnostic(self):
+        """The finding as an RPA041 diagnostic."""
+        from ..analysis import diagnostics as D
+        from ..analysis.diagnostics import Diagnostic
+
+        return Diagnostic(D.PACKER_OVERFLOW, str(self))
+
 
 @dataclass(frozen=True)
 class VectorPacker:
@@ -28,6 +44,16 @@ class VectorPacker:
             raise ValueError("mins and ranges must have equal length")
         if any(r < 1 for r in self.ranges):
             raise ValueError("every dimension range must be >= 1")
+        cap = 1
+        for r in self.ranges:
+            cap *= r
+        if cap >= INT64_CAPACITY:
+            # np.int64 arithmetic in pack_rows would silently wrap
+            raise PackerOverflowError(
+                f"packer capacity {cap} exceeds the int64 slot space "
+                f"({INT64_CAPACITY}); coarsen the blocking so block-end "
+                f"ranges shrink [{PackerOverflowError.code}]"
+            )
 
     @staticmethod
     def for_points(points: np.ndarray) -> "VectorPacker":

@@ -17,7 +17,10 @@ and simulates performance — returning everything in one
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # analysis imports lazily to keep startup light
+    from .analysis.diagnostics import DiagnosticReport
 
 from .interp import ArrayStore, Interpreter
 from .lang.ast import Program
@@ -54,6 +57,9 @@ class TransformOptions:
     hybrid: bool = False
     #: run the instance-exact legality checker
     check: bool = True
+    #: run the static-analysis subsystem (packing / token-coverage / race
+    #: checks, rule codes RPA04x) and fail on error diagnostics
+    static_checks: bool = False
     #: execute pipelined on threads and compare with sequential output
     verify: bool = True
     #: worker threads for verification and simulation
@@ -77,6 +83,8 @@ class TransformResult:
     legality: LegalityReport | None
     verified: bool | None
     simulation: SimResult
+    #: static-analysis findings (None unless options.static_checks)
+    diagnostics: "DiagnosticReport | None" = None
 
     @property
     def speedup(self) -> float:
@@ -90,6 +98,12 @@ class TransformResult:
         lines = [self.info.summary()]
         if self.legality is not None:
             lines.append(str(self.legality))
+        if self.diagnostics is not None:
+            lines.append(
+                "static checks: "
+                + ("clean" if self.diagnostics.ok else "FAILED")
+                + f" ({len(self.diagnostics)} finding(s))"
+            )
         if self.verified is not None:
             lines.append(
                 "threaded execution matches sequential: "
@@ -104,6 +118,10 @@ class TransformResult:
 
 class VerificationFailedError(RuntimeError):
     """The pipelined execution diverged from the sequential program."""
+
+
+class IllegalTaskGraphError(RuntimeError):
+    """The static task-graph checks found an error-severity diagnostic."""
 
 
 def transform(
@@ -137,6 +155,17 @@ def transform(
         legality = check_legality(scop, info, graph)
         legality.raise_if_illegal()
 
+    diagnostics = None
+    if options.static_checks:
+        from .analysis.taskcheck import check_task_graph
+
+        diagnostics = check_task_graph(scop, info, ast=task_ast, graph=graph)
+        if not diagnostics.ok:
+            raise IllegalTaskGraphError(
+                f"{len(diagnostics.errors)} static-check error(s); first: "
+                f"{diagnostics.errors[0].render()}"
+            )
+
     verified: bool | None = None
     if options.verify:
         seq = interp.run_sequential(interp.new_store())
@@ -163,4 +192,5 @@ def transform(
         legality=legality,
         verified=verified,
         simulation=sim,
+        diagnostics=diagnostics,
     )

@@ -2,15 +2,21 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True)
 class SourceLocation:
-    """1-based line/column position in the kernel source."""
+    """1-based line/column position in the kernel source.
+
+    ``end_column`` (exclusive, same line) is filled by the lexer for
+    single-line tokens so diagnostics can underline the full lexeme; it
+    does not participate in equality.
+    """
 
     line: int
     column: int
+    end_column: int | None = field(default=None, compare=False)
 
     def __str__(self) -> str:
         return f"{self.line}:{self.column}"

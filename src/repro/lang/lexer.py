@@ -68,20 +68,20 @@ class Lexer:
         if ch.isalpha() or ch == "_":
             text = self._take_while(lambda c: c.isalnum() or c == "_")
             kind = KEYWORDS.get(text, TokenKind.IDENT)
-            return Token(kind, text, loc)
+            return Token(kind, text, self._spanned(loc))
 
         if ch.isdigit():
             text = self._take_while(str.isdigit)
-            return Token(TokenKind.NUMBER, text, loc)
+            return Token(TokenKind.NUMBER, text, self._spanned(loc))
 
         two = self.source[self.pos : self.pos + 2]
         if two in _TWO_CHAR:
             self._advance(2)
-            return Token(_TWO_CHAR[two], two, loc)
+            return Token(_TWO_CHAR[two], two, self._spanned(loc))
 
         if ch in _ONE_CHAR:
             self._advance(1)
-            return Token(_ONE_CHAR[ch], ch, loc)
+            return Token(_ONE_CHAR[ch], ch, self._spanned(loc))
 
         raise LexerError(f"unexpected character {ch!r}", loc)
 
@@ -104,6 +104,12 @@ class Lexer:
                 self._advance(2)
             else:
                 return
+
+    def _spanned(self, loc: SourceLocation) -> SourceLocation:
+        """Attach the token's end column (single-line tokens only)."""
+        if self.line != loc.line:
+            return loc
+        return SourceLocation(loc.line, loc.column, self.column)
 
     def _take_while(self, predicate) -> str:
         start = self.pos

@@ -6,12 +6,20 @@ or on nests before it (guaranteed by construction for sequential programs);
 and each statement's write relation is injective (no over-writes within one
 statement's iteration domain).  :func:`validate_scop` checks what can be
 violated and reports precise diagnostics.
+
+Findings are :class:`~repro.analysis.diagnostics.Diagnostic` objects with
+stable ``RPA01x`` rule codes and source spans threaded from the frontend
+tokens, so :meth:`ValidationReport.raise_if_invalid` and the CLI show
+*where* an assumption broke.  ``errors``/``warnings`` remain tuples of
+rendered strings for backward compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from ..analysis import diagnostics as D
+from ..analysis.diagnostics import Collector, Diagnostic, DiagnosticReport
 from .scop import Scop, ScopStatement
 
 
@@ -19,15 +27,28 @@ from .scop import Scop, ScopStatement
 class ValidationReport:
     """Outcome of SCoP validation: hard errors and advisory warnings."""
 
-    errors: tuple[str, ...] = ()
-    warnings: tuple[str, ...] = ()
+    diagnostics: DiagnosticReport = DiagnosticReport()
 
     @property
     def ok(self) -> bool:
-        return not self.errors
+        return self.diagnostics.ok
+
+    @property
+    def errors(self) -> tuple[str, ...]:
+        return tuple(d.render() for d in self.diagnostics.errors)
+
+    @property
+    def warnings(self) -> tuple[str, ...]:
+        return tuple(d.render() for d in self.diagnostics.warnings)
+
+    def error_diagnostics(self) -> tuple[Diagnostic, ...]:
+        return self.diagnostics.errors
+
+    def warning_diagnostics(self) -> tuple[Diagnostic, ...]:
+        return self.diagnostics.warnings
 
     def raise_if_invalid(self) -> None:
-        if self.errors:
+        if not self.ok:
             raise InvalidScopError("; ".join(self.errors))
 
 
@@ -35,29 +56,51 @@ class InvalidScopError(ValueError):
     """The SCoP violates an assumption the pipeline algorithm relies on."""
 
 
-def validate_scop(scop: Scop, require_injective_writes: bool = True) -> ValidationReport:
+def validate_scop(
+    scop: Scop,
+    require_injective_writes: bool = True,
+    file: str | None = None,
+) -> ValidationReport:
     """Check the paper's preconditions on an extracted SCoP."""
-    errors: list[str] = []
-    warnings: list[str] = []
+    out = Collector(file)
 
     if not scop.statements:
-        errors.append("SCoP has no statements")
+        out.add(D.EMPTY_SCOP, "SCoP has no statements")
 
     for stmt in scop.statements:
+        loc = stmt.assign.location
         if stmt.depth == 0:
-            errors.append(f"statement {stmt.name} has no enclosing loop")
+            out.add(
+                D.STATEMENT_OUTSIDE_LOOP,
+                f"statement {stmt.name} has no enclosing loop",
+                loc,
+                hints=("wrap the statement in a for-loop nest",),
+            )
             continue
         if len(stmt.writes) != 1:
-            errors.append(
+            out.add(
+                D.MULTIPLE_WRITES,
                 f"statement {stmt.name} must have exactly one write "
-                f"(found {len(stmt.writes)})"
+                f"(found {len(stmt.writes)})",
+                loc,
             )
         if len(stmt.points) == 0:
-            warnings.append(f"statement {stmt.name} has an empty domain")
+            out.add(
+                D.EMPTY_DOMAIN,
+                f"statement {stmt.name} has an empty domain",
+                loc,
+                hints=("check the loop bounds and --param values",),
+            )
         if require_injective_writes and not _injective_write(scop, stmt):
-            errors.append(
+            out.add(
+                D.NON_INJECTIVE_WRITE,
                 f"write relation of statement {stmt.name} is not injective "
-                "(the paper's transformation assumes no over-writes)"
+                "(the paper's transformation assumes no over-writes)",
+                stmt.assign.target.location or loc,
+                hints=(
+                    "use every enclosing loop variable in the write "
+                    "subscripts",
+                ),
             )
 
     nests: dict[int, list[ScopStatement]] = {}
@@ -65,12 +108,14 @@ def validate_scop(scop: Scop, require_injective_writes: bool = True) -> Validati
         nests.setdefault(stmt.nest_index, []).append(stmt)
     for nest_index, stmts in nests.items():
         if len(stmts) > 1:
-            warnings.append(
+            out.add(
+                D.MULTI_STATEMENT_NEST,
                 f"nest {nest_index} holds {len(stmts)} statements; the "
-                "prototype pipelines one statement per nest (Section 5.4)"
+                "prototype pipelines one statement per nest (Section 5.4)",
+                stmts[0].assign.location,
             )
 
-    return ValidationReport(tuple(errors), tuple(warnings))
+    return ValidationReport(out.report())
 
 
 def _injective_write(scop: Scop, stmt: ScopStatement) -> bool:

@@ -1,0 +1,160 @@
+"""Tests for the diagnostics engine and its renderers."""
+
+import json
+
+import pytest
+
+from repro.analysis import diagnostics as D
+from repro.analysis.diagnostics import (
+    Collector,
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+    Span,
+    all_rules,
+    rule,
+)
+from repro.analysis.render import render_json, render_sarif, render_text
+from repro.lang.errors import SourceLocation
+
+
+class TestRuleTable:
+    def test_codes_are_unique_and_stable(self):
+        rules = all_rules()
+        codes = [r.code for r in rules]
+        assert len(codes) == len(set(codes))
+        assert all(c.startswith("RPA0") for c in codes)
+
+    def test_known_codes_present(self):
+        for code in ("RPA001", "RPA013", "RPA020", "RPA031", "RPA042"):
+            assert rule(code).code == code
+
+    def test_every_rule_names_its_assumption(self):
+        assert all(r.assumption for r in all_rules())
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            D.register_rule("RPA020", "dup", Severity.ERROR, "x")
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO.rank < Severity.WARNING.rank < Severity.ERROR.rank
+
+    def test_sarif_levels(self):
+        assert Severity.INFO.sarif_level == "note"
+        assert Severity.ERROR.sarif_level == "error"
+
+
+class TestSpan:
+    def test_of_location_copies_end_column(self):
+        loc = SourceLocation(3, 7, 12)
+        span = Span.of(loc, "k.c")
+        assert (span.file, span.line, span.column, span.end_column) == (
+            "k.c", 3, 7, 12,
+        )
+
+    def test_of_none_without_file_is_none(self):
+        assert Span.of(None) is None
+
+    def test_str(self):
+        assert str(Span("k.c", 3, 7)) == "k.c:3:7"
+        assert str(Span(None)) == "<kernel>"
+
+
+class TestDiagnostic:
+    def test_render_contains_code_severity_and_hints(self):
+        d = Diagnostic(
+            rule("RPA021"), "array x never read", Span("k.c", 2, 5),
+            hints=("drop it",),
+        )
+        text = d.render()
+        assert "k.c:2:5" in text
+        assert "warning" in text
+        assert "[RPA021]" in text
+        assert "hint: drop it" in text
+
+    def test_severity_override(self):
+        d = Diagnostic(rule("RPA021"), "m", severity_override=Severity.ERROR)
+        assert d.severity is Severity.ERROR
+
+
+class TestReport:
+    def _report(self):
+        out = Collector("k.c")
+        out.add(D.DEAD_WRITE, "w", SourceLocation(5, 1))
+        out.add(D.NON_AFFINE_SUBSCRIPT, "e", SourceLocation(2, 3))
+        out.add(D.NEST_PAIR_CLASS, "i")
+        return out.report()
+
+    def test_partitions_by_severity(self):
+        rep = self._report()
+        assert len(rep.errors) == 1
+        assert len(rep.warnings) == 1
+        assert len(rep.infos) == 1
+        assert not rep.ok
+        assert rep.max_severity() is Severity.ERROR
+
+    def test_sorted_orders_by_position(self):
+        rep = self._report().sorted()
+        lines = [d.span.line for d in rep if d.span and d.span.line]
+        assert lines == sorted(lines)
+
+    def test_merged(self):
+        rep = self._report()
+        assert len(rep.merged(rep)) == 2 * len(rep)
+
+
+class TestRenderers:
+    def _report(self):
+        out = Collector("k.c")
+        out.add(
+            D.NON_AFFINE_SUBSCRIPT,
+            "bad subscript",
+            SourceLocation(2, 8, 13),
+            hints=("make it affine",),
+        )
+        return out.report()
+
+    def test_text_excerpt_with_caret(self):
+        source = "// hi\nS: A[i*j] = f(B[i*j]);\n"
+        text = render_text(self._report(), source)
+        assert "bad subscript" in text
+        assert "^~~~~" in text
+        assert "1 error(s), 0 warning(s), 0 note(s)" in text
+
+    def test_json_schema(self):
+        payload = json.loads(
+            render_json(self._report(), [{"nest_pair": [0, 1]}])
+        )
+        assert payload["tool"] == "repro-analyze"
+        diag = payload["diagnostics"][0]
+        assert diag["code"] == "RPA020"
+        assert diag["line"] == 2 and diag["column"] == 8
+        assert payload["classifications"] == [{"nest_pair": [0, 1]}]
+        assert payload["summary"]["errors"] == 1
+
+    def test_sarif_structure(self):
+        log = json.loads(render_sarif(self._report()))
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-analyze"
+        ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "RPA020" in ids and "RPA043" in ids
+        result = run["results"][0]
+        assert result["ruleId"] == "RPA020"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region == {"startLine": 2, "startColumn": 8, "endColumn": 13}
+
+
+class TestLexerSpans:
+    def test_tokens_carry_end_columns(self):
+        from repro.lang.lexer import tokenize
+
+        toks = tokenize("for(idx=0; idx<N; idx++)")
+        ident = next(t for t in toks if t.text == "idx")
+        assert ident.location.column == 5
+        assert ident.location.end_column == 8
+
+    def test_end_column_ignored_by_equality(self):
+        assert SourceLocation(1, 2, 9) == SourceLocation(1, 2)

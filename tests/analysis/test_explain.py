@@ -1,0 +1,126 @@
+"""Tests for the pipelinability explainer (nest-pair classification)."""
+
+import pytest
+
+from repro.analysis.explain import (
+    PairClass,
+    classify_nest_pairs,
+    explain_to_diagnostics,
+)
+from repro.lang import parse
+from repro.scop import extract_scop
+
+PIPELINE = """
+for(i=0; i<N-1; i++)
+  for(j=0; j<N-1; j++)
+    S: A[i][j] = f(A[i][j], A[i][j+1], A[i+1][j+1]);
+for(i=0; i<N/2-1; i++)
+  for(j=0; j<N/2-1; j++)
+    R: B[i][j] = g(A[i][2*j], B[i][j+1], B[i+1][j+1], B[i][j]);
+"""
+
+DO_ALL = """
+for(i=0; i<N; i++)
+  S: A[i] = f(A[i]);
+for(i=0; i<N; i++)
+  R: B[i] = g(B[i]);
+"""
+
+FUSION_ONLY = """
+for(i=0; i<N; i++)
+  for(j=0; j<N; j++)
+    S: A[i][j] = f(B[i][j], A[i][j]);
+for(i=0; i<N; i++)
+  for(j=0; j<N; j++)
+    R: B[i][j] = g(C[i][j], B[i][j]);
+"""
+
+SEQUENTIAL = """
+for(i=0; i<N; i++)
+  for(j=0; j<N; j++)
+    S: A[i][j] = f(A[i][j], A[i][j+1], A[i+1][j+1]);
+for(i=0; i<N; i++)
+  for(j=0; j<N; j++)
+    R: B[i][j] = g(A[N-1-i][N-1-j], B[i][j+1], B[i+1][j+1], B[i][j]);
+"""
+
+
+def explain(source, n=10):
+    scop = extract_scop(parse(source), {"N": n})
+    return scop, classify_nest_pairs(scop)
+
+
+class TestClassification:
+    def test_pipeline_pair(self):
+        _, (pair,) = explain(PIPELINE, 12)
+        assert pair.classification is PairClass.PIPELINE
+        assert pair.overlap is not None and pair.overlap > 0.5
+        assert not pair.blockers
+
+    def test_do_all_pair(self):
+        _, (pair,) = explain(DO_ALL)
+        assert pair.classification is PairClass.DO_ALL
+        assert pair.overlap is None
+        assert "no dependence" in pair.reasons[0]
+
+    def test_fusion_only_pair(self):
+        _, (pair,) = explain(FUSION_ONLY)
+        assert pair.classification is PairClass.FUSION_ONLY
+        assert any("fused" in r for r in pair.reasons)
+        # the anti dependence on B is blamed with its access pair
+        assert any(b.kind.value == "anti" for b in pair.blockers)
+
+    def test_sequential_pair_names_access_pair(self):
+        _, (pair,) = explain(SEQUENTIAL)
+        assert pair.classification is PairClass.SEQUENTIAL
+        assert pair.overlap == 0.0
+        flow = [b for b in pair.blockers if b.kind.value == "flow"]
+        assert flow, "the blocking flow dependence must be blamed"
+        assert flow[0].source_access == "W:A[i][j]"
+        assert "A[" in flow[0].target_access
+        assert flow[0].pairs > 0
+
+    def test_three_nests_give_two_pairs(self):
+        source = PIPELINE + """
+for(i=0; i<N/2-1; i++)
+  for(j=0; j<N/2-1; j++)
+    U: C[i][j] = h(A[2*i][2*j], B[i][j], C[i][j+1], C[i+1][j+1], C[i][j]);
+"""
+        _, pairs = explain(source, 16)
+        assert len(pairs) == 2
+        assert [p.classification for p in pairs] == [
+            PairClass.PIPELINE,
+            PairClass.PIPELINE,
+        ]
+
+    def test_to_dict_round_trip(self):
+        _, (pair,) = explain(SEQUENTIAL)
+        d = pair.to_dict()
+        assert d["nest_pair"] == [0, 1]
+        assert d["classification"] == "sequential"
+        assert d["overlap"] == 0.0
+        assert d["blockers"]
+
+
+class TestDiagnostics:
+    def test_pipeline_pair_emits_only_info(self):
+        scop, pairs = explain(PIPELINE, 12)
+        rep = explain_to_diagnostics(scop, pairs, "k.c")
+        assert [d.code for d in rep] == ["RPA030"]
+        assert rep.ok
+
+    def test_sequential_pair_emits_rpa031_with_location(self):
+        scop, pairs = explain(SEQUENTIAL)
+        rep = explain_to_diagnostics(scop, pairs, "k.c")
+        blocked = [d for d in rep if d.code == "RPA031"]
+        assert blocked
+        assert blocked[0].span.line is not None
+        assert "full barrier" in blocked[0].message
+        assert blocked[0].hints
+
+    def test_fusion_only_pair_emits_rpa032_with_kind_hint(self):
+        scop, pairs = explain(FUSION_ONLY)
+        rep = explain_to_diagnostics(scop, pairs, "k.c")
+        uncovered = [d for d in rep if d.code == "RPA032"]
+        assert uncovered
+        assert "DepKind.ANTI" in uncovered[0].hints[0]

@@ -1,0 +1,125 @@
+"""Tests for the AST-level DSL linter (rules RPA020–RPA025)."""
+
+from repro.analysis import lint_program
+from repro.lang import parse
+
+
+def lint(source: str, params=None):
+    return lint_program(parse(source), params, file="k.c")
+
+
+def codes(report):
+    return [d.code for d in report]
+
+
+class TestNonAffine:
+    def test_indirect_subscript(self):
+        rep = lint("for(i=0; i<8; i++) S: A[B[i]] = f(A[i]);")
+        assert "RPA020" in codes(rep)
+        (diag,) = [d for d in rep if d.code == "RPA020"]
+        assert "array access B[...]" in diag.message
+        assert diag.span.line == 1
+
+    def test_product_of_loop_vars(self):
+        rep = lint(
+            "for(i=0; i<8; i++) for(j=0; j<8; j++) S: A[i*j][j] = f(A[i][j]);"
+        )
+        assert "RPA020" in codes(rep)
+
+    def test_parameter_times_loop_var_is_affine(self):
+        rep = lint(
+            "for(i=0; i<N; i++) for(j=0; j<N; j++) S: A[i][2*j] = f(A[i][j]);",
+            {"N": 8},
+        )
+        assert "RPA020" not in codes(rep)
+
+    def test_modulo_of_loop_var(self):
+        rep = lint("for(i=0; i<8; i++) S: A[i%2] = f(A[i]);")
+        assert "RPA020" in codes(rep)
+
+    def test_read_subscripts_checked_too(self):
+        rep = lint("for(i=0; i<8; i++) S: A[i] = f(A[i*i]);")
+        assert "RPA020" in codes(rep)
+
+
+class TestDeadAndUnused:
+    def test_dead_write_is_warning(self):
+        rep = lint(
+            "for(i=0; i<8; i++) S: A[i] = f(B[i]);"
+        )
+        dead = [d for d in rep if d.code == "RPA021"]
+        assert len(dead) == 1
+        assert "'A'" in dead[0].message
+        assert rep.ok  # warnings don't fail the build
+
+    def test_read_array_not_dead(self):
+        rep = lint(
+            "for(i=0; i<8; i++) S: A[i] = f(A[i]);"
+        )
+        assert "RPA021" not in codes(rep)
+
+    def test_accumulate_counts_as_read(self):
+        rep = lint("for(i=0; i<8; i++) S: A[0] += f(i);")
+        assert "RPA021" not in codes(rep)
+
+    def test_constant_subscript_array_flagged(self):
+        rep = lint("for(i=0; i<8; i++) S: A[0] = f(A[1], B[i]);")
+        assert "RPA023" in codes(rep)
+
+    def test_unused_parameter(self):
+        rep = lint("for(i=0; i<N; i++) S: A[i] = f(A[i]);", {"N": 8, "M": 4})
+        unused = [d for d in rep if d.code == "RPA024"]
+        assert len(unused) == 1
+        assert "M=4" in unused[0].message
+
+
+class TestOverwritingWrite:
+    def test_missing_loop_var_in_write(self):
+        rep = lint(
+            "for(i=0; i<8; i++) for(j=0; j<8; j++) S: A[j] = f(A[j], B[i][j]);"
+        )
+        over = [d for d in rep if d.code == "RPA022"]
+        assert len(over) == 1
+        assert "'i'" in over[0].message
+        assert not rep.ok
+
+    def test_injective_write_clean(self):
+        rep = lint(
+            "for(i=0; i<8; i++) for(j=0; j<8; j++) S: A[i][j] = f(A[i][j]);"
+        )
+        assert "RPA022" not in codes(rep)
+
+    def test_diagonal_write_uses_both_vars(self):
+        rep = lint(
+            "for(i=0; i<8; i++) for(j=0; j<8; j++) S: A[i+j] = f(A[i+j]);"
+        )
+        assert "RPA022" not in codes(rep)
+
+
+class TestShadowing:
+    def test_shadowed_loop_variable(self):
+        rep = lint(
+            "for(i=0; i<8; i++) for(i=0; i<4; i++) S: A[i] = f(A[i]);"
+        )
+        assert "RPA025" in codes(rep)
+
+    def test_loop_var_shadowing_parameter(self):
+        rep = lint("for(N=0; N<8; N++) S: A[N] = f(A[N]);", {"N": 8})
+        assert "RPA025" in codes(rep)
+
+    def test_distinct_vars_clean(self):
+        rep = lint(
+            "for(i=0; i<8; i++) for(j=0; j<8; j++) S: A[i][j] = f(A[i][j]);"
+        )
+        assert "RPA025" not in codes(rep)
+
+
+class TestReportShape:
+    def test_sorted_by_position_and_has_spans(self):
+        rep = lint(
+            "for(i=0; i<8; i++) S: A[B[i]] = f(A[i]);\n"
+            "for(i=0; i<8; i++) T: C[i%2] = f(A[i], C[i]);"
+        )
+        lines = [d.span.line for d in rep if d.span and d.span.line]
+        assert lines == sorted(lines)
+        assert all(d.span is not None for d in rep)

@@ -1,0 +1,168 @@
+"""Tests for the task-graph checker: packing, token coverage, races."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.taskcheck import (
+    check_packing,
+    check_races,
+    check_task_graph,
+    check_token_coverage,
+)
+from repro.bench import build_scop
+from repro.codegen.emit import statement_columns, statement_packers
+from repro.lang import parse
+from repro.pipeline import detect_pipeline
+from repro.schedule import generate_task_ast
+from repro.scop import extract_scop
+from repro.tasking import TaskGraph
+from repro.workloads import TABLE9
+
+LISTING1 = """
+for(i=0; i<N-1; i++)
+  for(j=0; j<N-1; j++)
+    S: A[i][j] = f(A[i][j], A[i][j+1], A[i+1][j+1]);
+for(i=0; i<N/2-1; i++)
+  for(j=0; j<N/2-1; j++)
+    R: B[i][j] = g(A[i][2*j], B[i][j+1], B[i+1][j+1], B[i][j]);
+"""
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    scop = extract_scop(parse(LISTING1), {"N": 12})
+    info = detect_pipeline(scop)
+    ast = generate_task_ast(info)
+    graph = TaskGraph.from_task_ast(ast)
+    return scop, info, ast, graph
+
+
+class TestPackingClean:
+    def test_emitter_packers_are_collision_free(self, pipeline):
+        _, _, ast, _ = pipeline
+        assert check_packing(ast).ok
+
+    @pytest.mark.parametrize(
+        "name", sorted(TABLE9, key=lambda k: int(k[1:]))
+    )
+    def test_all_table9_workloads_pass(self, name):
+        scop = build_scop(TABLE9[name].source(10))
+        info = detect_pipeline(scop)
+        ast = generate_task_ast(info)
+        graph = TaskGraph.from_task_ast(ast)
+        report = check_packing(ast)
+        report = report.merged(check_token_coverage(scop, info, ast))
+        report = report.merged(check_races(scop, info, graph))
+        assert report.ok, "\n".join(d.render() for d in report.errors)
+
+
+class _ConstantPacker:
+    """A deliberately broken packer mapping every block end to one code."""
+
+    capacity = 1
+
+    def pack(self, vec):
+        return 0
+
+
+class TestSeededCollisions:
+    def test_constant_packer_collision_detected(self, pipeline):
+        _, _, ast, _ = pipeline
+        packers = dict(statement_packers(ast))
+        packers["S"] = _ConstantPacker()
+        report = check_packing(ast, packers=packers)
+        collisions = [d for d in report if d.code == "RPA040"]
+        assert collisions, "seeded packing collision must be detected"
+        assert "pack to the same code 0" in collisions[0].message
+
+    def test_duplicate_columns_detected(self, pipeline):
+        _, _, ast, _ = pipeline
+        columns = {name: 0 for name in statement_columns(ast)}
+        report = check_packing(ast, columns=columns)
+        assert any(
+            d.code == "RPA040" and "share dependArr column" in d.message
+            for d in report
+        )
+
+    def test_column_out_of_range_detected(self, pipeline):
+        _, _, ast, _ = pipeline
+        columns = dict(statement_columns(ast))
+        columns["R"] = 99
+        report = check_packing(ast, columns=columns)
+        assert any(
+            d.code == "RPA040" and "outside" in d.message for d in report
+        )
+
+    def test_oversized_packer_reported_as_overflow(self, pipeline):
+        _, _, ast, _ = pipeline
+
+        class _HugePacker(_ConstantPacker):
+            capacity = 2**63
+
+        packers = dict(statement_packers(ast))
+        packers["S"] = _HugePacker()
+        report = check_packing(ast, packers=packers)
+        assert any(d.code == "RPA041" for d in report)
+
+
+class TestTokenCoverage:
+    def test_generated_tokens_cover_all_dependences(self, pipeline):
+        scop, info, ast, _ = pipeline
+        assert check_token_coverage(scop, info, ast).ok
+
+    def test_stripped_in_tokens_are_caught(self, pipeline):
+        from dataclasses import replace
+
+        from repro.schedule.astgen import TaskAst, TaskLoopNest
+
+        scop, info, ast, _ = pipeline
+        nests = []
+        for nest in ast.nests:
+            blocks = tuple(
+                replace(b, in_tokens=()) for b in nest.blocks
+            )
+            nests.append(
+                TaskLoopNest(nest.statement, nest.depth, blocks)
+            )
+        stripped = TaskAst(tuple(nests))
+        report = check_token_coverage(scop, info, stripped)
+        uncovered = [d for d in report if d.code == "RPA042"]
+        assert uncovered
+        assert "S" in uncovered[0].message and "R" in uncovered[0].message
+
+
+class TestRaces:
+    def test_full_graph_is_race_free(self, pipeline):
+        scop, info, _, graph = pipeline
+        assert check_races(scop, info, graph).ok
+
+    def test_dropping_cross_edges_triggers_race(self, pipeline):
+        scop, info, ast, _ = pipeline
+        # rebuild the graph but silently drop every cross-statement edge
+        graph = TaskGraph.from_task_ast(ast)
+        broken = TaskGraph()
+        for task in graph.tasks:
+            broken.add_task(
+                task.statement, task.block_id, task.cost, task.block
+            )
+        by_stmt = {}
+        for task in graph.tasks:
+            by_stmt.setdefault(task.statement, []).append(task.task_id)
+        for tids in by_stmt.values():
+            for a, b in zip(tids, tids[1:]):
+                broken.add_edge(a, b)
+        report = check_races(scop, info, broken)
+        races = [d for d in report if d.code == "RPA043"]
+        assert races, "dropping depend edges must produce a race"
+        assert "flow dependence" in races[0].message
+
+
+class TestCombined:
+    def test_check_task_graph_clean_on_listing1(self, pipeline):
+        scop, info, ast, graph = pipeline
+        report = check_task_graph(scop, info, ast=ast, graph=graph)
+        assert report.ok, "\n".join(d.render() for d in report.errors)
+
+    def test_defaults_built_when_omitted(self, pipeline):
+        scop, info, _, _ = pipeline
+        assert check_task_graph(scop, info).ok

@@ -5,7 +5,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.codegen import VectorPacker
+from repro.codegen import PackerOverflowError, VectorPacker
+from repro.codegen.packing import INT64_CAPACITY
 
 
 class TestBasics:
@@ -82,6 +83,38 @@ class TestBijectivity:
         p = VectorPacker(mins=(0,), ranges=(3,))
         with pytest.raises(ValueError):
             p.pack_rows(np.array([[5]]))
+
+
+class TestOverflowGuard:
+    def test_huge_ranges_raise_packer_overflow(self):
+        with pytest.raises(PackerOverflowError, match=r"\[RPA041\]"):
+            VectorPacker(mins=(0, 0), ranges=(2**32, 2**32))
+
+    def test_overflow_error_is_a_value_error_with_code(self):
+        with pytest.raises(ValueError) as exc:
+            VectorPacker(mins=(0,), ranges=(INT64_CAPACITY,))
+        assert exc.value.code == "RPA041"
+
+    def test_overflow_diagnostic(self):
+        try:
+            VectorPacker(mins=(0, 0, 0), ranges=(2**21, 2**21, 2**21))
+        except PackerOverflowError as err:
+            diag = err.diagnostic()
+        else:
+            pytest.fail("expected PackerOverflowError")
+        assert diag.code == "RPA041"
+        assert diag.severity.name == "ERROR"
+        assert "2**63" in diag.message or "slot" in diag.message
+
+    def test_just_under_the_limit_is_fine(self):
+        p = VectorPacker(mins=(0,), ranges=(INT64_CAPACITY - 1,))
+        assert p.capacity == INT64_CAPACITY - 1
+        assert p.pack((INT64_CAPACITY - 2,)) == INT64_CAPACITY - 2
+
+    def test_capacity_product_checked_not_individual_ranges(self):
+        # each range fits comfortably but the product does not
+        with pytest.raises(PackerOverflowError):
+            VectorPacker(mins=(0, 0), ranges=(2**40, 2**40))
 
 
 def test_statement_packers_cover_all_block_ends(listing3_scop):

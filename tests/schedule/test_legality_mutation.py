@@ -1,0 +1,148 @@
+"""Mutation tests for the legality checker.
+
+Starting from known-good pipelined task graphs, deliberately corrupt the
+edge set — drop a cross-statement edge, drop a self-chain link, reverse
+an edge — and assert the checker pinpoints the exact violated instance
+pairs rather than merely flagging "illegal".
+"""
+
+import pytest
+
+from repro.lang import parse
+from repro.pipeline import detect_pipeline
+from repro.schedule import check_legality, generate_task_ast
+from repro.schedule.legality import IllegalScheduleError
+from repro.scop import DepKind, extract_scop
+from repro.tasking import TaskGraph
+
+LISTING1 = """
+for(i=0; i<N-1; i++)
+  for(j=0; j<N-1; j++)
+    S: A[i][j] = f(A[i][j], A[i][j+1], A[i+1][j+1]);
+for(i=0; i<N/2-1; i++)
+  for(j=0; j<N/2-1; j++)
+    R: B[i][j] = g(A[i][2*j], B[i][j+1], B[i+1][j+1], B[i][j]);
+"""
+
+
+@pytest.fixture(scope="module")
+def good():
+    scop = extract_scop(parse(LISTING1), {"N": 12})
+    info = detect_pipeline(scop)
+    ast = generate_task_ast(info)
+    graph = TaskGraph.from_task_ast(ast)
+    return scop, info, ast, graph
+
+
+def rebuild(graph, *, drop=(), reverse=()):
+    """Copy ``graph`` with some (pred, succ) edges dropped or reversed."""
+    out = TaskGraph()
+    for task in graph.tasks:
+        out.add_task(task.statement, task.block_id, task.cost, task.block)
+    for succ, preds in enumerate(graph.preds):
+        for pred in preds:
+            if (pred, succ) in drop:
+                continue
+            if (pred, succ) in reverse:
+                out.add_edge(succ, pred)
+            else:
+                out.add_edge(pred, succ)
+    return out
+
+
+def cross_edges(graph):
+    """(pred, succ) pairs connecting different statements."""
+    return [
+        (pred, succ)
+        for succ, preds in enumerate(graph.preds)
+        for pred in preds
+        if graph.tasks[pred].statement != graph.tasks[succ].statement
+    ]
+
+
+def self_edges(graph, statement):
+    return [
+        (pred, succ)
+        for succ, preds in enumerate(graph.preds)
+        for pred in preds
+        if graph.tasks[pred].statement == statement
+        and graph.tasks[succ].statement == statement
+    ]
+
+
+class TestBaseline:
+    def test_untouched_graph_is_legal(self, good):
+        scop, info, _, graph = good
+        report = check_legality(scop, info, graph)
+        assert report.ok
+        assert report.checked_pairs > 0
+
+
+class TestDroppedCrossEdge:
+    def test_violations_name_the_exact_instance_pairs(self, good):
+        scop, info, _, graph = good
+        edges = cross_edges(graph)
+        assert edges, "the pipeline graph must have cross-statement edges"
+        # Drop the last cross edge: its consumer block loses its only path
+        # from the producer block it depends on.
+        pred, succ = edges[-1]
+        mutated = rebuild(graph, drop={(pred, succ)})
+        report = check_legality(scop, info, mutated)
+        assert not report.ok
+        for v in report.violations:
+            assert v.kind is DepKind.FLOW
+            assert (v.source, v.target) == ("S", "R")
+            # every reported pair is a real dependence: the source writes
+            # A[i][j], the target reads A[i][2j]
+            si, sj = v.source_instance
+            ti, tj = v.target_instance
+            assert (si, sj) == (ti, 2 * tj)
+
+    def test_raise_if_illegal(self, good):
+        scop, info, _, graph = good
+        pred, succ = cross_edges(graph)[-1]
+        mutated = rebuild(graph, drop={(pred, succ)})
+        with pytest.raises(IllegalScheduleError, match="must precede"):
+            check_legality(scop, info, mutated).raise_if_illegal()
+
+
+class TestDroppedSelfEdge:
+    def test_broken_self_chain_violates_intra_statement_deps(self, good):
+        scop, info, _, graph = good
+        chain = self_edges(graph, "S")
+        assert len(chain) > 2
+        mutated = rebuild(graph, drop={chain[len(chain) // 2]})
+        report = check_legality(scop, info, mutated)
+        assert not report.ok
+        assert all(
+            v.source == "S" and v.target == "S" for v in report.violations
+        )
+        # each violated pair respects lexicographic order in the original
+        for v in report.violations:
+            assert tuple(v.source_instance) < tuple(v.target_instance)
+
+
+class TestReversedEdge:
+    def test_reversed_cross_edge_detected(self, good):
+        scop, info, _, graph = good
+        pred, succ = cross_edges(graph)[0]
+        mutated = rebuild(graph, reverse={(pred, succ)})
+        report = check_legality(scop, info, mutated)
+        assert not report.ok
+        kinds = {v.kind for v in report.violations}
+        assert DepKind.FLOW in kinds
+
+    def test_reversing_whole_chain_is_cyclic_or_illegal(self, good):
+        from repro.tasking.task import CyclicTaskGraphError
+
+        scop, info, _, graph = good
+        edges = set(self_edges(graph, "R"))
+        try:
+            mutated = rebuild(graph, reverse=edges)
+        except CyclicTaskGraphError:
+            return  # reversal already rejected at construction
+        try:
+            report = check_legality(scop, info, mutated)
+        except CyclicTaskGraphError:
+            return  # reachability refuses cyclic graphs
+        assert not report.ok

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -33,6 +35,71 @@ class TestAnalyze:
         main(["analyze", kernel_file, "--param", "N=12", "--coarsen", "3"])
         out = capsys.readouterr().out
         assert "PipelineInfo" in out
+
+    def test_text_output_includes_classification(self, kernel_file, capsys):
+        assert main(["analyze", kernel_file, "--param", "N=12"]) == 0
+        out = capsys.readouterr().out
+        assert "RPA030" in out
+        assert "pipeline" in out
+
+    def test_json_format(self, kernel_file, capsys):
+        assert main([
+            "analyze", kernel_file, "--param", "N=12", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["classifications"][0]["classification"] == "pipeline"
+        assert all("code" in d for d in payload["diagnostics"])
+
+    def test_sarif_format(self, kernel_file, capsys):
+        assert main([
+            "analyze", kernel_file, "--param", "N=12", "--format", "sarif",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        assert payload["runs"][0]["results"]
+
+    def test_error_diagnostics_fail_analyze(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text("for(i=0; i<8; i++) S: A[B[i]] = f(A[i]);")
+        assert main(["analyze", str(bad)]) == 1
+        assert "RPA020" in capsys.readouterr().out
+
+
+class TestLint:
+    def test_clean_kernel_exits_zero(self, kernel_file, capsys):
+        assert main(["lint", kernel_file, "--param", "N=12"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_error_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text("for(i=0; i<8; i++) S: A[B[i]] = f(A[i]);")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "RPA020" in out and "error" in out
+
+    def test_warning_exits_zero(self, tmp_path, capsys):
+        warn = tmp_path / "warn.c"
+        warn.write_text("for(i=0; i<8; i++) S: A[i] = f(B[i]);")
+        assert main(["lint", str(warn)]) == 0
+        out = capsys.readouterr().out
+        assert "RPA021" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text("for(i=0; i<8; i++) S: A[i%2] = f(A[i]);")
+        assert main(["lint", str(bad), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert any(d["code"] == "RPA020" for d in payload["diagnostics"])
+
+    def test_deep_flag_runs_scop_checks(self, tmp_path, capsys):
+        src = tmp_path / "k.c"
+        src.write_text(
+            "for(i=0; i<8; i++) for(j=0; j<8; j++)"
+            " S: A[j] = f(A[j], B[i][j]);"
+        )
+        assert main(["lint", str(src), "--deep"]) == 1
+        out = capsys.readouterr().out
+        assert "RPA022" in out
 
 
 class TestRun:
