@@ -15,6 +15,7 @@ from repro.presburger import (
     Constraint,
     PointRelation,
     Space,
+    cache,
     enumerate_basic_set,
     ilp_minimize,
     lexmax,
@@ -89,4 +90,55 @@ class TestExplicitKernels:
         b = big_relation.range()
 
         result = benchmark(a.difference, b)
+        assert result.ndim == 2
+
+
+class TestOpCache:
+    """The same composite workload with the op cache on and off.
+
+    The workload mixes the hot operations the pipeline algebra leans on —
+    intersection, enumeration, lexicographic optimum, relation composition
+    and per-domain lexmax — over repeated operands, which is exactly the
+    access pattern ``detect_pipeline`` produces.
+    """
+
+    @staticmethod
+    def _symbolic_workload():
+        big = BasicSet(SP, tri_constraints(48))
+        small = BasicSet(SP, tri_constraints(40))
+        inter = big.intersect(small)
+        pts = enumerate_basic_set(inter)
+        return inter.lexmax(), pts.shape[0]
+
+    def test_symbolic_workload_cache_on(self, benchmark):
+        with cache.overridden(enabled=True):
+            cache.cache_clear()
+            result = benchmark(self._symbolic_workload)
+        assert result == ((39, 39), 40 * 41 // 2)
+
+    def test_symbolic_workload_cache_off(self, benchmark):
+        with cache.overridden(enabled=False):
+            result = benchmark(self._symbolic_workload)
+        assert result == ((39, 39), 40 * 41 // 2)
+
+    @staticmethod
+    def _explicit_workload(rel):
+        flow = rel.inverse().after(rel)
+        return flow.lexmax_per_domain().domain().difference(rel.domain())
+
+    @pytest.fixture(scope="class")
+    def medium_relation(self):
+        rng = np.random.default_rng(11)
+        pairs = rng.integers(0, 120, size=(8_000, 4))
+        return PointRelation(pairs, 2)
+
+    def test_explicit_workload_cache_on(self, benchmark, medium_relation):
+        with cache.overridden(enabled=True):
+            cache.cache_clear()
+            result = benchmark(self._explicit_workload, medium_relation)
+        assert result.ndim == 2
+
+    def test_explicit_workload_cache_off(self, benchmark, medium_relation):
+        with cache.overridden(enabled=False):
+            result = benchmark(self._explicit_workload, medium_relation)
         assert result.ndim == 2

@@ -11,6 +11,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from ..presburger import cache as presburger_cache
 from ..tasking import SimResult, TaskGraph
 
 
@@ -59,6 +60,7 @@ def trace_json(graph: TaskGraph, sim: SimResult, indent: int | None = None) -> s
             "workers": sim.workers,
             "policy": sim.policy,
             "tasks": len(graph),
+            "presburger_cache": presburger_cache.stats().as_dict(),
         },
     }
     return json.dumps(doc, indent=indent)

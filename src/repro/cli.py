@@ -56,6 +56,11 @@ def _read_source(path: str) -> str:
 def cmd_analyze(args: argparse.Namespace) -> int:
     from .analysis import analyze_kernel, render_json, render_sarif, render_text
 
+    if args.stats:
+        from .presburger import cache as presburger_cache
+
+        presburger_cache.reset_stats()
+
     source = _read_source(args.kernel)
     result = analyze_kernel(
         source, _parse_params(args.param), file=args.kernel
@@ -103,6 +108,11 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     print(build_schedule(info).pretty())
     print()
     print(generate_task_ast(info).pretty())
+    if args.stats:
+        from .presburger import cache as presburger_cache
+
+        print()
+        print(presburger_cache.format_stats())
     return 0
 
 
@@ -274,6 +284,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("text", "json", "sarif"),
         default="text",
         help="diagnostic output format (json/sarif suppress the trees)",
+    )
+    p_analyze.add_argument(
+        "--stats",
+        action="store_true",
+        help="print Presburger op-cache hit/miss statistics after analysis",
     )
 
     p_lint = sub.add_parser(

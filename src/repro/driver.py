@@ -68,6 +68,11 @@ class TransformOptions:
     overhead: float = 0.0
     #: cost model for the simulator (uniform unit cost by default)
     cost_model: CostModel = field(default_factory=CostModel.uniform)
+    #: Presburger op cache for this call: True/False forces it on/off,
+    #: None keeps the process setting (``REPRO_PRESBURGER_CACHE`` env var)
+    presburger_cache: bool | None = None
+    #: LRU capacity override for the Presburger op cache (None keeps it)
+    presburger_cache_size: int | None = None
 
 
 @dataclass(frozen=True)
@@ -132,6 +137,21 @@ def transform(
 ) -> TransformResult:
     """Detect, schedule, verify and simulate the cross-loop pipeline."""
     options = options or TransformOptions()
+    from .presburger import cache as presburger_cache
+
+    with presburger_cache.overridden(
+        enabled=options.presburger_cache,
+        maxsize=options.presburger_cache_size,
+    ):
+        return _transform(source_or_program, params, options, funcs)
+
+
+def _transform(
+    source_or_program: str | Program,
+    params: Mapping[str, int] | None,
+    options: TransformOptions,
+    funcs: Mapping | None,
+) -> TransformResult:
     interp = Interpreter.from_source(
         source_or_program, dict(params or {}), funcs
     )

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..presburger import PointRelation, lex_ranks
+from ..presburger import cache as pcache
 from ..scop import DepKind, Scop, ScopStatement
 
 
@@ -61,9 +62,16 @@ def prefix_lexmax(rel: PointRelation) -> PointRelation:
     materializing the quadratic prefix-closure relation ``D′``.
     """
     if rel.is_empty():
+        pcache.count_trivial("pipeline.prefix_lexmax")
         return rel
     if not rel.is_single_valued():
         raise ValueError("prefix_lexmax expects a single-valued relation")
+    return pcache.memoized(
+        "pipeline.prefix_lexmax", lambda: _prefix_lexmax(rel), rel
+    )
+
+
+def _prefix_lexmax(rel: PointRelation) -> PointRelation:
     out = rel.out_part
     ranks = lex_ranks(out)
     running = np.maximum.accumulate(ranks)

@@ -12,9 +12,23 @@ This package provides the polyhedral substrate of the reproduction:
   heavy per-point lexmin/lexmax algebra of the paper runs.
 * **Bridge** — :func:`to_point_set` / :func:`to_point_relation` enumerate
   bounded symbolic objects into explicit ones.
+* **Performance layer** — :mod:`~repro.presburger.cache` hash-conses the
+  value classes and memoizes the hot operations in a bounded LRU
+  (``REPRO_PRESBURGER_CACHE`` env var, :func:`cache_configure`,
+  :func:`cache_stats`).
 """
 
+from . import cache
 from .affine import AffineExpr
+from .cache import (
+    CacheStats,
+    cache_clear,
+    configure as cache_configure,
+    format_stats as cache_format_stats,
+    overridden as cache_overridden,
+    reset_stats as cache_reset_stats,
+    stats as cache_stats,
+)
 from .algebra import (
     QuantifiedSetError,
     complement,
@@ -62,6 +76,14 @@ __all__ = [
     "AffineExpr",
     "BasicMap",
     "BasicSet",
+    "CacheStats",
+    "cache",
+    "cache_clear",
+    "cache_configure",
+    "cache_format_stats",
+    "cache_overridden",
+    "cache_reset_stats",
+    "cache_stats",
     "Constraint",
     "Kind",
     "ILPResult",

@@ -10,6 +10,7 @@ ISL's coalesce/gist in keeping derived systems small.
 
 from __future__ import annotations
 
+from . import cache
 from .basic_set import BasicSet
 from .constraint import Constraint, Kind
 from .ilp import is_empty
@@ -36,6 +37,10 @@ def complement(s: Set) -> Set:
     complements; the complement of one conjunction is the union of its
     negated constraints (equalities split into two strict sides).
     """
+    return cache.memoized("algebra.complement", lambda: _complement(s), s)
+
+
+def _complement(s: Set) -> Set:
     result = Set.universe(s.space)
     for bs in s.pieces:
         _require_div_free(bs, "complement")
@@ -58,12 +63,28 @@ def complement(s: Set) -> Set:
 
 def subtract(a: Set, b: Set) -> Set:
     """``a \\ b`` for quantifier-free ``b``."""
-    return a.intersect(complement(b)).coalesce()
+    if not a.pieces:
+        cache.count_trivial("algebra.subtract")
+        return a
+    if not b.pieces:
+        cache.count_trivial("algebra.subtract")
+        return a
+    return cache.memoized(
+        "algebra.subtract",
+        lambda: a.intersect(complement(b)).coalesce(),
+        a,
+        b,
+    )
 
 
 def is_subset(a: Set, b: Set) -> bool:
     """``a ⊆ b`` (b quantifier-free)."""
-    return subtract(a, b).is_empty()
+    if not a.pieces:
+        cache.count_trivial("algebra.is_subset")
+        return True
+    return cache.memoized(
+        "algebra.is_subset", lambda: subtract(a, b).is_empty(), a, b
+    )
 
 
 def sets_equal(a: Set, b: Set) -> bool:
@@ -84,6 +105,15 @@ def simplify_basic_set(bs: BasicSet) -> BasicSet:
     remaining constraints stays ``>= 0``.  Equalities are kept.  The result
     describes the same rational polyhedron (hence the same integer set).
     """
+    if bs.is_universe():
+        cache.count_trivial("algebra.simplify_basic_set")
+        return bs
+    return cache.memoized(
+        "algebra.simplify_basic_set", lambda: _simplify_basic_set(bs), bs
+    )
+
+
+def _simplify_basic_set(bs: BasicSet) -> BasicSet:
     cons = [c.normalized() for c in bs.constraints]
     kept: list[Constraint] = [c for c in cons if c.kind is Kind.EQ]
     candidates = [c for c in cons if c.kind is Kind.GE and not c.is_trivial()]

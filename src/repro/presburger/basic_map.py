@@ -13,12 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from . import cache
 from .affine import AffineExpr
 from .basic_set import BasicSet
 from .constraint import Constraint
 from .space import MapSpace, Space
 
 
+@cache.register_internable
 @dataclass(frozen=True)
 class BasicMap:
     """Integer relation defined by a conjunction of affine constraints."""
@@ -33,6 +35,25 @@ class BasicMap:
                 raise ValueError(
                     f"constraint has {con.ncols} columns, map has {self.ncols}"
                 )
+
+    def __hash__(self) -> int:  # structural hash, computed once
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.space, self.constraints, self.n_div))
+            object.__setattr__(self, "_hash", h)
+            return h
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not BasicMap:
+            return NotImplemented
+        return (
+            self.n_div == other.n_div
+            and self.space == other.space
+            and self.constraints == other.constraints
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -101,6 +122,9 @@ class BasicMap:
         return BasicMap(space, wrapped.constraints, wrapped.n_div)
 
     def inverse(self) -> "BasicMap":
+        return cache.memoized("BasicMap.inverse", self._inverse, self)
+
+    def _inverse(self) -> "BasicMap":
         n_in, n_out = self.n_in, self.n_out
         perm = (
             [n_out + k for k in range(n_in)]
@@ -111,11 +135,19 @@ class BasicMap:
         return BasicMap(self.space.reversed(), cons, self.n_div)
 
     def domain(self) -> BasicSet:
-        return self.wrap().project_onto(list(range(self.n_in)))
+        return cache.memoized(
+            "BasicMap.domain",
+            lambda: self.wrap().project_onto(list(range(self.n_in))),
+            self,
+        )
 
     def range(self) -> BasicSet:
-        return self.wrap().project_onto(
-            [self.n_in + k for k in range(self.n_out)]
+        return cache.memoized(
+            "BasicMap.range",
+            lambda: self.wrap().project_onto(
+                [self.n_in + k for k in range(self.n_out)]
+            ),
+            self,
         )
 
     def after(self, other: "BasicMap") -> "BasicMap":
@@ -130,6 +162,11 @@ class BasicMap:
                 f"cannot compose: other produces {other.n_out} dims, "
                 f"self consumes {self.n_in}"
             )
+        return cache.memoized(
+            "BasicMap.after", lambda: self._after(other), self, other
+        )
+
+    def _after(self, other: "BasicMap") -> "BasicMap":
         n_a, n_b, n_c = other.n_in, other.n_out, self.n_out
         ncols = n_a + n_c + n_b + other.n_div + self.n_div
         # other's columns [A | B | divs_o] -> [A | (skip C) B | divs_o]
@@ -153,12 +190,27 @@ class BasicMap:
         """Image of ``s`` under the relation (input tuple quantified away)."""
         if s.ndim != self.n_in:
             raise ValueError("set arity does not match map input")
-        restricted = self.intersect_domain(s)
-        return restricted.range()
+        return cache.memoized(
+            "BasicMap.apply",
+            lambda: self.intersect_domain(s).range(),
+            self,
+            s,
+        )
 
     def intersect_domain(self, s: BasicSet) -> "BasicMap":
         if s.ndim != self.n_in:
             raise ValueError("set arity does not match map input")
+        if s.is_universe():
+            cache.count_trivial("BasicMap.intersect_domain")
+            return self
+        return cache.memoized(
+            "BasicMap.intersect_domain",
+            lambda: self._intersect_domain(s),
+            self,
+            s,
+        )
+
+    def _intersect_domain(self, s: BasicSet) -> "BasicMap":
         ncols = self.ncols + s.n_div
         mine = tuple(c.padded(ncols) for c in self.constraints)
         perm = list(range(s.ndim)) + [self.ncols + k for k in range(s.n_div)]
@@ -168,6 +220,17 @@ class BasicMap:
     def intersect_range(self, s: BasicSet) -> "BasicMap":
         if s.ndim != self.n_out:
             raise ValueError("set arity does not match map output")
+        if s.is_universe():
+            cache.count_trivial("BasicMap.intersect_range")
+            return self
+        return cache.memoized(
+            "BasicMap.intersect_range",
+            lambda: self._intersect_range(s),
+            self,
+            s,
+        )
+
+    def _intersect_range(self, s: BasicSet) -> "BasicMap":
         ncols = self.ncols + s.n_div
         mine = tuple(c.padded(ncols) for c in self.constraints)
         perm = [self.n_in + k for k in range(s.ndim)] + [
@@ -179,6 +242,14 @@ class BasicMap:
     def intersect(self, other: "BasicMap") -> "BasicMap":
         if not self.space.compatible(other.space):
             raise ValueError("map space mismatch")
+        if not other.constraints and not other.n_div:
+            cache.count_trivial("BasicMap.intersect")
+            return self
+        return cache.memoized(
+            "BasicMap.intersect", lambda: self._intersect(other), self, other
+        )
+
+    def _intersect(self, other: "BasicMap") -> "BasicMap":
         ncols = self.ncols + other.n_div
         mine = tuple(c.padded(ncols) for c in self.constraints)
         nd = self.n_in + self.n_out

@@ -18,11 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
-from . import ilp
+from . import cache, ilp
 from .constraint import Constraint, Kind
 from .space import Space
 
 
+@cache.register_internable
 @dataclass(frozen=True)
 class BasicSet:
     """Integer points satisfying a conjunction of affine constraints."""
@@ -38,6 +39,29 @@ class BasicSet:
                 raise ValueError(
                     f"constraint has {con.ncols} columns, set has {ncols}"
                 )
+
+    def __hash__(self) -> int:  # structural hash, computed once
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.space, self.constraints, self.n_div))
+            object.__setattr__(self, "_hash", h)
+            return h
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not BasicSet:
+            return NotImplemented
+        return (
+            self.n_div == other.n_div
+            and self.space == other.space
+            and self.constraints == other.constraints
+        )
+
+    def is_universe(self) -> bool:
+        """True for the unconstrained (whole-space) conjunction."""
+        return not self.constraints and not self.n_div
 
     # ------------------------------------------------------------------
     # construction
@@ -114,6 +138,20 @@ class BasicSet:
         return mine, theirs, total_div
 
     def intersect(self, other: "BasicSet") -> "BasicSet":
+        if other.is_universe() and other.ndim == self.ndim:
+            cache.count_trivial("BasicSet.intersect")
+            return self
+        if self.is_universe() and other.ndim == self.ndim:
+            cache.count_trivial("BasicSet.intersect")
+            return other.with_space(self.space)
+        return cache.memoized(
+            "BasicSet.intersect",
+            lambda: self._intersect(other),
+            self,
+            other,
+        )
+
+    def _intersect(self, other: "BasicSet") -> "BasicSet":
         mine, theirs, total_div = self._aligned_with(other)
         return BasicSet(self.space, mine + theirs, total_div)
 
@@ -123,6 +161,14 @@ class BasicSet:
         ``keep`` is an ordered list of current dimension indices; the result's
         dimension ``k`` is the old dimension ``keep[k]``.
         """
+        return cache.memoized(
+            "BasicSet.project_onto",
+            lambda: self._project_onto(tuple(keep)),
+            self,
+            tuple(keep),
+        )
+
+    def _project_onto(self, keep: tuple[int, ...]) -> "BasicSet":
         dropped = [k for k in range(self.ndim) if k not in keep]
         perm = [0] * self.ncols
         for new, old in enumerate(keep):
@@ -150,6 +196,9 @@ class BasicSet:
     # queries
     # ------------------------------------------------------------------
     def is_empty(self) -> bool:
+        if self.is_universe():
+            cache.count_trivial("ilp.is_empty")
+            return False
         return ilp.is_empty(self.constraints, self.ncols)
 
     def sample(self) -> tuple[int, ...] | None:
@@ -168,10 +217,18 @@ class BasicSet:
 
     def lexmin(self) -> tuple[int, ...] | None:
         """Lexicographically smallest point, or None when empty."""
-        return ilp.lexmin(self.constraints, self.ncols, self.ndim)
+        return cache.memoized(
+            "BasicSet.lexmin",
+            lambda: ilp.lexmin(self.constraints, self.ncols, self.ndim),
+            self,
+        )
 
     def lexmax(self) -> tuple[int, ...] | None:
-        return ilp.lexmax(self.constraints, self.ncols, self.ndim)
+        return cache.memoized(
+            "BasicSet.lexmax",
+            lambda: ilp.lexmax(self.constraints, self.ncols, self.ndim),
+            self,
+        )
 
     def dim_bounds(self, col: int) -> tuple[int | None, int | None]:
         """Integer (min, max) of a set dimension over the whole set."""

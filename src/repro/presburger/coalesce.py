@@ -17,6 +17,7 @@ actually convex — while never changing the set of integer points.
 
 from __future__ import annotations
 
+from . import cache
 from .algebra import is_subset, simplify_basic_set
 from .basic_set import BasicSet
 from .constraint import Constraint, Kind
@@ -73,6 +74,13 @@ def _try_merge(a: BasicSet, b: BasicSet) -> BasicSet | None:
 
 def coalesce_set(s: Set) -> Set:
     """Repeatedly merge piece pairs until no merge applies."""
+    if not s.pieces:
+        cache.count_trivial("coalesce.coalesce_set")
+        return s
+    return cache.memoized("coalesce.coalesce_set", lambda: _coalesce_set(s), s)
+
+
+def _coalesce_set(s: Set) -> Set:
     pieces = [
         bs for bs in s.pieces if not is_empty(bs.constraints, bs.ncols)
     ]

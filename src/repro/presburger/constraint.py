@@ -19,12 +19,15 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Sequence
 
+from . import cache
+
 
 class Kind(Enum):
     GE = ">="
     EQ = "="
 
 
+@cache.register_internable
 @dataclass(frozen=True)
 class Constraint:
     """``coeffs · x + const (>=|==) 0`` over positional columns."""
@@ -32,6 +35,25 @@ class Constraint:
     coeffs: tuple[int, ...]
     const: int
     kind: Kind = Kind.GE
+
+    def __hash__(self) -> int:  # structural hash, computed once
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.coeffs, self.const, self.kind))
+            object.__setattr__(self, "_hash", h)
+            return h
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not Constraint:
+            return NotImplemented
+        return (
+            self.const == other.const
+            and self.kind is other.kind
+            and self.coeffs == other.coeffs
+        )
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import cache
 from .basic_set import BasicSet
 from .constraint import Constraint, Kind
 from .iset import Set
@@ -75,7 +76,21 @@ def enumerate_basic_set(bs: BasicSet) -> np.ndarray:
     deduplication, so sets whose divs encode floor divisions enumerate
     correctly.  Raises :class:`UnboundedSetError` when a scanned column has
     no finite rational bound.
+
+    Results are memoized; the returned array is marked read-only because
+    cache hits share one array across callers.
     """
+    return cache.memoized(
+        "enumeration.basic_set", lambda: _frozen(_enumerate_basic_set(bs)), bs
+    )
+
+
+def _frozen(arr: np.ndarray) -> np.ndarray:
+    arr.setflags(write=False)
+    return arr
+
+
+def _enumerate_basic_set(bs: BasicSet) -> np.ndarray:
     ncols = bs.ncols
     if ncols == 0:
         return np.zeros((1, 0), dtype=np.int64)

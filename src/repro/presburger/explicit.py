@@ -18,6 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from . import cache
+
 __all__ = [
     "PointSet",
     "PointRelation",
@@ -105,6 +107,7 @@ def rowwise_lex_le(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 
 
 # ----------------------------------------------------------------------
+@cache.register_internable
 @dataclass(frozen=True)
 class PointSet:
     """A finite set of integer points, canonically sorted and deduplicated."""
@@ -135,6 +138,8 @@ class PointSet:
         return len(self) == 0
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, PointSet):
             return NotImplemented
         return self.points.shape == other.points.shape and bool(
@@ -142,20 +147,58 @@ class PointSet:
         )
 
     def __hash__(self) -> int:  # frozen dataclass with array payload
-        return hash((self.points.shape, self.points.tobytes()))
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.points.shape, self.points.tobytes()))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     # -- set algebra ------------------------------------------------------
     def union(self, other: "PointSet") -> "PointSet":
         self._check(other)
-        return PointSet(np.concatenate([self.points, other.points], axis=0))
+        if other.is_empty():
+            cache.count_trivial("PointSet.union")
+            return self
+        if self.is_empty():
+            cache.count_trivial("PointSet.union")
+            return other
+        return cache.memoized(
+            "PointSet.union",
+            lambda: PointSet(
+                np.concatenate([self.points, other.points], axis=0)
+            ),
+            self,
+            other,
+        )
 
     def intersect(self, other: "PointSet") -> "PointSet":
         self._check(other)
-        return PointSet(self.points[self.contains_rows(other=other.points)])
+        if self.is_empty() or other.is_empty():
+            cache.count_trivial("PointSet.intersect")
+            return PointSet.empty(self.ndim)
+        return cache.memoized(
+            "PointSet.intersect",
+            lambda: PointSet(
+                self.points[self.contains_rows(other=other.points)]
+            ),
+            self,
+            other,
+        )
 
     def difference(self, other: "PointSet") -> "PointSet":
         self._check(other)
-        return PointSet(self.points[~self.contains_rows(other=other.points)])
+        if self.is_empty() or other.is_empty():
+            cache.count_trivial("PointSet.difference")
+            return self
+        return cache.memoized(
+            "PointSet.difference",
+            lambda: PointSet(
+                self.points[~self.contains_rows(other=other.points)]
+            ),
+            self,
+            other,
+        )
 
     def contains_rows(self, other: np.ndarray) -> np.ndarray:
         """Boolean mask over *self's* rows: which appear in ``other``."""
@@ -201,6 +244,7 @@ class PointSet:
 
 
 # ----------------------------------------------------------------------
+@cache.register_internable
 @dataclass(frozen=True)
 class PointRelation:
     """A finite binary relation between integer tuples.
@@ -265,6 +309,8 @@ class PointRelation:
         return len(self) == 0
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, PointRelation):
             return NotImplemented
         return (
@@ -274,35 +320,84 @@ class PointRelation:
         )
 
     def __hash__(self) -> int:
-        return hash((self.n_in, self.pairs.shape, self.pairs.tobytes()))
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.n_in, self.pairs.shape, self.pairs.tobytes()))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     # -- relational algebra ----------------------------------------------
     def inverse(self) -> "PointRelation":
-        return PointRelation(
-            np.concatenate([self.out_part, self.in_part], axis=1), self.n_out
+        if self.is_empty():
+            cache.count_trivial("PointRelation.inverse")
+            return PointRelation.empty(self.n_out, self.n_in)
+        return cache.memoized(
+            "PointRelation.inverse",
+            lambda: PointRelation(
+                np.concatenate([self.out_part, self.in_part], axis=1),
+                self.n_out,
+            ),
+            self,
         )
 
     def domain(self) -> PointSet:
-        return PointSet(self.in_part)
+        return cache.memoized(
+            "PointRelation.domain", lambda: PointSet(self.in_part), self
+        )
 
     def range(self) -> PointSet:
-        return PointSet(self.out_part)
+        return cache.memoized(
+            "PointRelation.range", lambda: PointSet(self.out_part), self
+        )
 
     def union(self, other: "PointRelation") -> "PointRelation":
         self._check(other)
-        return PointRelation(
-            np.concatenate([self.pairs, other.pairs], axis=0), self.n_in
+        if other.is_empty():
+            cache.count_trivial("PointRelation.union")
+            return self
+        if self.is_empty():
+            cache.count_trivial("PointRelation.union")
+            return other
+        return cache.memoized(
+            "PointRelation.union",
+            lambda: PointRelation(
+                np.concatenate([self.pairs, other.pairs], axis=0), self.n_in
+            ),
+            self,
+            other,
         )
 
     def intersect(self, other: "PointRelation") -> "PointRelation":
         self._check(other)
-        mine, theirs = joint_ranks(self.pairs, other.pairs)
-        return PointRelation(self.pairs[np.isin(mine, theirs)], self.n_in)
+        if self.is_empty() or other.is_empty():
+            cache.count_trivial("PointRelation.intersect")
+            return PointRelation.empty(self.n_in, self.n_out)
+        return cache.memoized(
+            "PointRelation.intersect",
+            lambda: self._filtered(other, negate=False),
+            self,
+            other,
+        )
 
     def difference(self, other: "PointRelation") -> "PointRelation":
         self._check(other)
+        if self.is_empty() or other.is_empty():
+            cache.count_trivial("PointRelation.difference")
+            return self
+        return cache.memoized(
+            "PointRelation.difference",
+            lambda: self._filtered(other, negate=True),
+            self,
+            other,
+        )
+
+    def _filtered(self, other: "PointRelation", negate: bool) -> "PointRelation":
         mine, theirs = joint_ranks(self.pairs, other.pairs)
-        return PointRelation(self.pairs[~np.isin(mine, theirs)], self.n_in)
+        mask = np.isin(mine, theirs)
+        if negate:
+            mask = ~mask
+        return PointRelation(self.pairs[mask], self.n_in)
 
     def after(self, other: "PointRelation") -> "PointRelation":
         """Composition ``self ∘ other`` (apply ``other`` first).
@@ -312,6 +407,14 @@ class PointRelation:
         """
         if other.n_out != self.n_in:
             raise ValueError("composition arity mismatch")
+        if self.is_empty() or other.is_empty():
+            cache.count_trivial("PointRelation.after")
+            return PointRelation.empty(other.n_in, self.n_out)
+        return cache.memoized(
+            "PointRelation.after", lambda: self._after(other), self, other
+        )
+
+    def _after(self, other: "PointRelation") -> "PointRelation":
         left = other  # A -> B
         right = self  # B -> C
         kl, kr = joint_ranks(left.out_part, right.in_part)
@@ -343,24 +446,61 @@ class PointRelation:
         """Image of ``s`` under the relation."""
         if s.ndim != self.n_in:
             raise ValueError("set arity does not match relation input")
+        if self.is_empty() or s.is_empty():
+            cache.count_trivial("PointRelation.apply")
+            return PointSet.empty(self.n_out)
+        return cache.memoized(
+            "PointRelation.apply",
+            lambda: self._apply(s),
+            self,
+            s,
+        )
+
+    def _apply(self, s: PointSet) -> PointSet:
         mine, theirs = joint_ranks(self.in_part, s.points)
         return PointSet(self.out_part[np.isin(mine, theirs)])
 
     def restrict_domain(self, s: PointSet) -> "PointRelation":
-        mine, theirs = joint_ranks(self.in_part, s.points)
-        return PointRelation(self.pairs[np.isin(mine, theirs)], self.n_in)
+        if self.is_empty() or s.is_empty():
+            cache.count_trivial("PointRelation.restrict_domain")
+            return PointRelation.empty(self.n_in, self.n_out)
+        return cache.memoized(
+            "PointRelation.restrict_domain",
+            lambda: self._restricted(self.in_part, s),
+            self,
+            s,
+        )
 
     def restrict_range(self, s: PointSet) -> "PointRelation":
-        mine, theirs = joint_ranks(self.out_part, s.points)
+        if self.is_empty() or s.is_empty():
+            cache.count_trivial("PointRelation.restrict_range")
+            return PointRelation.empty(self.n_in, self.n_out)
+        return cache.memoized(
+            "PointRelation.restrict_range",
+            lambda: self._restricted(self.out_part, s),
+            self,
+            s,
+        )
+
+    def _restricted(self, part: np.ndarray, s: PointSet) -> "PointRelation":
+        mine, theirs = joint_ranks(part, s.points)
         return PointRelation(self.pairs[np.isin(mine, theirs)], self.n_in)
 
     # -- lexicographic reductions ------------------------------------------
     def lexmax_per_domain(self) -> "PointRelation":
         """Keep, for each input tuple, the lexicographically largest output."""
-        return self._lexopt_per_domain(keep_last=True)
+        return cache.memoized(
+            "PointRelation.lexmax_per_domain",
+            lambda: self._lexopt_per_domain(keep_last=True),
+            self,
+        )
 
     def lexmin_per_domain(self) -> "PointRelation":
-        return self._lexopt_per_domain(keep_last=False)
+        return cache.memoized(
+            "PointRelation.lexmin_per_domain",
+            lambda: self._lexopt_per_domain(keep_last=False),
+            self,
+        )
 
     def _lexopt_per_domain(self, keep_last: bool) -> "PointRelation":
         if self.is_empty():

@@ -18,6 +18,7 @@ from enum import Enum
 from fractions import Fraction
 from typing import Sequence
 
+from . import cache
 from .constraint import Constraint, Kind
 from .lp import LPStatus, solve_lp
 
@@ -54,7 +55,30 @@ def ilp_minimize(
     ncols: int,
     node_limit: int = _DEFAULT_NODE_LIMIT,
 ) -> ILPResult:
-    """Minimize an integer objective over the integer points of a polyhedron."""
+    """Minimize an integer objective over the integer points of a polyhedron.
+
+    Results are memoized on ``(objective, constraints, ncols, node_limit)``
+    through the Presburger op cache: lexicographic optimization and bound
+    queries re-solve identical subproblems constantly.
+    """
+    obj = tuple(int(v) for v in objective)
+    cons = tuple(constraints)
+    return cache.memoized(
+        "ilp.minimize",
+        lambda: _ilp_minimize_uncached(obj, cons, ncols, node_limit),
+        obj,
+        cons,
+        ncols,
+        node_limit,
+    )
+
+
+def _ilp_minimize_uncached(
+    objective: tuple[int, ...],
+    constraints: tuple[Constraint, ...],
+    ncols: int,
+    node_limit: int,
+) -> ILPResult:
     nodes_used = 0
     incumbent_value: int | None = None
     incumbent_point: tuple[int, ...] | None = None
@@ -111,8 +135,22 @@ def integer_feasible_point(
     """Some integer point of the polyhedron, or ``None`` when empty.
 
     Depth-first branch and bound on the zero objective; the first integral
-    LP vertex wins.
+    LP vertex wins.  Memoized — emptiness checks and sampling hit the same
+    systems repeatedly.
     """
+    cons = tuple(constraints)
+    return cache.memoized(
+        "ilp.feasible_point",
+        lambda: _feasible_point_uncached(cons, ncols, node_limit),
+        cons,
+        ncols,
+        node_limit,
+    )
+
+
+def _feasible_point_uncached(
+    constraints: tuple[Constraint, ...], ncols: int, node_limit: int
+) -> tuple[int, ...] | None:
     stack: list[list[Constraint]] = [list(constraints)]
     nodes_used = 0
     zero = [0] * ncols
@@ -147,8 +185,17 @@ def is_empty(
     """True when the constraint system has no integer solution."""
     for con in constraints:
         if con.normalized().is_contradiction():
+            # Syntactic contradiction — no search (and no cache key) needed.
+            cache.count_trivial("ilp.is_empty")
             return True
-    return integer_feasible_point(constraints, ncols, node_limit) is None
+    cons = tuple(constraints)
+    return cache.memoized(
+        "ilp.is_empty",
+        lambda: _feasible_point_uncached(cons, ncols, node_limit) is None,
+        cons,
+        ncols,
+        node_limit,
+    )
 
 
 def lexopt(

@@ -5,12 +5,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+from . import cache
 from .basic_map import BasicMap
 from .basic_set import BasicSet
 from .iset import Set
 from .space import MapSpace
 
 
+@cache.register_internable
 @dataclass(frozen=True)
 class Map:
     """A finite union of :class:`BasicMap` pieces over one map space."""
@@ -22,6 +24,21 @@ class Map:
         for bm in self.pieces:
             if bm.n_in != self.space.n_in or bm.n_out != self.space.n_out:
                 raise ValueError("piece arity mismatch")
+
+    def __hash__(self) -> int:  # structural hash, computed once
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.space, self.pieces))
+            object.__setattr__(self, "_hash", h)
+            return h
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not Map:
+            return NotImplemented
+        return self.space == other.space and self.pieces == other.pieces
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -44,44 +61,121 @@ class Map:
     def union(self, other: "Map") -> "Map":
         if not self.space.compatible(other.space):
             raise ValueError("map space mismatch")
+        if not other.pieces:
+            cache.count_trivial("Map.union")
+            return self
+        if not self.pieces:
+            cache.count_trivial("Map.union")
+            return Map(self.space, other.pieces)
         return Map(self.space, self.pieces + other.pieces)
 
     def inverse(self) -> "Map":
-        return Map(self.space.reversed(), tuple(p.inverse() for p in self.pieces))
+        return cache.memoized(
+            "Map.inverse",
+            lambda: Map(
+                self.space.reversed(),
+                tuple(p.inverse() for p in self.pieces),
+            ),
+            self,
+        )
 
     def domain(self) -> Set:
-        return Set(self.space.domain, tuple(p.domain() for p in self.pieces))
+        return cache.memoized(
+            "Map.domain",
+            lambda: Set(
+                self.space.domain, tuple(p.domain() for p in self.pieces)
+            ),
+            self,
+        )
 
     def range(self) -> Set:
-        return Set(self.space.range, tuple(p.range() for p in self.pieces))
+        return cache.memoized(
+            "Map.range",
+            lambda: Set(
+                self.space.range, tuple(p.range() for p in self.pieces)
+            ),
+            self,
+        )
 
     def wrap(self) -> Set:
         return Set(self.space.wrapped(), tuple(p.wrap() for p in self.pieces))
 
     def after(self, other: "Map") -> "Map":
         """Composition ``self ∘ other`` (apply ``other`` first)."""
+        if not self.pieces or not other.pieces:
+            cache.count_trivial("Map.after")
+            return Map(MapSpace(other.space.domain, self.space.range), ())
+        return cache.memoized(
+            "Map.after", lambda: self._after(other), self, other
+        )
+
+    def _after(self, other: "Map") -> "Map":
         out = tuple(a.after(b) for a in self.pieces for b in other.pieces)
         return Map(MapSpace(other.space.domain, self.space.range), out)
 
     def apply(self, s: Set) -> Set:
-        out = tuple(p.apply(bs) for p in self.pieces for bs in s.pieces)
-        return Set(self.space.range, out)
+        if not self.pieces or not s.pieces:
+            cache.count_trivial("Map.apply")
+            return Set(self.space.range, ())
+        return cache.memoized(
+            "Map.apply",
+            lambda: Set(
+                self.space.range,
+                tuple(p.apply(bs) for p in self.pieces for bs in s.pieces),
+            ),
+            self,
+            s,
+        )
 
     def intersect(self, other: "Map") -> "Map":
-        out = tuple(a.intersect(b) for a in self.pieces for b in other.pieces)
-        return Map(self.space, out)
+        if not self.pieces or not other.pieces:
+            cache.count_trivial("Map.intersect")
+            return Map(self.space, ())
+        return cache.memoized(
+            "Map.intersect",
+            lambda: Map(
+                self.space,
+                tuple(a.intersect(b) for a in self.pieces for b in other.pieces),
+            ),
+            self,
+            other,
+        )
 
     def intersect_domain(self, s: Set) -> "Map":
-        out = tuple(
-            p.intersect_domain(bs) for p in self.pieces for bs in s.pieces
+        if not self.pieces or not s.pieces:
+            cache.count_trivial("Map.intersect_domain")
+            return Map(self.space, ())
+        return cache.memoized(
+            "Map.intersect_domain",
+            lambda: Map(
+                self.space,
+                tuple(
+                    p.intersect_domain(bs)
+                    for p in self.pieces
+                    for bs in s.pieces
+                ),
+            ),
+            self,
+            s,
         )
-        return Map(self.space, out)
 
     def intersect_range(self, s: Set) -> "Map":
-        out = tuple(
-            p.intersect_range(bs) for p in self.pieces for bs in s.pieces
+        if not self.pieces or not s.pieces:
+            cache.count_trivial("Map.intersect_range")
+            return Map(self.space, ())
+        return cache.memoized(
+            "Map.intersect_range",
+            lambda: Map(
+                self.space,
+                tuple(
+                    p.intersect_range(bs)
+                    for p in self.pieces
+                    for bs in s.pieces
+                ),
+            ),
+            self,
+            s,
         )
-        return Map(self.space, out)
 
     def map_pieces(self, fn: Callable[[BasicMap], BasicMap]) -> "Map":
         return Map(self.space, tuple(fn(p) for p in self.pieces))
@@ -95,7 +189,17 @@ class Map:
         return any(p.wrap().contains(pair) for p in self.pieces)
 
     def coalesce(self) -> "Map":
-        return Map(self.space, tuple(p for p in self.pieces if not p.is_empty()))
+        if not self.pieces:
+            cache.count_trivial("Map.coalesce")
+            return self
+        return cache.memoized(
+            "Map.coalesce",
+            lambda: Map(
+                self.space,
+                tuple(p for p in self.pieces if not p.is_empty()),
+            ),
+            self,
+        )
 
     def __iter__(self) -> Iterable[BasicMap]:
         return iter(self.pieces)

@@ -5,10 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping, Sequence
 
+from . import cache
 from .basic_set import BasicSet
 from .space import Space
 
 
+@cache.register_internable
 @dataclass(frozen=True)
 class Set:
     """A finite union of :class:`BasicSet` pieces over one space."""
@@ -20,6 +22,21 @@ class Set:
         for bs in self.pieces:
             if bs.ndim != self.space.ndim:
                 raise ValueError("piece dimensionality mismatch")
+
+    def __hash__(self) -> int:  # structural hash, computed once
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.space, self.pieces))
+            object.__setattr__(self, "_hash", h)
+            return h
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not Set:
+            return NotImplemented
+        return self.space == other.space and self.pieces == other.pieces
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -42,9 +59,23 @@ class Set:
     def union(self, other: "Set") -> "Set":
         if other.ndim != self.ndim:
             raise ValueError("cannot union sets of different dimensionality")
+        if not other.pieces:
+            cache.count_trivial("Set.union")
+            return self
+        if not self.pieces:
+            cache.count_trivial("Set.union")
+            return Set(self.space, other.pieces)
         return Set(self.space, self.pieces + other.pieces)
 
     def intersect(self, other: "Set") -> "Set":
+        if not self.pieces or not other.pieces:
+            cache.count_trivial("Set.intersect")
+            return Set(self.space, ())
+        return cache.memoized(
+            "Set.intersect", lambda: self._intersect(other), self, other
+        )
+
+    def _intersect(self, other: "Set") -> "Set":
         out = tuple(
             a.intersect(b)
             for a in self.pieces
@@ -109,7 +140,17 @@ class Set:
 
     def coalesce(self) -> "Set":
         """Drop empty pieces (a lightweight stand-in for isl's coalesce)."""
-        return Set(self.space, tuple(bs for bs in self.pieces if not bs.is_empty()))
+        if not self.pieces:
+            cache.count_trivial("Set.coalesce")
+            return self
+        return cache.memoized(
+            "Set.coalesce",
+            lambda: Set(
+                self.space,
+                tuple(bs for bs in self.pieces if not bs.is_empty()),
+            ),
+            self,
+        )
 
     def __iter__(self) -> Iterable[BasicSet]:
         return iter(self.pieces)

@@ -9,6 +9,7 @@ difference — which is exactly how these builders assemble it.
 
 from __future__ import annotations
 
+from . import cache
 from .basic_map import BasicMap
 from .constraint import Constraint
 from .imap import Map
@@ -35,12 +36,24 @@ def _piece(space: Space, strict_at: int, strict: bool) -> BasicMap:
 
 def lex_lt_map(space: Space) -> Map:
     """``{ x -> y : x <lex y }`` over ``space``."""
-    pieces = tuple(_piece(space, k, strict=True) for k in range(space.ndim))
-    return Map(MapSpace(space, space), pieces)
+    return cache.memoized(
+        "ops.lex_lt_map",
+        lambda: Map(
+            MapSpace(space, space),
+            tuple(_piece(space, k, strict=True) for k in range(space.ndim)),
+        ),
+        space,
+    )
 
 
 def lex_le_map(space: Space) -> Map:
     """``{ x -> y : x <=lex y }`` over ``space``."""
+    return cache.memoized(
+        "ops.lex_le_map", lambda: _lex_le_map(space), space
+    )
+
+
+def _lex_le_map(space: Space) -> Map:
     n = space.ndim
     pieces = [_piece(space, k, strict=True) for k in range(n - 1)]
     pieces.append(_piece(space, n - 1, strict=False))

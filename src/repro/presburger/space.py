@@ -16,7 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from . import cache
 
+
+@cache.register_internable
 @dataclass(frozen=True)
 class Space:
     """An ordered tuple of dimension names, optionally labelled.
@@ -35,6 +38,21 @@ class Space:
     def __post_init__(self) -> None:
         if len(set(self.dims)) != len(self.dims):
             raise ValueError(f"duplicate dimension names in {self.dims!r}")
+
+    def __hash__(self) -> int:  # structural hash, computed once
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.dims, self.name))
+            object.__setattr__(self, "_hash", h)
+            return h
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not Space:
+            return NotImplemented
+        return self.name == other.name and self.dims == other.dims
 
     @property
     def ndim(self) -> int:
@@ -59,6 +77,7 @@ class Space:
         return f"{label}[{', '.join(self.dims)}]"
 
 
+@cache.register_internable
 @dataclass(frozen=True)
 class MapSpace:
     """The space of a binary relation: a domain space and a range space."""
@@ -69,6 +88,21 @@ class MapSpace:
     def __post_init__(self) -> None:
         if self.range is None:
             raise ValueError("MapSpace requires both domain and range spaces")
+
+    def __hash__(self) -> int:  # structural hash, computed once
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.domain, self.range))
+            object.__setattr__(self, "_hash", h)
+            return h
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not MapSpace:
+            return NotImplemented
+        return self.domain == other.domain and self.range == other.range
 
     @property
     def n_in(self) -> int:

@@ -4,6 +4,39 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fuzz-seed",
+        type=int,
+        default=20220822,
+        help="seed of the differential fuzz harness (tests/fuzz)",
+    )
+    parser.addoption(
+        "--fuzz-samples",
+        type=int,
+        default=48,
+        help="number of random programs per fuzz test "
+        "(raise to 200+ for a thorough run)",
+    )
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden codegen files instead of comparing",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    # tier-2 tests only run when explicitly selected (e.g. ``-m tier2``),
+    # so the ROADMAP tier-1 verify line stays fast and unchanged.
+    if "tier2" in (config.getoption("-m") or ""):
+        return
+    skip = pytest.mark.skip(reason="tier-2: run with -m tier2")
+    for item in items:
+        if "tier2" in item.keywords:
+            item.add_marker(skip)
+
 from repro.interp import Interpreter
 from repro.scop import extract_scop
 from repro.lang import parse

@@ -1,0 +1,1 @@
+"""Randomized differential-testing harness for the pipeline stack."""

@@ -1,0 +1,117 @@
+"""Seeded random generator of Table 9-style DSL programs.
+
+Samples are sequences of consecutive depth-2 affine loop nests over shared
+arrays — the program family the paper's detection targets — built on the
+:class:`~repro.workloads.pkernels.PKernel` machinery so loop bounds are
+derived automatically from the access templates (every read stays inside
+the region its producer nest wrote).
+
+The generator is driven by a :class:`random.Random` instance, so every
+sample is reproducible from the harness seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.workloads import NestSpec, PKernel, ReadSpec
+
+#: Index templates drawn for read accesses.  All are monotone with
+#: non-negative coefficients in ``i``/``j`` (a :class:`PKernel`
+#: requirement) and mirror the shapes of Table 9: identity, strided,
+#: shifted and coupled accesses.
+ROW_TEMPLATES = ("i", "2*i", "i+1", "i+2", "i+3", "2*i+j", "i+j")
+COL_TEMPLATES = ("j", "2*j", "j+1", "j+2", "j+3", "2*j+i", "i+j")
+
+
+@dataclass(frozen=True)
+class FuzzSample:
+    """One generated program plus the size it should be instantiated at."""
+
+    index: int
+    kernel: PKernel
+    n: int
+
+    @property
+    def source(self) -> str:
+        return self.kernel.source(self.n)
+
+    def describe(self) -> str:
+        reads = "; ".join(
+            ",".join(r.render() for r in nest.reads) or "-"
+            for nest in self.kernel.nests
+        )
+        return (
+            f"sample {self.index}: {self.kernel.num_nests} nests, "
+            f"N={self.n}, reads [{reads}]"
+        )
+
+
+def _random_kernel(rng: random.Random, index: int) -> PKernel:
+    num_nests = rng.randint(2, 4)
+    nests: list[NestSpec] = [NestSpec(num=rng.randint(1, 4))]
+    for k in range(2, num_nests + 1):
+        num_reads = rng.randint(1, min(2, k - 1))
+        sources = rng.sample(range(1, k), num_reads)
+        reads = tuple(
+            ReadSpec(
+                source=src,
+                row=rng.choice(ROW_TEMPLATES),
+                col=rng.choice(COL_TEMPLATES),
+            )
+            for src in sorted(sources)
+        )
+        nests.append(NestSpec(num=rng.randint(1, 4), reads=reads))
+    return PKernel(f"F{index}", tuple(nests))
+
+
+def generate_sample(
+    rng: random.Random, index: int, n_min: int = 8, n_max: int = 12
+) -> FuzzSample:
+    """One feasible random program (re-draws until the bounds work out).
+
+    ``PKernel.extents`` rejects draws whose access templates leave no room
+    for at least one iteration per nest at the chosen size; those draws are
+    simply replaced, keeping every returned sample executable.
+    """
+    while True:
+        kernel = _random_kernel(rng, index)
+        n = rng.randint(n_min, n_max)
+        try:
+            kernel.extents(n)
+        except ValueError:
+            continue
+        return FuzzSample(index=index, kernel=kernel, n=n)
+
+
+def generate_samples(
+    seed: int, count: int, n_min: int = 8, n_max: int = 12
+) -> list[FuzzSample]:
+    """``count`` reproducible samples from one harness seed."""
+    rng = random.Random(seed)
+    return [
+        generate_sample(rng, index, n_min, n_max) for index in range(count)
+    ]
+
+
+def random_topological_order(graph, rng: random.Random) -> list[int]:
+    """A uniformly shuffled Kahn order of a task graph.
+
+    Unlike :meth:`TaskGraph.topological_order`, the ready task is drawn at
+    random, so repeated calls exercise *different* legal schedules — the
+    property the differential harness needs.
+    """
+    indeg = [len(p) for p in graph.preds]
+    ready = [t for t in range(len(graph.tasks)) if indeg[t] == 0]
+    order: list[int] = []
+    while ready:
+        tid = ready.pop(rng.randrange(len(ready)))
+        order.append(tid)
+        for s in sorted(graph.succs[tid]):
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                ready.append(s)
+    if len(order) != len(graph.tasks):
+        raise AssertionError("task graph has a cycle")
+    return order
