@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench report examples lint analyze-examples clean
+.PHONY: install test bench bench-exec report examples lint analyze-examples clean
 
 # Kernel sources checked by `make lint` / `make analyze-examples`; every
 # parameter any of them references must appear in LINT_PARAMS.
@@ -18,6 +18,11 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Measured-execution bench: real wall-clock speedups of the vectorized
+# kernels and the thread/process backends (docs/execution.md).
+bench-exec:
+	$(PYTHON) -m repro bench-exec --out BENCH_execution.json
 
 # Regeneration tests (print the paper's tables/figures and assert shapes)
 regen:

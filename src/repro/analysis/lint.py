@@ -198,7 +198,7 @@ def _lint_array_usage(program: Program, out: Collector) -> None:
     for stmt in _statements_with_context(program):
         written.setdefault(stmt.target.array, stmt)
         accesses.setdefault(stmt.target.array, []).append(stmt.target)
-        if stmt.op == "+=":
+        if stmt.op != "=":  # compound assignments read their target
             read.add(stmt.target.array)
         for acc in expr_reads(stmt.value):
             read.add(acc.array)

@@ -5,6 +5,12 @@ from .calibration import (
     format_sensitivity,
     overhead_sensitivity,
 )
+from .execution import (
+    format_execution_bench,
+    measured_speedup,
+    run_execution_bench,
+    run_workload,
+)
 from .figure2 import Figure2Result, format_figure2, run_figure2
 from .figure5 import Figure5Result, format_figure5, run_figure5
 from .figure10 import (
@@ -50,11 +56,15 @@ __all__ = [
     "SensitivityRow",
     "ascii_timeline",
     "build_scop",
+    "format_execution_bench",
     "format_figure2",
     "format_figure5",
     "format_figure10",
     "format_figure11",
     "format_sensitivity",
+    "measured_speedup",
+    "run_execution_bench",
+    "run_workload",
     "format_table9",
     "kernel_structure",
     "overhead_sensitivity",

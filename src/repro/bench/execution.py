@@ -1,0 +1,251 @@
+"""Measured-execution benchmark: real wall-clock pipeline speed-ups.
+
+Everything else in :mod:`repro.bench` *simulates* schedules on abstract
+cost units; this module actually runs the generated task programs and
+times them.  Three questions are answered per kernel:
+
+1. how much faster is the vectorized sequential execution than the
+   compiled-loop interpreter (whole-block NumPy kernels vs per-iteration
+   Python)?
+2. does the thread backend overlap anything (it can only overlap NumPy
+   kernels and blocking calls — scalar Python bodies serialize on the
+   GIL)?
+3. does the process backend (shared-memory store, true multi-core) beat
+   the best sequential execution?
+
+On CPU-bound kernels question 3 needs physical cores; on a single-CPU
+host the honest answer is "no".  The bench therefore includes a
+*latency-bound* workload — the statement bodies call an opaque function
+that blocks (modelling the paper's expensive prime-search kernel, or any
+I/O / external-library call).  Such a call is not elementwise, so the
+vectorizer correctly refuses it and the sequential paths pay the full
+latency serially, while the pipeline backends overlap blocked tasks even
+on one core.  Host CPU count is recorded in the report so the numbers
+can be read in context.
+
+``python -m repro bench-exec --out BENCH_execution.json`` runs it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..interp import Interpreter, execute_measured
+from ..interp.interp import _mix
+from ..pipeline import detect_pipeline
+from ..workloads import TABLE9
+
+#: Seconds each opaque call blocks in the latency-bound workload.
+LATENCY_S = 0.002
+
+
+def blocking_compute(*args: float) -> float:
+    """Opaque statement body that *blocks* per call.
+
+    Deliberately not marked elementwise: the vectorizer must refuse it
+    (calling it once per block would change semantics from once per
+    iteration), so every sequential path pays the latency serially.
+    Module-level, hence picklable for the process backend.
+    """
+    time.sleep(LATENCY_S)
+    return _mix(*args)
+
+
+def _measure(
+    source: str,
+    params: Mapping[str, int],
+    backend: str,
+    vectorize: str,
+    workers: int,
+    coarsen: int,
+    funcs: Mapping[str, Callable] | None = None,
+    repeats: int = 3,
+) -> tuple[dict, "np.ndarray | None", object]:
+    """Best-of-``repeats`` measured execution; returns (record, _, store)."""
+    interp = Interpreter.from_source(source, params, funcs, vectorize=vectorize)
+    info = detect_pipeline(interp.scop, coarsen=coarsen)
+    best = None
+    store = None
+    for _ in range(max(1, repeats)):
+        store, stats = execute_measured(
+            interp, info, backend=backend, workers=workers
+        )
+        if best is None or stats.wall_time < best.wall_time:
+            best = stats
+    return best.as_dict(), best, store
+
+
+def run_workload(
+    name: str,
+    source: str,
+    params: Mapping[str, int],
+    workers: int,
+    coarsen: int,
+    funcs: Mapping[str, Callable] | None = None,
+    repeats: int = 3,
+) -> dict:
+    """Run one kernel on all four execution configurations."""
+    configs = (
+        ("scalar-serial", "serial", "off"),
+        ("vector-serial", "serial", "auto"),
+        ("threads", "threads", "auto"),
+        ("processes", "processes", "auto"),
+    )
+    oracle = Interpreter.from_source(source, params, funcs)
+    reference = oracle.run_sequential(oracle.new_store())
+
+    runs: dict[str, dict] = {}
+    identical = True
+    for label, backend, mode in configs:
+        record, stats, store = _measure(
+            source, params, backend, mode, workers, coarsen, funcs, repeats
+        )
+        same = reference.equal(store)
+        record["identical_to_sequential"] = same
+        identical = identical and same
+        runs[label] = record
+
+    t = {label: runs[label]["wall_time_s"] for label in runs}
+    return {
+        "name": name,
+        "params": dict(params),
+        "coarsen": coarsen,
+        "repeats": repeats,
+        "runs": runs,
+        "identical": identical,
+        "speedup_vectorized": t["scalar-serial"] / t["vector-serial"],
+        "speedup_threads": t["scalar-serial"] / t["threads"],
+        "speedup_processes": t["scalar-serial"] / t["processes"],
+        "processes_vs_vector_serial": t["vector-serial"] / t["processes"],
+    }
+
+
+def measured_speedup(
+    source: str,
+    params: Mapping[str, int],
+    workers: int = 4,
+    coarsen: int | None = None,
+    funcs: Mapping[str, Callable] | None = None,
+    repeats: int = 3,
+) -> float:
+    """Wall-clock speed-up of the vectorized threaded pipeline over the
+    compiled-loop serial baseline (the figure runners' ``--measured``)."""
+    if coarsen is None:
+        probe = Interpreter.from_source(source, params, funcs)
+        per_stmt = max(
+            (len(s.points.points) for s in probe.scop.statements), default=1
+        )
+        coarsen = max(1, per_stmt // 8)  # ~8 coarse blocks per statement
+    _, base, _ = _measure(
+        source, params, "serial", "off", workers, coarsen, funcs, repeats
+    )
+    _, pipe, _ = _measure(
+        source, params, "threads", "auto", workers, coarsen, funcs, repeats
+    )
+    return base.wall_time / pipe.wall_time if pipe.wall_time else 1.0
+
+
+def run_execution_bench(
+    workers: int = 4, quick: bool = False, out_path: str | None = None
+) -> dict:
+    """The full measured-execution benchmark (BENCH_execution.json)."""
+    repeats = 1 if quick else 3
+    n_small = 16 if quick else 32
+    n_p5 = 24 if quick else 64
+    # Blocks must tile the N*N/2-point nests evenly: ragged blocks
+    # decompose into many small rectangles and hide the vectorization win.
+    coarsen_p5 = 288 if quick else 1024
+    n_latency = 6 if quick else 8
+
+    workloads = [
+        run_workload(
+            "P1",
+            TABLE9["P1"].source(n_small),
+            {},
+            workers,
+            coarsen=max(8, n_small * 2),
+            repeats=repeats,
+        ),
+        run_workload(
+            "P5",
+            TABLE9["P5"].source(n_p5),
+            {},
+            workers,
+            coarsen=coarsen_p5,
+            repeats=repeats,
+        ),
+        run_workload(
+            "P5-latency",
+            TABLE9["P5"].source(n_latency),
+            {},
+            workers,
+            coarsen=max(2, n_latency // 2),
+            funcs={"compute": blocking_compute},
+            repeats=1,  # latency workload is deterministic enough
+        ),
+    ]
+
+    p5 = next(w for w in workloads if w["name"] == "P5")
+    criteria = {
+        "all_paths_bit_identical": all(w["identical"] for w in workloads),
+        "vectorized_speedup_on_P5": round(p5["speedup_vectorized"], 2),
+        "vectorized_10x_on_P5": p5["speedup_vectorized"] >= 10.0,
+        "processes_beat_vector_serial_somewhere": any(
+            w["processes_vs_vector_serial"] > 1.0 for w in workloads
+        ),
+    }
+    report = {
+        "bench": "execution",
+        "host": {
+            "cpus": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+        },
+        "workers": workers,
+        "quick": quick,
+        "latency_s": LATENCY_S,
+        "workloads": workloads,
+        "criteria": criteria,
+    }
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+    return report
+
+
+def format_execution_bench(report: dict) -> str:
+    """Human-readable table of the bench report."""
+    host = report["host"]
+    lines = [
+        f"measured execution bench — {host['cpus']} cpu(s), "
+        f"{report['workers']} workers, numpy {host['numpy']}",
+        "",
+        f"{'workload':>12}  {'config':>14}  {'wall ms':>9}  "
+        f"{'vec cov':>7}  {'identical':>9}",
+    ]
+    for w in report["workloads"]:
+        for label, run in w["runs"].items():
+            lines.append(
+                f"{w['name']:>12}  {label:>14}  "
+                f"{run['wall_time_s'] * 1e3:9.2f}  "
+                f"{run['iteration_coverage'] * 100:6.0f}%  "
+                f"{str(run['identical_to_sequential']):>9}"
+            )
+        lines.append(
+            f"{'':>12}  speedups: vectorized {w['speedup_vectorized']:.2f}x, "
+            f"threads {w['speedup_threads']:.2f}x, "
+            f"processes {w['speedup_processes']:.2f}x "
+            f"({w['processes_vs_vector_serial']:.2f}x vs vector-serial)"
+        )
+    lines.append("")
+    lines.append("criteria: " + json.dumps(report["criteria"]))
+    return "\n".join(lines)

@@ -37,7 +37,16 @@ def run_cell(
     size: int,
     workers: int = PAPER_WORKERS,
     overhead: float = DEFAULT_OVERHEAD,
+    measured: bool = False,
 ) -> Figure10Cell:
+    if measured:
+        # Real wall clock: vectorized threaded pipeline vs compiled-loop
+        # serial baseline (the SIZE axis only weights the simulator's
+        # cost model, so measured cells carry size 0).
+        from .execution import measured_speedup
+
+        sp = measured_speedup(kernel.source(n), {}, workers=workers)
+        return Figure10Cell(kernel.name, n, 0, sp)
     scop = build_scop(kernel.source(n))
     result = run_pipeline(
         kernel.name, scop, kernel.cost_model(size), workers, overhead
@@ -51,14 +60,19 @@ def run_figure10(
     sizes: tuple[int, ...] = DEFAULT_SIZES,
     workers: int = PAPER_WORKERS,
     overhead: float = DEFAULT_OVERHEAD,
+    measured: bool = False,
 ) -> list[Figure10Cell]:
     names = kernels or sorted(TABLE9, key=lambda k: int(k[1:]))
+    if measured:
+        sizes = (0,)  # wall-clock mode has no simulated SIZE axis
     cells: list[Figure10Cell] = []
     for name in names:
         kern = TABLE9[name]
         for size in sizes:
             for n in ns:
-                cells.append(run_cell(kern, n, size, workers, overhead))
+                cells.append(
+                    run_cell(kern, n, size, workers, overhead, measured)
+                )
     return cells
 
 

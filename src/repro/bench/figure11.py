@@ -50,16 +50,29 @@ def run_kernel(
     size: int = DEFAULT_MATRIX_SIZE,
     workers: int = PAPER_WORKERS,
     overhead: float = DEFAULT_OVERHEAD,
+    measured: bool = False,
 ) -> Figure11Row:
     scop = build_scop(kernel.source(size))
     cost = kernel.cost_model(size)
-    pipe = run_pipeline(kernel.name, scop, cost, workers, overhead)
+    if measured:
+        # The pipeline column becomes a real wall-clock speed-up
+        # (vectorized threaded execution vs compiled-loop serial); the
+        # Polly baselines stay simulated — there is no Polly executor.
+        from .execution import measured_speedup
+
+        pipe_speedup = measured_speedup(
+            kernel.source(size), {}, workers=workers
+        )
+    else:
+        pipe_speedup = run_pipeline(
+            kernel.name, scop, cost, workers, overhead
+        ).speedup
     polly8 = run_polly(kernel.name, scop, cost, threads=8, overhead=overhead)
     pollyn = run_polly(
         kernel.name, scop, cost, threads=kernel.n, overhead=overhead
     )
     return Figure11Row(
-        kernel.name, pipe.speedup, polly8.speedup, pollyn.speedup
+        kernel.name, pipe_speedup, polly8.speedup, pollyn.speedup
     )
 
 
@@ -67,9 +80,11 @@ def run_figure11(
     size: int = DEFAULT_MATRIX_SIZE,
     workers: int = PAPER_WORKERS,
     overhead: float = DEFAULT_OVERHEAD,
+    measured: bool = False,
 ) -> list[Figure11Row]:
     return [
-        run_kernel(k, size, workers, overhead) for k in figure11_kernels()
+        run_kernel(k, size, workers, overhead, measured)
+        for k in figure11_kernels()
     ]
 
 

@@ -40,8 +40,30 @@ def trace_events(graph: TaskGraph, sim: SimResult) -> list[dict[str, Any]]:
     return events
 
 
-def trace_json(graph: TaskGraph, sim: SimResult, indent: int | None = None) -> str:
-    """Full trace document (``traceEvents`` plus display metadata)."""
+def trace_json(
+    graph: TaskGraph,
+    sim: SimResult,
+    indent: int | None = None,
+    execution=None,
+) -> str:
+    """Full trace document (``traceEvents`` plus display metadata).
+
+    ``execution`` attaches the measured-execution record of a real run
+    (an :class:`~repro.interp.executor.ExecutionStats` or its dict form):
+    backend, workers, wall time, vectorization coverage and per-statement
+    fallback reasons — alongside the simulated schedule they contextualize.
+    """
+    other: dict[str, Any] = {
+        "makespan": sim.makespan,
+        "workers": sim.workers,
+        "policy": sim.policy,
+        "tasks": len(graph),
+        "presburger_cache": presburger_cache.stats().as_dict(),
+    }
+    if execution is not None:
+        other["execution"] = (
+            execution if isinstance(execution, dict) else execution.as_dict()
+        )
     doc = {
         "traceEvents": trace_events(graph, sim)
         + [
@@ -55,18 +77,12 @@ def trace_json(graph: TaskGraph, sim: SimResult, indent: int | None = None) -> s
             for w in range(sim.workers)
         ],
         "displayTimeUnit": "ms",
-        "otherData": {
-            "makespan": sim.makespan,
-            "workers": sim.workers,
-            "policy": sim.policy,
-            "tasks": len(graph),
-            "presburger_cache": presburger_cache.stats().as_dict(),
-        },
+        "otherData": other,
     }
     return json.dumps(doc, indent=indent)
 
 
-def write_trace(path: str, graph: TaskGraph, sim: SimResult) -> None:
+def write_trace(path: str, graph: TaskGraph, sim: SimResult, execution=None) -> None:
     """Write the trace document to ``path``."""
     with open(path, "w", encoding="utf-8") as fh:
-        fh.write(trace_json(graph, sim))
+        fh.write(trace_json(graph, sim, execution=execution))

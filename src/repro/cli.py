@@ -9,9 +9,15 @@ Commands
 ``lint <kernel.c> [--deep] [--format text|json|sarif]``
     Run the AST-level lint rules (``--deep`` adds SCoP validation and the
     pipelinability/task-graph checks); exit 1 on error diagnostics.
-``run <kernel.c> --param N=32 [--workers 4]``
+``run <kernel.c> --param N=32 [--workers 4] [--exec-backend serial|threads|processes] [--vectorize auto|on|off]``
     Execute the kernel sequentially and pipelined (threaded runtime) and
     report whether the results match, plus the simulated speed-up.
+    ``--exec-backend`` additionally runs a *measured* wall-clock execution
+    of the generated task program on the chosen backend;
+    ``--vectorize`` controls the whole-block NumPy kernels.
+``bench-exec [--out BENCH_execution.json]``
+    Measured-execution benchmark: compiled-loop vs vectorized sequential
+    vs thread/process backends, including a latency-bound workload.
 ``codegen <kernel.c> --param N=32``
     Emit the generated task program source to stdout.
 ``deps <kernel.c> --param N=32``
@@ -40,12 +46,12 @@ def _parse_params(items: list[str]) -> dict[str, int]:
     return params
 
 
-def _load(path: str, params: dict[str, int]):
+def _load(path: str, params: dict[str, int], vectorize: str = "auto"):
     from .interp import Interpreter
 
     with open(path, "r", encoding="utf-8") as fh:
         source = fh.read()
-    return Interpreter.from_source(source, params)
+    return Interpreter.from_source(source, params, vectorize=vectorize)
 
 
 def _read_source(path: str) -> str:
@@ -147,7 +153,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         simulate,
     )
 
-    interp = _load(args.kernel, _parse_params(args.param))
+    interp = _load(args.kernel, _parse_params(args.param), args.vectorize)
     info = detect_pipeline(interp.scop, coarsen=args.coarsen)
     ast = generate_task_ast(info)
     if args.hybrid:
@@ -169,10 +175,32 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"simulated speed-up on {args.workers} workers: "
         f"{graph.total_cost() / sim.makespan:.2f}x"
     )
+    if args.exec_backend:
+        from .interp import execute_measured
+
+        ex_store, stats = execute_measured(
+            interp, info, backend=args.exec_backend, workers=args.workers
+        )
+        ex_match = seq_store.equal(ex_store)
+        print("measured execution: " + stats.summary())
+        print(f"measured result matches sequential: {ex_match}")
+        match = match and ex_match
     if args.timeline:
         print()
         print(ascii_timeline(graph, sim))
     return 0 if match else 1
+
+
+def cmd_bench_exec(args: argparse.Namespace) -> int:
+    from .bench.execution import format_execution_bench, run_execution_bench
+
+    report = run_execution_bench(
+        workers=args.workers, quick=args.quick, out_path=args.out
+    )
+    print(format_execution_bench(report))
+    if args.out:
+        print(f"wrote {args.out}")
+    return 0
 
 
 def cmd_codegen(args: argparse.Namespace) -> int:
@@ -248,7 +276,9 @@ def cmd_table9(args: argparse.Namespace) -> int:
 def cmd_figure10(args: argparse.Namespace) -> int:
     from .bench import format_figure10, run_figure10
 
-    cells = run_figure10(ns=tuple(args.sizes), workers=args.workers)
+    cells = run_figure10(
+        ns=tuple(args.sizes), workers=args.workers, measured=args.measured
+    )
     print(format_figure10(cells))
     return 0
 
@@ -256,7 +286,9 @@ def cmd_figure10(args: argparse.Namespace) -> int:
 def cmd_figure11(args: argparse.Namespace) -> int:
     from .bench import format_figure11, run_figure11
 
-    rows = run_figure11(size=args.matrix_size, workers=args.workers)
+    rows = run_figure11(
+        size=args.matrix_size, workers=args.workers, measured=args.measured
+    )
     print(format_figure11(rows))
     return 0
 
@@ -320,6 +352,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a per-statement ASCII timeline of the simulated schedule",
     )
+    p_run.add_argument(
+        "--exec-backend",
+        choices=("serial", "threads", "processes"),
+        default=None,
+        help="also run a measured wall-clock execution on this backend",
+    )
+    p_run.add_argument(
+        "--vectorize",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="whole-block NumPy kernels: auto (legal statements), "
+        "on (fail on fallback), off (compiled loops)",
+    )
     kernel_cmd("codegen", cmd_codegen)
     p_deps = kernel_cmd("deps", cmd_deps)
     p_deps.add_argument(
@@ -338,12 +383,33 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figure10")
     p.add_argument("--sizes", type=int, nargs="+", default=[16, 24, 32])
     p.add_argument("--workers", type=int, default=8)
+    p.add_argument(
+        "--measured",
+        action="store_true",
+        help="measure real wall-clock execution instead of simulating",
+    )
     p.set_defaults(fn=cmd_figure10)
 
     p = sub.add_parser("figure11")
     p.add_argument("--matrix-size", type=int, default=32)
     p.add_argument("--workers", type=int, default=8)
+    p.add_argument(
+        "--measured",
+        action="store_true",
+        help="measure real wall-clock execution instead of simulating",
+    )
     p.set_defaults(fn=cmd_figure11)
+
+    p = sub.add_parser(
+        "bench-exec",
+        help="measured-execution benchmark (writes BENCH_execution.json)",
+    )
+    p.add_argument("--out", default=None, metavar="PATH")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument(
+        "--quick", action="store_true", help="small sizes, no repeats"
+    )
+    p.set_defaults(fn=cmd_bench_exec)
     return parser
 
 

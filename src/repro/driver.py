@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING, Mapping
 if TYPE_CHECKING:  # analysis imports lazily to keep startup light
     from .analysis.diagnostics import DiagnosticReport
 
-from .interp import ArrayStore, Interpreter
+from .interp import ArrayStore, ExecutionStats, Interpreter, execute_measured
 from .lang.ast import Program
 from .pipeline import PipelineInfo, detect_pipeline
 from .schedule import (
@@ -73,6 +73,12 @@ class TransformOptions:
     presburger_cache: bool | None = None
     #: LRU capacity override for the Presburger op cache (None keeps it)
     presburger_cache_size: int | None = None
+    #: vectorized block kernels: "auto" (vectorize what's legal), "on"
+    #: (fail if any statement can't vectorize), "off" (compiled loops)
+    vectorize: str = "auto"
+    #: run a real measured execution on this backend ("serial", "threads"
+    #: or "processes"); None skips the measured run
+    exec_backend: str | None = None
 
 
 @dataclass(frozen=True)
@@ -90,6 +96,8 @@ class TransformResult:
     simulation: SimResult
     #: static-analysis findings (None unless options.static_checks)
     diagnostics: "DiagnosticReport | None" = None
+    #: measured execution statistics (None unless options.exec_backend)
+    execution: "ExecutionStats | None" = None
 
     @property
     def speedup(self) -> float:
@@ -114,6 +122,8 @@ class TransformResult:
                 "threaded execution matches sequential: "
                 f"{self.verified}"
             )
+        if self.execution is not None:
+            lines.append("measured execution: " + self.execution.summary())
         lines.append(
             f"simulated speed-up on {self.options.workers} workers: "
             f"{self.speedup:.2f}x ({self.num_tasks} tasks)"
@@ -153,7 +163,8 @@ def _transform(
     funcs: Mapping | None,
 ) -> TransformResult:
     interp = Interpreter.from_source(
-        source_or_program, dict(params or {}), funcs
+        source_or_program, dict(params or {}), funcs,
+        vectorize=options.vectorize,
     )
     scop = interp.scop
     info = detect_pipeline(
@@ -187,6 +198,7 @@ def _transform(
             )
 
     verified: bool | None = None
+    seq: ArrayStore | None = None
     if options.verify:
         seq = interp.run_sequential(interp.new_store())
         par = interp.new_store()
@@ -197,6 +209,21 @@ def _transform(
             raise VerificationFailedError(
                 "pipelined arrays differ from the sequential execution "
                 f"(max abs diff {seq.max_abs_diff(par):g})"
+            )
+
+    execution: ExecutionStats | None = None
+    if options.exec_backend is not None:
+        ex_store, execution = execute_measured(
+            interp,
+            info,
+            backend=options.exec_backend,
+            workers=options.workers,
+            cost_of_block=options.cost_model.block_cost,
+        )
+        if seq is not None and not seq.equal(ex_store):
+            raise VerificationFailedError(
+                f"measured {options.exec_backend} execution diverged from "
+                f"sequential (max abs diff {seq.max_abs_diff(ex_store):g})"
             )
 
     sim = simulate(
@@ -213,4 +240,5 @@ def _transform(
         verified=verified,
         simulation=sim,
         diagnostics=diagnostics,
+        execution=execution,
     )

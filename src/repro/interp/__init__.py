@@ -1,16 +1,48 @@
 """Kernel execution: array store, statement compilation, reference interpreter."""
 
-from .compile import CompiledStatement, StatementFn, compile_scop, compile_statement
+from .compile import (
+    COMPOUND_OPS,
+    CompiledStatement,
+    StatementFn,
+    compile_scop,
+    compile_statement,
+)
+from .executor import BACKENDS, ExecutionStats, execute_measured
 from .interp import DEFAULT_FUNCS, Interpreter
-from .store import ArrayStore, ArrayView
+from .store import ArrayStore, ArrayView, SharedArrayStore
+from .vectorize import (
+    NotVectorizable,
+    VectorEntry,
+    VectorProgram,
+    VectorizedStatement,
+    elementwise,
+    is_elementwise,
+    rectangles,
+    vectorize_scop,
+    vectorize_statement,
+)
 
 __all__ = [
     "ArrayStore",
     "ArrayView",
+    "BACKENDS",
+    "COMPOUND_OPS",
     "CompiledStatement",
     "DEFAULT_FUNCS",
+    "ExecutionStats",
+    "execute_measured",
     "Interpreter",
+    "NotVectorizable",
+    "SharedArrayStore",
     "StatementFn",
+    "VectorEntry",
+    "VectorProgram",
+    "VectorizedStatement",
     "compile_scop",
     "compile_statement",
+    "elementwise",
+    "is_elementwise",
+    "rectangles",
+    "vectorize_scop",
+    "vectorize_statement",
 ]

@@ -20,6 +20,17 @@ from .store import ArrayStore
 #: A compiled statement body: (store, funcs, iterations) -> None
 StatementFn = Callable[[ArrayStore, Mapping[str, Callable], Iterable], None]
 
+#: Compound-assignment operators and the binary operator each expands to.
+#: ``/=`` floors like every division in the DSL (``_expr_to_py`` maps ``/``
+#: to ``//`` as well), keeping value semantics uniform.
+COMPOUND_OPS: dict[str, str] = {
+    "+=": "+",
+    "-=": "-",
+    "*=": "*",
+    "/=": "//",
+    "%=": "%",
+}
+
 
 @dataclass(frozen=True)
 class CompiledStatement:
@@ -87,8 +98,17 @@ def compile_statement(scop: Scop, stmt: ScopStatement) -> CompiledStatement:
     rhs = _expr_to_py(
         stmt.assign.value, loop_vars, scop.params, offsets, func_names
     )
-    if stmt.assign.op == "+=":
-        rhs = f"{lhs} + ({rhs})"
+    if stmt.assign.op != "=":
+        try:
+            binop = COMPOUND_OPS[stmt.assign.op]
+        except KeyError:
+            raise SemanticError(
+                f"unsupported assignment operator {stmt.assign.op!r} "
+                f"in statement {stmt.name}; supported: "
+                f"=, {', '.join(sorted(COMPOUND_OPS))}",
+                stmt.assign.location,
+            ) from None
+        rhs = f"{lhs} {binop} ({rhs})"
 
     arrays_used = sorted(
         {a.array for a in stmt.accesses}

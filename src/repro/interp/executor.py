@@ -1,0 +1,222 @@
+"""Measured execution of pipelined task programs.
+
+Everything upstream of this module *analyzes* or *simulates*; here the
+generated task program actually runs against real arrays, timed, on one
+of three backends:
+
+* ``serial`` — blocks execute immediately at creation order (the
+  tasking-disabled baseline, but still vectorization-aware);
+* ``threads`` — :class:`~repro.tasking.backends.FuturesBackend` thread
+  pool (shared address space, GIL-limited for scalar bodies, overlaps
+  NumPy kernels and blocking calls);
+* ``processes`` — :class:`~repro.tasking.backends.ProcessBackend`
+  worker processes over a :class:`~repro.interp.store.SharedArrayStore`
+  (true multi-core execution).
+
+:func:`execute_measured` returns the mutated store plus an
+:class:`ExecutionStats` record carrying wall time and the vectorization
+coverage of the plan — blocks whose statement has no vector kernel ran
+on the compiled-loop path, and the per-statement fallback reasons say
+why.  Bench traces embed this record (see ``repro.bench.trace``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from .interp import Interpreter
+from .store import ArrayStore
+
+BACKENDS = ("serial", "threads", "processes")
+
+
+@dataclass(frozen=True)
+class ExecutionStats:
+    """What one measured execution did and how long it took."""
+
+    backend: str
+    workers: int
+    vectorize: str
+    wall_time: float
+    blocks_total: int
+    blocks_vectorized: int
+    iterations_total: int
+    iterations_vectorized: int
+    fallback_reasons: dict[str, str] = field(default_factory=dict)
+    scheduler: dict | None = None  # ProcessBackend dispatch statistics
+
+    @property
+    def block_coverage(self) -> float:
+        """Fraction of blocks that ran on the vectorized path."""
+        return self.blocks_vectorized / self.blocks_total if (
+            self.blocks_total
+        ) else 0.0
+
+    @property
+    def iteration_coverage(self) -> float:
+        """Fraction of statement instances that ran vectorized."""
+        return self.iterations_vectorized / self.iterations_total if (
+            self.iterations_total
+        ) else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready form for traces and bench reports."""
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "vectorize": self.vectorize,
+            "wall_time_s": self.wall_time,
+            "blocks_total": self.blocks_total,
+            "blocks_vectorized": self.blocks_vectorized,
+            "iterations_total": self.iterations_total,
+            "iterations_vectorized": self.iterations_vectorized,
+            "block_coverage": round(self.block_coverage, 4),
+            "iteration_coverage": round(self.iteration_coverage, 4),
+            "fallback_reasons": dict(self.fallback_reasons),
+            "scheduler": self.scheduler,
+        }
+
+    def summary(self) -> str:
+        cov = 100.0 * self.iteration_coverage
+        return (
+            f"{self.backend} ({self.workers} workers, vectorize="
+            f"{self.vectorize}): {self.wall_time * 1e3:.1f} ms, "
+            f"{self.blocks_total} blocks, {cov:.0f}% iterations vectorized"
+        )
+
+
+def execute_measured(
+    interp: Interpreter,
+    info,
+    backend: str = "serial",
+    workers: int = 4,
+    store: ArrayStore | None = None,
+    cost_of_block: Callable | None = None,
+) -> tuple[ArrayStore, ExecutionStats]:
+    """Emit the pipelined task program for ``info`` and actually run it.
+
+    The store (a fresh deterministic one unless given) is mutated in
+    place and returned with timing/coverage statistics.  Every backend
+    executes the identical task program, so results are bit-comparable
+    across backends and against :meth:`Interpreter.run_sequential`.
+
+    Tasks are created straight from the task AST with the same packed
+    ``dependArr`` addressing the emitted source programs use (see
+    :mod:`repro.codegen.emit`) — but payloads keep their NumPy iteration
+    arrays instead of round-tripping through Python literals, so the
+    timing measures kernel execution, not source re-parsing.
+    """
+    from ..codegen.emit import statement_columns, statement_packers
+    from ..schedule import generate_task_ast
+    from ..tasking import FuturesBackend, ProcessBackend, SerialBackend
+
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown execution backend {backend!r}; choose from {BACKENDS}"
+        )
+    ast = generate_task_ast(info)
+    columns = statement_columns(ast)
+    packers = statement_packers(ast)
+    write_num = len(columns)
+    cost = cost_of_block or (lambda b: float(b.size))
+    if store is None:
+        store = interp.new_store()
+
+    plan = interp.vector_program if interp.vectorize != "off" else None
+    blocks_total = blocks_vec = iters_total = iters_vec = 0
+    for nest in ast.nests:
+        stmt_vec = plan is not None and plan.get(nest.statement) is not None
+        for block in nest.blocks:
+            size = len(block.iterations)
+            blocks_total += 1
+            iters_total += size
+            if stmt_vec:
+                blocks_vec += 1
+                iters_vec += size
+    fallback = plan.fallback_reasons() if plan is not None else {}
+
+    if backend == "serial":
+        system = SerialBackend(write_num)
+    elif backend == "threads":
+        system = FuturesBackend(write_num, workers=workers)
+    else:  # processes
+        system = ProcessBackend(write_num, interp, store, workers=workers)
+
+    def task_body(payload) -> None:
+        interp.run_block(store, payload["statement"], payload["iters"])
+
+    # One function object per statement: backends key their funcCount
+    # self-chain (serializing same-statement blocks) on func identity.
+    stmt_funcs = {
+        nest.statement: (lambda payload, _f=task_body: _f(payload))
+        for nest in ast.nests
+    }
+
+    def build_tasks() -> None:
+        for nest in ast.nests:
+            col = columns[nest.statement]
+            packer = packers[nest.statement]
+            for block in nest.blocks:
+                in_dep = [packers[s].pack(end) for s, end in block.in_tokens]
+                in_idx = [columns[s] for s, _ in block.in_tokens]
+                system.create_task(
+                    stmt_funcs[nest.statement],
+                    {"statement": nest.statement, "iters": block.iterations},
+                    out_depend=packer.pack(block.end),
+                    out_idx=col,
+                    in_depend=in_dep,
+                    in_idx=in_idx,
+                    cost=cost(block),
+                    statement=nest.statement,
+                )
+
+    scheduler: dict | None = None
+    start = time.perf_counter()
+    build_tasks()
+    result = system.run(workers=workers)
+    if backend == "processes":
+        scheduler = result
+    wall = time.perf_counter() - start
+
+    stats = ExecutionStats(
+        backend=backend,
+        workers=workers if backend != "serial" else 1,
+        vectorize=interp.vectorize,
+        wall_time=wall,
+        blocks_total=blocks_total,
+        blocks_vectorized=blocks_vec,
+        iterations_total=iters_total,
+        iterations_vectorized=iters_vec,
+        fallback_reasons=fallback,
+        scheduler=scheduler,
+    )
+    return store, stats
+
+
+def run_all_backends(
+    interp_factory: Callable[[str], Interpreter],
+    info_of: Callable[[Interpreter], object],
+    workers: int = 4,
+) -> dict[str, tuple[ArrayStore, ExecutionStats]]:
+    """Run one kernel on every (backend, vectorize) combination.
+
+    ``interp_factory(vectorize_mode)`` builds a fresh interpreter;
+    ``info_of(interp)`` yields its pipeline info.  Used by the
+    differential tests and the execution bench.
+    """
+    out: dict[str, tuple[ArrayStore, ExecutionStats]] = {}
+    for label, backend, mode in (
+        ("scalar-serial", "serial", "off"),
+        ("vector-serial", "serial", "auto"),
+        ("threads", "threads", "auto"),
+        ("processes", "processes", "auto"),
+    ):
+        interp = interp_factory(mode)
+        out[label] = execute_measured(
+            interp, info_of(interp), backend=backend, workers=workers
+        )
+    return out

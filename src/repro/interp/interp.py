@@ -16,6 +16,7 @@ from ..lang.ast import Assign, Loop, Program
 from ..scop import Scop, extract_scop
 from .compile import CompiledStatement, compile_scop
 from .store import ArrayStore
+from .vectorize import VectorProgram, elementwise, vectorize_scop
 
 #: Default opaque functions for kernels written with f/g/h-style calls.
 #: Deterministic, order-sensitive (non-commutative beyond the first
@@ -23,7 +24,10 @@ from .store import ArrayStore
 DEFAULT_FUNCS: dict[str, Callable] = {}
 
 
+@elementwise
 def _mix(*args: float) -> float:
+    # Pure float64 arithmetic — maps over NumPy arrays with bit-identical
+    # results, so the vectorized block path may call it on whole slices.
     acc = 1.0
     for k, a in enumerate(args):
         acc = (acc * 31.0 + (k + 1) * a) % 65521.0
@@ -42,13 +46,27 @@ class Interpreter:
         program: Program,
         scop: Scop,
         funcs: Mapping[str, Callable] | None = None,
+        vectorize: str = "auto",
     ):
+        if vectorize not in ("auto", "on", "off"):
+            raise ValueError(
+                f"vectorize must be 'auto', 'on' or 'off', got {vectorize!r}"
+            )
         self.program = program
         self.scop = scop
         self.funcs = dict(DEFAULT_FUNCS)
         if funcs:
             self.funcs.update(funcs)
         self.compiled: dict[str, CompiledStatement] = compile_scop(scop)
+        self.vectorize = vectorize
+        self._vector_program: VectorProgram | None = None
+        #: Per-path execution counters, filled by :meth:`run_block`.
+        self.block_counters = {
+            "vectorized_blocks": 0,
+            "scalar_blocks": 0,
+            "vectorized_iterations": 0,
+            "scalar_iterations": 0,
+        }
         missing = {
             f
             for c in self.compiled.values()
@@ -57,6 +75,11 @@ class Interpreter:
         }
         if missing:
             raise KeyError(f"no implementation for functions: {sorted(missing)}")
+        if vectorize == "on":
+            # Fail at construction, not mid-execution: ``on`` asserts full
+            # coverage, so build the plan (and its SemanticError naming
+            # every non-vectorizable statement) eagerly.
+            self.vector_program
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -64,6 +87,7 @@ class Interpreter:
         source_or_program: str | Program,
         params: Mapping[str, int],
         funcs: Mapping[str, Callable] | None = None,
+        vectorize: str = "auto",
     ) -> "Interpreter":
         from ..lang import parse
 
@@ -73,7 +97,18 @@ class Interpreter:
             else source_or_program
         )
         scop = extract_scop(program, dict(params))
-        return Interpreter(program, scop, funcs)
+        return Interpreter(program, scop, funcs, vectorize=vectorize)
+
+    @property
+    def vector_program(self) -> VectorProgram:
+        """Lazily built vectorization plan (``--vectorize on`` asserts it
+        covers every statement)."""
+        if self._vector_program is None:
+            plan = vectorize_scop(self.scop, self.funcs)
+            if self.vectorize == "on":
+                plan.require_full()
+            self._vector_program = plan
+        return self._vector_program
 
     # ------------------------------------------------------------------
     def new_store(self, init: str = "index") -> ArrayStore:
@@ -115,8 +150,23 @@ class Interpreter:
     def run_block(
         self, store: ArrayStore, statement: str, iterations: np.ndarray
     ) -> None:
-        """Execute one pipeline block (a batch of iterations of a statement)."""
-        self.compiled[statement](store, self.funcs, iterations.tolist())
+        """Execute one pipeline block (a batch of iterations of a statement).
+
+        Dispatches to the vectorized rectangle kernel when the statement has
+        one (and ``vectorize`` is not ``'off'``); otherwise runs the
+        compiled-loop body.  Both paths are bit-identical by construction.
+        """
+        iters = np.asarray(iterations, dtype=np.int64)
+        if self.vectorize != "off":
+            vec = self.vector_program.get(statement)
+            if vec is not None:
+                vec(store, self.funcs, iters)
+                self.block_counters["vectorized_blocks"] += 1
+                self.block_counters["vectorized_iterations"] += len(iters)
+                return
+        self.compiled[statement](store, self.funcs, iters.tolist())
+        self.block_counters["scalar_blocks"] += 1
+        self.block_counters["scalar_iterations"] += len(iters)
 
     def execute_blocks_in_order(
         self, store: ArrayStore, blocks: list

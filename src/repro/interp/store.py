@@ -4,11 +4,18 @@ Arrays are NumPy ``float64`` buffers sized from the SCoP's access extents;
 an offset per dimension maps (possibly negative) source indices onto the
 buffer.  The store is shared between the sequential interpreter, the task
 runtime, and generated code, so results can be compared bit-for-bit.
+
+:class:`SharedArrayStore` keeps the same layout inside one
+``multiprocessing.shared_memory`` segment so worker processes of the
+process execution backend mutate a single physical copy — the store
+pickles as a tiny spec (segment name + per-array shape/offset/byte
+offset) and each process re-views the same pages.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
@@ -93,3 +100,147 @@ class ArrayStore:
             if diff.size:
                 worst = max(worst, float(diff.max()))
         return worst
+
+
+# ----------------------------------------------------------------------
+# shared-memory store (process execution backend)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SharedStoreSpec:
+    """Picklable description of a :class:`SharedArrayStore` segment.
+
+    ``arrays`` maps name -> (shape, offsets, byte_offset); workers attach
+    with :meth:`SharedArrayStore.attach` and see the creator's pages.
+    """
+
+    segment: str
+    arrays: dict[str, tuple[tuple[int, ...], tuple[int, ...], int]]
+
+
+class SharedArrayStore(ArrayStore):
+    """An :class:`ArrayStore` whose buffers live in one shared segment.
+
+    The creating process calls :meth:`from_store` (copying an existing
+    store's contents in) or :meth:`for_scop`, hands :attr:`spec` to worker
+    processes, and finally :meth:`close` + :meth:`unlink`.  Workers call
+    :meth:`attach` and :meth:`close` — never :meth:`unlink`.
+    """
+
+    def __init__(
+        self,
+        arrays: dict[str, ArrayView],
+        shm: shared_memory.SharedMemory,
+        spec: SharedStoreSpec,
+        owner: bool,
+    ):
+        super().__init__(arrays)
+        self._shm = shm
+        self.spec = spec
+        self._owner = owner
+        self._closed = False
+        self._unlinked = False
+
+    # -- construction ---------------------------------------------------
+    @staticmethod
+    def _layout(
+        shapes: dict[str, tuple[int, ...]]
+    ) -> tuple[dict[str, int], int]:
+        """Byte offset per array (64-byte aligned) and the total size."""
+        offsets: dict[str, int] = {}
+        pos = 0
+        for name in sorted(shapes):
+            offsets[name] = pos
+            nbytes = int(np.prod(shapes[name])) * 8  # float64
+            pos += (nbytes + 63) & ~63
+        return offsets, max(pos, 1)
+
+    @classmethod
+    def from_store(cls, store: ArrayStore) -> "SharedArrayStore":
+        """Create a shared segment initialized with ``store``'s contents."""
+        shapes = {n: v.data.shape for n, v in store.arrays.items()}
+        byte_offsets, total = cls._layout(shapes)
+        shm = shared_memory.SharedMemory(create=True, size=total)
+        arrays: dict[str, ArrayView] = {}
+        spec_arrays: dict[str, tuple] = {}
+        for name, view in store.arrays.items():
+            off = byte_offsets[name]
+            data = np.ndarray(
+                view.data.shape, dtype=np.float64, buffer=shm.buf, offset=off
+            )
+            data[...] = view.data
+            arrays[name] = ArrayView(name, data, view.offsets)
+            spec_arrays[name] = (
+                tuple(view.data.shape),
+                tuple(view.offsets),
+                off,
+            )
+        spec = SharedStoreSpec(shm.name, spec_arrays)
+        return cls(arrays, shm, spec, owner=True)
+
+    @classmethod
+    def for_scop(cls, scop: Scop, init: str = "index") -> "SharedArrayStore":
+        return cls.from_store(ArrayStore.for_scop(scop, init))
+
+    @classmethod
+    def attach(cls, spec: SharedStoreSpec) -> "SharedArrayStore":
+        """Map an existing segment in a worker process."""
+        shm = shared_memory.SharedMemory(name=spec.segment)
+        # CPython registers every attach with the resource tracker and the
+        # tracker then unlinks the segment when the *worker* exits — before
+        # the owner is done with it (bpo-38119).  Only the owner unlinks.
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        arrays = {
+            name: ArrayView(
+                name,
+                np.ndarray(
+                    shape, dtype=np.float64, buffer=shm.buf, offset=off
+                ),
+                offsets,
+            )
+            for name, (shape, offsets, off) in spec.arrays.items()
+        }
+        return cls(arrays, shm, spec, owner=False)
+
+    # -- lifecycle ------------------------------------------------------
+    def to_local(self) -> ArrayStore:
+        """Copy the shared contents out into a plain in-process store."""
+        return ArrayStore(
+            {
+                name: ArrayView(view.name, np.array(view.data), view.offsets)
+                for name, view in self.arrays.items()
+            }
+        )
+
+    def close(self) -> None:
+        """Drop this process's mapping (shared pages survive elsewhere)."""
+        if self._closed:
+            return
+        self._closed = True
+        # The ndarray views hold exports of shm.buf; drop them first or
+        # SharedMemory.close raises BufferError.
+        self.arrays.clear()
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment.  Owner-only, after every process closed."""
+        if self._owner and not self._unlinked:
+            self._unlinked = True
+            try:
+                # Re-register first: under a fork-shared tracker a worker's
+                # attach/unregister pair already removed the entry, and
+                # unlink's internal unregister would hit a KeyError in the
+                # tracker process.  Registration is idempotent (set add).
+                resource_tracker.register(self._shm._name, "shared_memory")
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __del__(self):  # best-effort cleanup on abandoned stores
+        try:
+            self.close()
+            self.unlink()
+        except Exception:
+            pass

@@ -1,0 +1,520 @@
+"""Vectorized whole-block compilation of affine statement bodies.
+
+The compiled-loop path of :mod:`repro.interp.compile` executes one Python
+iteration per statement instance — correct, but the per-iteration
+interpreter overhead dwarfs the arithmetic.  This module adds a second
+code path: when a statement is *vectorizable*, its body is compiled once
+into a NumPy kernel over an axis-aligned rectangle of iterations, so a
+whole pipeline block executes as a handful of strided array operations.
+
+Legality (checked per statement, conservatively):
+
+* every subscript is affine with **at most one loop variable per array
+  dimension** and a **positive stride** (``A[2*i+1][j]`` vectorizes,
+  ``A[2*i+j][j]`` does not — a coupled subscript has no slice form);
+* no loop variable appears in two dimensions of one access (``A[i][i]``
+  diagonals have no slice form);
+* the **write** uses every loop variable exactly once, so distinct
+  iterations write distinct cells (injective ⇒ no scatter collisions);
+* the statement carries **no flow self-dependence** — a recurrence such
+  as ``A[i][j] = f(A[i][j-1])`` must execute iteration by iteration
+  (the Polly-style scalar fallback; anti self-dependences are fine
+  because the kernel gathers every read before it scatters the write);
+* every opaque ``Call`` resolves to a function flagged *elementwise*
+  (``fn.elementwise = True`` or a ``numpy.ufunc``); an arbitrary Python
+  function cannot be assumed to map over arrays.
+
+Statements that fail any check fall back to the compiled-loop path; the
+reason is recorded in the :class:`VectorProgram` so execution traces can
+report vectorization coverage and blame fallbacks.
+
+A block's iteration set is usually *not* a rectangle (pipeline blocks
+are lexicographic intervals), so :func:`rectangles` decomposes it into
+axis-aligned rectangles executed in lexicographic order — each rectangle
+is a contiguous range of the lex-sorted iterations, which preserves
+anti-dependence ordering across rectangles, while gather-before-scatter
+NumPy evaluation preserves it within one rectangle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..lang.ast import ArrayAccess, BinOp, Call, Expr, IntLit, VarRef
+from ..lang.errors import SemanticError
+from ..scop import Scop, ScopStatement
+from ..scop.deps import DepKind, dependence_relation
+from .compile import COMPOUND_OPS
+from .store import ArrayStore
+
+
+def elementwise(fn: Callable) -> Callable:
+    """Mark ``fn`` as safe to call with (broadcastable) array arguments."""
+    fn.elementwise = True  # type: ignore[attr-defined]
+    return fn
+
+
+def is_elementwise(fn: object) -> bool:
+    return isinstance(fn, np.ufunc) or bool(getattr(fn, "elementwise", False))
+
+
+class NotVectorizable(Exception):
+    """Internal: statement fails a vectorization legality check."""
+
+    def __init__(self, reason: str):
+        self.reason = reason
+        super().__init__(reason)
+
+
+# ----------------------------------------------------------------------
+# linear-form analysis of subscript expressions
+# ----------------------------------------------------------------------
+def linear_form(
+    expr: Expr, loop_vars: tuple[str, ...], params: Mapping[str, int]
+) -> tuple[dict[str, int], int]:
+    """``expr`` as ``sum(coeffs[v] * v) + const`` or raise NotVectorizable."""
+    if isinstance(expr, IntLit):
+        return {}, expr.value
+    if isinstance(expr, VarRef):
+        if expr.name in loop_vars:
+            return {expr.name: 1}, 0
+        if expr.name in params:
+            return {}, params[expr.name]
+        raise NotVectorizable(f"unknown variable {expr.name!r} in subscript")
+    if isinstance(expr, BinOp):
+        lc, lk = linear_form(expr.lhs, loop_vars, params)
+        rc, rk = linear_form(expr.rhs, loop_vars, params)
+        if expr.op == "+":
+            out = dict(lc)
+            for v, c in rc.items():
+                out[v] = out.get(v, 0) + c
+            return {v: c for v, c in out.items() if c}, lk + rk
+        if expr.op == "-":
+            out = dict(lc)
+            for v, c in rc.items():
+                out[v] = out.get(v, 0) - c
+            return {v: c for v, c in out.items() if c}, lk - rk
+        if expr.op == "*":
+            if not lc:
+                return {v: lk * c for v, c in rc.items() if lk * c}, lk * rk
+            if not rc:
+                return {v: rk * c for v, c in lc.items() if rk * c}, lk * rk
+            raise NotVectorizable("product of two loop variables in subscript")
+        if expr.op in ("/", "%"):
+            if lc or rc:
+                raise NotVectorizable(
+                    f"loop variable under {expr.op!r} in subscript"
+                )
+            if rk == 0:
+                raise NotVectorizable("division by zero in subscript")
+            return {}, lk // rk if expr.op == "/" else lk % rk
+        raise NotVectorizable(f"operator {expr.op!r} in subscript")
+    raise NotVectorizable(f"non-affine subscript {expr!r}")
+
+
+@dataclass(frozen=True)
+class DimPlan:
+    """One array dimension of an access: ``coeff * var + const`` (shifted)."""
+
+    var: str | None  # None → constant subscript
+    coeff: int
+    const: int  # already shifted by the array's dimension offset
+
+
+@dataclass(frozen=True)
+class AccessPlan:
+    """Slice form of one array access."""
+
+    array: str
+    dims: tuple[DimPlan, ...]
+
+    @property
+    def axis_vars(self) -> tuple[str, ...]:
+        return tuple(d.var for d in self.dims if d.var is not None)
+
+
+def plan_access(
+    acc: ArrayAccess,
+    loop_vars: tuple[str, ...],
+    params: Mapping[str, int],
+    offsets: Mapping[str, tuple[int, ...]],
+) -> AccessPlan:
+    dims: list[DimPlan] = []
+    seen: set[str] = set()
+    for k, idx in enumerate(acc.indices):
+        coeffs, const = linear_form(idx, loop_vars, params)
+        if len(coeffs) > 1:
+            raise NotVectorizable(
+                f"coupled subscript {idx} of {acc.array!r} "
+                "(two loop variables in one dimension)"
+            )
+        const -= offsets[acc.array][k]
+        if not coeffs:
+            dims.append(DimPlan(None, 0, const))
+            continue
+        (var, coeff), = coeffs.items()
+        if coeff <= 0:
+            raise NotVectorizable(
+                f"non-positive stride {coeff} in subscript {idx} "
+                f"of {acc.array!r}"
+            )
+        if var in seen:
+            raise NotVectorizable(
+                f"loop variable {var!r} repeated across dimensions "
+                f"of {acc.array!r} (diagonal access)"
+            )
+        seen.add(var)
+        dims.append(DimPlan(var, coeff, const))
+    return AccessPlan(acc.array, tuple(dims))
+
+
+# ----------------------------------------------------------------------
+# code generation
+# ----------------------------------------------------------------------
+def _slice_text(plan: AccessPlan, loop_vars: tuple[str, ...]) -> str:
+    """Indexing + axis-alignment code putting the access on the canonical
+    ``loop_vars`` grid (absent vars broadcast via ``None`` axes)."""
+    parts: list[str] = []
+    for d in plan.dims:
+        if d.var is None:
+            parts.append(str(d.const))
+            continue
+        p = loop_vars.index(d.var)
+        lo = f"{d.coeff}*__lo[{p}]{d.const:+d}" if d.const else (
+            f"{d.coeff}*__lo[{p}]" if d.coeff != 1 else f"__lo[{p}]"
+        )
+        hi = f"{d.coeff}*__hi[{p}]{d.const + 1:+d}"
+        step = f":{d.coeff}" if d.coeff != 1 else ""
+        parts.append(f"{lo}:{hi}{step}")
+    code = f"__arr_{plan.array}[{', '.join(parts)}]"
+
+    axis_vars = plan.axis_vars
+    present = tuple(v for v in loop_vars if v in axis_vars)
+    perm = tuple(axis_vars.index(v) for v in present)
+    if perm != tuple(range(len(perm))):
+        code = f"{code}.transpose({perm})"
+    if len(present) < len(loop_vars):
+        sub = ", ".join(
+            ":" if v in present else "None" for v in loop_vars
+        )
+        code = f"{code}[{sub}]"
+    return code
+
+
+def _vec_expr(
+    expr: Expr,
+    loop_vars: tuple[str, ...],
+    params: Mapping[str, int],
+    offsets: Mapping[str, tuple[int, ...]],
+    funcs: set[str],
+    ivs_used: set[str],
+) -> str:
+    if isinstance(expr, IntLit):
+        return str(expr.value)
+    if isinstance(expr, VarRef):
+        if expr.name in loop_vars:
+            ivs_used.add(expr.name)
+            return f"__iv_{expr.name}"
+        if expr.name in params:
+            return str(params[expr.name])
+        raise SemanticError(f"unknown variable {expr.name!r}", expr.location)
+    if isinstance(expr, BinOp):
+        lhs = _vec_expr(expr.lhs, loop_vars, params, offsets, funcs, ivs_used)
+        rhs = _vec_expr(expr.rhs, loop_vars, params, offsets, funcs, ivs_used)
+        op = "//" if expr.op == "/" else expr.op
+        return f"({lhs} {op} {rhs})"
+    if isinstance(expr, ArrayAccess):
+        plan = plan_access(expr, loop_vars, params, offsets)
+        return _slice_text(plan, loop_vars)
+    if isinstance(expr, Call):
+        funcs.add(expr.func)
+        args = ", ".join(
+            _vec_expr(a, loop_vars, params, offsets, funcs, ivs_used)
+            for a in expr.args
+        )
+        return f"__fn_{expr.func}({args})"
+    raise NotVectorizable(f"cannot vectorize expression {expr!r}")
+
+
+# ----------------------------------------------------------------------
+# rectangle decomposition
+# ----------------------------------------------------------------------
+def rectangles(
+    iters: np.ndarray,
+) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+    """Partition an iteration set into axis-aligned rectangles.
+
+    Returns inclusive ``(lo, hi)`` bounds covering ``iters`` exactly, in
+    lexicographic order; every rectangle is a contiguous range of the
+    lex-sorted iterations (so executing them in order preserves every
+    anti-dependence between rectangles).
+    """
+    iters = np.asarray(iters, dtype=np.int64)
+    if iters.ndim != 2:
+        raise ValueError("iterations must be a (count, depth) array")
+    n, d = iters.shape
+    if n == 0:
+        return []
+    lo, hi = iters.min(axis=0), iters.max(axis=0)
+    if n == int(np.prod(hi - lo + 1)):  # dense bounding box
+        return [(tuple(int(v) for v in lo), tuple(int(v) for v in hi))]
+
+    order = np.lexsort(iters.T[::-1])
+    iters = iters[order]
+    # Runs along the innermost dimension: break where the outer prefix
+    # changes or the inner coordinate jumps.
+    if d > 1:
+        prefix_change = np.any(np.diff(iters[:, :-1], axis=0) != 0, axis=1)
+    else:
+        prefix_change = np.zeros(n - 1, dtype=bool)
+    inner_jump = np.diff(iters[:, -1]) != 1
+    breaks = np.flatnonzero(prefix_change | inner_jump) + 1
+    starts = np.concatenate([[0], breaks])
+    stops = np.concatenate([breaks, [n]])
+
+    rects: list[tuple[np.ndarray, np.ndarray]] = []
+    for s, e in zip(starts, stops):
+        r_lo, r_hi = iters[s].copy(), iters[e - 1].copy()
+        # Merge with the previous rectangle when only the second-innermost
+        # coordinate advanced by one and the inner run is identical — turns
+        # the interior of a lex interval into a single 2-d rectangle.
+        if rects and d >= 2:
+            p_lo, p_hi = rects[-1]
+            if (
+                r_lo[d - 2] == r_hi[d - 2] == p_hi[d - 2] + 1
+                and np.array_equal(p_lo[: d - 2], r_lo[: d - 2])
+                and np.array_equal(p_lo[: d - 2], p_hi[: d - 2])
+                and p_lo[d - 1] == r_lo[d - 1]
+                and p_hi[d - 1] == r_hi[d - 1]
+            ):
+                p_hi[d - 2] = r_lo[d - 2]
+                continue
+        rects.append((r_lo, r_hi))
+    return [
+        (tuple(int(v) for v in lo), tuple(int(v) for v in hi))
+        for lo, hi in rects
+    ]
+
+
+# ----------------------------------------------------------------------
+# vectorized statements
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class VectorizedStatement:
+    """A statement compiled to a NumPy rectangle kernel.
+
+    Callable with the same ``(store, funcs, iterations)`` signature as
+    :class:`~repro.interp.compile.CompiledStatement`, so the two paths are
+    drop-in interchangeable; the iteration batch is decomposed into
+    rectangles and each executes as whole-array operations.
+    """
+
+    name: str
+    source: str
+    fn: Callable
+    func_names: tuple[str, ...]
+
+    def run_rect(
+        self,
+        store: ArrayStore,
+        funcs: Mapping[str, Callable],
+        lo: tuple[int, ...],
+        hi: tuple[int, ...],
+    ) -> None:
+        self.fn(store, funcs, lo, hi)
+
+    def __call__(self, store, funcs, iterations) -> None:
+        iters = np.asarray(iterations, dtype=np.int64)
+        if iters.size == 0:
+            return
+        for lo, hi in rectangles(iters):
+            self.fn(store, funcs, lo, hi)
+
+
+def vectorize_statement(
+    scop: Scop,
+    stmt: ScopStatement,
+    funcs: Mapping[str, Callable] | None = None,
+) -> VectorizedStatement:
+    """Compile one statement into a rectangle kernel or raise NotVectorizable."""
+    loop_vars = tuple(stmt.space.dims)
+    if not loop_vars:
+        raise NotVectorizable("statement has no loop dimensions")
+    params = scop.params
+    offsets = {
+        name: tuple(lo for lo, _ in scop.array_extent(name))
+        for name in scop.arrays
+    }
+
+    if stmt.assign.op != "=" and stmt.assign.op not in COMPOUND_OPS:
+        raise NotVectorizable(
+            f"unsupported assignment operator {stmt.assign.op!r}"
+        )
+
+    # Injective write: every loop variable drives exactly one dimension.
+    write_plan = plan_access(stmt.assign.target, loop_vars, params, offsets)
+    missing = set(loop_vars) - set(write_plan.axis_vars)
+    if missing:
+        raise NotVectorizable(
+            f"write to {write_plan.array!r} does not use loop variable(s) "
+            f"{sorted(missing)} (non-injective scatter)"
+        )
+
+    # No flow self-dependence: a read-after-write recurrence inside one
+    # batch would observe pre-batch values under gather-before-scatter.
+    if not dependence_relation(scop, stmt, stmt, DepKind.FLOW).is_empty():
+        raise NotVectorizable(
+            "flow self-dependence (recurrence) — block must run scalar"
+        )
+
+    func_names: set[str] = set()
+    ivs_used: set[str] = set()
+    try:
+        rhs = _vec_expr(
+            stmt.assign.value, loop_vars, params, offsets, func_names, ivs_used
+        )
+    except NotVectorizable:
+        raise
+    if stmt.assign.op != "=":
+        lhs_read = _slice_text(write_plan, loop_vars)
+        rhs = f"{lhs_read} {COMPOUND_OPS[stmt.assign.op]} ({rhs})"
+    elif isinstance(stmt.assign.value, ArrayAccess) and (
+        stmt.assign.value.array == write_plan.array
+    ):
+        # A bare same-array copy would assign a view onto itself; force a
+        # materialized temporary to keep gather-before-scatter semantics.
+        rhs = f"({rhs}).copy()"
+
+    # Check every called function is elementwise (when funcs are known).
+    if funcs is not None:
+        for fname in sorted(func_names):
+            fn = funcs.get(fname)
+            if fn is None or not is_elementwise(fn):
+                raise NotVectorizable(
+                    f"opaque call to non-elementwise function {fname!r}"
+                )
+
+    arrays_used = sorted({a.array for a in stmt.accesses})
+    lines = [f"def __vec_{stmt.name}(__store, __funcs, __lo, __hi):"]
+    for arr in arrays_used:
+        lines.append(f"    __arr_{arr} = __store.arrays[{arr!r}].data")
+    for fname in sorted(func_names):
+        lines.append(f"    __fn_{fname} = __funcs[{fname!r}]")
+    for var in sorted(ivs_used):
+        p = loop_vars.index(var)
+        sub = ", ".join(
+            ":" if v == var else "None" for v in loop_vars
+        )
+        lines.append(
+            f"    __iv_{var} = __np.arange(__lo[{p}], __hi[{p}] + 1)[{sub}]"
+        )
+    lines.append(f"    __rhs = {rhs}")
+
+    # Scatter: transpose the canonical grid into the write's axis order.
+    target = f"__arr_{write_plan.array}["
+    parts: list[str] = []
+    for d in write_plan.dims:
+        if d.var is None:
+            parts.append(str(d.const))
+        else:
+            p = loop_vars.index(d.var)
+            lo = f"{d.coeff}*__lo[{p}]{d.const:+d}" if d.const else (
+                f"{d.coeff}*__lo[{p}]" if d.coeff != 1 else f"__lo[{p}]"
+            )
+            hi = f"{d.coeff}*__hi[{p}]{d.const + 1:+d}"
+            step = f":{d.coeff}" if d.coeff != 1 else ""
+            parts.append(f"{lo}:{hi}{step}")
+    target += ", ".join(parts) + "]"
+    store_perm = tuple(
+        loop_vars.index(v) for v in write_plan.axis_vars
+    )
+    rhs_out = "__rhs"
+    if store_perm != tuple(range(len(store_perm))):
+        # A permuted write needs the full grid materialized before the
+        # transpose (a scalar or broadcast RHS has too few axes).
+        lines.append(
+            "    __rhs = __np.broadcast_to(__rhs, "
+            "tuple(h - l + 1 for l, h in zip(__lo, __hi)))"
+        )
+        rhs_out = f"__np.transpose(__rhs, {store_perm})"
+    lines.append(f"    {target} = {rhs_out}")
+
+    source = "\n".join(lines)
+    namespace: dict[str, object] = {"__np": np}
+    exec(source, namespace)  # noqa: S102 - compiling our own AST
+    fn = namespace[f"__vec_{stmt.name}"]
+    return VectorizedStatement(
+        stmt.name, source, fn, tuple(sorted(func_names))
+    )
+
+
+# ----------------------------------------------------------------------
+# whole-SCoP vectorization with coverage reporting
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class VectorEntry:
+    """Vectorization outcome for one statement."""
+
+    statement: str
+    vectorized: VectorizedStatement | None
+    reason: str | None  # fallback reason when not vectorized
+
+    @property
+    def ok(self) -> bool:
+        return self.vectorized is not None
+
+
+@dataclass(frozen=True)
+class VectorProgram:
+    """Per-statement vectorization plan of one SCoP."""
+
+    entries: dict[str, VectorEntry]
+
+    def get(self, statement: str) -> VectorizedStatement | None:
+        entry = self.entries.get(statement)
+        return entry.vectorized if entry is not None else None
+
+    @property
+    def statements_vectorized(self) -> int:
+        return sum(1 for e in self.entries.values() if e.ok)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of statements with a vector kernel (0..1)."""
+        if not self.entries:
+            return 0.0
+        return self.statements_vectorized / len(self.entries)
+
+    def fallback_reasons(self) -> dict[str, str]:
+        return {
+            name: e.reason
+            for name, e in self.entries.items()
+            if e.reason is not None
+        }
+
+    def require_full(self) -> None:
+        """Raise SemanticError unless every statement vectorized (mode=on)."""
+        reasons = self.fallback_reasons()
+        if reasons:
+            detail = "; ".join(f"{s}: {r}" for s, r in sorted(reasons.items()))
+            raise SemanticError(
+                f"--vectorize on: {len(reasons)} statement(s) cannot be "
+                f"vectorized ({detail})"
+            )
+
+
+def vectorize_scop(
+    scop: Scop, funcs: Mapping[str, Callable] | None = None
+) -> VectorProgram:
+    """Build the vectorization plan for every statement of a SCoP."""
+    entries: dict[str, VectorEntry] = {}
+    for stmt in scop.statements:
+        try:
+            vec = vectorize_statement(scop, stmt, funcs)
+            entries[stmt.name] = VectorEntry(stmt.name, vec, None)
+        except NotVectorizable as exc:
+            entries[stmt.name] = VectorEntry(stmt.name, None, exc.reason)
+    return VectorProgram(entries)

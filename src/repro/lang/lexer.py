@@ -13,6 +13,8 @@ from .tokens import KEYWORDS, Token, TokenKind
 
 _TWO_CHAR = {
     "+=": TokenKind.PLUS_ASSIGN,
+    "-=": TokenKind.MINUS_ASSIGN,
+    "*=": TokenKind.STAR_ASSIGN,
     "++": TokenKind.PLUS_PLUS,
     "<=": TokenKind.LE,
     ">=": TokenKind.GE,

@@ -9,7 +9,7 @@ synthetic labels ``S0, S1, ...``)::
     incr       := IDENT '++' | IDENT '+=' NUMBER
     body       := loop | '{' item* '}' | stmt
     item       := loop | stmt
-    stmt       := [IDENT ':'] access ('='|'+=') expr ';'
+    stmt       := [IDENT ':'] access ('='|'+='|'-='|'*=') expr ';'
     access     := IDENT ('[' expr ']')+
     expr       := term (('+'|'-') term)*
     term       := unary (('*'|'/'|'%') unary)*
@@ -176,9 +176,14 @@ class Parser:
             op = "="
         elif self.accept(TokenKind.PLUS_ASSIGN):
             op = "+="
+        elif self.accept(TokenKind.MINUS_ASSIGN):
+            op = "-="
+        elif self.accept(TokenKind.STAR_ASSIGN):
+            op = "*="
         else:
             raise ParseError(
-                f"expected '=' or '+=', found {self.current.text!r}",
+                f"expected '=', '+=', '-=' or '*=', "
+                f"found {self.current.text!r}",
                 self.current.location,
             )
         value = self.parse_expr()

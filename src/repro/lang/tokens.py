@@ -23,6 +23,8 @@ class TokenKind(Enum):
     COMMA = ","
     ASSIGN = "="
     PLUS_ASSIGN = "+="
+    MINUS_ASSIGN = "-="
+    STAR_ASSIGN = "*="
     PLUS_PLUS = "++"
     PLUS = "+"
     MINUS = "-"

@@ -191,7 +191,7 @@ def _add_statement(
         return Access(acc.array, indices, kind)
 
     accesses.append(lower_access(stmt.target, AccessKind.WRITE))
-    if stmt.op == "+=":
+    if stmt.op != "=":  # every compound assignment reads its target
         accesses.append(lower_access(stmt.target, AccessKind.READ))
     for acc in expr_reads(stmt.value):
         accesses.append(lower_access(acc, AccessKind.READ))

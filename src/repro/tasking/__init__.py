@@ -1,7 +1,7 @@
 """Tasking layer: task graphs, OpenMP-style depend semantics, runtime, simulator."""
 
 from .api import OmpTaskSystem
-from .backends import FuturesBackend, SerialBackend
+from .backends import FuturesBackend, ProcessBackend, SerialBackend
 from .dot import to_dot, write_dot
 from .hybrid import hybrid_task_graph, intra_block_edges
 from .runtime import (
@@ -16,6 +16,7 @@ from .task import CyclicTaskGraphError, Task, TaskGraph
 __all__ = [
     "CyclicTaskGraphError",
     "FuturesBackend",
+    "ProcessBackend",
     "SerialBackend",
     "OmpTaskSystem",
     "RunResult",

@@ -16,11 +16,29 @@ module demonstrates that: three backends implement the same
   hold the future of their last writer; a task waits on its dependency
   futures, then runs — the futures-pipelining style of Blelloch &
   Reid-Miller that the paper cites.
+* :class:`ProcessBackend` — executes task blocks in a persistent
+  :class:`concurrent.futures.ProcessPoolExecutor` against a
+  :class:`~repro.interp.store.SharedArrayStore`, the closest Python
+  analogue of the paper's OpenMP runtime actually running on cores.
+  Task *creation* only records the block and its dependency slots; a
+  wavefront scheduler in :meth:`ProcessBackend.run` dispatches ready
+  blocks as their predecessors complete.  Nothing kernel-specific is
+  pickled per task — workers rebuild the interpreter once from a spec
+  and receive ``(statement, iterations)`` pairs.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import Future, ThreadPoolExecutor, wait
+import multiprocessing as mp
+import pickle
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 
@@ -99,6 +117,9 @@ class FuturesBackend:
         prev_same = self._func_future.get(func)
         if prev_same is not None:
             deps.append(prev_same)
+        # Several in-slots often resolve to the same writer future (and the
+        # self-chain may repeat one); waiting on duplicates is wasted work.
+        deps = list(dict.fromkeys(deps))
 
         def body(deps=tuple(deps)) -> None:
             wait(deps)
@@ -117,13 +138,243 @@ class FuturesBackend:
     def run(self, workers: int = 0):
         """Block until every created task finished; re-raise failures."""
         del workers  # pool size fixed at construction
-        wait(self._all)
-        for fut in self._all:
-            exc = fut.exception()
-            if exc is not None:
-                raise exc
-        self.executor.shutdown(wait=True)
+        try:
+            wait(self._all)
+            for fut in self._all:
+                exc = fut.exception()
+                if exc is not None:
+                    raise exc
+        finally:
+            # Shut the pool down on the failure path too — a raised task
+            # exception must not leak a live thread pool to the caller.
+            self.executor.shutdown(wait=True)
         return None
 
     def __len__(self) -> int:
         return len(self._all)
+
+
+# ----------------------------------------------------------------------
+# process pool over shared memory
+# ----------------------------------------------------------------------
+#: Worker-process globals, set once by :func:`_process_worker_init`.
+_WORKER_INTERP = None
+_WORKER_STORE = None
+
+
+def _process_worker_init(program, params, funcs, store_spec, vectorize):
+    """Build this worker's interpreter and attach the shared store."""
+    global _WORKER_INTERP, _WORKER_STORE
+    from ..interp import Interpreter
+    from ..interp.store import SharedArrayStore
+    from ..scop import extract_scop
+
+    scop = extract_scop(program, dict(params))
+    _WORKER_INTERP = Interpreter(program, scop, funcs, vectorize=vectorize)
+    _WORKER_STORE = SharedArrayStore.attach(store_spec)
+
+
+def _process_worker_run(statement: str, iterations) -> None:
+    """Execute one pipeline block against the shared store."""
+    import numpy as np
+
+    _WORKER_INTERP.run_block(
+        _WORKER_STORE, statement, np.asarray(iterations, dtype=np.int64)
+    )
+
+
+@dataclass
+class _RecordedTask:
+    tid: int
+    statement: str
+    iterations: list[tuple[int, ...]]
+    deps: set[int] = field(default_factory=set)
+    cost: float = 1.0
+
+
+class ProcessBackend:
+    """Persistent worker processes over a shared-memory array store.
+
+    Implements the CreateTask signature, but ``create_task`` only records
+    blocks — :meth:`run` attaches a :class:`SharedArrayStore`, starts the
+    pool, and wavefront-schedules blocks as dependency slots resolve.
+    Task payloads are *not* pickled (generated modules pass unpicklable
+    closures); only ``(statement, iterations)`` crosses the process
+    boundary, and each worker executes it with its own compiled
+    statements against the one shared segment.
+
+    ``interpreter`` supplies the program, funcs (which must be picklable,
+    i.e. module-level) and vectorize mode; ``store`` is the caller's
+    in-process store — it is copied into shared memory before execution
+    and the results are copied back in place afterwards, so the backend
+    mutates ``store`` exactly like the in-process backends do.
+    """
+
+    def __init__(
+        self,
+        write_num: int,
+        interpreter,
+        store,
+        workers: int = 4,
+        mp_context: str | None = None,
+    ):
+        if write_num < 1:
+            raise ValueError("write_num must be positive")
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.write_num = write_num
+        self.interpreter = interpreter
+        self.store = store
+        self.workers = workers
+        self._mp_context = mp_context
+        self._tasks: list[_RecordedTask] = []
+        self._slot_writer: dict[int, int] = {}
+        self._chain_last: dict[str, int] = {}
+
+    def slot(self, depend: int, idx: int) -> int:
+        if not 0 <= idx < self.write_num:
+            raise ValueError(
+                f"idx {idx} out of range for write_num {self.write_num}"
+            )
+        return self.write_num * depend + idx
+
+    def create_task(
+        self,
+        func: Callable[[object], None],
+        task_input: object,
+        out_depend: int,
+        out_idx: int,
+        in_depend: Sequence[int] = (),
+        in_idx: Sequence[int] = (),
+        cost: float = 1.0,
+        statement: str | None = None,
+    ) -> int:
+        if len(in_depend) != len(in_idx):
+            raise ValueError("in_depend and in_idx must have equal length")
+        if statement is None:
+            raise ValueError(
+                "ProcessBackend requires statement= on every task "
+                "(blocks are re-executed by name in worker processes)"
+            )
+        if not (isinstance(task_input, dict) and "iters" in task_input):
+            raise ValueError(
+                "ProcessBackend requires the generated payload shape "
+                "{'iters': [...], ...}"
+            )
+        iters = task_input["iters"]
+        rows = iters.tolist() if hasattr(iters, "tolist") else iters
+        tid = len(self._tasks)
+        task = _RecordedTask(
+            tid,
+            statement,
+            [tuple(int(v) for v in row) for row in rows],
+            cost=cost,
+        )
+        for d, ix in zip(in_depend, in_idx):
+            writer = self._slot_writer.get(self.slot(d, ix))
+            if writer is not None:
+                task.deps.add(writer)
+        prev_same = self._chain_last.get(statement)
+        if prev_same is not None:
+            task.deps.add(prev_same)
+        self._chain_last[statement] = tid
+        self._slot_writer[self.slot(out_depend, out_idx)] = tid
+        self._tasks.append(task)
+        return tid
+
+    # ------------------------------------------------------------------
+    def _executor(self, store_spec) -> ProcessPoolExecutor:
+        interp = self.interpreter
+        try:
+            pickle.dumps(interp.funcs)
+        except Exception as exc:
+            raise RuntimeError(
+                "ProcessBackend needs picklable kernel functions "
+                "(module-level, not lambdas/closures)"
+            ) from exc
+        ctx_name = self._mp_context or (
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=mp.get_context(ctx_name),
+            initializer=_process_worker_init,
+            initargs=(
+                interp.program,
+                interp.scop.params,
+                interp.funcs,
+                store_spec,
+                interp.vectorize,
+            ),
+        )
+
+    def run(self, workers: int = 0):
+        """Execute every recorded block; returns scheduling statistics."""
+        del workers  # pool size fixed at construction
+        from ..interp.store import SharedArrayStore
+
+        shared = SharedArrayStore.from_store(self.store)
+        executor = None
+        try:
+            executor = self._executor(shared.spec)
+            stats = self._schedule(executor)
+            # Copy results back into the caller's store in place.
+            for name, view in self.store.arrays.items():
+                view.data[...] = shared.arrays[name].data
+            return stats
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True)
+            shared.close()
+            shared.unlink()
+
+    def _schedule(self, executor: ProcessPoolExecutor) -> dict:
+        """Wavefront dispatch: submit a block when its deps complete."""
+        remaining = {t.tid: set(t.deps) for t in self._tasks}
+        dependents: dict[int, list[int]] = {}
+        for t in self._tasks:
+            for d in t.deps:
+                dependents.setdefault(d, []).append(t.tid)
+
+        in_flight: dict[Future, int] = {}
+        max_in_flight = 0
+
+        def submit(tid: int) -> None:
+            task = self._tasks[tid]
+            fut = executor.submit(
+                _process_worker_run, task.statement, task.iterations
+            )
+            in_flight[fut] = tid
+
+        for t in self._tasks:
+            if not remaining[t.tid]:
+                submit(t.tid)
+        completed = 0
+        while in_flight:
+            max_in_flight = max(max_in_flight, len(in_flight))
+            done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+            for fut in done:
+                tid = in_flight.pop(fut)
+                exc = fut.exception()
+                if exc is not None:
+                    for f in in_flight:
+                        f.cancel()
+                    raise exc
+                completed += 1
+                for dep_tid in dependents.get(tid, ()):
+                    remaining[dep_tid].discard(tid)
+                    if not remaining[dep_tid]:
+                        submit(dep_tid)
+        if completed != len(self._tasks):
+            raise RuntimeError(
+                f"scheduler stalled: {completed}/{len(self._tasks)} blocks "
+                "ran (dependency cycle in recorded tasks?)"
+            )
+        return {
+            "tasks": len(self._tasks),
+            "workers": self.workers,
+            "max_in_flight": max_in_flight,
+        }
+
+    def __len__(self) -> int:
+        return len(self._tasks)

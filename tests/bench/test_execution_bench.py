@@ -1,0 +1,109 @@
+"""Tests for the measured-execution benchmark (BENCH_execution.json)."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    format_execution_bench,
+    measured_speedup,
+    run_execution_bench,
+    run_workload,
+)
+from repro.bench.execution import LATENCY_S, blocking_compute
+from repro.bench.figure10 import run_cell
+from repro.bench.figure11 import run_kernel
+from repro.workloads import TABLE9, figure11_kernels
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return run_workload(
+        "P1", TABLE9["P1"].source(10), {}, workers=2, coarsen=20, repeats=1
+    )
+
+
+class TestRunWorkload:
+    def test_all_four_configs_present(self, small_workload):
+        assert set(small_workload["runs"]) == {
+            "scalar-serial",
+            "vector-serial",
+            "threads",
+            "processes",
+        }
+
+    def test_every_config_bit_identical(self, small_workload):
+        assert small_workload["identical"] is True
+        for run in small_workload["runs"].values():
+            assert run["identical_to_sequential"] is True
+
+    def test_speedups_computed(self, small_workload):
+        for key in (
+            "speedup_vectorized",
+            "speedup_threads",
+            "speedup_processes",
+            "processes_vs_vector_serial",
+        ):
+            assert small_workload[key] > 0.0
+
+    def test_records_are_json_ready(self, small_workload):
+        json.dumps(small_workload)
+
+    def test_vector_serial_covers_p1(self, small_workload):
+        assert small_workload["runs"]["vector-serial"][
+            "iteration_coverage"
+        ] == 1.0
+        assert small_workload["runs"]["scalar-serial"][
+            "iteration_coverage"
+        ] == 0.0
+
+
+class TestMeasuredSpeedup:
+    def test_positive_and_finite(self):
+        sp = measured_speedup(
+            TABLE9["P1"].source(10), {}, workers=2, repeats=1
+        )
+        assert 0.0 < sp < 1e6
+
+    def test_figure10_measured_cell(self):
+        cell = run_cell(TABLE9["P1"], 8, 4, workers=2, measured=True)
+        assert cell.size == 0  # wall-clock mode has no SIZE axis
+        assert cell.speedup > 0.0
+
+    def test_figure11_measured_row(self):
+        kern = figure11_kernels()[0]
+        row = run_kernel(kern, size=6, workers=2, measured=True)
+        assert row.pipeline > 0.0
+        # Polly columns stay simulated speed-ups (>= 1)
+        assert row.polly_8 >= 1.0
+
+
+class TestBlockingCompute:
+    def test_not_elementwise(self):
+        from repro.interp import is_elementwise
+
+        assert not is_elementwise(blocking_compute)
+
+    def test_blocks_at_least_latency(self):
+        import time
+
+        t0 = time.perf_counter()
+        blocking_compute(1.0, 2.0)
+        assert time.perf_counter() - t0 >= LATENCY_S
+
+
+@pytest.mark.tier2
+class TestFullBench:
+    def test_quick_bench_writes_report(self, tmp_path):
+        out = tmp_path / "BENCH_execution.json"
+        report = run_execution_bench(workers=2, quick=True, out_path=str(out))
+        on_disk = json.loads(out.read_text())
+        assert on_disk["criteria"] == report["criteria"]
+        assert report["criteria"]["all_paths_bit_identical"] is True
+        assert {w["name"] for w in report["workloads"]} == {
+            "P1",
+            "P5",
+            "P5-latency",
+        }
+        text = format_execution_bench(report)
+        assert "P5-latency" in text and "speedups" in text

@@ -63,3 +63,29 @@ class TestTraceDocument:
         write_trace(str(path), graph, sim)
         doc = json.loads(path.read_text())
         assert "traceEvents" in doc
+
+    def test_no_execution_section_by_default(self, sim_setup):
+        graph, sim = sim_setup
+        doc = json.loads(trace_json(graph, sim))
+        assert "execution" not in doc["otherData"]
+        assert "presburger_cache" in doc["otherData"]
+
+    def test_execution_dict_embedded(self, sim_setup):
+        graph, sim = sim_setup
+        record = {"backend": "threads", "workers": 4, "wall_time_s": 0.01}
+        doc = json.loads(trace_json(graph, sim, execution=record))
+        assert doc["otherData"]["execution"] == record
+
+    def test_execution_stats_embedded(self, sim_setup, tmp_path):
+        from repro.interp import Interpreter, execute_measured
+        from repro.pipeline import detect_pipeline
+
+        graph, sim = sim_setup
+        interp = Interpreter.from_source(LISTING1, {"N": 8})
+        info = detect_pipeline(interp.scop, coarsen=4)
+        _, stats = execute_measured(interp, info, backend="serial")
+        path = tmp_path / "trace.json"
+        write_trace(str(path), graph, sim, execution=stats)
+        section = json.loads(path.read_text())["otherData"]["execution"]
+        assert section["backend"] == "serial"
+        assert section["iteration_coverage"] == 1.0

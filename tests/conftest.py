@@ -20,6 +20,13 @@ def pytest_addoption(parser):
         "(raise to 200+ for a thorough run)",
     )
     parser.addoption(
+        "--fuzz-vectorize",
+        action="store_true",
+        default=False,
+        help="run the 200-sample vectorized/process execution "
+        "differential campaign (tests/fuzz)",
+    )
+    parser.addoption(
         "--update-goldens",
         action="store_true",
         default=False,

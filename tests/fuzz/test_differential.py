@@ -121,6 +121,73 @@ def test_long_fuzz_campaign(pytestconfig):
         assert seq.equal(par), sample.describe()
 
 
+def _run_vectorized_blocks(sample, mode):
+    """Block execution of the sample with the given vectorize mode."""
+    interp = Interpreter.from_source(sample.source, {}, vectorize=mode)
+    store = interp.new_store()
+    for stmt in interp.scop.statements:
+        interp.run_block(store, stmt.name, stmt.points.points)
+    return store, interp
+
+
+def test_vectorized_execution_matches_scalar(samples):
+    """Whole-block NumPy kernels are bit-identical to the compiled loop."""
+    vectorized_any = False
+    for sample in samples:
+        scalar, _ = _run_vectorized_blocks(sample, "off")
+        vec, interp = _run_vectorized_blocks(sample, "auto")
+        assert scalar.equal(vec), (
+            f"{sample.describe()}: vectorized execution diverged "
+            f"(max abs diff {scalar.max_abs_diff(vec):g})\n{sample.source}"
+        )
+        vectorized_any = (
+            vectorized_any or interp.block_counters["vectorized_blocks"] > 0
+        )
+    # the sample family must actually exercise the vectorized path
+    assert vectorized_any
+
+
+def test_process_backend_matches_serial(samples):
+    """A few samples through the full process-backend execution path."""
+    from repro.interp import execute_measured
+
+    for sample in samples[:4]:
+        interp = Interpreter.from_source(sample.source, {})
+        seq = interp.run_sequential(interp.new_store())
+        info = detect_pipeline(interp.scop, coarsen=8)
+        store, stats = execute_measured(
+            interp, info, backend="processes", workers=2
+        )
+        assert seq.equal(store), sample.describe()
+        assert stats.scheduler["tasks"] > 0
+
+
+def test_vectorize_fuzz_campaign(pytestconfig):
+    """Opt-in: a 200-sample vectorized-vs-scalar differential sweep.
+
+    Enable with ``pytest tests/fuzz --fuzz-vectorize``; each sample also
+    goes through the process backend every 25th draw.
+    """
+    if not pytestconfig.getoption("--fuzz-vectorize"):
+        pytest.skip("enable with --fuzz-vectorize")
+    from repro.interp import execute_measured
+
+    seed = pytestconfig.getoption("--fuzz-seed")
+    for sample in generate_samples(seed + 2, 200):
+        scalar, _ = _run_vectorized_blocks(sample, "off")
+        vec, _ = _run_vectorized_blocks(sample, "auto")
+        assert scalar.equal(vec), sample.describe()
+        if sample.index % 25 == 0:
+            interp = Interpreter.from_source(sample.source, {})
+            store, _stats = execute_measured(
+                interp, detect_pipeline(interp.scop, coarsen=8),
+                backend="processes", workers=2,
+            )
+            assert interp.run_sequential(interp.new_store()).equal(
+                store
+            ), sample.describe()
+
+
 def test_random_topological_orders_are_legal(samples):
     """Every emitted order respects every precedence edge."""
     rng = random.Random(7)

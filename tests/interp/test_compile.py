@@ -79,6 +79,50 @@ class TestSemantics:
         assert "__arr_A" in compiled.source
 
 
+class TestCompoundAssign:
+    def test_minus_assign(self):
+        scop, store = setup("for(i=0; i<4; i++) S: A[i][0] -= B[i][0];")
+        store["A"].data[:] = 10.0
+        store["B"].data[:] = 3.0
+        compiled = compile_statement(scop, scop.statement("S"))
+        compiled(store, {}, [(2,)])
+        assert store["A"].data[2, 0] == 7.0
+        assert store["A"].data[0, 0] == 10.0
+
+    def test_star_assign(self):
+        scop, store = setup("for(i=0; i<4; i++) S: A[i][0] *= B[i][0];")
+        store["A"].data[:] = 5.0
+        store["B"].data[:] = 4.0
+        compiled = compile_statement(scop, scop.statement("S"))
+        compiled(store, {}, [(1,)])
+        assert store["A"].data[1, 0] == 20.0
+
+    def test_compound_reads_target(self):
+        # ``A[i] -= ...`` must register a read of the target, so the
+        # dependence analysis sees the recurrence.
+        scop, _ = setup("for(i=0; i<4; i++) S: A[i][0] -= B[i][0];")
+        stmt = scop.statement("S")
+        assert any(a.array == "A" for a in stmt.reads)
+
+    def test_unknown_operator_message(self):
+        from repro.lang.errors import SemanticError
+
+        scop, store = setup("for(i=0; i<4; i++) S: A[i][0] += B[i][0];")
+        stmt = scop.statement("S")
+        object.__setattr__(stmt.assign, "op", "@=")
+        with pytest.raises(SemanticError, match="unsupported assignment"):
+            compile_statement(scop, stmt)
+
+    def test_end_to_end_sequential(self):
+        interp = Interpreter.from_source(
+            "for(i=0; i<4; i++) S: A[i][0] = 2;\n"
+            "for(i=0; i<4; i++) T: A[i][0] *= 3;",
+            {},
+        )
+        store = interp.run_sequential(interp.new_store())
+        assert store["A"].data[:4, 0].tolist() == [6.0, 6.0, 6.0, 6.0]
+
+
 class TestInterpreterChecks:
     def test_missing_function_rejected(self):
         with pytest.raises(KeyError, match="no implementation"):

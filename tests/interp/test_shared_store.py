@@ -1,0 +1,109 @@
+"""Tests for the shared-memory array store backing the process backend."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.interp import ArrayStore, Interpreter, SharedArrayStore
+from repro.interp.store import SharedStoreSpec
+from tests.conftest import LISTING1
+
+
+@pytest.fixture
+def local_store():
+    interp = Interpreter.from_source(LISTING1, {"N": 10})
+    return interp.new_store()
+
+
+class TestLifecycle:
+    def test_from_store_copies_contents(self, local_store):
+        shared = SharedArrayStore.from_store(local_store)
+        try:
+            assert shared.equal(local_store)
+            assert set(shared.arrays) == set(local_store.arrays)
+        finally:
+            shared.close()
+            shared.unlink()
+
+    def test_spec_is_picklable(self, local_store):
+        shared = SharedArrayStore.from_store(local_store)
+        try:
+            spec = pickle.loads(pickle.dumps(shared.spec))
+            assert isinstance(spec, SharedStoreSpec)
+            assert spec.segment == shared.spec.segment
+        finally:
+            shared.close()
+            shared.unlink()
+
+    def test_layout_is_64_byte_aligned(self, local_store):
+        shared = SharedArrayStore.from_store(local_store)
+        try:
+            for _, (_, _, byte_offset) in shared.spec.arrays.items():
+                assert byte_offset % 64 == 0
+        finally:
+            shared.close()
+            shared.unlink()
+
+    def test_close_and_unlink_idempotent(self, local_store):
+        shared = SharedArrayStore.from_store(local_store)
+        shared.close()
+        shared.close()
+        shared.unlink()
+        shared.unlink()
+
+    def test_to_local_detaches(self, local_store):
+        shared = SharedArrayStore.from_store(local_store)
+        local = shared.to_local()
+        shared.close()
+        shared.unlink()
+        assert isinstance(local, ArrayStore)
+        assert local.equal(local_store)
+        local["A"].data[0, 0] = 123.0  # backing memory already released
+
+
+class TestAttach:
+    def test_attached_view_sees_writes(self, local_store):
+        owner = SharedArrayStore.from_store(local_store)
+        try:
+            worker = SharedArrayStore.attach(owner.spec)
+            worker["A"].data[1, 1] = 42.0
+            worker.close()
+            assert owner["A"].data[1, 1] == 42.0
+        finally:
+            owner.close()
+            owner.unlink()
+
+    def test_attach_preserves_view_offsets(self, local_store):
+        owner = SharedArrayStore.from_store(local_store)
+        try:
+            worker = SharedArrayStore.attach(owner.spec)
+            for name, view in local_store.arrays.items():
+                assert worker[name].offsets == view.offsets
+                assert worker[name].data.shape == view.data.shape
+            worker.close()
+        finally:
+            owner.close()
+            owner.unlink()
+
+    def test_for_scop_constructor(self):
+        interp = Interpreter.from_source(LISTING1, {"N": 8})
+        shared = SharedArrayStore.for_scop(interp.scop)
+        try:
+            plain = ArrayStore.for_scop(interp.scop)
+            assert shared.equal(plain)
+        finally:
+            shared.close()
+            shared.unlink()
+
+    def test_copy_back_round_trip(self, local_store):
+        """The ProcessBackend result path: mutate shared, copy back."""
+        shared = SharedArrayStore.from_store(local_store)
+        try:
+            shared["B"].data[:] = np.pi
+            for name, view in local_store.arrays.items():
+                view.data[...] = shared.arrays[name].data
+        finally:
+            shared.close()
+            shared.unlink()
+        assert (local_store["B"].data == np.pi).all()

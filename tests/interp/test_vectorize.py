@@ -1,0 +1,253 @@
+"""Tests for whole-block NumPy vectorization.
+
+Legality (which statements may become slice kernels and why the others
+fall back), rectangle decomposition of lexicographic blocks, and — the
+property everything rests on — bit-identity of the vectorized path
+against the compiled-loop interpreter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.interp import (
+    Interpreter,
+    NotVectorizable,
+    elementwise,
+    is_elementwise,
+    rectangles,
+    vectorize_scop,
+    vectorize_statement,
+)
+from repro.lang import parse
+from repro.lang.errors import SemanticError
+from repro.scop import extract_scop
+
+
+def scop_of(src, **params):
+    return extract_scop(parse(src), params or None)
+
+
+def run_blocks(interp):
+    """Execute every statement as one whole block (program order).
+
+    ``run_sequential`` interprets the loop nests point by point and never
+    touches the vectorizer; ``run_block`` is the dispatch the pipeline
+    executor uses, so that is what the differentials must drive.
+    """
+    store = interp.new_store()
+    for stmt in interp.scop.statements:
+        interp.run_block(store, stmt.name, stmt.points.points)
+    return store
+
+
+def run_both(src, funcs=None, params=None):
+    """(scalar store, vectorized store, vectorized interp) for ``src``."""
+    scalar = Interpreter.from_source(src, params or {}, funcs, vectorize="off")
+    vec = Interpreter.from_source(src, params or {}, funcs, vectorize="auto")
+    s = run_blocks(scalar)
+    v = run_blocks(vec)
+    assert s.equal(scalar.run_sequential(scalar.new_store()))
+    return s, v, vec
+
+
+class TestElementwiseMarking:
+    def test_decorator_marks(self):
+        fn = elementwise(lambda x: x + 1)
+        assert is_elementwise(fn)
+
+    def test_plain_callable_not_marked(self):
+        assert not is_elementwise(lambda x: x)
+
+    def test_numpy_ufunc_is_elementwise(self):
+        assert is_elementwise(np.sqrt)
+
+    def test_default_funcs_are_elementwise(self):
+        from repro.interp.interp import DEFAULT_FUNCS
+
+        assert all(is_elementwise(f) for f in DEFAULT_FUNCS.values())
+
+
+class TestRectangles:
+    def test_dense_box_is_one_rectangle(self):
+        pts = np.array([(i, j) for i in range(3) for j in range(4)])
+        assert rectangles(pts) == [((0, 0), (2, 3))]
+
+    def test_single_point(self):
+        assert rectangles(np.array([[5, 7]])) == [((5, 7), (5, 7))]
+
+    def test_one_dimensional_run_split(self):
+        pts = np.array([[0], [1], [2], [5], [6]])
+        assert rectangles(pts) == [((0,), (2,)), ((5,), (6,))]
+
+    def test_ragged_block_covers_exactly(self):
+        # L-shape: full 3x3 square minus its top-right corner.
+        pts = np.array(
+            [(i, j) for i in range(3) for j in range(3) if (i, j) != (0, 2)]
+        )
+        rects = rectangles(pts)
+        covered = set()
+        for lo, hi in rects:
+            for i in range(lo[0], hi[0] + 1):
+                for j in range(lo[1], hi[1] + 1):
+                    assert (i, j) not in covered, "rectangles overlap"
+                    covered.add((i, j))
+        assert covered == {tuple(p) for p in pts}
+
+    def test_rectangles_in_lex_order(self):
+        pts = np.array([(i, j) for i in range(4) for j in range(4)
+                        if j != 2 or i > 1])
+        rects = rectangles(pts)
+        assert rects == sorted(rects)
+
+    def test_rejects_flat_input(self):
+        with pytest.raises(ValueError):
+            rectangles(np.array([1, 2, 3]))
+
+
+class TestLegality:
+    def vec(self, src, stmt="S", funcs=None, **params):
+        scop = scop_of(src, **params)
+        return vectorize_statement(scop, scop.statement(stmt), funcs)
+
+    def test_simple_copy_vectorizes(self):
+        v = self.vec("for(i=0; i<8; i++) S: A[i][0] = f(B[i][0]);")
+        assert "__vec_S" in v.source
+
+    def test_recurrence_falls_back(self):
+        with pytest.raises(NotVectorizable, match="recurrence"):
+            self.vec("for(i=0; i<8; i++) S: A[i][0] = f(A[i-1][0]);")
+
+    def test_coupled_subscript_falls_back(self):
+        with pytest.raises(NotVectorizable, match="coupled"):
+            self.vec(
+                "for(i=0; i<4; i++) for(j=0; j<4; j++)"
+                " S: B[i][j] = f(A[2*i+j][0]);"
+            )
+
+    def test_non_injective_write_falls_back(self):
+        with pytest.raises(NotVectorizable, match="non-injective"):
+            self.vec(
+                "for(i=0; i<4; i++) for(j=0; j<4; j++)"
+                " S: A[i][0] = f(A[i][0], B[i][j]);"
+            )
+
+    def test_non_elementwise_function_falls_back(self):
+        src = "for(i=0; i<8; i++) S: A[i][0] = f(B[i][0]);"
+        with pytest.raises(NotVectorizable, match="non-elementwise"):
+            self.vec(src, funcs={"f": lambda x: x})
+
+    def test_elementwise_function_accepted(self):
+        src = "for(i=0; i<8; i++) S: A[i][0] = f(B[i][0]);"
+        v = self.vec(src, funcs={"f": elementwise(lambda x: x * 2)})
+        assert "f" in v.func_names
+
+    def test_anti_only_dependence_vectorizes(self):
+        # Reads of *later* iterations are safe under gather-before-scatter.
+        v = self.vec("for(i=0; i<8; i++) S: A[i][0] = f(A[i+1][0]);")
+        assert "__vec_S" in v.source
+
+    def test_compound_assign_vectorizes(self):
+        v = self.vec("for(i=0; i<8; i++) S: A[i][0] += B[i][0];")
+        assert "+" in v.source
+
+
+class TestBitIdentity:
+    SOURCES = {
+        "identity": (
+            "for(i=0; i<8; i++) for(j=0; j<8; j++)"
+            " S: A[i][j] = f(A[i][j], B[i][j]);"
+        ),
+        "anti-shift": (
+            "for(i=0; i<8; i++) for(j=0; j<7; j++)"
+            " S: A[i][j] = f(A[i][j+1], A[i+1][j]);"
+        ),
+        "strided-write": (
+            "for(i=0; i<8; i++) S: A[2*i][0] = f(B[i][0]);"
+        ),
+        "permuted-write": (
+            "for(i=0; i<6; i++) for(j=0; j<6; j++)"
+            " S: B[j][i] = f(A[i][j]);"
+        ),
+        "iv-expression": (
+            "for(i=0; i<8; i++) for(j=0; j<8; j++)"
+            " S: A[i][j] = f(A[i][j]) + 2*i + j - 1;"
+        ),
+        "compound-add": (
+            "for(i=0; i<8; i++) for(j=0; j<8; j++)"
+            " S: A[i][j] += f(B[i][j]);"
+        ),
+        "compound-mul": (
+            "for(i=0; i<8; i++) S: A[i][0] *= 2;"
+        ),
+        "bare-same-array-copy": (
+            "for(i=0; i<8; i++) for(j=0; j<8; j++) S: A[i][j] = A[i][j];"
+        ),
+        "bounds-division": (
+            "for(i=0; i<N/2; i++) S: A[i][0] = f(B[2*i][0]);"
+        ),
+        "two-statement-chain": (
+            "for(i=0; i<8; i++) for(j=0; j<8; j++) S: A[i][j] = f(A[i][j]);\n"
+            "for(i=0; i<4; i++) for(j=0; j<4; j++)"
+            " R: B[i][j] = g(A[2*i][2*j], B[i][j]);"
+        ),
+    }
+
+    @pytest.mark.parametrize("name", sorted(SOURCES))
+    def test_vectorized_equals_scalar(self, name):
+        src = self.SOURCES[name]
+        s, v, interp = run_both(src, params={"N": 12})
+        assert s.equal(v), f"{name}: max diff {s.max_abs_diff(v):g}"
+        # each of these kernels must actually take the vectorized path
+        assert interp.block_counters["vectorized_blocks"] > 0, name
+        assert interp.block_counters["scalar_blocks"] == 0, name
+
+    def test_fallback_statement_runs_scalar_and_matches(self):
+        src = (
+            "for(i=0; i<8; i++) S: A[i][0] = f(B[i][0]);\n"
+            "for(i=1; i<8; i++) R: A[i][0] = g(A[i-1][0], A[i][0]);"
+        )
+        s, v, interp = run_both(src)
+        assert s.equal(v)
+        assert interp.block_counters["vectorized_blocks"] > 0
+        assert interp.block_counters["scalar_blocks"] > 0
+
+    def test_custom_elementwise_funcs_match(self):
+        src = "for(i=0; i<8; i++) for(j=0; j<8; j++) S: A[i][j] = f(A[i][j]);"
+        funcs = {"f": elementwise(lambda x: np.sqrt(x * x + 1.0))}
+        s, v, _ = run_both(src, funcs=funcs)
+        assert s.equal(v)
+
+
+class TestVectorProgram:
+    MIXED = (
+        "for(i=0; i<8; i++) S: A[i][0] = f(B[i][0]);\n"
+        "for(i=1; i<8; i++) R: C[i][0] = g(C[i-1][0], A[i][0]);"
+    )
+
+    def test_coverage_and_reasons(self):
+        scop = scop_of(self.MIXED)
+        program = vectorize_scop(scop)
+        assert program.get("S") is not None
+        assert program.get("R") is None
+        assert program.coverage == pytest.approx(0.5)
+        assert "recurrence" in program.fallback_reasons()["R"]
+
+    def test_mode_on_rejects_partial_programs(self):
+        # ``on`` asserts full coverage eagerly, at construction.
+        with pytest.raises(SemanticError, match="vectorize"):
+            Interpreter.from_source(self.MIXED, {}, vectorize="on")
+
+    def test_mode_on_accepts_full_programs(self):
+        src = "for(i=0; i<8; i++) S: A[i][0] = f(B[i][0]);"
+        interp = Interpreter.from_source(src, {}, vectorize="on")
+        store = run_blocks(interp)
+        ref = Interpreter.from_source(src, {}, vectorize="off")
+        assert store.equal(run_blocks(ref))
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="vectorize"):
+            Interpreter.from_source(
+                "for(i=0; i<4; i++) S: A[i][0] = f(A[i][0]);",
+                {},
+                vectorize="sometimes",
+            )

@@ -118,6 +118,38 @@ class TestRun:
         out = capsys.readouterr().out
         assert "|" in out and "#" in out
 
+    def test_exec_backend_serial(self, kernel_file, capsys):
+        assert main([
+            "run", kernel_file, "--param", "N=12",
+            "--exec-backend", "serial",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "measured execution:" in out
+        assert "measured result matches sequential: True" in out
+
+    def test_exec_backend_threads_vectorize_on(self, kernel_file, capsys):
+        assert main([
+            "run", kernel_file, "--param", "N=12",
+            "--exec-backend", "threads", "--vectorize", "on",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "vectorize=on" in out
+        assert "100% iterations vectorized" in out
+
+    def test_vectorize_off(self, kernel_file, capsys):
+        assert main([
+            "run", kernel_file, "--param", "N=12",
+            "--exec-backend", "serial", "--vectorize", "off",
+        ]) == 0
+        assert "0% iterations vectorized" in capsys.readouterr().out
+
+    def test_bad_exec_backend_rejected(self, kernel_file):
+        with pytest.raises(SystemExit):
+            main([
+                "run", kernel_file, "--param", "N=12",
+                "--exec-backend", "gpu",
+            ])
+
 
 class TestCodegen:
     def test_emits_program(self, kernel_file, capsys):

@@ -99,6 +99,31 @@ class TestOptions:
                 funcs={"wobble": lambda x: float(next(counter))},
             )
 
+    def test_measured_execution_attached(self):
+        result = transform(
+            LISTING1,
+            {"N": 10},
+            TransformOptions(exec_backend="serial", coarsen=4),
+        )
+        assert result.execution is not None
+        assert result.execution.backend == "serial"
+        assert result.execution.wall_time > 0.0
+        assert "measured execution:" in result.report()
+
+    def test_no_measured_execution_by_default(self):
+        result = transform(LISTING1, {"N": 10})
+        assert result.execution is None
+        assert "measured execution:" not in result.report()
+
+    def test_measured_execution_verified_against_sequential(self):
+        result = transform(
+            LISTING1,
+            {"N": 10},
+            TransformOptions(exec_backend="threads", vectorize="on"),
+        )
+        assert result.verified is True
+        assert result.execution.iteration_coverage == 1.0
+
     def test_custom_funcs(self):
         result = transform(
             "for(i=0; i<4; i++) S: A[i][0] = myfn(A[i][0]);\n"

@@ -8,6 +8,8 @@ once caught), not on machine noise.
 import time
 
 from repro.bench import build_scop, pipeline_task_graph
+from repro.interp import Interpreter, execute_measured
+from repro.pipeline import detect_pipeline
 from repro.presburger import cache
 from repro.workloads import TABLE9
 
@@ -42,6 +44,42 @@ def test_cache_is_effective_on_p5_analysis():
     assert st.hits > 0, cache.format_stats()
     # on this path roughly 3 of 4 memoized calls hit; guard loosely
     assert st.hit_rate > 0.25, cache.format_stats()
+
+
+def test_vectorized_execution_beats_compiled_loop():
+    """Whole-block NumPy kernels must stay far ahead of the per-iteration
+    compiled loop on a large coarse-blocked kernel.  The full bench shows
+    ~14x on P5/N=64; guard loosely at 3x so only a real regression (a
+    silent fall-back to the scalar path, slice kernels re-parsing
+    iterations, ...) trips it."""
+    src = TABLE9["P5"].source(48)
+    probe = Interpreter.from_source(src, {})
+    # coarsen must tile the per-statement point count evenly: ragged
+    # blocks decompose into many small rectangles and cut the speedup
+    # (48*24=1152 points per nest -> dense 1152-iteration blocks).
+    info = detect_pipeline(probe.scop, coarsen=1152)
+
+    def best_wall(mode, repeats=2):
+        interp = Interpreter.from_source(src, {}, vectorize=mode)
+        best = None
+        for _ in range(repeats):
+            _, stats = execute_measured(interp, info, backend="serial")
+            best = stats if best is None or (
+                stats.wall_time < best.wall_time
+            ) else best
+        return best
+
+    scalar = best_wall("off")
+    vector = best_wall("auto")
+    assert vector.iteration_coverage == 1.0, vector.fallback_reasons
+    speedup = scalar.wall_time / vector.wall_time
+    assert speedup > 3.0, (
+        f"vectorized execution only {speedup:.2f}x faster "
+        f"({scalar.wall_time:.3f}s vs {vector.wall_time:.3f}s)"
+    )
+    # absolute budget: the vectorized run is ~30ms on the reference
+    # machine; a pathological slowdown, not noise, is needed to hit 2s.
+    assert vector.wall_time < 2.0
 
 
 def test_analysis_roughly_quadratic_not_cubic():
