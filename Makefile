@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-exec report examples lint analyze-examples clean
+.PHONY: install test bench bench-exec bench-overhead report examples lint analyze-examples clean
 
 # Kernel sources checked by `make lint` / `make analyze-examples`; every
 # parameter any of them references must appear in LINT_PARAMS.
@@ -23,6 +23,11 @@ bench:
 # kernels and the thread/process backends (docs/execution.md).
 bench-exec:
 	$(PYTHON) -m repro bench-exec --out BENCH_execution.json
+
+# Task-overhead bench: dependency transitive reduction + granularity
+# auto-tuning vs the hand-picked baseline (docs/performance.md).
+bench-overhead:
+	$(PYTHON) -m repro bench-overhead --out BENCH_overhead.json
 
 # Regeneration tests (print the paper's tables/figures and assert shapes)
 regen:

@@ -45,6 +45,7 @@ def trace_json(
     sim: SimResult,
     indent: int | None = None,
     execution=None,
+    overhead=None,
 ) -> str:
     """Full trace document (``traceEvents`` plus display metadata).
 
@@ -52,6 +53,9 @@ def trace_json(
     (an :class:`~repro.interp.executor.ExecutionStats` or its dict form):
     backend, workers, wall time, vectorization coverage and per-statement
     fallback reasons — alongside the simulated schedule they contextualize.
+    ``overhead`` attaches the task-overhead optimizer record (reduction
+    stats, tuning plan, or a dict combining both — anything exposing
+    ``as_dict``).
     """
     other: dict[str, Any] = {
         "makespan": sim.makespan,
@@ -63,6 +67,10 @@ def trace_json(
     if execution is not None:
         other["execution"] = (
             execution if isinstance(execution, dict) else execution.as_dict()
+        )
+    if overhead is not None:
+        other["overhead"] = (
+            overhead if isinstance(overhead, dict) else overhead.as_dict()
         )
     doc = {
         "traceEvents": trace_events(graph, sim)
@@ -82,7 +90,15 @@ def trace_json(
     return json.dumps(doc, indent=indent)
 
 
-def write_trace(path: str, graph: TaskGraph, sim: SimResult, execution=None) -> None:
+def write_trace(
+    path: str,
+    graph: TaskGraph,
+    sim: SimResult,
+    execution=None,
+    overhead=None,
+) -> None:
     """Write the trace document to ``path``."""
     with open(path, "w", encoding="utf-8") as fh:
-        fh.write(trace_json(graph, sim, execution=execution))
+        fh.write(
+            trace_json(graph, sim, execution=execution, overhead=overhead)
+        )

@@ -9,15 +9,21 @@ Commands
 ``lint <kernel.c> [--deep] [--format text|json|sarif]``
     Run the AST-level lint rules (``--deep`` adds SCoP validation and the
     pipelinability/task-graph checks); exit 1 on error diagnostics.
-``run <kernel.c> --param N=32 [--workers 4] [--exec-backend serial|threads|processes] [--vectorize auto|on|off]``
+``run <kernel.c> --param N=32 [--workers 4] [--exec-backend serial|threads|processes] [--vectorize auto|on|off] [--tune model|search] [--reduce-deps]``
     Execute the kernel sequentially and pipelined (threaded runtime) and
     report whether the results match, plus the simulated speed-up.
     ``--exec-backend`` additionally runs a *measured* wall-clock execution
     of the generated task program on the chosen backend;
-    ``--vectorize`` controls the whole-block NumPy kernels.
+    ``--vectorize`` controls the whole-block NumPy kernels;
+    ``--tune`` auto-picks task granularity from a calibrated cost model
+    (or a measured search); ``--reduce-deps`` transitively reduces the
+    depend-in slot lists.
 ``bench-exec [--out BENCH_execution.json]``
     Measured-execution benchmark: compiled-loop vs vectorized sequential
     vs thread/process backends, including a latency-bound workload.
+``bench-overhead [--out BENCH_overhead.json]``
+    Task-overhead optimizer benchmark: depend-in slot reduction per
+    kernel plus tuned-vs-baseline wall times on the latency workload.
 ``codegen <kernel.c> --param N=32``
     Emit the generated task program source to stdout.
 ``deps <kernel.c> --param N=32``
@@ -115,8 +121,18 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     print()
     print(generate_task_ast(info).pretty())
     if args.stats:
+        from .pipeline import task_graph_stats
         from .presburger import cache as presburger_cache
 
+        tg = task_graph_stats(info)
+        print()
+        print(
+            f"task graph: {tg['tasks']} tasks, {tg['edges']} edges, "
+            f"{tg['depend_in_slots']} depend-in slots "
+            f"({tg['depend_in_slots_reduced']} after reduction, "
+            f"{100.0 * tg['reduction_ratio']:.0f}% cut), "
+            f"critical path {tg['critical_path_tasks']} tasks"
+        )
         print()
         print(presburger_cache.format_stats())
     return 0
@@ -155,6 +171,24 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     interp = _load(args.kernel, _parse_params(args.param), args.vectorize)
     info = detect_pipeline(interp.scop, coarsen=args.coarsen)
+    if args.tune:
+        from .tuning import auto_tune
+
+        plan = auto_tune(
+            interp, info, workers=args.workers, mode=args.tune
+        )
+        info = plan.info
+        print(plan.summary())
+    if args.reduce_deps:
+        if args.hybrid:
+            raise SystemExit(
+                "--reduce-deps is incompatible with --hybrid "
+                "(hybrid relaxes the self chains the reduction relies on)"
+            )
+        from .pipeline import reduce_dependencies
+
+        info, reduction = reduce_dependencies(info)
+        print(reduction.summary())
     ast = generate_task_ast(info)
     if args.hybrid:
         graph = hybrid_task_graph(interp.scop, info, ast)
@@ -198,6 +232,18 @@ def cmd_bench_exec(args: argparse.Namespace) -> int:
         workers=args.workers, quick=args.quick, out_path=args.out
     )
     print(format_execution_bench(report))
+    if args.out:
+        print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_bench_overhead(args: argparse.Namespace) -> int:
+    from .bench.overhead import format_overhead_bench, run_overhead_bench
+
+    report = run_overhead_bench(
+        workers=args.workers, quick=args.quick, out_path=args.out
+    )
+    print(format_overhead_bench(report))
     if args.out:
         print(f"wrote {args.out}")
     return 0
@@ -365,6 +411,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="whole-block NumPy kernels: auto (legal statements), "
         "on (fail on fallback), off (compiled loops)",
     )
+    p_run.add_argument(
+        "--tune",
+        choices=("model", "search"),
+        default=None,
+        help="auto-tune task granularity: model (calibrated cost model + "
+        "simulated scan) or search (measured scan over factors)",
+    )
+    p_run.add_argument(
+        "--reduce-deps",
+        action="store_true",
+        help="transitively reduce the depend-in slot lists "
+        "(same enforced partial order, fewer waits per task)",
+    )
     kernel_cmd("codegen", cmd_codegen)
     p_deps = kernel_cmd("deps", cmd_deps)
     p_deps.add_argument(
@@ -410,6 +469,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="small sizes, no repeats"
     )
     p.set_defaults(fn=cmd_bench_exec)
+
+    p = sub.add_parser(
+        "bench-overhead",
+        help="task-overhead optimizer benchmark (writes BENCH_overhead.json)",
+    )
+    p.add_argument("--out", default=None, metavar="PATH")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument(
+        "--quick", action="store_true", help="small sizes, no repeats"
+    )
+    p.set_defaults(fn=cmd_bench_overhead)
     return parser
 
 

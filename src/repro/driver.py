@@ -24,7 +24,12 @@ if TYPE_CHECKING:  # analysis imports lazily to keep startup light
 
 from .interp import ArrayStore, ExecutionStats, Interpreter, execute_measured
 from .lang.ast import Program
-from .pipeline import PipelineInfo, detect_pipeline
+from .pipeline import (
+    PipelineInfo,
+    ReductionStats,
+    detect_pipeline,
+    reduce_dependencies,
+)
 from .schedule import (
     LegalityReport,
     ScheduleTree,
@@ -79,6 +84,14 @@ class TransformOptions:
     #: run a real measured execution on this backend ("serial", "threads"
     #: or "processes"); None skips the measured run
     exec_backend: str | None = None
+    #: transitively reduce the block dependency relations before
+    #: scheduling (fewer depend-in slots, same enforced partial order);
+    #: incompatible with ``hybrid``, which relaxes the self chains the
+    #: reduction relies on
+    reduce_deps: bool = False
+    #: granularity auto-tuning: "model" (calibrated cost model + simulated
+    #: scan), "search" (measured scan), None (keep ``coarsen`` as given)
+    tune: str | None = None
 
 
 @dataclass(frozen=True)
@@ -98,6 +111,10 @@ class TransformResult:
     diagnostics: "DiagnosticReport | None" = None
     #: measured execution statistics (None unless options.exec_backend)
     execution: "ExecutionStats | None" = None
+    #: dependency transitive-reduction stats (None unless reduce_deps)
+    reduction: ReductionStats | None = None
+    #: granularity tuning plan (None unless options.tune)
+    tuning: object | None = None  # repro.tuning.TunedPlan
 
     @property
     def speedup(self) -> float:
@@ -122,6 +139,10 @@ class TransformResult:
                 "threaded execution matches sequential: "
                 f"{self.verified}"
             )
+        if self.tuning is not None:
+            lines.append(self.tuning.summary())
+        if self.reduction is not None:
+            lines.append(self.reduction.summary())
         if self.execution is not None:
             lines.append("measured execution: " + self.execution.summary())
         lines.append(
@@ -162,6 +183,11 @@ def _transform(
     options: TransformOptions,
     funcs: Mapping | None,
 ) -> TransformResult:
+    if options.reduce_deps and options.hybrid:
+        raise ValueError(
+            "reduce_deps is incompatible with hybrid: the hybrid graph "
+            "relaxes the per-statement chains the reduction relies on"
+        )
     interp = Interpreter.from_source(
         source_or_program, dict(params or {}), funcs,
         vectorize=options.vectorize,
@@ -170,6 +196,20 @@ def _transform(
     info = detect_pipeline(
         scop, kinds=options.kinds, coarsen=options.coarsen
     )
+
+    tuning = None
+    if options.tune is not None:
+        from .tuning import auto_tune
+
+        tuning = auto_tune(
+            interp, info, workers=options.workers, mode=options.tune
+        )
+        info = tuning.info
+
+    reduction: ReductionStats | None = None
+    if options.reduce_deps:
+        info, reduction = reduce_dependencies(info)
+
     schedule = build_schedule(info)
     task_ast = generate_task_ast(info, schedule)
     if options.hybrid:
@@ -241,4 +281,6 @@ def _transform(
         simulation=sim,
         diagnostics=diagnostics,
         execution=execution,
+        reduction=reduction,
+        tuning=tuning,
     )

@@ -47,7 +47,7 @@ class ExecutionStats:
     iterations_total: int
     iterations_vectorized: int
     fallback_reasons: dict[str, str] = field(default_factory=dict)
-    scheduler: dict | None = None  # ProcessBackend dispatch statistics
+    scheduler: dict | None = None  # backend dispatch statistics
 
     @property
     def block_coverage(self) -> float:
@@ -174,12 +174,12 @@ def execute_measured(
                     statement=nest.statement,
                 )
 
-    scheduler: dict | None = None
     start = time.perf_counter()
     build_tasks()
     result = system.run(workers=workers)
-    if backend == "processes":
-        scheduler = result
+    # Both parallel backends report dispatch statistics (work-stealing
+    # steals / ready-batch counts); the serial backend returns None.
+    scheduler = result if isinstance(result, dict) else None
     wall = time.perf_counter() - start
 
     stats = ExecutionStats(

@@ -17,7 +17,18 @@ from .blocking import (
     target_blocking,
 )
 from .dependencies import BlockDependency, block_dependency, out_dependency
-from .detect import PipelineInfo, UncoveredDependenceError, detect_pipeline
+from .detect import (
+    PipelineInfo,
+    UncoveredDependenceError,
+    derive_dependencies,
+    detect_pipeline,
+)
+from .reduce import (
+    ReductionStats,
+    SourceReduction,
+    reduce_dependencies,
+    task_graph_stats,
+)
 from .patterns import (
     NoPatternError,
     QuasiAffineForm,
@@ -45,6 +56,8 @@ __all__ = [
     "NoPatternError",
     "PipelineMap",
     "QuasiAffineForm",
+    "ReductionStats",
+    "SourceReduction",
     "UncoveredDependenceError",
     "block_dependency",
     "blocking_bruteforce",
@@ -52,8 +65,10 @@ __all__ = [
     "combine_blockings",
     "compute_pipeline_map",
     "consistent_across_sizes",
+    "derive_dependencies",
     "describe_pipeline_map",
     "detect_pipeline",
+    "reduce_dependencies",
     "infer_quasi_affine",
     "infer_relation_pattern",
     "out_dependency",
@@ -64,4 +79,5 @@ __all__ = [
     "raw_dependence_map",
     "source_blocking",
     "target_blocking",
+    "task_graph_stats",
 ]

@@ -118,7 +118,22 @@ class Blocking:
         last = self.ends.points[-1:]
         ends = PointSet(np.concatenate([keep, last], axis=0))
         domain = self.mapping.domain()
-        return blocking_from_ends(self.statement, domain, ends)
+        coarse = blocking_from_ends(self.statement, domain, ends)
+        # The coarse map must repartition exactly the original domain with
+        # a subset of the original ends (so block requirements derived for
+        # parameterized sizes stay dominated); cheap invariants guard the
+        # granularity tuner, which calls this on every candidate factor.
+        if coarse.mapping.domain() != domain:
+            raise AssertionError(
+                f"coarsened({factor}) changed the domain of "
+                f"{self.statement}"
+            )
+        if len(coarse.ends.difference(self.ends)):
+            raise AssertionError(
+                f"coarsened({factor}) invented block ends for "
+                f"{self.statement}"
+            )
+        return coarse
 
     def __str__(self) -> str:
         return (

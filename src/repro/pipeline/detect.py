@@ -126,7 +126,6 @@ def detect_pipeline(
 
     # Lines 8-10: E_S = lexmin over all blocking maps; Q_S^O = identity.
     blockings: dict[str, Blocking] = {}
-    out_deps: dict[str, PointRelation] = {}
     for stmt in scop.statements:
         combined = combine_blockings(
             stmt.name, stmt.points, per_stmt_blockings[stmt.name]
@@ -134,9 +133,27 @@ def detect_pipeline(
         if coarsen > 1:
             combined = combined.coarsened(coarsen)
         blockings[stmt.name] = combined
-        out_deps[stmt.name] = out_dependency(combined)
 
-    # Lines 11-12: in-dependencies per pipeline map targeting each statement.
+    in_deps, out_deps = derive_dependencies(scop, pipeline_maps, blockings)
+    return PipelineInfo(scop, pipeline_maps, blockings, in_deps, out_deps)
+
+
+def derive_dependencies(
+    scop: Scop,
+    pipeline_maps: dict[tuple[str, str], PipelineMap],
+    blockings: dict[str, Blocking],
+) -> tuple[dict[str, tuple[BlockDependency, ...]], dict[str, PointRelation]]:
+    """Lines 11-12 of Algorithm 1: ``Q_S`` / ``Q_S^O`` for given blockings.
+
+    Factored out of :func:`detect_pipeline` so callers that *re-block* a
+    detected pipeline (the granularity auto-tuner coarsening statements
+    individually) can recompute the dependency relations without
+    re-running pipeline-map detection.
+    """
+    out_deps = {
+        name: out_dependency(blocking)
+        for name, blocking in blockings.items()
+    }
     in_deps: dict[str, tuple[BlockDependency, ...]] = {
         s.name: () for s in scop.statements
     }
@@ -149,8 +166,7 @@ def detect_pipeline(
             target.points,
         )
         in_deps[tgt_name] = in_deps[tgt_name] + (dep,)
-
-    return PipelineInfo(scop, pipeline_maps, blockings, in_deps, out_deps)
+    return in_deps, out_deps
 
 
 class UncoveredDependenceError(ValueError):

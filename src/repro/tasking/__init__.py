@@ -1,7 +1,12 @@
 """Tasking layer: task graphs, OpenMP-style depend semantics, runtime, simulator."""
 
 from .api import OmpTaskSystem
-from .backends import FuturesBackend, ProcessBackend, SerialBackend
+from .backends import (
+    FuturesBackend,
+    ProcessBackend,
+    SerialBackend,
+    SlotAddressing,
+)
 from .dot import to_dot, write_dot
 from .hybrid import hybrid_task_graph, intra_block_edges
 from .runtime import (
@@ -18,6 +23,7 @@ __all__ = [
     "FuturesBackend",
     "ProcessBackend",
     "SerialBackend",
+    "SlotAddressing",
     "OmpTaskSystem",
     "RunResult",
     "SimResult",

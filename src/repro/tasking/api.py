@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from .backends import SlotAddressing
 from .runtime import RunResult, execute
 from .task import TaskGraph
 
@@ -32,26 +33,21 @@ class _SlotState:
     readers_since: list[int] = field(default_factory=list)
 
 
-class OmpTaskSystem:
-    """A task-graph-backed implementation of the CreateTask layer."""
+class OmpTaskSystem(SlotAddressing):
+    """A task-graph-backed implementation of the CreateTask layer.
+
+    Slot addressing (``dependArr[write_num * depend + idx]``) comes from
+    the shared :class:`~repro.tasking.backends.SlotAddressing` mixin, so
+    this reference system and the execution backends can never disagree
+    on Figure 8's packing.
+    """
 
     def __init__(self, write_num: int):
-        if write_num < 1:
-            raise ValueError("write_num must be positive")
-        self.write_num = write_num
+        self._init_slots(write_num)
         self.graph = TaskGraph()
         self._slots: dict[int, _SlotState] = {}
         self._func_last: dict[object, int] = {}
         self._func_counts: dict[object, int] = {}
-
-    # ------------------------------------------------------------------
-    def slot(self, depend: int, idx: int) -> int:
-        """The ``dependArr`` address of a dependency token (Figure 8)."""
-        if not 0 <= idx < self.write_num:
-            raise ValueError(
-                f"idx {idx} out of range for write_num {self.write_num}"
-            )
-        return self.write_num * depend + idx
 
     def create_task(
         self,

@@ -11,44 +11,78 @@ module demonstrates that: three backends implement the same
   Tasks are created in original program order, which is a topological
   order of the dependence graph, so immediate execution is trivially
   correct; this is the "tasking disabled" escape hatch.
-* :class:`FuturesBackend` — maps tasks onto
-  :class:`concurrent.futures.ThreadPoolExecutor` futures.  Dependency slots
-  hold the future of their last writer; a task waits on its dependency
-  futures, then runs — the futures-pipelining style of Blelloch &
-  Reid-Miller that the paper cites.
+* :class:`FuturesBackend` — records tasks at creation and dispatches
+  them from :meth:`run` with a *work-stealing* thread scheduler:
+  per-worker deques (LIFO locally for cache affinity, FIFO steals),
+  integer dependency counters and a dependents adjacency list, so
+  readiness tracking is O(edges) overall instead of one blocked pool
+  slot per task waiting on futures.
 * :class:`ProcessBackend` — executes task blocks in a persistent
   :class:`concurrent.futures.ProcessPoolExecutor` against a
   :class:`~repro.interp.store.SharedArrayStore`, the closest Python
   analogue of the paper's OpenMP runtime actually running on cores.
-  Task *creation* only records the block and its dependency slots; a
-  wavefront scheduler in :meth:`ProcessBackend.run` dispatches ready
-  blocks as their predecessors complete.  Nothing kernel-specific is
-  pickled per task — workers rebuild the interpreter once from a spec
-  and receive ``(statement, iterations)`` pairs.
+  Task *creation* only records the block and its dependency slots;
+  :meth:`ProcessBackend.run` dispatches *ready batches* — simultaneously
+  ready blocks grouped into one submission — with counter-based
+  readiness, amortizing the inter-process round-trip per task.  Nothing
+  kernel-specific is pickled per task — workers rebuild the interpreter
+  once from a spec and receive ``(statement, iterations)`` pairs.
+
+Dependency bookkeeping is identical across backends (and
+:class:`OmpTaskSystem`): an *in* slot waits for the slot's last writer,
+and tasks created from the same function pointer chain sequentially
+(the ``funcCount`` trick of Figure 8).
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import pickle
+import threading
+from collections import deque
 from concurrent.futures import (
     FIRST_COMPLETED,
     Future,
     ProcessPoolExecutor,
-    ThreadPoolExecutor,
     wait,
 )
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 
-class SerialBackend:
-    """Immediate, in-order execution (creation order is topological)."""
+class SlotAddressing:
+    """The shared ``dependArr`` slot packing of Figure 8.
 
-    def __init__(self, write_num: int):
+    Every backend addresses a dependency token as
+    ``write_num * depend + idx`` where ``depend`` is the packed block end
+    and ``idx`` the statement column — the exact layout
+    :mod:`repro.codegen.emit` bakes into generated programs.  Hoisted
+    here so the backends (and :class:`~repro.tasking.api.OmpTaskSystem`)
+    cannot drift apart; ``tests/tasking`` cross-checks the arithmetic
+    against :mod:`repro.codegen.packing`.
+    """
+
+    write_num: int
+
+    def _init_slots(self, write_num: int) -> None:
         if write_num < 1:
             raise ValueError("write_num must be positive")
         self.write_num = write_num
+
+    def slot(self, depend: int, idx: int) -> int:
+        """The ``dependArr`` address of a dependency token (Figure 8)."""
+        if not 0 <= idx < self.write_num:
+            raise ValueError(
+                f"idx {idx} out of range for write_num {self.write_num}"
+            )
+        return self.write_num * depend + idx
+
+
+class SerialBackend(SlotAddressing):
+    """Immediate, in-order execution (creation order is topological)."""
+
+    def __init__(self, write_num: int):
+        self._init_slots(write_num)
         self.executed: list[str] = []
 
     def create_task(
@@ -77,24 +111,45 @@ class SerialBackend:
         return len(self.executed)
 
 
-class FuturesBackend:
-    """Thread-pool futures with slot-based dependency chaining."""
+@dataclass
+class _RecordedCall:
+    """One recorded thread task: the callable, its payload and dep counters."""
+
+    tid: int
+    func: Callable[[object], None]
+    payload: object
+    deps: set[int] = field(default_factory=set)
+    cost: float = 1.0
+
+
+class FuturesBackend(SlotAddressing):
+    """Thread backend with batched work-stealing dispatch.
+
+    ``create_task`` only records the call and resolves its dependency
+    slots to producing task ids (slot-writer table plus the same-function
+    self chain, duplicates collapsed).  :meth:`run` then executes the
+    graph on ``workers`` threads: each worker owns a deque, pushes newly
+    ready dependents locally (LIFO — the freshest task's data is hot) and
+    steals oldest-first from siblings when drained.  Readiness is an
+    integer remaining-dependency counter per task, decremented as
+    predecessors finish — no future chaining, no slot scans, no pool
+    threads parked on ``wait()``.
+
+    A task failure stops dispatch, leaves every transitive dependent
+    unexecuted and re-raises from :meth:`run` after the workers drained.
+    Scheduling statistics land in :attr:`stats` (also returned by
+    :meth:`run`).
+    """
 
     def __init__(self, write_num: int, workers: int = 4):
-        if write_num < 1:
-            raise ValueError("write_num must be positive")
-        self.write_num = write_num
-        self.executor = ThreadPoolExecutor(max_workers=workers)
-        self._slot_future: dict[int, Future] = {}
-        self._func_future: dict[object, Future] = {}
-        self._all: list[Future] = []
-
-    def slot(self, depend: int, idx: int) -> int:
-        if not 0 <= idx < self.write_num:
-            raise ValueError(
-                f"idx {idx} out of range for write_num {self.write_num}"
-            )
-        return self.write_num * depend + idx
+        self._init_slots(write_num)
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.workers = workers
+        self._tasks: list[_RecordedCall] = []
+        self._slot_writer: dict[int, int] = {}
+        self._chain_last: dict[object, int] = {}
+        self.stats: dict | None = None
 
     def create_task(
         self,
@@ -109,49 +164,112 @@ class FuturesBackend:
     ) -> int:
         if len(in_depend) != len(in_idx):
             raise ValueError("in_depend and in_idx must have equal length")
-        deps = [
-            self._slot_future[self.slot(d, ix)]
-            for d, ix in zip(in_depend, in_idx)
-            if self.slot(d, ix) in self._slot_future
-        ]
-        prev_same = self._func_future.get(func)
+        tid = len(self._tasks)
+        task = _RecordedCall(tid, func, task_input, cost=cost)
+        for d, ix in zip(in_depend, in_idx):
+            writer = self._slot_writer.get(self.slot(d, ix))
+            if writer is not None:
+                task.deps.add(writer)
+        prev_same = self._chain_last.get(func)
         if prev_same is not None:
-            deps.append(prev_same)
-        # Several in-slots often resolve to the same writer future (and the
-        # self-chain may repeat one); waiting on duplicates is wasted work.
-        deps = list(dict.fromkeys(deps))
+            task.deps.add(prev_same)
+        self._chain_last[func] = tid
+        self._slot_writer[self.slot(out_depend, out_idx)] = tid
+        self._tasks.append(task)
+        return tid
 
-        def body(deps=tuple(deps)) -> None:
-            wait(deps)
-            for d in deps:  # re-raise task failures
-                exc = d.exception()
-                if exc is not None:
-                    raise exc
-            func(task_input)
+    def run(self, workers: int = 0) -> dict:
+        """Execute every recorded task; returns scheduling statistics."""
+        del workers  # worker count fixed at construction
+        n = len(self._tasks)
+        nworkers = max(1, min(self.workers, n))
+        counts = [len(t.deps) for t in self._tasks]
+        dependents: list[list[int]] = [[] for _ in range(n)]
+        for t in self._tasks:
+            for d in t.deps:
+                dependents[d].append(t.tid)
 
-        fut = self.executor.submit(body)
-        self._slot_future[self.slot(out_depend, out_idx)] = fut
-        self._func_future[func] = fut
-        self._all.append(fut)
-        return len(self._all) - 1
+        queues = [deque() for _ in range(nworkers)]
+        for k, t in enumerate(t for t in self._tasks if not t.deps):
+            queues[k % nworkers].append(t.tid)
 
-    def run(self, workers: int = 0):
-        """Block until every created task finished; re-raise failures."""
-        del workers  # pool size fixed at construction
-        try:
-            wait(self._all)
-            for fut in self._all:
-                exc = fut.exception()
-                if exc is not None:
-                    raise exc
-        finally:
-            # Shut the pool down on the failure path too — a raised task
-            # exception must not leak a live thread pool to the caller.
-            self.executor.shutdown(wait=True)
-        return None
+        cv = threading.Condition()
+        state = {
+            "pending": n,
+            "executed": 0,
+            "steals": 0,
+            "failure": None,
+        }
+
+        def acquire(me: int) -> int | None:
+            """Next task id for worker ``me``; None to shut down."""
+            if queues[me]:
+                return queues[me].pop()  # own deque, LIFO
+            for k in range(1, nworkers):
+                victim = queues[(me + k) % nworkers]
+                if victim:
+                    state["steals"] += 1
+                    return victim.popleft()  # steal oldest-first
+            return None
+
+        def worker(me: int) -> None:
+            done: int | None = None
+            while True:
+                with cv:
+                    if done is not None:
+                        state["pending"] -= 1
+                        state["executed"] += 1
+                        for d in dependents[done]:
+                            counts[d] -= 1
+                            if counts[d] == 0:
+                                queues[me].append(d)
+                        if state["pending"] == 0 or len(queues[me]) > 1:
+                            cv.notify_all()
+                        done = None
+                    while True:
+                        if state["failure"] is not None or state["pending"] == 0:
+                            return
+                        tid = acquire(me)
+                        if tid is not None:
+                            break
+                        cv.wait()
+                task = self._tasks[tid]
+                try:
+                    task.func(task.payload)
+                except BaseException as exc:  # noqa: BLE001 — re-raised below
+                    with cv:
+                        if state["failure"] is None:
+                            state["failure"] = exc
+                        cv.notify_all()
+                    return
+                done = tid
+
+        threads = [
+            threading.Thread(target=worker, args=(k,), name=f"repro-ws-{k}")
+            for k in range(nworkers)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+
+        if state["failure"] is not None:
+            raise state["failure"]
+        if state["executed"] != n:
+            raise RuntimeError(
+                f"scheduler stalled: {state['executed']}/{n} tasks ran "
+                "(dependency cycle in recorded tasks?)"
+            )
+        self.stats = {
+            "policy": "work-stealing",
+            "tasks": n,
+            "workers": nworkers,
+            "steals": state["steals"],
+        }
+        return self.stats
 
     def __len__(self) -> int:
-        return len(self._all)
+        return len(self._tasks)
 
 
 # ----------------------------------------------------------------------
@@ -183,6 +301,16 @@ def _process_worker_run(statement: str, iterations) -> None:
     )
 
 
+def _process_worker_run_batch(items) -> None:
+    """Execute a batch of simultaneously ready blocks, in order.
+
+    Batches contain only blocks whose predecessors all completed before
+    submission, so any serial order inside the batch is legal.
+    """
+    for statement, iterations in items:
+        _process_worker_run(statement, iterations)
+
+
 @dataclass
 class _RecordedTask:
     tid: int
@@ -192,12 +320,12 @@ class _RecordedTask:
     cost: float = 1.0
 
 
-class ProcessBackend:
+class ProcessBackend(SlotAddressing):
     """Persistent worker processes over a shared-memory array store.
 
     Implements the CreateTask signature, but ``create_task`` only records
     blocks — :meth:`run` attaches a :class:`SharedArrayStore`, starts the
-    pool, and wavefront-schedules blocks as dependency slots resolve.
+    pool, and dispatches *ready batches* as dependency counters drain.
     Task payloads are *not* pickled (generated modules pass unpicklable
     closures); only ``(statement, iterations)`` crosses the process
     boundary, and each worker executes it with its own compiled
@@ -210,6 +338,10 @@ class ProcessBackend:
     mutates ``store`` exactly like the in-process backends do.
     """
 
+    #: Never pack more than this many blocks into one submission — keeps
+    #: latency low when a wide front drains into a narrow one.
+    MAX_BATCH = 8
+
     def __init__(
         self,
         write_num: int,
@@ -218,11 +350,9 @@ class ProcessBackend:
         workers: int = 4,
         mp_context: str | None = None,
     ):
-        if write_num < 1:
-            raise ValueError("write_num must be positive")
+        self._init_slots(write_num)
         if workers < 1:
             raise ValueError("workers must be positive")
-        self.write_num = write_num
         self.interpreter = interpreter
         self.store = store
         self.workers = workers
@@ -230,13 +360,6 @@ class ProcessBackend:
         self._tasks: list[_RecordedTask] = []
         self._slot_writer: dict[int, int] = {}
         self._chain_last: dict[str, int] = {}
-
-    def slot(self, depend: int, idx: int) -> int:
-        if not 0 <= idx < self.write_num:
-            raise ValueError(
-                f"idx {idx} out of range for write_num {self.write_num}"
-            )
-        return self.write_num * depend + idx
 
     def create_task(
         self,
@@ -329,51 +452,76 @@ class ProcessBackend:
             shared.unlink()
 
     def _schedule(self, executor: ProcessPoolExecutor) -> dict:
-        """Wavefront dispatch: submit a block when its deps complete."""
-        remaining = {t.tid: set(t.deps) for t in self._tasks}
-        dependents: dict[int, list[int]] = {}
+        """Counter-based ready-batch dispatch.
+
+        Readiness is an integer remaining-dependency counter per block; a
+        finished batch decrements its dependents' counters and newly
+        ready blocks join a FIFO.  The FIFO is drained into batches sized
+        ``ceil(ready / workers)`` (capped at :attr:`MAX_BATCH`) so a wide
+        front splits evenly across the pool while narrow fronts keep
+        single-block latency.
+        """
+        counts = [len(t.deps) for t in self._tasks]
+        dependents: list[list[int]] = [[] for _ in self._tasks]
         for t in self._tasks:
             for d in t.deps:
-                dependents.setdefault(d, []).append(t.tid)
+                dependents[d].append(t.tid)
 
-        in_flight: dict[Future, int] = {}
+        ready: deque[int] = deque(
+            t.tid for t in self._tasks if not t.deps
+        )
+        in_flight: dict[Future, list[int]] = {}
         max_in_flight = 0
-
-        def submit(tid: int) -> None:
-            task = self._tasks[tid]
-            fut = executor.submit(
-                _process_worker_run, task.statement, task.iterations
-            )
-            in_flight[fut] = tid
-
-        for t in self._tasks:
-            if not remaining[t.tid]:
-                submit(t.tid)
+        batches = 0
         completed = 0
+
+        def submit_batches() -> None:
+            nonlocal batches
+            while ready and len(in_flight) < 2 * self.workers:
+                size = min(
+                    self.MAX_BATCH,
+                    -(-len(ready) // self.workers),  # ceil division
+                )
+                batch = [ready.popleft() for _ in range(min(size, len(ready)))]
+                fut = executor.submit(
+                    _process_worker_run_batch,
+                    [
+                        (self._tasks[tid].statement, self._tasks[tid].iterations)
+                        for tid in batch
+                    ],
+                )
+                in_flight[fut] = batch
+                batches += 1
+
+        submit_batches()
         while in_flight:
             max_in_flight = max(max_in_flight, len(in_flight))
             done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
             for fut in done:
-                tid = in_flight.pop(fut)
+                batch = in_flight.pop(fut)
                 exc = fut.exception()
                 if exc is not None:
                     for f in in_flight:
                         f.cancel()
                     raise exc
-                completed += 1
-                for dep_tid in dependents.get(tid, ()):
-                    remaining[dep_tid].discard(tid)
-                    if not remaining[dep_tid]:
-                        submit(dep_tid)
+                completed += len(batch)
+                for tid in batch:
+                    for dep_tid in dependents[tid]:
+                        counts[dep_tid] -= 1
+                        if counts[dep_tid] == 0:
+                            ready.append(dep_tid)
+            submit_batches()
         if completed != len(self._tasks):
             raise RuntimeError(
                 f"scheduler stalled: {completed}/{len(self._tasks)} blocks "
                 "ran (dependency cycle in recorded tasks?)"
             )
         return {
+            "policy": "ready-batches",
             "tasks": len(self._tasks),
             "workers": self.workers,
             "max_in_flight": max_in_flight,
+            "batches": batches,
         }
 
     def __len__(self) -> int:

@@ -1,0 +1,35 @@
+"""Task-granularity auto-tuning.
+
+The paper's Figure 10 shows pipeline speed-up collapsing once blocks get
+small relative to per-task overhead; its granularity knob (coarsening)
+is left manual.  This package closes the loop with the measured
+execution layer of :mod:`repro.interp.executor`:
+
+* :mod:`~repro.tuning.costmodel` — a two-parameter linear cost model
+  (``wall ≈ per_task_s · tasks + per_iter_s · iterations``) calibrated
+  from real serial runs at two granularities;
+* :mod:`~repro.tuning.tuner` — candidate coarsening factors evaluated
+  either on the model via the discrete-event simulator (``mode="model"``)
+  or by actually running them (``mode="search"``), per-statement factors
+  applied through :meth:`repro.pipeline.blocking.Blocking.coarsened`
+  with a legality re-check.
+"""
+
+from .costmodel import OverheadModel, calibrate_overhead
+from .tuner import (
+    CoarseningLegalityError,
+    TunedPlan,
+    apply_coarsening,
+    auto_tune,
+    candidate_factors,
+)
+
+__all__ = [
+    "CoarseningLegalityError",
+    "OverheadModel",
+    "TunedPlan",
+    "apply_coarsening",
+    "auto_tune",
+    "calibrate_overhead",
+    "candidate_factors",
+]

@@ -1,0 +1,124 @@
+"""The calibrated per-task / per-iteration cost model.
+
+The discrete-event simulator (:func:`repro.tasking.simulate`) charges an
+*abstract* overhead per task; ``benchmarks/bench_calibration.py`` sweeps
+it to show how robust the figures are to the choice.  Here the overhead
+stops being free: two measured serial runs of the same kernel at
+different granularities pin both parameters of
+
+    ``wall ≈ per_task_s · tasks + per_iter_s · iterations``
+
+because the iteration count is identical while the task count differs —
+per-task cost is the slope over tasks, per-iteration cost the remainder.
+The model then predicts the makespan of any re-blocking by simulating
+its task graph with block cost ``per_iter_s · size`` and overhead
+``per_task_s``, which is what the granularity tuner ranks candidates
+with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..interp import Interpreter
+    from ..pipeline import PipelineInfo
+
+#: Floor for fitted parameters — measurement noise must not produce a
+#: zero or negative cost (the simulator needs positive work).
+_FLOOR_S = 1e-9
+
+
+@dataclass(frozen=True)
+class OverheadModel:
+    """Seconds per task and per statement-iteration, plus provenance."""
+
+    per_task_s: float
+    per_iter_s: float
+    #: (tasks, iterations, wall seconds) of the calibration runs
+    samples: tuple[tuple[int, int, float], ...] = ()
+
+    def predict_wall(self, tasks: int, iterations: int) -> float:
+        """Serial wall-clock prediction of the linear model."""
+        return self.per_task_s * tasks + self.per_iter_s * iterations
+
+    def predict_makespan(self, info: "PipelineInfo", workers: int) -> float:
+        """Simulated pipelined makespan (seconds) of one re-blocking."""
+        from ..schedule import generate_task_ast
+        from ..tasking import TaskGraph, simulate
+
+        graph = TaskGraph.from_task_ast(
+            generate_task_ast(info),
+            cost_of_block=lambda b: self.per_iter_s * b.size,
+        )
+        return simulate(
+            graph, workers=workers, overhead=self.per_task_s
+        ).makespan
+
+    def as_dict(self) -> dict:
+        return {
+            "per_task_s": self.per_task_s,
+            "per_iter_s": self.per_iter_s,
+            "samples": [list(s) for s in self.samples],
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"OverheadModel(per_task={self.per_task_s * 1e6:.1f}us, "
+            f"per_iter={self.per_iter_s * 1e6:.1f}us)"
+        )
+
+
+def _measure_serial(
+    interp: "Interpreter", info: "PipelineInfo", repeats: int
+) -> tuple[int, int, float]:
+    """Best-of-``repeats`` serial wall time of one blocking of the kernel."""
+    from ..interp import execute_measured
+
+    best = None
+    for _ in range(max(1, repeats)):
+        _, stats = execute_measured(interp, info, backend="serial")
+        if best is None or stats.wall_time < best.wall_time:
+            best = stats
+    return best.blocks_total, best.iterations_total, best.wall_time
+
+
+def calibrate_overhead(
+    interp: "Interpreter",
+    info: "PipelineInfo",
+    repeats: int = 2,
+) -> OverheadModel:
+    """Fit the model from two measured serial runs of ``info``'s kernel.
+
+    The *fine* sample is ``info`` as given; the *coarse* sample collapses
+    every statement into a single block (the fewest tasks any coarsening
+    can reach), maximizing the task-count lever between the two runs.
+    When ``info`` is already maximally coarse the per-task cost cannot be
+    observed and falls back to the floor.
+    """
+    from .tuner import apply_coarsening
+
+    max_blocks = max(
+        (b.num_blocks for b in info.blockings.values()), default=1
+    )
+    fine = _measure_serial(interp, info, repeats)
+    samples = [fine]
+    if max_blocks > 1:
+        coarse_info = apply_coarsening(
+            info, {name: max_blocks for name in info.blockings}
+        )
+        coarse = _measure_serial(interp, coarse_info, repeats)
+        samples.append(coarse)
+        dt = fine[0] - coarse[0]
+        per_task = (fine[2] - coarse[2]) / dt if dt else 0.0
+        per_task = max(_FLOOR_S, per_task)
+        per_iter = (coarse[2] - per_task * coarse[0]) / max(1, coarse[1])
+    else:
+        per_task = _FLOOR_S
+        per_iter = fine[2] / max(1, fine[1])
+    return OverheadModel(
+        per_task_s=per_task,
+        per_iter_s=max(_FLOOR_S, per_iter),
+        samples=tuple(samples),
+    )

@@ -27,6 +27,13 @@ def pytest_addoption(parser):
         "differential campaign (tests/fuzz)",
     )
     parser.addoption(
+        "--fuzz-reduce",
+        action="store_true",
+        default=False,
+        help="run the 200-sample transitive-reduction closure "
+        "preservation campaign (tests/fuzz)",
+    )
+    parser.addoption(
         "--update-goldens",
         action="store_true",
         default=False,

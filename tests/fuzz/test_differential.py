@@ -188,6 +188,63 @@ def test_vectorize_fuzz_campaign(pytestconfig):
             ), sample.describe()
 
 
+def _closure_preserved(interp, info):
+    """Reduced and unreduced task graphs must have equal reachability."""
+    from repro.pipeline import reduce_dependencies
+
+    reduced, stats = reduce_dependencies(info)
+    full = TaskGraph.from_task_ast(generate_task_ast(info))
+    slim = TaskGraph.from_task_ast(generate_task_ast(reduced))
+    assert np.array_equal(full.reachability(), slim.reachability())
+    assert stats.slots_after <= stats.slots_before
+    return reduced, slim
+
+
+def test_reduction_preserves_transitive_closure(samples, pytestconfig):
+    """Transitive reduction never changes the enforced partial order.
+
+    On every fuzzed program the reduced task graph's reachability matrix
+    is bit-identical to the unreduced one, and executing the reduced
+    graph in a random topological order reproduces the sequential
+    arrays.
+    """
+    seed = pytestconfig.getoption("--fuzz-seed")
+    rng = random.Random(seed ^ 0x2ED0CE)
+    for sample in samples:
+        interp = Interpreter.from_source(sample.source, {})
+        info = detect_pipeline(interp.scop)
+        _reduced, slim = _closure_preserved(interp, info)
+        seq = interp.run_sequential(interp.new_store())
+        order = random_topological_order(slim, rng)
+        par = _run_pipelined(interp, slim, order)
+        assert seq.equal(par), (
+            f"{sample.describe()}: reduced-graph execution diverged "
+            f"(max abs diff {seq.max_abs_diff(par):g})\n{sample.source}"
+        )
+
+
+def test_reduce_fuzz_campaign(pytestconfig):
+    """Opt-in: 200-sample closure-preservation sweep for the reduction.
+
+    Enable with ``pytest tests/fuzz --fuzz-reduce``; every 10th sample
+    also re-executes the reduced graph and compares arrays.
+    """
+    if not pytestconfig.getoption("--fuzz-reduce"):
+        pytest.skip("enable with --fuzz-reduce")
+    seed = pytestconfig.getoption("--fuzz-seed")
+    rng = random.Random(seed ^ 0x2ED1CE)
+    for sample in generate_samples(seed + 3, 200):
+        interp = Interpreter.from_source(sample.source, {})
+        info = detect_pipeline(interp.scop)
+        _reduced, slim = _closure_preserved(interp, info)
+        if sample.index % 10 == 0:
+            seq = interp.run_sequential(interp.new_store())
+            par = _run_pipelined(
+                interp, slim, random_topological_order(slim, rng)
+            )
+            assert seq.equal(par), sample.describe()
+
+
 def test_random_topological_orders_are_legal(samples):
     """Every emitted order respects every precedence edge."""
     rng = random.Random(7)

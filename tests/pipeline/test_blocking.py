@@ -212,3 +212,58 @@ class TestCoarsen:
         return blocking_from_ends(
             "S", line(15), pset([[1], [4], [6], [8], [11]])
         )
+
+
+class TestCoarsenParameterized:
+    """Regression: ``coarsened()`` on domains driven by a symbolic N.
+
+    The blockings of a real kernel inherit their shape from the size
+    parameter; ragged cases (N odd, factor not dividing the block count)
+    historically risked dropping iterations or moving the final end.
+    ``coarsened()`` now asserts both invariants itself — these tests pin
+    them across sizes and factors.
+    """
+
+    KERNEL = """
+for(i=0; i<N; i++)
+  for(j=0; j<N; j++)
+    S: A[i][j] = f(A[i][j]);
+for(i=0; i<N/2; i++)
+  for(j=0; j<N; j++)
+    T: B[i][j] = g(A[2*i][j], B[i][j]);
+"""
+
+    @pytest.mark.parametrize("n", [5, 7, 8, 11, 12])
+    @pytest.mark.parametrize("factor", [2, 3, 5])
+    def test_invariants_across_sizes(self, n, factor):
+        from repro.interp import Interpreter
+        from repro.pipeline import detect_pipeline
+
+        interp = Interpreter.from_source(self.KERNEL, {"N": n})
+        info = detect_pipeline(interp.scop)
+        for name, b in info.blockings.items():
+            c = b.coarsened(factor)
+            # same statement domain, block count shrunk as expected
+            assert c.mapping.domain() == b.mapping.domain()
+            assert c.num_blocks == -(-b.num_blocks // factor)
+            # coarse ends are original ends, final end preserved
+            assert len(c.ends.difference(b.ends)) == 0
+            assert (c.ends.points[-1] == b.ends.points[-1]).all()
+
+    @pytest.mark.parametrize("n", [5, 9])
+    def test_coarsened_pipeline_executes_identically(self, n):
+        from repro.interp import Interpreter
+        from repro.pipeline import detect_pipeline
+        from repro.schedule import generate_task_ast
+        from repro.tasking import TaskGraph
+
+        interp = Interpreter.from_source(self.KERNEL, {"N": n})
+        seq = interp.run_sequential(interp.new_store())
+        info = detect_pipeline(interp.scop, coarsen=3)
+        graph = TaskGraph.from_task_ast(generate_task_ast(info))
+        store = interp.new_store()
+        blocks = [
+            graph.tasks[tid].block for tid in graph.topological_order()
+        ]
+        par = interp.execute_blocks_in_order(store, blocks)
+        assert seq.equal(par)

@@ -97,3 +97,48 @@ def test_analysis_roughly_quadratic_not_cubic():
     # allow generous constant-factor noise; reject ~O(points^2) growth,
     # where each doubling of N would multiply time by ~16.
     assert t64 / t16 < 64, (t16, t32, t64)
+
+
+def test_reduction_never_adds_slots_on_any_kernel():
+    """Transitive reduction is a pure win: on every Table 9 kernel the
+    reduced depend-in slot count is <= the original, the exact and index
+    paths agree, and at least three kernels cut >= 25% (the overhead
+    bench's headline numbers)."""
+    from repro.pipeline import reduce_dependencies
+
+    ratios = {}
+    for name, kern in TABLE9.items():
+        interp = Interpreter.from_source(kern.source(10), {})
+        info = detect_pipeline(interp.scop)
+        _, by_index = reduce_dependencies(info, method="index")
+        _, by_exact = reduce_dependencies(info, method="exact")
+        assert by_index.slots_after <= by_index.slots_before, name
+        assert by_index.slots_after == by_exact.slots_after, name
+        ratios[name] = by_index.ratio
+    big_cuts = [name for name, r in ratios.items() if r >= 0.25]
+    assert len(big_cuts) >= 3, ratios
+
+
+def test_coarsened_p5_not_slower_than_fine_serially():
+    """Granularity guard: collapsing P5 into a handful of coarse blocks
+    must not lose to the finest blocking on the serial backend (it
+    strictly reduces per-task dispatch work).  Tolerance absorbs timer
+    noise; only a real regression in the coarse path (e.g. ragged-block
+    decomposition re-entering per-iteration execution) trips this."""
+    src = TABLE9["P5"].source(24)
+    interp = Interpreter.from_source(src, {})
+    fine = detect_pipeline(interp.scop)
+    coarse = detect_pipeline(interp.scop, coarsen=48)
+
+    def best_wall(info, repeats=3):
+        best = None
+        for _ in range(repeats):
+            _, stats = execute_measured(interp, info, backend="serial")
+            best = min(best, stats.wall_time) if best else stats.wall_time
+        return best
+
+    wall_fine = best_wall(fine)
+    wall_coarse = best_wall(coarse)
+    assert wall_coarse <= wall_fine * 1.10, (
+        f"coarse P5 {wall_coarse:.4f}s vs fine {wall_fine:.4f}s"
+    )

@@ -1,0 +1,150 @@
+"""Granularity auto-tuner: cost model, legality, and tuning decisions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interp import Interpreter
+from repro.pipeline import detect_pipeline
+from repro.tuning import (
+    CoarseningLegalityError,
+    OverheadModel,
+    apply_coarsening,
+    auto_tune,
+    calibrate_overhead,
+    candidate_factors,
+)
+from repro.workloads import TABLE9
+
+from ..conftest import TWO_NEST_COPY
+
+
+@pytest.fixture(scope="module")
+def p5_setup():
+    interp = Interpreter.from_source(TABLE9["P5"].source(12), {})
+    return interp, detect_pipeline(interp.scop)
+
+
+def test_model_predict_wall_is_linear():
+    model = OverheadModel(per_task_s=1e-4, per_iter_s=1e-6)
+    assert model.predict_wall(0, 0) == 0.0
+    assert model.predict_wall(10, 0) == pytest.approx(1e-3)
+    assert model.predict_wall(10, 1000) == pytest.approx(2e-3)
+
+
+def test_model_predict_makespan_monotone_in_overhead(p5_setup):
+    """More per-task overhead can only slow the simulated pipeline."""
+    _, info = p5_setup
+    cheap = OverheadModel(per_task_s=1e-7, per_iter_s=1e-6)
+    dear = OverheadModel(per_task_s=1e-3, per_iter_s=1e-6)
+    assert cheap.predict_makespan(info, 4) < dear.predict_makespan(info, 4)
+
+
+def test_calibration_fits_positive_parameters(p5_setup):
+    interp, info = p5_setup
+    model = calibrate_overhead(interp, info, repeats=1)
+    assert model.per_task_s > 0
+    assert model.per_iter_s > 0
+    # two samples: the fine blocking and the fully-coarse one
+    assert len(model.samples) == 2
+    (fine_tasks, fine_iters, _), (coarse_tasks, coarse_iters, _) = (
+        model.samples
+    )
+    assert fine_tasks > coarse_tasks
+    assert fine_iters == coarse_iters  # same kernel, same work
+
+
+def test_apply_coarsening_reblocks_and_rederives(p5_setup):
+    _, info = p5_setup
+    coarse = apply_coarsening(info, {n: 2 for n in info.blockings})
+    assert coarse.num_tasks() < info.num_tasks()
+    for name, blocking in coarse.blockings.items():
+        fine = info.blockings[name]
+        # coarse ends are a subset of the fine ends, final end preserved
+        assert len(blocking.ends.difference(fine.ends)) == 0
+        assert (
+            blocking.ends.points[-1] == fine.ends.points[-1]
+        ).all()
+    # dependencies were re-derived for the new blocks, not copied
+    assert set(coarse.in_deps) == set(info.in_deps)
+
+
+def test_apply_coarsening_rejects_bad_factor(p5_setup):
+    _, info = p5_setup
+    name = next(iter(info.blockings))
+    with pytest.raises(CoarseningLegalityError):
+        apply_coarsening(info, {name: 0})
+
+
+def test_candidate_factors_ladder(p5_setup):
+    _, info = p5_setup
+    factors = candidate_factors(info, workers=4)
+    assert factors[0] == 1
+    assert factors == sorted(set(factors))
+    max_blocks = max(b.num_blocks for b in info.blockings.values())
+    assert max_blocks in factors
+    assert max(1, max_blocks // 8) in factors
+
+
+def test_auto_tune_model_prefers_coarse_under_heavy_overhead(p5_setup):
+    """A model dominated by per-task cost must coarsen aggressively."""
+    interp, info = p5_setup
+    heavy = OverheadModel(per_task_s=1e-2, per_iter_s=1e-9)
+    plan = auto_tune(interp, info, workers=4, mode="model", model=heavy)
+    assert all(f > 1 for f in plan.factors.values())
+    assert plan.tasks < info.num_tasks()
+    assert plan.scores[1] > min(plan.scores.values())
+
+
+def test_auto_tune_model_keeps_fine_blocking_when_work_dominates(p5_setup):
+    """Negligible task overhead: the finest blocking maximizes overlap."""
+    interp, info = p5_setup
+    light = OverheadModel(per_task_s=1e-9, per_iter_s=1e-3)
+    plan = auto_tune(interp, info, workers=4, mode="model", model=light)
+    assert plan.factors == {name: 1 for name in info.blockings}
+    assert plan.tasks == info.num_tasks()
+
+
+def test_auto_tune_search_measures_candidates():
+    interp = Interpreter.from_source(TWO_NEST_COPY, {"N": 6})
+    info = detect_pipeline(interp.scop)
+    plan = auto_tune(
+        interp, info, workers=2, mode="search", backend="serial", repeats=1
+    )
+    assert plan.mode == "search"
+    assert set(plan.scores) == set(candidate_factors(info, 2))
+    assert all(wall > 0 for wall in plan.scores.values())
+    best = min(plan.scores, key=plan.scores.get)
+    assert all(f == best for f in plan.factors.values())
+
+
+def test_auto_tune_rejects_unknown_mode(p5_setup):
+    interp, info = p5_setup
+    with pytest.raises(ValueError, match="unknown tuning mode"):
+        auto_tune(interp, info, mode="guess")
+
+
+def test_tuned_plan_reporting(p5_setup):
+    interp, info = p5_setup
+    heavy = OverheadModel(per_task_s=1e-2, per_iter_s=1e-9)
+    plan = auto_tune(interp, info, workers=2, mode="model", model=heavy)
+    d = plan.as_dict()
+    assert d["mode"] == "model"
+    assert d["tasks"] == plan.tasks
+    assert d["model"]["per_task_s"] == pytest.approx(1e-2)
+    assert "tuned coarsening" in plan.summary()
+
+
+def test_tuned_execution_is_bit_identical(p5_setup):
+    """The plan's info executes to the same arrays as the sequential run."""
+    from repro.interp import execute_measured
+
+    interp, info = p5_setup
+    heavy = OverheadModel(per_task_s=1e-2, per_iter_s=1e-9)
+    plan = auto_tune(interp, info, workers=2, mode="model", model=heavy)
+    seq = interp.run_sequential(interp.new_store())
+    for backend in ("serial", "threads"):
+        store, _ = execute_measured(
+            interp, plan.info, backend=backend, workers=2
+        )
+        assert seq.equal(store), backend
