@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-exec bench-overhead report examples lint analyze-examples clean
+.PHONY: install test bench bench-exec bench-overhead report examples lint analyze-examples profile-examples clean
 
 # Kernel sources checked by `make lint` / `make analyze-examples`; every
 # parameter any of them references must appear in LINT_PARAMS.
@@ -52,6 +52,15 @@ analyze-examples:
 	@status=0; for k in $(LINT_KERNELS); do \
 		echo "== analyze $$k =="; \
 		$(PYTHON) -m repro lint $$k --deep $(LINT_PARAMS) || status=1; \
+	done; exit $$status
+
+# Critical-path profile of every example kernel on the thread backend
+# (docs/observability.md): measured critical path, per-statement self
+# time, simulated-vs-measured makespan divergence.
+profile-examples:
+	@status=0; for k in $(LINT_KERNELS); do \
+		echo "== profile $$k =="; \
+		$(PYTHON) -m repro profile $$k $(LINT_PARAMS) || status=1; \
 	done; exit $$status
 
 clean:

@@ -40,7 +40,12 @@ from .harness import (
 )
 from .report import ascii_timeline, strategy_table, worker_timeline
 from .table9 import format_table9, kernel_structure
-from .trace import trace_events, trace_json, write_trace
+from .trace import (
+    trace_events,
+    trace_json,
+    validate_trace_document,
+    write_trace,
+)
 
 __all__ = [
     "DEFAULT_MATRIX_SIZE",
@@ -81,6 +86,7 @@ __all__ = [
     "strategy_table",
     "trace_events",
     "trace_json",
+    "validate_trace_document",
     "worker_timeline",
     "write_trace",
 ]

@@ -9,7 +9,7 @@ Commands
 ``lint <kernel.c> [--deep] [--format text|json|sarif]``
     Run the AST-level lint rules (``--deep`` adds SCoP validation and the
     pipelinability/task-graph checks); exit 1 on error diagnostics.
-``run <kernel.c> --param N=32 [--workers 4] [--exec-backend serial|threads|processes] [--vectorize auto|on|off] [--tune model|search] [--reduce-deps]``
+``run <kernel.c> --param N=32 [--workers 4] [--exec-backend serial|threads|processes] [--vectorize auto|on|off] [--tune model|search] [--reduce-deps] [--trace PATH] [--metrics PATH]``
     Execute the kernel sequentially and pipelined (threaded runtime) and
     report whether the results match, plus the simulated speed-up.
     ``--exec-backend`` additionally runs a *measured* wall-clock execution
@@ -17,7 +17,13 @@ Commands
     ``--vectorize`` controls the whole-block NumPy kernels;
     ``--tune`` auto-picks task granularity from a calibrated cost model
     (or a measured search); ``--reduce-deps`` transitively reduces the
-    depend-in slot lists.
+    depend-in slot lists; ``--trace`` writes one Chrome/Perfetto document
+    merging compile-phase spans, the simulated schedule and live runtime
+    task events; ``--metrics`` writes the metrics-registry JSON export.
+``profile <kernel.c> --param N=32 [--backend threads] [--workers 4]``
+    Measure a run with event collection and print the critical-path
+    profile: measured critical path, per-statement self time,
+    simulated-vs-measured makespan divergence and top slack blocks.
 ``bench-exec [--out BENCH_execution.json]``
     Measured-execution benchmark: compiled-loop vs vectorized sequential
     vs thread/process backends, including a latency-bound workload.
@@ -121,8 +127,18 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     print()
     print(generate_task_ast(info).pretty())
     if args.stats:
+        from .interp import Interpreter, execute_measured
+        from .obs.metrics import (
+            MetricsRegistry,
+            absorb_execution,
+            absorb_presburger_cache,
+            absorb_simulation,
+            absorb_task_overhead,
+        )
         from .pipeline import task_graph_stats
         from .presburger import cache as presburger_cache
+        from .schedule import generate_task_ast as gen_ast
+        from .tasking import TaskGraph, simulate
 
         tg = task_graph_stats(info)
         print()
@@ -135,6 +151,21 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         )
         print()
         print(presburger_cache.format_stats())
+
+        # All four legacy stat families, through the metrics registry:
+        # Presburger cache, task-overhead, simulation, measured execution.
+        reg = MetricsRegistry()
+        graph = TaskGraph.from_task_ast(gen_ast(info))
+        sim = simulate(graph, workers=4)
+        interp = Interpreter.from_source(source, _parse_params(args.param))
+        _, ex_stats = execute_measured(interp, info, backend="serial")
+        absorb_presburger_cache(reg)
+        absorb_task_overhead(reg, task_graph=tg)
+        absorb_simulation(reg, sim, graph)
+        absorb_execution(reg, ex_stats)
+        print()
+        print("metrics registry:")
+        print(reg.format())
     return 0
 
 
@@ -159,6 +190,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     from .bench import ascii_timeline
+    from .obs import spans as obs_spans
     from .pipeline import detect_pipeline
     from .schedule import generate_task_ast
     from .tasking import (
@@ -169,60 +201,148 @@ def cmd_run(args: argparse.Namespace) -> int:
         simulate,
     )
 
+    observing = bool(args.trace or args.metrics)
+    rec = obs_spans.recording() if observing else None
+    if rec is not None:
+        rec.__enter__()
+
+    reduction = None
+    plan = None
+    stats = None
+    try:
+        interp = _load(args.kernel, _parse_params(args.param), args.vectorize)
+        info = detect_pipeline(interp.scop, coarsen=args.coarsen)
+        if args.tune:
+            from .tuning import auto_tune
+
+            plan = auto_tune(
+                interp, info, workers=args.workers, mode=args.tune
+            )
+            info = plan.info
+            print(plan.summary())
+        if args.reduce_deps:
+            if args.hybrid:
+                raise SystemExit(
+                    "--reduce-deps is incompatible with --hybrid "
+                    "(hybrid relaxes the self chains the reduction relies on)"
+                )
+            from .pipeline import reduce_dependencies
+
+            info, reduction = reduce_dependencies(info)
+            print(reduction.summary())
+        ast = generate_task_ast(info)
+        if args.hybrid:
+            graph = hybrid_task_graph(interp.scop, info, ast)
+        else:
+            graph = TaskGraph.from_task_ast(ast)
+
+        seq_store = interp.run_sequential(interp.new_store())
+        par_store = interp.new_store()
+        bind_interpreter_actions(graph, interp, par_store)
+        execute(graph, workers=args.workers)
+        match = seq_store.equal(par_store)
+
+        sim = simulate(graph, workers=args.workers)
+        mode = "hybrid" if args.hybrid else "pipelined"
+        print(f"tasks: {len(graph)}, edges: {graph.num_edges}")
+        print(f"{mode} result matches sequential: {match}")
+        print(
+            f"simulated speed-up on {args.workers} workers: "
+            f"{graph.total_cost() / sim.makespan:.2f}x"
+        )
+        if args.exec_backend:
+            from .interp import execute_measured
+
+            ex_store, stats = execute_measured(
+                interp,
+                info,
+                backend=args.exec_backend,
+                workers=args.workers,
+                collect_events=observing,
+            )
+            ex_match = seq_store.equal(ex_store)
+            print("measured execution: " + stats.summary())
+            print(f"measured result matches sequential: {ex_match}")
+            match = match and ex_match
+        if args.timeline:
+            print()
+            print(ascii_timeline(graph, sim))
+    finally:
+        if rec is not None:
+            rec.__exit__(None, None, None)
+
+    overhead = None
+    if reduction is not None or plan is not None:
+        overhead = {}
+        if reduction is not None:
+            overhead["reduction"] = reduction.as_dict()
+        if plan is not None:
+            overhead["tuning"] = plan.as_dict()
+    if args.trace:
+        from .bench import write_trace
+
+        write_trace(
+            args.trace,
+            graph,
+            sim,
+            execution=stats,
+            overhead=overhead,
+            spans=rec.spans if rec is not None else None,
+        )
+        print(f"wrote {args.trace}")
+    if args.metrics:
+        from .obs.metrics import (
+            MetricsRegistry,
+            absorb_execution,
+            absorb_presburger_cache,
+            absorb_simulation,
+            absorb_task_overhead,
+        )
+        from .pipeline import task_graph_stats
+
+        reg = MetricsRegistry()
+        absorb_presburger_cache(reg)
+        absorb_simulation(reg, sim, graph)
+        absorb_task_overhead(
+            reg,
+            task_graph=task_graph_stats(info),
+            reduction=reduction,
+            tuning=plan,
+        )
+        if stats is not None:
+            absorb_execution(reg, stats)
+        with open(args.metrics, "w", encoding="utf-8") as fh:
+            fh.write(reg.to_json() + "\n")
+        print(f"wrote {args.metrics}")
+    return 0 if match else 1
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.profile import profile_kernel
+    from .pipeline import detect_pipeline
+
     interp = _load(args.kernel, _parse_params(args.param), args.vectorize)
     info = detect_pipeline(interp.scop, coarsen=args.coarsen)
-    if args.tune:
-        from .tuning import auto_tune
-
-        plan = auto_tune(
-            interp, info, workers=args.workers, mode=args.tune
-        )
-        info = plan.info
-        print(plan.summary())
-    if args.reduce_deps:
-        if args.hybrid:
-            raise SystemExit(
-                "--reduce-deps is incompatible with --hybrid "
-                "(hybrid relaxes the self chains the reduction relies on)"
-            )
-        from .pipeline import reduce_dependencies
-
-        info, reduction = reduce_dependencies(info)
-        print(reduction.summary())
-    ast = generate_task_ast(info)
-    if args.hybrid:
-        graph = hybrid_task_graph(interp.scop, info, ast)
-    else:
-        graph = TaskGraph.from_task_ast(ast)
-
-    seq_store = interp.run_sequential(interp.new_store())
-    par_store = interp.new_store()
-    bind_interpreter_actions(graph, interp, par_store)
-    execute(graph, workers=args.workers)
-    match = seq_store.equal(par_store)
-
-    sim = simulate(graph, workers=args.workers)
-    mode = "hybrid" if args.hybrid else "pipelined"
-    print(f"tasks: {len(graph)}, edges: {graph.num_edges}")
-    print(f"{mode} result matches sequential: {match}")
-    print(
-        f"simulated speed-up on {args.workers} workers: "
-        f"{graph.total_cost() / sim.makespan:.2f}x"
+    report = profile_kernel(
+        interp,
+        info,
+        backend=args.backend,
+        workers=args.workers,
+        policy=args.policy,
+        top=args.top,
     )
-    if args.exec_backend:
-        from .interp import execute_measured
-
-        ex_store, stats = execute_measured(
-            interp, info, backend=args.exec_backend, workers=args.workers
-        )
-        ex_match = seq_store.equal(ex_store)
-        print("measured execution: " + stats.summary())
-        print(f"measured result matches sequential: {ex_match}")
-        match = match and ex_match
-    if args.timeline:
-        print()
-        print(ascii_timeline(graph, sim))
-    return 0 if match else 1
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.format(top=args.top))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
 
 
 def cmd_bench_exec(args: argparse.Namespace) -> int:
@@ -400,9 +520,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument(
         "--exec-backend",
-        choices=("serial", "threads", "processes"),
+        choices=("serial", "thread", "threads", "process", "processes"),
         default=None,
         help="also run a measured wall-clock execution on this backend",
+    )
+    p_run.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome/Perfetto trace document merging compile-phase "
+        "spans, the simulated schedule and (with --exec-backend) live "
+        "runtime task events",
+    )
+    p_run.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write the metrics-registry JSON export (cache, simulation, "
+        "task-overhead and measured-execution series)",
     )
     p_run.add_argument(
         "--vectorize",
@@ -423,6 +558,34 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="transitively reduce the depend-in slot lists "
         "(same enforced partial order, fewer waits per task)",
+    )
+    p_profile = kernel_cmd("profile", cmd_profile)
+    p_profile.add_argument("--workers", type=int, default=4)
+    p_profile.add_argument(
+        "--backend",
+        choices=("serial", "thread", "threads", "process", "processes"),
+        default="threads",
+        help="backend for the measured run",
+    )
+    p_profile.add_argument(
+        "--policy",
+        choices=("fifo", "lifo", "cp"),
+        default="fifo",
+        help="simulator scheduling policy for the prediction",
+    )
+    p_profile.add_argument(
+        "--vectorize", choices=("auto", "on", "off"), default="auto"
+    )
+    p_profile.add_argument(
+        "--top", type=int, default=5,
+        help="rows of critical path / slack to print",
+    )
+    p_profile.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    p_profile.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the full report as JSON",
     )
     kernel_cmd("codegen", cmd_codegen)
     p_deps = kernel_cmd("deps", cmd_deps)

@@ -92,6 +92,9 @@ class TransformOptions:
     #: granularity auto-tuning: "model" (calibrated cost model + simulated
     #: scan), "search" (measured scan), None (keep ``coarsen`` as given)
     tune: str | None = None
+    #: collect live runtime task events during the measured execution
+    #: (requires ``exec_backend``); surfaced as ``execution.events``
+    collect_events: bool = False
 
 
 @dataclass(frozen=True)
@@ -188,6 +191,8 @@ def _transform(
             "reduce_deps is incompatible with hybrid: the hybrid graph "
             "relaxes the per-statement chains the reduction relies on"
         )
+    from .obs.spans import span
+
     interp = Interpreter.from_source(
         source_or_program, dict(params or {}), funcs,
         vectorize=options.vectorize,
@@ -201,9 +206,10 @@ def _transform(
     if options.tune is not None:
         from .tuning import auto_tune
 
-        tuning = auto_tune(
-            interp, info, workers=options.workers, mode=options.tune
-        )
+        with span("driver.tune", mode=options.tune):
+            tuning = auto_tune(
+                interp, info, workers=options.workers, mode=options.tune
+            )
         info = tuning.info
 
     reduction: ReductionStats | None = None
@@ -212,14 +218,16 @@ def _transform(
 
     schedule = build_schedule(info)
     task_ast = generate_task_ast(info, schedule)
-    if options.hybrid:
-        graph = hybrid_task_graph(
-            scop, info, task_ast, cost_of_block=options.cost_model.block_cost
-        )
-    else:
-        graph = TaskGraph.from_task_ast(
-            task_ast, cost_of_block=options.cost_model.block_cost
-        )
+    with span("driver.task_graph", hybrid=options.hybrid):
+        if options.hybrid:
+            graph = hybrid_task_graph(
+                scop, info, task_ast,
+                cost_of_block=options.cost_model.block_cost,
+            )
+        else:
+            graph = TaskGraph.from_task_ast(
+                task_ast, cost_of_block=options.cost_model.block_cost
+            )
 
     legality: LegalityReport | None = None
     if options.check:
@@ -230,7 +238,10 @@ def _transform(
     if options.static_checks:
         from .analysis.taskcheck import check_task_graph
 
-        diagnostics = check_task_graph(scop, info, ast=task_ast, graph=graph)
+        with span("driver.static_checks"):
+            diagnostics = check_task_graph(
+                scop, info, ast=task_ast, graph=graph
+            )
         if not diagnostics.ok:
             raise IllegalTaskGraphError(
                 f"{len(diagnostics.errors)} static-check error(s); first: "
@@ -240,11 +251,12 @@ def _transform(
     verified: bool | None = None
     seq: ArrayStore | None = None
     if options.verify:
-        seq = interp.run_sequential(interp.new_store())
-        par = interp.new_store()
-        bind_interpreter_actions(graph, interp, par)
-        execute(graph, workers=options.workers)
-        verified = seq.equal(par)
+        with span("driver.verify"):
+            seq = interp.run_sequential(interp.new_store())
+            par = interp.new_store()
+            bind_interpreter_actions(graph, interp, par)
+            execute(graph, workers=options.workers)
+            verified = seq.equal(par)
         if not verified:
             raise VerificationFailedError(
                 "pipelined arrays differ from the sequential execution "
@@ -259,6 +271,7 @@ def _transform(
             backend=options.exec_backend,
             workers=options.workers,
             cost_of_block=options.cost_model.block_cost,
+            collect_events=options.collect_events,
         )
         if seq is not None and not seq.equal(ex_store):
             raise VerificationFailedError(

@@ -24,14 +24,28 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
 
 import numpy as np
 
+from ..obs import runtime as obs_runtime
+from ..obs.spans import span
 from .interp import Interpreter
 from .store import ArrayStore
 
+if TYPE_CHECKING:
+    from ..obs.runtime import RuntimeTrace
+
 BACKENDS = ("serial", "threads", "processes")
+#: Accepted spellings for each backend name.
+BACKEND_ALIASES = {
+    "serial": "serial",
+    "thread": "threads",
+    "threads": "threads",
+    "threading": "threads",
+    "process": "processes",
+    "processes": "processes",
+}
 
 
 @dataclass(frozen=True)
@@ -48,6 +62,11 @@ class ExecutionStats:
     iterations_vectorized: int
     fallback_reasons: dict[str, str] = field(default_factory=dict)
     scheduler: dict | None = None  # backend dispatch statistics
+    #: live runtime events of the run (None unless collect_events);
+    #: per-task timestamps are on the parent's monotonic clock — worker
+    #: processes report ``monotonic_ns`` rebased through a calibrated
+    #: per-worker offset, never raw ``perf_counter`` values
+    events: "RuntimeTrace | None" = None
 
     @property
     def block_coverage(self) -> float:
@@ -78,6 +97,9 @@ class ExecutionStats:
             "iteration_coverage": round(self.iteration_coverage, 4),
             "fallback_reasons": dict(self.fallback_reasons),
             "scheduler": self.scheduler,
+            "runtime": (
+                self.events.summary_dict() if self.events is not None else None
+            ),
         }
 
     def summary(self) -> str:
@@ -96,6 +118,7 @@ def execute_measured(
     workers: int = 4,
     store: ArrayStore | None = None,
     cost_of_block: Callable | None = None,
+    collect_events: bool = False,
 ) -> tuple[ArrayStore, ExecutionStats]:
     """Emit the pipelined task program for ``info`` and actually run it.
 
@@ -114,6 +137,7 @@ def execute_measured(
     from ..schedule import generate_task_ast
     from ..tasking import FuturesBackend, ProcessBackend, SerialBackend
 
+    backend = BACKEND_ALIASES.get(backend, backend)
     if backend not in BACKENDS:
         raise ValueError(
             f"unknown execution backend {backend!r}; choose from {BACKENDS}"
@@ -174,13 +198,25 @@ def execute_measured(
                     statement=nest.statement,
                 )
 
-    start = time.perf_counter()
-    build_tasks()
-    result = system.run(workers=workers)
+    # The serial backend executes inside create_task, so the collector
+    # must span task creation as well as the run.
+    runtime_trace = None
+    with span("exec.measured", backend=backend, workers=workers):
+        if collect_events:
+            with obs_runtime.collecting(backend, workers) as collector:
+                start = time.perf_counter()
+                build_tasks()
+                result = system.run(workers=workers)
+                wall = time.perf_counter() - start
+            runtime_trace = collector.trace()
+        else:
+            start = time.perf_counter()
+            build_tasks()
+            result = system.run(workers=workers)
+            wall = time.perf_counter() - start
     # Both parallel backends report dispatch statistics (work-stealing
     # steals / ready-batch counts); the serial backend returns None.
     scheduler = result if isinstance(result, dict) else None
-    wall = time.perf_counter() - start
 
     stats = ExecutionStats(
         backend=backend,
@@ -193,6 +229,7 @@ def execute_measured(
         iterations_vectorized=iters_vec,
         fallback_reasons=fallback,
         scheduler=scheduler,
+        events=runtime_trace,
     )
     return store, stats
 

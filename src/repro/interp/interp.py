@@ -90,12 +90,13 @@ class Interpreter:
         vectorize: str = "auto",
     ) -> "Interpreter":
         from ..lang import parse
+        from ..obs.spans import span
 
-        program = (
-            parse(source_or_program)
-            if isinstance(source_or_program, str)
-            else source_or_program
-        )
+        if isinstance(source_or_program, str):
+            with span("frontend.parse"):
+                program = parse(source_or_program)
+        else:
+            program = source_or_program
         scop = extract_scop(program, dict(params))
         return Interpreter(program, scop, funcs, vectorize=vectorize)
 

@@ -1,0 +1,59 @@
+"""Unified observability layer: spans, runtime events, metrics, profiling.
+
+Four cooperating pieces (see ``docs/observability.md``):
+
+* :mod:`~repro.obs.spans` — hierarchical compile-phase spans with
+  Presburger-op attribution; near-zero cost while disabled.
+* :mod:`~repro.obs.runtime` — live per-task event collection inside the
+  tasking backends, including calibrated clock offsets for worker
+  processes.
+* :mod:`~repro.obs.metrics` — a counters/gauges/histograms registry that
+  absorbs the four legacy stat records behind one stable JSON export.
+* :mod:`~repro.obs.profile` — the critical-path profiler joining the
+  task DAG, measured timings and the simulator's prediction
+  (``repro profile``).
+"""
+
+from .metrics import (
+    Histogram,
+    MetricsRegistry,
+    absorb_execution,
+    absorb_presburger_cache,
+    absorb_simulation,
+    absorb_task_overhead,
+    default_registry,
+)
+from .runtime import (
+    RuntimeCollector,
+    RuntimeTrace,
+    TaskEvent,
+    WorkerClock,
+    collecting,
+)
+from .spans import (
+    SpanRecord,
+    phase_breakdown,
+    recording,
+    span,
+    spans_to_trace_events,
+)
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "RuntimeCollector",
+    "RuntimeTrace",
+    "SpanRecord",
+    "TaskEvent",
+    "WorkerClock",
+    "absorb_execution",
+    "absorb_presburger_cache",
+    "absorb_simulation",
+    "absorb_task_overhead",
+    "collecting",
+    "default_registry",
+    "phase_breakdown",
+    "recording",
+    "span",
+    "spans_to_trace_events",
+]

@@ -1,0 +1,303 @@
+"""Metrics registry: counters, gauges and histograms with labeled series.
+
+Before this module the repository's statistics lived in four unrelated
+records, each with its own shape and lifecycle:
+
+* :func:`repro.presburger.cache.stats` — op-cache hit/miss counters,
+* :class:`repro.interp.executor.ExecutionStats` — measured runs,
+* the task-overhead records (:class:`repro.pipeline.reduce.ReductionStats`,
+  :class:`repro.tuning.tuner.TunedPlan`, ``task_graph_stats``), and
+* :class:`repro.tasking.simulator.SimResult`.
+
+The registry absorbs all four behind one interface (the ``absorb_*``
+functions) without changing a single number: each legacy value becomes a
+labeled series like ``presburger.cache.hits`` or
+``execution.wall_time_s{backend=processes}``.  The JSON export is
+*stable* — series sorted by name then labels, labels serialized
+``name{k=v,k2=v2}`` — so artifacts diff cleanly across runs and CI can
+upload them verbatim.
+
+A registry is an ordinary object (create as many as you like); the
+module also keeps one process-global default for instrumentation sites
+that have nowhere to thread a registry through.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "absorb_execution",
+    "absorb_presburger_cache",
+    "absorb_simulation",
+    "absorb_task_overhead",
+    "default_registry",
+    "series_key",
+]
+
+
+def series_key(name: str, labels: Mapping[str, Any]) -> str:
+    """Stable text key: ``name`` or ``name{k=v,k2=v2}`` (keys sorted)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of observed values (no sample storage)."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe labeled counters/gauges/histograms with JSON export."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, Any] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, value: float = 1, **labels) -> None:
+        """Add ``value`` (default 1) to a monotonic counter series."""
+        key = series_key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + value
+
+    def gauge(self, name: str, value, **labels) -> None:
+        """Set a gauge series to ``value`` (any JSON-serializable)."""
+        key = series_key(name, labels)
+        with self._lock:
+            self._gauges[key] = value
+
+    def histogram(self, name: str, value: float, **labels) -> None:
+        """Observe ``value`` in a histogram series."""
+        key = series_key(name, labels)
+        with self._lock:
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = Histogram()
+            hist.observe(value)
+
+    # ------------------------------------------------------------------
+    def value(self, name: str, **labels):
+        """Current value of a counter or gauge series (None if absent)."""
+        key = series_key(name, labels)
+        with self._lock:
+            if key in self._counters:
+                return self._counters[key]
+            return self._gauges.get(key)
+
+    def histogram_stats(self, name: str, **labels) -> Histogram | None:
+        with self._lock:
+            return self._histograms.get(series_key(name, labels))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict[str, Any]:
+        """Stable JSON-ready export (series sorted by key)."""
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "histograms": {
+                    key: hist.as_dict()
+                    for key, hist in sorted(self._histograms.items())
+                },
+            }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=False)
+
+    def format(self, prefix: str | None = None) -> str:
+        """Human-readable dump; ``prefix`` filters series by name."""
+        doc = self.as_dict()
+        lines: list[str] = []
+        for kind in ("counters", "gauges"):
+            for key, value in doc[kind].items():
+                if prefix and not key.startswith(prefix):
+                    continue
+                if isinstance(value, float):
+                    value = f"{value:g}"
+                lines.append(f"  {key} = {value}")
+        for key, hist in doc["histograms"].items():
+            if prefix and not key.startswith(prefix):
+                continue
+            lines.append(
+                f"  {key} = count={hist['count']} mean={hist['mean']:g} "
+                f"min={hist['min']:g} max={hist['max']:g}"
+            )
+        return "\n".join(lines)
+
+
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-global registry (instrumentation fallback)."""
+    return _DEFAULT
+
+
+# ----------------------------------------------------------------------
+# absorbers for the four legacy stat families
+# ----------------------------------------------------------------------
+def absorb_presburger_cache(reg: MetricsRegistry, stats=None) -> None:
+    """Absorb a :class:`repro.presburger.cache.CacheStats` snapshot.
+
+    ``stats=None`` snapshots the process cache.  Numbers are copied
+    verbatim: ``presburger.cache.hits`` equals ``stats.hits`` etc., and
+    each per-op record becomes ``presburger.op.calls{op=...}`` series.
+    """
+    if stats is None:
+        from ..presburger import cache
+
+        stats = cache.stats()
+    reg.gauge("presburger.cache.enabled", bool(stats.enabled))
+    reg.gauge("presburger.cache.maxsize", stats.maxsize)
+    reg.gauge("presburger.cache.entries", stats.entries)
+    reg.gauge("presburger.cache.interned", stats.interned)
+    reg.counter("presburger.cache.hits", stats.hits)
+    reg.counter("presburger.cache.misses", stats.misses)
+    reg.counter("presburger.cache.evictions", stats.evictions)
+    reg.counter("presburger.cache.trivial", stats.trivial)
+    reg.gauge("presburger.cache.hit_rate", round(stats.hit_rate, 4))
+    for op, st in stats.ops.items():
+        reg.counter("presburger.op.calls", st.calls, op=op)
+        reg.counter("presburger.op.hits", st.hits, op=op)
+        reg.counter("presburger.op.misses", st.misses, op=op)
+        reg.counter("presburger.op.trivial", st.trivial, op=op)
+
+
+def absorb_execution(reg: MetricsRegistry, stats) -> None:
+    """Absorb an :class:`repro.interp.executor.ExecutionStats` record."""
+    labels = {"backend": stats.backend}
+    reg.gauge("execution.workers", stats.workers, **labels)
+    reg.gauge("execution.vectorize", stats.vectorize, **labels)
+    reg.gauge("execution.wall_time_s", stats.wall_time, **labels)
+    reg.gauge("execution.blocks_total", stats.blocks_total, **labels)
+    reg.gauge(
+        "execution.blocks_vectorized", stats.blocks_vectorized, **labels
+    )
+    reg.gauge(
+        "execution.iterations_total", stats.iterations_total, **labels
+    )
+    reg.gauge(
+        "execution.iterations_vectorized",
+        stats.iterations_vectorized,
+        **labels,
+    )
+    reg.gauge(
+        "execution.block_coverage", round(stats.block_coverage, 4), **labels
+    )
+    reg.gauge(
+        "execution.iteration_coverage",
+        round(stats.iteration_coverage, 4),
+        **labels,
+    )
+    for stmt, reason in sorted(stats.fallback_reasons.items()):
+        reg.gauge(
+            "execution.fallback_reason", reason, statement=stmt, **labels
+        )
+    if stats.scheduler:
+        for key, value in sorted(stats.scheduler.items()):
+            if isinstance(value, (int, float)):
+                reg.gauge(f"execution.scheduler.{key}", value, **labels)
+            else:
+                reg.gauge(f"execution.scheduler.{key}", str(value), **labels)
+    events = getattr(stats, "events", None)
+    if events is not None:
+        reg.gauge("execution.events", len(events.events), **labels)
+        reg.gauge(
+            "execution.measured_makespan_s",
+            round(events.makespan_ns / 1e9, 6),
+            **labels,
+        )
+
+
+def absorb_task_overhead(
+    reg: MetricsRegistry,
+    task_graph: Mapping[str, Any] | None = None,
+    reduction=None,
+    tuning=None,
+) -> None:
+    """Absorb the task-overhead family: graph shape, reduction, tuning.
+
+    ``task_graph`` is the dict of
+    :func:`repro.pipeline.reduce.task_graph_stats`; ``reduction`` a
+    :class:`~repro.pipeline.reduce.ReductionStats`; ``tuning`` a
+    :class:`~repro.tuning.tuner.TunedPlan`.  All optional.
+    """
+    if task_graph is not None:
+        for key, value in task_graph.items():
+            if isinstance(value, (int, float)):
+                reg.gauge(f"task_graph.{key}", value)
+    if reduction is not None:
+        for key, value in reduction.as_dict().items():
+            if isinstance(value, (int, float)):
+                reg.gauge(f"reduction.{key}", value)
+    if tuning is not None:
+        plan = tuning.as_dict()
+        reg.gauge("tuning.mode", plan["mode"])
+        reg.gauge("tuning.tasks", plan["tasks"])
+        for stmt, factor in sorted(plan["factors"].items()):
+            reg.gauge("tuning.factor", factor, statement=stmt)
+        for factor, score in plan["scores_s"].items():
+            reg.gauge("tuning.score_s", score, factor=factor)
+
+
+def absorb_simulation(reg: MetricsRegistry, sim, graph=None) -> None:
+    """Absorb a :class:`repro.tasking.simulator.SimResult`."""
+    labels = {"policy": sim.policy}
+    reg.gauge("simulation.makespan", sim.makespan, **labels)
+    reg.gauge("simulation.workers", sim.workers, **labels)
+    reg.gauge(
+        "simulation.utilization", round(sim.utilization(), 4), **labels
+    )
+    if graph is not None:
+        reg.gauge("simulation.tasks", len(graph), **labels)
+        total = graph.total_cost()
+        reg.gauge("simulation.total_cost", total, **labels)
+        if sim.makespan:
+            reg.gauge(
+                "simulation.speedup",
+                round(total / sim.makespan, 4),
+                **labels,
+            )

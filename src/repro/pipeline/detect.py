@@ -99,43 +99,50 @@ def detect_pipeline(
         the transformed program could then reorder it.  Add the class to
         ``kinds`` (the future-work extension) or rewrite the kernel.
     """
-    if validate:
-        validate_scop(scop).raise_if_invalid()
-        _check_dependence_coverage(scop, kinds)
+    from ..obs.spans import span
 
-    pipeline_maps: dict[tuple[str, str], PipelineMap] = {}
-    per_stmt_blockings: dict[str, list[Blocking]] = {
-        s.name: [] for s in scop.statements
-    }
+    with span("pipeline.detect", statements=len(scop.statements)):
+        if validate:
+            with span("pipeline.validate"):
+                validate_scop(scop).raise_if_invalid()
+                _check_dependence_coverage(scop, kinds)
 
-    # Lines 1-7 of Algorithm 1: pipeline + blocking maps per dependent pair.
-    for source in scop.statements:
-        for target in scop.statements:
-            if source.nest_index >= target.nest_index:
-                continue
-            pmap = _best_pipeline_map(scop, source, target, kinds)
-            if pmap is None:
-                continue
-            pipeline_maps[(source.name, target.name)] = pmap
-            per_stmt_blockings[source.name].append(
-                source_blocking(source.name, source.points, pmap)
-            )
-            per_stmt_blockings[target.name].append(
-                target_blocking(target.name, target.points, pmap)
-            )
+        pipeline_maps: dict[tuple[str, str], PipelineMap] = {}
+        per_stmt_blockings: dict[str, list[Blocking]] = {
+            s.name: [] for s in scop.statements
+        }
 
-    # Lines 8-10: E_S = lexmin over all blocking maps; Q_S^O = identity.
-    blockings: dict[str, Blocking] = {}
-    for stmt in scop.statements:
-        combined = combine_blockings(
-            stmt.name, stmt.points, per_stmt_blockings[stmt.name]
-        )
-        if coarsen > 1:
-            combined = combined.coarsened(coarsen)
-        blockings[stmt.name] = combined
+        # Lines 1-7 of Algorithm 1: pipeline + blocking maps per pair.
+        with span("pipeline.maps") as sp:
+            for source in scop.statements:
+                for target in scop.statements:
+                    if source.nest_index >= target.nest_index:
+                        continue
+                    pmap = _best_pipeline_map(scop, source, target, kinds)
+                    if pmap is None:
+                        continue
+                    pipeline_maps[(source.name, target.name)] = pmap
+                    per_stmt_blockings[source.name].append(
+                        source_blocking(source.name, source.points, pmap)
+                    )
+                    per_stmt_blockings[target.name].append(
+                        target_blocking(target.name, target.points, pmap)
+                    )
+            sp.set(pipeline_maps=len(pipeline_maps))
 
-    in_deps, out_deps = derive_dependencies(scop, pipeline_maps, blockings)
-    return PipelineInfo(scop, pipeline_maps, blockings, in_deps, out_deps)
+        # Lines 8-10: E_S = lexmin over blocking maps; Q_S^O = identity.
+        with span("pipeline.blocking"):
+            blockings: dict[str, Blocking] = {}
+            for stmt in scop.statements:
+                combined = combine_blockings(
+                    stmt.name, stmt.points, per_stmt_blockings[stmt.name]
+                )
+                if coarsen > 1:
+                    combined = combined.coarsened(coarsen)
+                blockings[stmt.name] = combined
+
+        in_deps, out_deps = derive_dependencies(scop, pipeline_maps, blockings)
+        return PipelineInfo(scop, pipeline_maps, blockings, in_deps, out_deps)
 
 
 def derive_dependencies(
@@ -150,23 +157,26 @@ def derive_dependencies(
     individually) can recompute the dependency relations without
     re-running pipeline-map detection.
     """
-    out_deps = {
-        name: out_dependency(blocking)
-        for name, blocking in blockings.items()
-    }
-    in_deps: dict[str, tuple[BlockDependency, ...]] = {
-        s.name: () for s in scop.statements
-    }
-    for (src_name, tgt_name), pmap in pipeline_maps.items():
-        target = scop.statement(tgt_name)
-        dep = block_dependency(
-            pmap,
-            blockings[src_name],
-            blockings[tgt_name],
-            target.points,
-        )
-        in_deps[tgt_name] = in_deps[tgt_name] + (dep,)
-    return in_deps, out_deps
+    from ..obs.spans import span
+
+    with span("pipeline.dependencies"):
+        out_deps = {
+            name: out_dependency(blocking)
+            for name, blocking in blockings.items()
+        }
+        in_deps: dict[str, tuple[BlockDependency, ...]] = {
+            s.name: () for s in scop.statements
+        }
+        for (src_name, tgt_name), pmap in pipeline_maps.items():
+            target = scop.statement(tgt_name)
+            dep = block_dependency(
+                pmap,
+                blockings[src_name],
+                blockings[tgt_name],
+                target.points,
+            )
+            in_deps[tgt_name] = in_deps[tgt_name] + (dep,)
+        return in_deps, out_deps
 
 
 class UncoveredDependenceError(ValueError):

@@ -351,5 +351,16 @@ def stats() -> CacheStats:
     return _CACHE.snapshot()
 
 
+def op_call_counts() -> dict[str, int]:
+    """Cheap ``{op name: calls}`` snapshot (no OpStats copies).
+
+    Used by :mod:`repro.obs.spans` to attribute Presburger operations to
+    compile-phase spans: the delta of these counters across a span is
+    the number of set/map operations that ran inside it.
+    """
+    with _CACHE._lock:
+        return {name: st.calls for name, st in _CACHE._ops.items()}
+
+
 def format_stats() -> str:
     return stats().format()

@@ -111,12 +111,15 @@ def generate_task_ast(
     The tree defaults to :func:`~repro.schedule.build.build_schedule` of the
     given pipeline info.  Statement order follows the tree's sequence.
     """
+    from ..obs.spans import span
+
     schedule = schedule if schedule is not None else build_schedule(info)
-    nests: list[TaskLoopNest] = []
-    for node in schedule.walk():
-        if isinstance(node, DomainNode) and _is_block_domain(node):
-            nests.append(_lower_statement(info, node))
-    return TaskAst(tuple(nests))
+    with span("schedule.astgen"):
+        nests: list[TaskLoopNest] = []
+        for node in schedule.walk():
+            if isinstance(node, DomainNode) and _is_block_domain(node):
+                nests.append(_lower_statement(info, node))
+        return TaskAst(tuple(nests))
 
 
 def _is_block_domain(node: DomainNode) -> bool:

@@ -83,9 +83,13 @@ def build_statement_tree(info: PipelineInfo, name: str) -> ScheduleNode:
 
 def build_schedule(info: PipelineInfo) -> ScheduleTree:
     """Algorithm 2: the full pipelined schedule tree of the SCoP."""
-    branches = tuple(
-        build_statement_tree(info, stmt.name) for stmt in info.scop.statements
-    )
-    if len(branches) == 1:
-        return ScheduleTree(branches[0])
-    return ScheduleTree(SequenceNode(branches))
+    from ..obs.spans import span
+
+    with span("schedule.tree"):
+        branches = tuple(
+            build_statement_tree(info, stmt.name)
+            for stmt in info.scop.statements
+        )
+        if len(branches) == 1:
+            return ScheduleTree(branches[0])
+        return ScheduleTree(SequenceNode(branches))

@@ -83,6 +83,19 @@ def check_legality(
     max_violations: int = 20,
 ) -> LegalityReport:
     """Verify the task graph against every instance-level dependence."""
+    from ..obs.spans import span
+
+    with span("schedule.legality"):
+        return _check_legality(scop, info, graph, kinds, max_violations)
+
+
+def _check_legality(
+    scop: Scop,
+    info: PipelineInfo,
+    graph: "TaskGraph",
+    kinds: tuple[DepKind, ...],
+    max_violations: int,
+) -> LegalityReport:
     reach = graph.reachability()
     token_to_task = {
         task.block.out_token: task.task_id

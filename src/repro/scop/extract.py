@@ -90,17 +90,20 @@ def to_affine(
 
 def extract_scop(program: Program, params: dict[str, int] | None = None) -> Scop:
     """Extract the polyhedral representation of a kernel program."""
-    params = dict(params or {})
-    statements: list[ScopStatement] = []
-    arrays: dict[str, int] = {}
-    position = 0
+    from ..obs.spans import span
 
-    for nest_index, nest in enumerate(program.nests):
-        position = _walk_loop(
-            nest, nest_index, [], [], statements, arrays, params, position
-        )
+    with span("scop.extract") as sp:
+        params = dict(params or {})
+        statements: list[ScopStatement] = []
+        arrays: dict[str, int] = {}
+        position = 0
 
-    return Scop(tuple(statements), arrays, params)
+        for nest_index, nest in enumerate(program.nests):
+            position = _walk_loop(
+                nest, nest_index, [], [], statements, arrays, params, position
+            )
+        sp.set(statements=len(statements), arrays=len(arrays))
+        return Scop(tuple(statements), arrays, params)
 
 
 def _walk_loop(

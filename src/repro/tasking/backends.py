@@ -37,8 +37,10 @@ and tasks created from the same function pointer chain sequentially
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import pickle
 import threading
+import time
 from collections import deque
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -48,6 +50,8 @@ from concurrent.futures import (
 )
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
+
+from ..obs import runtime as obs_runtime
 
 
 class SlotAddressing:
@@ -98,7 +102,20 @@ class SerialBackend(SlotAddressing):
     ) -> int:
         if len(in_depend) != len(in_idx):
             raise ValueError("in_depend and in_idx must have equal length")
-        func(task_input)
+        collector = obs_runtime.current()
+        if collector is None:
+            func(task_input)
+        else:
+            t0 = collector.now_ns()
+            func(task_input)
+            collector.record(
+                len(self.executed),
+                statement or getattr(func, "__name__", "task"),
+                worker=0,
+                start_ns=t0,
+                end_ns=collector.now_ns(),
+            )
+            collector.count("tasks")
         self.executed.append(statement or getattr(func, "__name__", "task"))
         return len(self.executed) - 1
 
@@ -120,6 +137,7 @@ class _RecordedCall:
     payload: object
     deps: set[int] = field(default_factory=set)
     cost: float = 1.0
+    statement: str | None = None
 
 
 class FuturesBackend(SlotAddressing):
@@ -165,7 +183,7 @@ class FuturesBackend(SlotAddressing):
         if len(in_depend) != len(in_idx):
             raise ValueError("in_depend and in_idx must have equal length")
         tid = len(self._tasks)
-        task = _RecordedCall(tid, func, task_input, cost=cost)
+        task = _RecordedCall(tid, func, task_input, cost=cost, statement=statement)
         for d, ix in zip(in_depend, in_idx):
             writer = self._slot_writer.get(self.slot(d, ix))
             if writer is not None:
@@ -201,15 +219,17 @@ class FuturesBackend(SlotAddressing):
             "failure": None,
         }
 
-        def acquire(me: int) -> int | None:
-            """Next task id for worker ``me``; None to shut down."""
+        collector = obs_runtime.current()
+
+        def acquire(me: int) -> tuple[int, bool] | None:
+            """``(task id, stolen)`` for worker ``me``; None to shut down."""
             if queues[me]:
-                return queues[me].pop()  # own deque, LIFO
+                return queues[me].pop(), False  # own deque, LIFO
             for k in range(1, nworkers):
                 victim = queues[(me + k) % nworkers]
                 if victim:
                     state["steals"] += 1
-                    return victim.popleft()  # steal oldest-first
+                    return victim.popleft(), True  # steal oldest-first
             return None
 
         def worker(me: int) -> None:
@@ -229,11 +249,15 @@ class FuturesBackend(SlotAddressing):
                     while True:
                         if state["failure"] is not None or state["pending"] == 0:
                             return
-                        tid = acquire(me)
-                        if tid is not None:
+                        acquired = acquire(me)
+                        if acquired is not None:
+                            tid, stolen = acquired
                             break
                         cv.wait()
+                    if collector is not None:
+                        collector.queue_sample(me, len(queues[me]))
                 task = self._tasks[tid]
+                t0 = collector.now_ns() if collector is not None else 0
                 try:
                     task.func(task.payload)
                 except BaseException as exc:  # noqa: BLE001 — re-raised below
@@ -242,6 +266,16 @@ class FuturesBackend(SlotAddressing):
                             state["failure"] = exc
                         cv.notify_all()
                     return
+                if collector is not None:
+                    collector.record(
+                        tid,
+                        task.statement
+                        or getattr(task.func, "__name__", "task"),
+                        worker=me,
+                        start_ns=t0,
+                        end_ns=collector.now_ns(),
+                        stolen=stolen,
+                    )
                 done = tid
 
         threads = [
@@ -266,6 +300,9 @@ class FuturesBackend(SlotAddressing):
             "workers": nworkers,
             "steals": state["steals"],
         }
+        if collector is not None:
+            collector.count("tasks", n)
+            collector.count("steals", state["steals"])
         return self.stats
 
     def __len__(self) -> int:
@@ -301,14 +338,35 @@ def _process_worker_run(statement: str, iterations) -> None:
     )
 
 
-def _process_worker_run_batch(items) -> None:
+def _process_worker_run_batch(items, collect: bool = False):
     """Execute a batch of simultaneously ready blocks, in order.
 
     Batches contain only blocks whose predecessors all completed before
     submission, so any serial order inside the batch is legal.
+
+    With ``collect`` the batch also times every block on this worker's
+    ``time.monotonic_ns`` clock — **not** ``perf_counter``, whose values
+    from different processes share no epoch — and returns the raw
+    readings plus batch receive/complete brackets.  The parent rebases
+    them onto its own clock with the calibrated per-worker offset (see
+    :mod:`repro.obs.runtime`).
     """
+    if not collect:
+        for statement, iterations in items:
+            _process_worker_run(statement, iterations)
+        return None
+    first_ns = time.monotonic_ns()
+    timings: list[tuple[str, int, int]] = []
     for statement, iterations in items:
+        t0 = time.monotonic_ns()
         _process_worker_run(statement, iterations)
+        timings.append((statement, t0, time.monotonic_ns()))
+    return {
+        "pid": os.getpid(),
+        "first_ns": first_ns,
+        "last_ns": time.monotonic_ns(),
+        "timings": timings,
+    }
 
 
 @dataclass
@@ -470,7 +528,8 @@ class ProcessBackend(SlotAddressing):
         ready: deque[int] = deque(
             t.tid for t in self._tasks if not t.deps
         )
-        in_flight: dict[Future, list[int]] = {}
+        collector = obs_runtime.current()
+        in_flight: dict[Future, tuple[list[int], int]] = {}
         max_in_flight = 0
         batches = 0
         completed = 0
@@ -483,14 +542,16 @@ class ProcessBackend(SlotAddressing):
                     -(-len(ready) // self.workers),  # ceil division
                 )
                 batch = [ready.popleft() for _ in range(min(size, len(ready)))]
+                submit_ns = collector.now_ns() if collector is not None else 0
                 fut = executor.submit(
                     _process_worker_run_batch,
                     [
                         (self._tasks[tid].statement, self._tasks[tid].iterations)
                         for tid in batch
                     ],
+                    collector is not None,
                 )
-                in_flight[fut] = batch
+                in_flight[fut] = (batch, submit_ns)
                 batches += 1
 
         submit_batches()
@@ -498,12 +559,24 @@ class ProcessBackend(SlotAddressing):
             max_in_flight = max(max_in_flight, len(in_flight))
             done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
             for fut in done:
-                batch = in_flight.pop(fut)
+                batch, submit_ns = in_flight.pop(fut)
                 exc = fut.exception()
                 if exc is not None:
                     for f in in_flight:
                         f.cancel()
                     raise exc
+                if collector is not None:
+                    payload = fut.result()
+                    if payload is not None:
+                        collector.record_process_batch(
+                            batch,
+                            pid=payload["pid"],
+                            submit_ns=submit_ns,
+                            recv_ns=collector.now_ns(),
+                            batch_first_ns=payload["first_ns"],
+                            batch_last_ns=payload["last_ns"],
+                            timings=payload["timings"],
+                        )
                 completed += len(batch)
                 for tid in batch:
                     for dep_tid in dependents[tid]:
@@ -516,6 +589,9 @@ class ProcessBackend(SlotAddressing):
                 f"scheduler stalled: {completed}/{len(self._tasks)} blocks "
                 "ran (dependency cycle in recorded tasks?)"
             )
+        if collector is not None:
+            collector.count("tasks", len(self._tasks))
+            collector.count("batches", batches)
         return {
             "policy": "ready-batches",
             "tasks": len(self._tasks),

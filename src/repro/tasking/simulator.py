@@ -86,7 +86,15 @@ def simulate(
         raise ValueError("need at least one worker")
     if policy not in ("fifo", "lifo", "cp"):
         raise ValueError(f"unknown policy {policy!r}")
+    from ..obs.spans import span
 
+    with span("tasking.simulate", workers=workers, policy=policy):
+        return _simulate(graph, workers, overhead, policy)
+
+
+def _simulate(
+    graph: TaskGraph, workers: int, overhead: float, policy: str
+) -> SimResult:
     n = len(graph.tasks)
     start = np.zeros(n)
     finish = np.zeros(n)

@@ -1,0 +1,176 @@
+"""Tests for the metrics registry and the legacy-stat absorbers."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    absorb_execution,
+    absorb_presburger_cache,
+    absorb_simulation,
+    absorb_task_overhead,
+    series_key,
+)
+
+
+class TestSeriesKey:
+    def test_plain_name(self):
+        assert series_key("a.b", {}) == "a.b"
+
+    def test_labels_sorted(self):
+        assert (
+            series_key("n", {"z": 1, "a": "x"}) == "n{a=x,z=1}"
+        )
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("c")
+        reg.counter("c", 4)
+        assert reg.value("c") == 5
+
+    def test_labeled_series_are_distinct(self):
+        reg = MetricsRegistry()
+        reg.counter("c", 1, op="x")
+        reg.counter("c", 2, op="y")
+        assert reg.value("c", op="x") == 1
+        assert reg.value("c", op="y") == 2
+        assert reg.value("c") is None
+
+    def test_gauge_overwrites(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", 1)
+        reg.gauge("g", "text")
+        assert reg.value("g") == "text"
+
+    def test_histogram_stats(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 2.0, 6.0):
+            reg.histogram("h", v)
+        h = reg.histogram_stats("h")
+        assert h.count == 3
+        assert h.mean == pytest.approx(3.0)
+        assert h.minimum == 1.0 and h.maximum == 6.0
+
+    def test_empty_histogram_dict(self):
+        assert Histogram().as_dict() == {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+        }
+
+    def test_as_dict_sorted_and_stable(self):
+        reg = MetricsRegistry()
+        reg.counter("z.last")
+        reg.counter("a.first")
+        reg.gauge("m.mid", 3)
+        doc = reg.as_dict()
+        assert list(doc["counters"]) == ["a.first", "z.last"]
+        # same content -> byte-identical export (CI artifact diffing)
+        assert reg.to_json() == reg.to_json()
+
+    def test_to_json_parses(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", 2.5, kind="x")
+        doc = json.loads(reg.to_json())
+        assert doc["histograms"]["h{kind=x}"]["count"] == 1
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.counter("c")
+        reg.clear()
+        assert reg.value("c") is None
+
+    def test_format_prefix_filter(self):
+        reg = MetricsRegistry()
+        reg.counter("keep.me", 1)
+        reg.counter("drop.me", 1)
+        out = reg.format(prefix="keep")
+        assert "keep.me" in out and "drop.me" not in out
+
+
+class TestAbsorbers:
+    def test_presburger_numbers_unchanged(self):
+        from repro.presburger import cache
+
+        with cache.overridden(enabled=True):
+            cache.cache_clear()
+            from repro.pipeline import detect_pipeline
+            from repro.scop import extract_scop
+            from repro.lang import parse
+            from tests.conftest import LISTING1
+
+            detect_pipeline(extract_scop(parse(LISTING1), {"N": 8}))
+            st = cache.stats()
+            reg = MetricsRegistry()
+            absorb_presburger_cache(reg, st)
+        assert reg.value("presburger.cache.hits") == st.hits
+        assert reg.value("presburger.cache.misses") == st.misses
+        assert reg.value("presburger.cache.entries") == st.entries
+        total_op_calls = sum(
+            reg.value("presburger.op.calls", op=op) for op in st.ops
+        )
+        assert total_op_calls == sum(o.calls for o in st.ops.values())
+
+    def test_execution_numbers_unchanged(self):
+        from repro.interp import Interpreter, execute_measured
+        from repro.pipeline import detect_pipeline
+        from tests.conftest import LISTING1
+
+        interp = Interpreter.from_source(LISTING1, {"N": 8})
+        info = detect_pipeline(interp.scop)
+        _, stats = execute_measured(interp, info, backend="serial")
+        reg = MetricsRegistry()
+        absorb_execution(reg, stats)
+        labels = {"backend": stats.backend}
+        assert reg.value("execution.wall_time_s", **labels) == (
+            stats.wall_time
+        )
+        assert reg.value("execution.blocks_total", **labels) == (
+            stats.blocks_total
+        )
+        assert reg.value("execution.iteration_coverage", **labels) == (
+            pytest.approx(stats.iteration_coverage, abs=1e-4)
+        )
+
+    def test_task_overhead_numbers_unchanged(self):
+        from repro.interp import Interpreter
+        from repro.pipeline import (
+            detect_pipeline,
+            reduce_dependencies,
+            task_graph_stats,
+        )
+        from tests.conftest import LISTING1
+
+        interp = Interpreter.from_source(LISTING1, {"N": 8})
+        info = detect_pipeline(interp.scop)
+        tg = task_graph_stats(info)
+        _, reduction = reduce_dependencies(info)
+        reg = MetricsRegistry()
+        absorb_task_overhead(reg, task_graph=tg, reduction=reduction)
+        assert reg.value("task_graph.tasks") == tg["tasks"]
+        assert reg.value("task_graph.edges") == tg["edges"]
+        assert reg.value("reduction.slots_before") == (
+            reduction.slots_before
+        )
+        assert reg.value("reduction.slots_after") == reduction.slots_after
+
+    def test_simulation_numbers_unchanged(self):
+        from repro.bench import build_scop, pipeline_task_graph
+        from repro.tasking import simulate
+        from repro.workloads import CostModel
+        from tests.conftest import LISTING1
+
+        graph = pipeline_task_graph(
+            build_scop(LISTING1, {"N": 8}), CostModel.uniform(1.0)
+        )
+        sim = simulate(graph, workers=4)
+        reg = MetricsRegistry()
+        absorb_simulation(reg, sim, graph)
+        labels = {"policy": sim.policy}
+        assert reg.value("simulation.makespan", **labels) == sim.makespan
+        assert reg.value("simulation.tasks", **labels) == len(graph)
+        assert reg.value("simulation.speedup", **labels) == pytest.approx(
+            graph.total_cost() / sim.makespan, abs=1e-4
+        )

@@ -1,0 +1,156 @@
+"""Tests for the hierarchical compile-phase span API."""
+
+import json
+import threading
+
+from repro.obs import spans as S
+from repro.obs.spans import (
+    phase_breakdown,
+    recording,
+    span,
+    spans_to_trace_events,
+)
+
+
+class TestDisabled:
+    def test_disabled_by_default(self):
+        assert not S.enabled()
+
+    def test_disabled_span_is_shared_noop(self):
+        a = span("x")
+        b = span("y", key=1)
+        assert a is b  # singleton: no allocation on the disabled path
+
+    def test_disabled_span_records_nothing(self):
+        S.clear()
+        with span("phase", depth=3) as sp:
+            sp.set(more=1)
+        assert S.records() == []
+
+    def test_set_chainable_on_noop(self):
+        with span("x") as sp:
+            assert sp.set(a=1) is sp
+
+
+class TestRecording:
+    def test_recording_captures_spans(self):
+        with recording() as rec:
+            with span("outer"):
+                with span("inner"):
+                    pass
+        names = [s.name for s in rec.spans]
+        assert names == ["inner", "outer"]  # completion order
+        assert not S.enabled()  # state restored
+
+    def test_nesting_parent_ids(self):
+        with recording() as rec:
+            with span("outer"):
+                with span("inner"):
+                    pass
+        inner, outer = rec.spans
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id == 0
+
+    def test_attrs_and_set(self):
+        with recording() as rec:
+            with span("p", static=1) as sp:
+                sp.set(dynamic=2)
+        (rec_span,) = rec.spans
+        assert rec_span.attrs == {"static": 1, "dynamic": 2}
+
+    def test_durations_non_negative_and_nested(self):
+        with recording() as rec:
+            with span("outer"):
+                with span("inner"):
+                    pass
+        inner, outer = rec.spans
+        assert inner.duration_ns >= 0
+        assert outer.start_ns <= inner.start_ns
+        assert outer.end_ns >= inner.end_ns
+
+    def test_thread_spans_get_own_lane(self):
+        def work():
+            with span("worker.phase"):
+                pass
+
+        with recording() as rec:
+            t = threading.Thread(target=work, name="lane-thread")
+            t.start()
+            t.join()
+            with span("main.phase"):
+                pass
+        threads = {s.thread for s in rec.spans}
+        assert "lane-thread" in threads
+        assert len(threads) == 2
+
+    def test_exception_still_closes_span(self):
+        with recording() as rec:
+            try:
+                with span("failing"):
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+        assert [s.name for s in rec.spans] == ["failing"]
+
+
+class TestPresburgerAttribution:
+    def test_ops_attributed_to_span(self):
+        from repro.pipeline import detect_pipeline
+        from repro.scop import extract_scop
+        from repro.lang import parse
+
+        from tests.conftest import LISTING1
+
+        scop = extract_scop(parse(LISTING1), {"N": 8})
+        with recording() as rec:
+            with span("analysis"):
+                detect_pipeline(scop)
+        by_name = {s.name: s for s in rec.spans}
+        outer = by_name["analysis"]
+        assert sum(outer.presburger_ops.values()) > 0
+        # the inner pipeline.detect span carries (at least) the same ops
+        assert "pipeline.detect" in by_name
+
+
+class TestTraceEventsAndBreakdown:
+    def _sample(self):
+        with recording() as rec:
+            with span("a"):
+                with span("b"):
+                    pass
+            with span("a"):
+                pass
+        return rec.spans
+
+    def test_trace_events_shape(self):
+        events = spans_to_trace_events(self._sample(), pid=7)
+        x = [e for e in events if e["ph"] == "X"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert len(x) == 3
+        assert all(e["pid"] == 7 for e in events)
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in x)
+        assert meta and all(e["name"] == "thread_name" for e in meta)
+        json.dumps(events)  # serializable
+
+    def test_empty_spans_no_events(self):
+        assert spans_to_trace_events([]) == []
+
+    def test_phase_breakdown_self_time(self):
+        spans = self._sample()
+        pb = phase_breakdown(spans)
+        assert pb["a"]["count"] == 2
+        assert pb["b"]["count"] == 1
+        # self time of `a` excludes the nested `b`
+        assert pb["a"]["self_ns"] <= pb["a"]["total_ns"]
+        total_self = sum(row["self_ns"] for row in pb.values())
+        total_top = sum(
+            s.duration_ns for s in spans if s.parent_id == 0
+        )
+        assert total_self == total_top
+
+    def test_record_as_dict_roundtrip(self):
+        (first, *_) = self._sample()
+        doc = first.as_dict()
+        json.dumps(doc)
+        assert doc["name"] == first.name
+        assert doc["duration_ns"] == first.duration_ns

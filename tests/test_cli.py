@@ -217,3 +217,84 @@ class TestErrors:
     def test_missing_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestObservability:
+    def test_run_trace_and_metrics(self, kernel_file, tmp_path, capsys):
+        from repro.bench import validate_trace_document
+
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "run", kernel_file, "--param", "N=10",
+            "--exec-backend", "threads",
+            "--trace", str(trace), "--metrics", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote {trace}" in out
+        doc = json.loads(trace.read_text())
+        assert validate_trace_document(doc) == []
+        pids = {e["pid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert pids == {0, 1, 2}  # sim + compile spans + measured lanes
+        assert "runtime" in doc["otherData"]
+        reg = json.loads(metrics.read_text())
+        assert any(
+            k.startswith("execution.wall_time_s") for k in reg["gauges"]
+        )
+        assert any(
+            k.startswith("simulation.makespan") for k in reg["gauges"]
+        )
+
+    def test_run_trace_without_backend_has_no_measured_lane(
+        self, kernel_file, tmp_path
+    ):
+        trace = tmp_path / "trace.json"
+        assert main([
+            "run", kernel_file, "--param", "N=10", "--trace", str(trace),
+        ]) == 0
+        doc = json.loads(trace.read_text())
+        pids = {e["pid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert pids == {0, 1}
+
+    def test_run_accepts_backend_alias(self, kernel_file, capsys):
+        assert main([
+            "run", kernel_file, "--param", "N=10",
+            "--exec-backend", "thread",
+        ]) == 0
+        assert "threads" in capsys.readouterr().out
+
+    def test_profile_text(self, kernel_file, capsys):
+        assert main([
+            "profile", kernel_file, "--param", "N=10",
+            "--backend", "serial",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "simulated-vs-measured" in out
+        assert "per-statement self time" in out
+
+    def test_profile_json_and_out(self, kernel_file, tmp_path, capsys):
+        out_path = tmp_path / "profile.json"
+        assert main([
+            "profile", kernel_file, "--param", "N=10",
+            "--backend", "serial", "--format", "json",
+            "--out", str(out_path),
+        ]) == 0
+        stdout = capsys.readouterr().out
+        payload = json.loads(stdout[: stdout.rindex("}") + 1])
+        assert payload["backend"] == "serial"
+        assert payload["critical_path"]
+        saved = json.loads(out_path.read_text())
+        assert saved["tasks"] == payload["tasks"]
+
+    def test_analyze_stats_reports_registry(self, kernel_file, capsys):
+        assert main([
+            "analyze", kernel_file, "--param", "N=10", "--stats",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "metrics registry:" in out
+        # all four legacy stat families surface as registry series
+        assert "presburger.cache.hits" in out
+        assert "task_graph.tasks" in out
+        assert "simulation.makespan{policy=fifo}" in out
+        assert "execution.wall_time_s{backend=serial}" in out

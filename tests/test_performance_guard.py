@@ -142,3 +142,48 @@ def test_coarsened_p5_not_slower_than_fine_serially():
     assert wall_coarse <= wall_fine * 1.10, (
         f"coarse P5 {wall_coarse:.4f}s vs fine {wall_fine:.4f}s"
     )
+
+
+def test_disabled_instrumentation_overhead_under_3_percent():
+    """The observability layer must be near-free when off.
+
+    Measured deterministically rather than by differencing two noisy
+    wall-clock runs: count how many span() calls and collector lookups a
+    P5 serial run actually issues, measure the disabled per-call cost of
+    each primitive, and bound their product against the run's wall time.
+    """
+    import timeit
+
+    from repro.obs import runtime as obs_runtime
+    from repro.obs import spans as obs_spans
+
+    src = TABLE9["P5"].source(24)
+    interp = Interpreter.from_source(src, {})
+    info = detect_pipeline(interp.scop, coarsen=48)
+
+    # How many instrumentation hits does this run perform?  Spans are
+    # counted by recording one run; per-task hits equal the task count.
+    with obs_spans.recording() as rec:
+        _, stats = execute_measured(interp, info, backend="serial")
+    n_spans = len(rec.spans)
+    n_tasks = stats.blocks_total
+    assert n_spans > 0 and n_tasks > 0
+
+    loops = 100_000
+    span_cost_s = (
+        timeit.timeit(lambda: obs_spans.span("x"), number=loops) / loops
+    )
+    lookup_cost_s = (
+        timeit.timeit(obs_runtime.current, number=loops) / loops
+    )
+
+    # Wall time of the uninstrumented-path run (collection off).
+    _, base = execute_measured(interp, info, backend="serial")
+    overhead_s = n_spans * span_cost_s + n_tasks * lookup_cost_s
+    ratio = overhead_s / base.wall_time
+    assert ratio < 0.03, (
+        f"disabled instrumentation would cost {100 * ratio:.2f}% of the "
+        f"serial P5 run ({n_spans} spans x {span_cost_s * 1e9:.0f}ns + "
+        f"{n_tasks} tasks x {lookup_cost_s * 1e9:.0f}ns over "
+        f"{base.wall_time * 1e3:.1f}ms)"
+    )
