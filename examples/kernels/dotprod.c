@@ -1,0 +1,8 @@
+// Dot product: the canonical sum reduction into a single cell.
+// The write s[0] is non-injective (every iteration hits the same cell),
+// so strict validation rejects the kernel for pipelining — but the
+// pattern portfolio proves the statement is an associative sum
+// accumulation, downgrades the over-write to RPA055 and reports the
+// nest as a privatizable reduction.
+for(i=0; i<N; i++)
+  S: s[0] += dot(a[i], b[i]);

@@ -1,0 +1,15 @@
+// Two accumulation passes into the same histogram, the second visiting
+// the bins in fully reversed order.  Every cross-nest dependence is a
+// full barrier (the first target iteration conflicts with the last
+// source iteration), so the explainer classifies the pair sequential —
+// yet all of those dependences are reduction-carried: both statements
+// are associative sum accumulations over H, and privatizing H removes
+// them.  `repro analyze --portfolio` reclassifies the pair
+// pipeline-after-privatization with a machine-checked proof.
+for(i=0; i<N; i++)
+  for(j=0; j<N; j++)
+    S: H[i][j] += A[i][j];
+
+for(i=0; i<N; i++)
+  for(j=0; j<N; j++)
+    R: H[N-1-i][N-1-j] += B[i][j];

@@ -1,0 +1,12 @@
+// Counterexample: T = e - T is NOT an associative accumulation (the
+// update x -> e - x does not commute with itself), so although the
+// shape mirrors histogram.c — same array, reversed second pass, full
+// dependence barrier — the portfolio must NOT reclassify this pair.
+// It stays sequential, guarding against false privatization claims.
+for(i=0; i<N; i++)
+  for(j=0; j<N; j++)
+    S: T[i][j] = A[i][j] - T[i][j];
+
+for(i=0; i<N; i++)
+  for(j=0; j<N; j++)
+    R: T[N-1-i][N-1-j] = B[i][j] - T[N-1-i][N-1-j];

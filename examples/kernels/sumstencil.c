@@ -1,0 +1,12 @@
+// Sum-over-stencil: each pass accumulates a 3-point stencil of a read-
+// only input into T, the second pass walking T backwards.  Like
+// histogram.c the pair is sequential under any fusion alignment, but
+// every cross-nest dependence goes through the accumulator T alone, so
+// the portfolio's privatization proof unlocks it.  The stencil reads
+// (A, B) never alias the accumulator, which is what keeps the proof's
+// residual dependence set empty.
+for(i=1; i<N-1; i++)
+  S: T[i] += compute(A[i-1], A[i], A[i+1]);
+
+for(i=1; i<N-1; i++)
+  R: T[N-1-i] += compute(B[i-1], B[i], B[i+1]);

@@ -8,6 +8,9 @@ The package bundles four analyses behind one diagnostics engine
   consecutive nest pairs with dependence blaming;
 * :mod:`~repro.analysis.taskcheck` — depend-slot packing, token-chain
   dependence coverage and adversarial race checks on task graphs;
+* :mod:`~repro.analysis.portfolio` — the pattern portfolio: reduction /
+  do-all / geometric-decomposition detection with machine-checked
+  privatization proofs (``repro analyze --portfolio``);
 * :mod:`~repro.analysis.engine` — the driver running the whole stack
   (``repro lint`` / ``repro analyze``).
 
@@ -47,6 +50,12 @@ _LAZY = {
     "check_packing": ("taskcheck", "check_packing"),
     "check_token_coverage": ("taskcheck", "check_token_coverage"),
     "check_races": ("taskcheck", "check_races"),
+    "run_portfolio": ("portfolio", "run_portfolio"),
+    "portfolio_to_diagnostics": ("portfolio", "portfolio_to_diagnostics"),
+    "PortfolioReport": ("portfolio", "PortfolioReport"),
+    "find_reduction_specs": ("portfolio", "find_reduction_specs"),
+    "ReductionSpec": ("portfolio", "ReductionSpec"),
+    "PrivatizationProof": ("portfolio", "PrivatizationProof"),
 }
 
 
@@ -73,6 +82,9 @@ __all__ = [
     "DependenceBlame",
     "PairClass",
     "PairExplanation",
+    "PortfolioReport",
+    "PrivatizationProof",
+    "ReductionSpec",
     "Rule",
     "Severity",
     "Span",
@@ -84,7 +96,10 @@ __all__ = [
     "check_token_coverage",
     "classify_nest_pairs",
     "explain_to_diagnostics",
+    "find_reduction_specs",
     "lint_program",
+    "portfolio_to_diagnostics",
+    "run_portfolio",
     "render_json",
     "render_sarif",
     "render_text",

@@ -15,6 +15,8 @@ Rule-code blocks::
     RPA02x  DSL lint (AST-level, before extraction)
     RPA03x  pipelinability (Algorithm 1, Sections 4-5)
     RPA04x  task graph / codegen (Sections 5.4-5.5)
+    RPA05x  pattern portfolio (reductions, do-all, geometric
+            decomposition, privatization proofs)
 """
 
 from __future__ import annotations
@@ -191,6 +193,32 @@ TASK_RACE = register_rule(
     "RPA043", "task-race", E,
     "no interleaving admitted by the declared depend edges may reorder "
     "a dependence (Section 5.5)")
+
+REDUCTION_DETECTED = register_rule(
+    "RPA050", "reduction-detected", I,
+    "an associative, commutative accumulation whose carried dependences "
+    "privatization may relax (Doerfert et al., reductions in Polly)")
+PRIVATIZATION_RECLASSIFIED = register_rule(
+    "RPA051", "privatization-reclassification", I,
+    "a nest pair blocked only by reduction-carried dependences becomes "
+    "pipelinable once the accumulator is privatized")
+NEST_PATTERN = register_rule(
+    "RPA052", "nest-pattern", I,
+    "each nest is classified do-all / reduction / geometric-"
+    "decomposition / irregular from its dependence evidence")
+PROOF_REJECTED = register_rule(
+    "RPA053", "privatization-proof-rejected", E,
+    "privatization proofs are machine-checked against recomputed "
+    "dependences; a rejected proof must never be acted on")
+UNCOVERED_BY_PORTFOLIO = register_rule(
+    "RPA054", "uncovered-by-portfolio", W,
+    "a blocked nest pair none of the portfolio detectors can unlock "
+    "keeps its sequential classification")
+REDUCTION_ACCUMULATOR_WRITE = register_rule(
+    "RPA055", "reduction-accumulator-write", W,
+    "a non-injective write that is a proven associative accumulation is "
+    "benign for analysis (privatization restores injectivity), but the "
+    "pipeline transformation still rejects it")
 
 del E, W, I
 

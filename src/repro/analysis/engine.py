@@ -32,6 +32,7 @@ class AnalysisResult:
     info: Any = None  # PipelineInfo when detection succeeded
     explanations: tuple = ()
     detect_error: str | None = None
+    portfolio: Any = None  # PortfolioReport when requested
 
     @property
     def ok(self) -> bool:
@@ -39,6 +40,8 @@ class AnalysisResult:
         return self.report.ok
 
     def classifications(self) -> list[dict]:
+        if self.portfolio is not None:
+            return [p.to_dict() for p in self.portfolio.pairs]
         return [e.to_dict() for e in self.explanations]
 
     def exit_code(self) -> int:
@@ -51,6 +54,7 @@ def analyze_kernel(
     params: dict[str, int] | None = None,
     file: str | None = None,
     deep: bool = True,
+    portfolio: bool = False,
 ) -> AnalysisResult:
     """Run the full static-analysis stack over kernel source text.
 
@@ -58,6 +62,10 @@ def analyze_kernel(
     ``repro lint`` mode.  ``deep=True`` additionally extracts and
     validates the SCoP, explains pipelinability of every consecutive
     nest pair, runs Algorithm 1 and checks the generated task graph.
+    ``portfolio=True`` also runs the pattern portfolio (reduction /
+    do-all / geometric-decomposition detection with machine-checked
+    privatization proofs); verified proofs reclassify blocked nest pairs
+    to ``pipeline-after-privatization`` in ``explanations``.
     """
     result = AnalysisResult(source=source, file=file)
     report = DiagnosticReport()
@@ -96,7 +104,13 @@ def analyze_kernel(
         result.report = report.merged(out.report()).sorted()
         return result
 
-    validation = validate_scop(result.scop, file=file)
+    from .portfolio.reduction import find_reduction_specs
+
+    waivers = frozenset(
+        find_reduction_specs(s.assign for s in result.scop.statements)
+    )
+    validation = validate_scop(result.scop, file=file,
+                               reduction_waivers=waivers)
     report = report.merged(validation.diagnostics)
 
     # 4. pipelinability explanation (classification of nest pairs)
@@ -106,6 +120,16 @@ def analyze_kernel(
         result.explanations = classify_nest_pairs(result.scop)
         report = report.merged(
             explain_to_diagnostics(result.scop, result.explanations, file)
+        )
+
+    # 4b. pattern portfolio (opt-in): all provable patterns + proofs
+    if portfolio and result.scop.statements:
+        from .portfolio import portfolio_to_diagnostics, run_portfolio
+
+        result.portfolio = run_portfolio(result.scop, result.explanations)
+        result.explanations = result.portfolio.explanations()
+        report = report.merged(
+            portfolio_to_diagnostics(result.scop, result.portfolio, file)
         )
 
     # 5. pipeline detection + task-graph checks, only on a valid SCoP

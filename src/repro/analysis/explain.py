@@ -40,6 +40,11 @@ DEGENERATE_OVERLAP = 0.25
 class PairClass(enum.Enum):
     DO_ALL = "do-all"
     PIPELINE = "pipeline"
+    #: every blocking dependence is reduction-carried; privatizing the
+    #: accumulator (portfolio pass, rule RPA051) unlocks the pair.  Never
+    #: produced by :func:`classify_nest_pairs` itself — only by the
+    #: portfolio reclassifier, which attaches a verified proof.
+    PIPELINE_AFTER_PRIVATIZATION = "pipeline-after-privatization"
     FUSION_ONLY = "fusion-only"
     SEQUENTIAL = "sequential"
 
@@ -48,8 +53,9 @@ class PairClass(enum.Enum):
         return {
             "do-all": 0,
             "pipeline": 1,
-            "fusion-only": 2,
-            "sequential": 3,
+            "pipeline-after-privatization": 2,
+            "fusion-only": 3,
+            "sequential": 4,
         }[self.value]
 
 
@@ -86,6 +92,9 @@ class PairExplanation:
     #: (1.0 = target may start immediately, 0.0 = full barrier); None
     #: when the pair has no flow dependence
     overlap: float | None
+    #: dependences a verified privatization proof removes (set only by the
+    #: portfolio reclassifier on ``pipeline-after-privatization`` pairs)
+    removed_by_privatization: tuple[DependenceBlame, ...] = ()
 
     def describe(self) -> str:
         head = (
@@ -97,13 +106,18 @@ class PairExplanation:
         return head
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "nest_pair": [self.source_nest, self.target_nest],
             "classification": self.classification.value,
             "overlap": self.overlap,
             "reasons": list(self.reasons),
             "blockers": [b.describe() for b in self.blockers],
         }
+        if self.removed_by_privatization:
+            out["removed_by_privatization"] = [
+                b.describe() for b in self.removed_by_privatization
+            ]
+        return out
 
 
 # ----------------------------------------------------------------------
@@ -231,16 +245,29 @@ def _classify_statement_pair(
             "flow-only pipelining finds nothing to overlap"
         )
 
-    if _fusion_legal(scop, src, tgt, rels):
+    backwards = _fusion_violations(scop, src, tgt, rels)
+    if not backwards:
         reasons.append(
             f"{src.name} -> {tgt.name}: every dependence is "
             "forward-aligned, so the nests could be fused instead"
         )
         return PairClass.FUSION_ONLY, reasons, blockers, overlap
+    # Blame every dependence kind that runs backwards, not just the first
+    # found — portfolio reclassification needs the complete list to show
+    # exactly which dependences privatization would remove.
+    names = "/".join(kind.value for kind in backwards)
     reasons.append(
-        f"{src.name} -> {tgt.name}: a dependence runs backwards under "
-        "fusion alignment; the nests must execute sequentially"
+        f"{src.name} -> {tgt.name}: {names} dependence(s) run backwards "
+        "under fusion alignment; the nests must execute sequentially"
     )
+    for kind in backwards:
+        blockers.extend(
+            _blame_accesses(
+                scop, src, tgt, kind,
+                reason="runs backwards under fusion alignment (the target "
+                "instance would execute before its source)",
+            )
+        )
     return PairClass.SEQUENTIAL, reasons, blockers, overlap
 
 
@@ -284,7 +311,7 @@ def _blame_accesses(
         for ta in tgt_accs:
             if sa.array != ta.array:
                 continue
-            rel = _access_pair_relation(scop, src, sa, tgt, ta)
+            rel = access_pair_relation(scop, src, sa, tgt, ta)
             if rel.is_empty():
                 continue
             out.append(
@@ -301,13 +328,20 @@ def _blame_accesses(
     return out
 
 
-def _access_pair_relation(
+def access_pair_relation(
     scop: Scop,
     src: ScopStatement,
     src_acc: Access,
     tgt: ScopStatement,
     tgt_acc: Access,
 ):
+    """Execution-ordered dependence pairs induced by one access pair.
+
+    Same orientation as :func:`~repro.scop.deps.dependence_relation`
+    (target iterations mapped to the source iterations they conflict
+    with); the portfolio partition uses this to attribute each dependence
+    pair to the array inducing it.
+    """
     array_id = scop.array_ids[src_acc.array]
     sr = src_acc.explicit_relation(
         src.points, src.space, array_id, scop.mem_rank
@@ -319,20 +353,21 @@ def _access_pair_relation(
     return _filter_execution_order(candidates, src, tgt)
 
 
-def _fusion_legal(
+def _fusion_violations(
     scop: Scop, src: ScopStatement, tgt: ScopStatement, rels
-) -> bool:
-    """True when fusing the two nests preserves every dependence."""
+) -> list[DepKind]:
+    """Every dependence kind that fusing the two nests would reorder."""
     common = min(src.depth, tgt.depth)
-    for rel in rels.values():
+    violations: list[DepKind] = []
+    for kind, rel in rels.items():
         if rel.is_empty():
             continue
         s = rel.out_part[:, :common]
         t = rel.in_part[:, :common]
         forward = rowwise_lex_lt(s, t) | np.all(s == t, axis=1)
         if not bool(np.all(forward)):
-            return False
-    return True
+            violations.append(kind)
+    return violations
 
 
 # ----------------------------------------------------------------------

@@ -112,6 +112,27 @@ def _lint_statement(
             }
         missing = [v for v in enclosing if v not in used]
         if missing:
+            # a proven associative accumulation over-writes by design;
+            # privatization restores injectivity (pattern portfolio)
+            from .portfolio.reduction import reduction_update_spec
+
+            spec = reduction_update_spec(stmt)
+            if spec is not None:
+                out.add(
+                    D.REDUCTION_ACCUMULATOR_WRITE,
+                    f"statement {stmt.label}: write to "
+                    f"{stmt.target.array!r} never uses loop variable(s) "
+                    f"{', '.join(repr(v) for v in missing)}, but the "
+                    f"statement is a {spec.group.value} reduction — "
+                    "privatizing the accumulator makes the over-write "
+                    "benign",
+                    stmt.target.location or stmt.location,
+                    hints=(
+                        "run `repro analyze --portfolio` for the "
+                        "privatization proof",
+                    ),
+                )
+                return
             out.add(
                 D.OVERWRITING_WRITE,
                 f"statement {stmt.label}: write to "

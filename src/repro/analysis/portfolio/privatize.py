@@ -1,0 +1,153 @@
+"""Privatization legality proof objects.
+
+A :class:`PrivatizationProof` is the *evidence* that a set of dependence
+pairs may be dropped from the schedule: each relaxed pair connects two
+associative accumulations of the same group over the same array, and is
+induced by that array alone.  Privatizing the accumulator (one private
+copy per task, combined with the group's operator at the join) then
+yields the same final value for any execution order of the relaxed
+instances, because the updates commute.
+
+The proof is *checkable*, not trusted: every claim it makes — the
+statements are syntactic reductions, the removed pairs are actual
+dependences, none of them also orders non-accumulator memory — is
+re-derived from the SCoP by
+:func:`repro.schedule.legality.verify_privatization`, which shares only
+the AST-level spec matcher with the detector and recomputes all
+relations from first principles.  Downstream consumers must call the
+verifier before acting on a proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...presburger import PointRelation
+from ...scop import DepKind
+from .partition import DependencePartition, PairKey
+from .reduction import ReductionSpec
+
+
+@dataclass(frozen=True)
+class ReductionClaim:
+    """One statement the proof asserts to be an associative accumulation."""
+
+    statement: str
+    array: str
+    group: str  # ReductionGroup value ("sum", "product", "min", "max")
+    operator: str
+
+    @staticmethod
+    def of(spec: ReductionSpec) -> "ReductionClaim":
+        return ReductionClaim(
+            spec.statement, spec.array, spec.group.value, spec.operator
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.statement}: {self.group} reduction over "
+            f"{self.array!r} ({self.operator})"
+        )
+
+
+@dataclass(frozen=True)
+class RemovedDependence:
+    """One dependence relation the proof relaxes, with its instance pairs."""
+
+    source: str
+    target: str
+    kind: DepKind
+    pairs: PointRelation
+
+    @property
+    def key(self) -> PairKey:
+        return (self.source, self.target, self.kind)
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind.value} {self.source} -> {self.target} "
+            f"({len(self.pairs)} instance pairs)"
+        )
+
+
+@dataclass(frozen=True)
+class PrivatizationProof:
+    """Machine-checkable evidence that relaxing ``removed`` is legal."""
+
+    claims: tuple[ReductionClaim, ...]
+    removed: tuple[RemovedDependence, ...]
+
+    @property
+    def arrays(self) -> tuple[str, ...]:
+        return tuple(sorted({c.array for c in self.claims}))
+
+    @property
+    def removed_pairs(self) -> int:
+        return sum(len(r.pairs) for r in self.removed)
+
+    def relaxed_map(self) -> dict[PairKey, PointRelation]:
+        """The removed relations keyed for ``check_legality(relaxed=...)``."""
+        return {r.key: r.pairs for r in self.removed}
+
+    def describe(self) -> str:
+        arrays = ", ".join(repr(a) for a in self.arrays)
+        return (
+            f"privatize {arrays}: removes {self.removed_pairs} dependence "
+            f"pair(s) across {len(self.removed)} relation(s), "
+            f"{len(self.claims)} accumulation statement(s)"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "arrays": list(self.arrays),
+            "claims": [
+                {
+                    "statement": c.statement,
+                    "array": c.array,
+                    "group": c.group,
+                    "operator": c.operator,
+                }
+                for c in self.claims
+            ],
+            "removed": [
+                {
+                    "source": r.source,
+                    "target": r.target,
+                    "kind": r.kind.value,
+                    "pairs": len(r.pairs),
+                }
+                for r in self.removed
+            ],
+        }
+
+
+def build_pair_proof(
+    specs: dict[str, ReductionSpec],
+    cross_parts: list[DependencePartition],
+) -> PrivatizationProof | None:
+    """Proof relaxing every dependence of one nest pair, if sound.
+
+    ``cross_parts`` are the partitions of all cross-nest statement pairs.
+    Returns ``None`` unless every one of them is *fully* reduction-
+    carried — a single residual pair means the nests stay ordered and
+    privatization buys nothing for this pair.
+    """
+    removed: list[RemovedDependence] = []
+    involved: set[str] = set()
+    for part in cross_parts:
+        if part.full.is_empty():
+            continue
+        if not part.residual.is_empty():
+            return None
+        removed.append(
+            RemovedDependence(
+                part.source, part.target, part.kind, part.reduction_carried
+            )
+        )
+        involved.update((part.source, part.target))
+    if not removed:
+        return None  # no dependence at all: the pair is already do-all
+    claims = tuple(
+        ReductionClaim.of(specs[name]) for name in sorted(involved)
+    )
+    return PrivatizationProof(claims, tuple(removed))

@@ -74,8 +74,13 @@ def diagnostic_to_dict(diag: Diagnostic) -> dict[str, Any]:
 def render_json(
     report: DiagnosticReport,
     classifications: Sequence[Mapping[str, Any]] = (),
+    portfolio: Mapping[str, Any] | None = None,
 ) -> str:
-    """The ``repro lint --format json`` / ``repro analyze`` payload."""
+    """The ``repro lint --format json`` / ``repro analyze`` payload.
+
+    ``portfolio`` is the :meth:`PortfolioReport.to_dict` payload of
+    ``repro analyze --portfolio`` (reductions, nest patterns, proofs).
+    """
     payload = {
         "tool": TOOL_NAME,
         "diagnostics": [diagnostic_to_dict(d) for d in report.sorted()],
@@ -86,6 +91,8 @@ def render_json(
             "notes": len(report.infos),
         },
     }
+    if portfolio is not None:
+        payload["portfolio"] = dict(portfolio)
     return json.dumps(payload, indent=2)
 
 

@@ -2,10 +2,12 @@
 
 Commands
 --------
-``analyze <kernel.c> --param N=32 [--format text|json|sarif]``
+``analyze <kernel.c> --param N=32 [--format text|json|sarif] [--portfolio]``
     Run the full static analysis (diagnostics, nest-pair classification,
     task-graph checks), then Algorithm 1, the pipeline summary and the
-    Figure-6 style task AST.
+    Figure-6 style task AST.  ``--portfolio`` adds the pattern portfolio:
+    reduction / do-all / geometric-decomposition detection with
+    machine-checked privatization proofs (rule codes RPA05x).
 ``lint <kernel.c> [--deep] [--format text|json|sarif]``
     Run the AST-level lint rules (``--deep`` adds SCoP validation and the
     pipelinability/task-graph checks); exit 1 on error diagnostics.
@@ -81,17 +83,33 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
     source = _read_source(args.kernel)
     result = analyze_kernel(
-        source, _parse_params(args.param), file=args.kernel
+        source,
+        _parse_params(args.param),
+        file=args.kernel,
+        portfolio=args.portfolio,
     )
 
     if args.format == "json":
-        print(render_json(result.report, result.classifications()))
+        print(
+            render_json(
+                result.report,
+                result.classifications(),
+                portfolio=(
+                    result.portfolio.to_dict()
+                    if result.portfolio is not None
+                    else None
+                ),
+            )
+        )
         return result.exit_code()
     if args.format == "sarif":
         print(render_sarif(result.report))
         return result.exit_code()
 
     print(render_text(result.report, source))
+    if result.portfolio is not None:
+        print()
+        print(result.portfolio.format())
     if result.detect_error:
         print(f"note: {result.detect_error}")
     if result.info is None or not result.ok:
@@ -487,6 +505,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print Presburger op-cache hit/miss statistics after analysis",
+    )
+    p_analyze.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="run the pattern portfolio (reduction / do-all / geometric "
+        "detection with machine-checked privatization proofs)",
     )
 
     p_lint = sub.add_parser(

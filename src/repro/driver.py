@@ -95,6 +95,11 @@ class TransformOptions:
     #: collect live runtime task events during the measured execution
     #: (requires ``exec_backend``); surfaced as ``execution.events``
     collect_events: bool = False
+    #: run the pattern portfolio (reduction / do-all / geometric
+    #: detection with machine-checked privatization proofs); surfaced as
+    #: ``TransformResult.portfolio``, and downstream consumers may feed
+    #: its verified ``relaxed_map()`` back into ``check_legality``
+    portfolio: bool = False
 
 
 @dataclass(frozen=True)
@@ -118,6 +123,9 @@ class TransformResult:
     reduction: ReductionStats | None = None
     #: granularity tuning plan (None unless options.tune)
     tuning: object | None = None  # repro.tuning.TunedPlan
+    #: pattern-portfolio report (None unless options.portfolio);
+    #: a repro.analysis.portfolio.PortfolioReport
+    portfolio: object | None = None
 
     @property
     def speedup(self) -> float:
@@ -144,6 +152,13 @@ class TransformResult:
             )
         if self.tuning is not None:
             lines.append(self.tuning.summary())
+        if self.portfolio is not None:
+            reclassified = len(self.portfolio.reclassified_pairs())
+            lines.append(
+                f"pattern portfolio: {len(self.portfolio.specs)} "
+                f"reduction(s), {reclassified} pair(s) reclassified "
+                "after privatization"
+            )
         if self.reduction is not None:
             lines.append(self.reduction.summary())
         if self.execution is not None:
@@ -198,6 +213,14 @@ def _transform(
         vectorize=options.vectorize,
     )
     scop = interp.scop
+
+    portfolio_report = None
+    if options.portfolio:
+        from .analysis.portfolio import run_portfolio
+
+        with span("driver.portfolio"):
+            portfolio_report = run_portfolio(scop)
+
     info = detect_pipeline(
         scop, kinds=options.kinds, coarsen=options.coarsen
     )
@@ -296,4 +319,5 @@ def _transform(
         execution=execution,
         reduction=reduction,
         tuning=tuning,
+        portfolio=portfolio_report,
     )

@@ -37,6 +37,12 @@ def _mix(*args: float) -> float:
 for _name in ("f", "g", "h", "u", "v", "w", "compute", "dot"):
     DEFAULT_FUNCS[_name] = _mix
 
+# min/max are real ufuncs (not _mix): the reduction kernels rely on
+# their associativity, which the pattern portfolio proves and the fuzz
+# campaign exercises.
+DEFAULT_FUNCS["min"] = np.minimum
+DEFAULT_FUNCS["max"] = np.maximum
+
 
 class Interpreter:
     """Sequential executor for an extracted SCoP and its source program."""

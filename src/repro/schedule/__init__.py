@@ -4,8 +4,11 @@ from .astgen import TaskAst, TaskBlock, TaskLoopNest, Token, generate_task_ast
 from .legality import (
     IllegalScheduleError,
     LegalityReport,
+    PrivatizationCheck,
+    ProofFailure,
     Violation,
     check_legality,
+    verify_privatization,
 )
 from .serialize import (
     dumps_task_ast,
@@ -40,6 +43,8 @@ __all__ = [
     "MarkNode",
     "PIPELINE_MARK",
     "PipelineMarkPayload",
+    "PrivatizationCheck",
+    "ProofFailure",
     "ScheduleNode",
     "ScheduleTree",
     "SequenceNode",
@@ -49,6 +54,7 @@ __all__ = [
     "Token",
     "Violation",
     "check_legality",
+    "verify_privatization",
     "dumps_task_ast",
     "load_task_ast",
     "loads_task_ast",

@@ -22,13 +22,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Mapping
 
 from ..pipeline import PipelineInfo
-from ..scop import DepKind, Scop, dependence_relation
+from ..presburger import PointRelation
+from ..scop import DepKind, Scop, ScopStatement, dependence_relation
 
 if TYPE_CHECKING:  # avoid the schedule <-> tasking package cycle
+    from ..analysis.portfolio.privatize import PrivatizationProof
     from ..tasking.task import TaskGraph
+
+#: (source statement, target statement, dependence kind) — the key shape
+#: of a relaxed-dependence map (``PrivatizationProof.relaxed_map()``)
+RelaxedMap = Mapping[tuple[str, str, DepKind], PointRelation]
 
 
 @dataclass(frozen=True)
@@ -81,12 +87,22 @@ def check_legality(
     graph: "TaskGraph",
     kinds: tuple[DepKind, ...] = tuple(DepKind),
     max_violations: int = 20,
+    relaxed: RelaxedMap | None = None,
 ) -> LegalityReport:
-    """Verify the task graph against every instance-level dependence."""
+    """Verify the task graph against every instance-level dependence.
+
+    ``relaxed`` maps ``(source, target, kind)`` to instance pairs the
+    schedule is allowed to reorder — the removed set of a *verified*
+    privatization proof (:func:`verify_privatization`).  Those pairs are
+    subtracted from each dependence relation before checking; everything
+    else must still be preserved.
+    """
     from ..obs.spans import span
 
     with span("schedule.legality"):
-        return _check_legality(scop, info, graph, kinds, max_violations)
+        return _check_legality(
+            scop, info, graph, kinds, max_violations, relaxed
+        )
 
 
 def _check_legality(
@@ -95,6 +111,7 @@ def _check_legality(
     graph: "TaskGraph",
     kinds: tuple[DepKind, ...],
     max_violations: int,
+    relaxed: RelaxedMap | None = None,
 ) -> LegalityReport:
     reach = graph.reachability()
     token_to_task = {
@@ -113,6 +130,10 @@ def _check_legality(
             t_task_of_block = _tasks_by_block(token_to_task, tb, target.name)
             for kind in kinds:
                 rel = dependence_relation(scop, source, target, kind)
+                if relaxed:
+                    cut = relaxed.get((source.name, target.name, kind))
+                    if cut is not None and not cut.is_empty():
+                        rel = rel.difference(cut)
                 if rel.is_empty():
                     continue
                 checked += len(rel)
@@ -152,4 +173,198 @@ def _tasks_by_block(token_to_task, blocking, statement: str) -> np.ndarray:
     for block_id in range(blocking.num_blocks):
         end = tuple(int(v) for v in blocking.ends.points[block_id])
         out[block_id] = token_to_task[(statement, end)]
+    return out
+
+
+# ----------------------------------------------------------------------
+# privatization proof checking
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProofFailure:
+    """One claim of a privatization proof the checker could not confirm."""
+
+    claim: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.claim}: {self.reason}"
+
+
+@dataclass(frozen=True)
+class PrivatizationCheck:
+    """Outcome of independently re-verifying a privatization proof."""
+
+    claims_checked: int
+    relations_checked: int
+    checked_instance_pairs: int
+    failures: tuple[ProofFailure, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def raise_if_rejected(self) -> None:
+        if self.failures:
+            raise IllegalScheduleError(
+                f"privatization proof rejected: {self.failures[0]}"
+            )
+
+    def __str__(self) -> str:
+        status = "verified" if self.ok else f"{len(self.failures)} failures"
+        return (
+            f"PrivatizationCheck({self.claims_checked} claims, "
+            f"{self.checked_instance_pairs} instance pairs, {status})"
+        )
+
+
+def verify_privatization(scop: Scop, proof) -> PrivatizationCheck:
+    """Re-derive every claim of a privatization proof from the SCoP.
+
+    This is the trust boundary of the pattern portfolio: a
+    ``PrivatizationProof`` arrives as *alleged* evidence and nothing in
+    it is taken at face value.  The checker shares only the AST-level
+    reduction matcher with the detector and recomputes all relations
+    from the SCoP's access functions:
+
+    1. every claimed statement re-matches the reduction shape, with the
+       claimed array, operator group and operator;
+    2. every removed relation connects two claimed statements whose
+       updates commute (same array, same group);
+    3. the removed pairs are a subset of the recomputed memory-based
+       dependence relation — the proof cannot smuggle in extra freedom;
+    4. no removed pair is induced by an access pair on any array other
+       than the privatized accumulator — relaxing it would reorder
+       non-accumulator state.
+
+    Under 1-4, executing the removed pairs in any order is safe: each
+    relaxed pair orders only commuting updates of an array that
+    privatization gives each task a private copy of.
+    """
+    # the one shared component: the syntactic reduction matcher
+    from ..analysis.portfolio.reduction import reduction_update_spec
+
+    failures: list[ProofFailure] = []
+    pairs_checked = 0
+
+    specs = {}
+    for claim in proof.claims:
+        try:
+            stmt = scop.statement(claim.statement)
+        except KeyError:
+            failures.append(
+                ProofFailure(claim.statement, "no such statement")
+            )
+            continue
+        spec = reduction_update_spec(stmt.assign)
+        if spec is None:
+            failures.append(
+                ProofFailure(
+                    claim.statement,
+                    "statement is not a recognizable associative "
+                    "accumulation",
+                )
+            )
+        elif (
+            spec.array != claim.array
+            or spec.group.value != claim.group
+            or spec.operator != claim.operator
+        ):
+            failures.append(
+                ProofFailure(
+                    claim.statement,
+                    f"claimed {claim.group} over {claim.array!r} "
+                    f"({claim.operator}) but the statement is "
+                    f"{spec.describe()}",
+                )
+            )
+        else:
+            specs[claim.statement] = spec
+
+    for rem in proof.removed:
+        name = f"{rem.kind.value} {rem.source} -> {rem.target}"
+        sspec = specs.get(rem.source)
+        tspec = specs.get(rem.target)
+        if sspec is None or tspec is None:
+            failures.append(
+                ProofFailure(name, "an endpoint carries no verified claim")
+            )
+            continue
+        if sspec.array != tspec.array or sspec.group is not tspec.group:
+            failures.append(
+                ProofFailure(
+                    name,
+                    f"endpoint updates do not commute: {sspec.describe()} "
+                    f"vs {tspec.describe()}",
+                )
+            )
+            continue
+        src = scop.statement(rem.source)
+        tgt = scop.statement(rem.target)
+        if rem.pairs.n_in != tgt.depth or rem.pairs.n_out != src.depth:
+            failures.append(
+                ProofFailure(name, "removed relation has wrong dimensions")
+            )
+            continue
+        full = dependence_relation(scop, src, tgt, rem.kind)
+        if not rem.pairs.difference(full).is_empty():
+            failures.append(
+                ProofFailure(
+                    name,
+                    "removed pairs are not all actual dependence pairs",
+                )
+            )
+            continue
+        others = _induced_through_others(scop, src, tgt, rem.kind, sspec.array)
+        if not rem.pairs.intersect(others).is_empty():
+            failures.append(
+                ProofFailure(
+                    name,
+                    "a removed pair is also induced by a non-accumulator "
+                    "access pair; relaxing it would reorder other memory",
+                )
+            )
+            continue
+        pairs_checked += len(rem.pairs)
+
+    return PrivatizationCheck(
+        len(proof.claims), len(proof.removed), pairs_checked, tuple(failures)
+    )
+
+
+def _induced_through_others(
+    scop: Scop,
+    src: ScopStatement,
+    tgt: ScopStatement,
+    kind: DepKind,
+    accumulator: str,
+) -> PointRelation:
+    """Dependence pairs induced by any array other than the accumulator.
+
+    Recomputed here from the access functions — deliberately not the
+    detector's partition — so the checker stands on its own.
+    """
+    from ..scop.deps import _filter_execution_order
+
+    if kind is DepKind.FLOW:
+        src_accs, tgt_accs = src.writes, tgt.reads
+    elif kind is DepKind.ANTI:
+        src_accs, tgt_accs = src.reads, tgt.writes
+    else:
+        src_accs, tgt_accs = src.writes, tgt.writes
+
+    out = PointRelation.empty(tgt.depth, src.depth)
+    for sa in src_accs:
+        for ta in tgt_accs:
+            if sa.array != ta.array or sa.array == accumulator:
+                continue
+            array_id = scop.array_ids[sa.array]
+            sr = sa.explicit_relation(
+                src.points, src.space, array_id, scop.mem_rank
+            )
+            tr = ta.explicit_relation(
+                tgt.points, tgt.space, array_id, scop.mem_rank
+            )
+            out = out.union(
+                _filter_execution_order(sr.inverse().after(tr), src, tgt)
+            )
     return out

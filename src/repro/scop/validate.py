@@ -60,8 +60,17 @@ def validate_scop(
     scop: Scop,
     require_injective_writes: bool = True,
     file: str | None = None,
+    reduction_waivers: frozenset[str] = frozenset(),
 ) -> ValidationReport:
-    """Check the paper's preconditions on an extracted SCoP."""
+    """Check the paper's preconditions on an extracted SCoP.
+
+    ``reduction_waivers`` names statements proven (at the AST level) to
+    be associative accumulations.  A non-injective write of a waived
+    statement downgrades from the ``RPA013`` error to the ``RPA055``
+    warning: privatizing the accumulator restores injectivity, so the
+    over-write is benign for analysis, though the pipeline
+    transformation itself still refuses such statements.
+    """
     out = Collector(file)
 
     if not scop.statements:
@@ -92,16 +101,30 @@ def validate_scop(
                 hints=("check the loop bounds and --param values",),
             )
         if require_injective_writes and not _injective_write(scop, stmt):
-            out.add(
-                D.NON_INJECTIVE_WRITE,
-                f"write relation of statement {stmt.name} is not injective "
-                "(the paper's transformation assumes no over-writes)",
-                stmt.assign.target.location or loc,
-                hints=(
-                    "use every enclosing loop variable in the write "
-                    "subscripts",
-                ),
-            )
+            if stmt.name in reduction_waivers:
+                out.add(
+                    D.REDUCTION_ACCUMULATOR_WRITE,
+                    f"write relation of statement {stmt.name} is not "
+                    "injective, but the statement is a proven associative "
+                    "accumulation — privatization restores injectivity",
+                    stmt.assign.target.location or loc,
+                    hints=(
+                        "run `repro analyze --portfolio` for the "
+                        "privatization proof",
+                    ),
+                )
+            else:
+                out.add(
+                    D.NON_INJECTIVE_WRITE,
+                    f"write relation of statement {stmt.name} is not "
+                    "injective (the paper's transformation assumes no "
+                    "over-writes)",
+                    stmt.assign.target.location or loc,
+                    hints=(
+                        "use every enclosing loop variable in the write "
+                        "subscripts",
+                    ),
+                )
 
     nests: dict[int, list[ScopStatement]] = {}
     for stmt in scop.statements:

@@ -1,0 +1,45 @@
+"""Golden SARIF snapshot of the portfolio analysis of histogram.c.
+
+Pins the machine-readable contract of ``repro analyze --portfolio
+--format sarif``: rule metadata (including the RPA05x family), the
+reclassification result and the proof-carrying hints.  Regenerate after
+an intentional output change with::
+
+    pytest tests/analysis/test_portfolio_golden.py --update-goldens
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import analyze_kernel
+from repro.analysis.render import render_sarif
+
+GOLDEN = Path(__file__).parent / "golden" / "histogram_portfolio.sarif"
+KERNEL = (
+    Path(__file__).parent.parent.parent
+    / "examples"
+    / "kernels"
+    / "histogram.c"
+)
+
+
+def test_histogram_portfolio_sarif_matches_golden(pytestconfig):
+    source = KERNEL.read_text(encoding="utf-8")
+    result = analyze_kernel(
+        source, {"N": 8}, file="examples/kernels/histogram.c", portfolio=True
+    )
+    assert result.portfolio is not None
+    assert result.portfolio.reclassified_pairs()
+    rendered = render_sarif(result.report) + "\n"
+    if pytestconfig.getoption("--update-goldens"):
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(rendered, encoding="utf-8")
+        pytest.skip(f"updated {GOLDEN.name}")
+    assert GOLDEN.exists(), (
+        f"golden file missing; run with --update-goldens to create "
+        f"{GOLDEN}"
+    )
+    assert rendered == GOLDEN.read_text(encoding="utf-8")
