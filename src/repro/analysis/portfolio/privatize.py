@@ -69,6 +69,47 @@ class RemovedDependence:
             f"({len(self.pairs)} instance pairs)"
         )
 
+    def to_dict(self) -> dict:
+        """Replayable JSON form including every relaxed instance pair.
+
+        ``in_part`` of a dependence relation is the *target* instance,
+        ``out_part`` the *source* — serialized under explicit keys so a
+        replayed proof cannot silently flip orientation.
+        """
+        return {
+            "source": self.source,
+            "target": self.target,
+            "kind": self.kind.value,
+            "pairs": len(self.pairs),
+            "dims": [self.pairs.n_in, self.pairs.n_out],
+            "instance_pairs": [
+                {
+                    "target": [int(v) for v in self.pairs.in_part[k]],
+                    "source": [int(v) for v in self.pairs.out_part[k]],
+                }
+                for k in range(len(self.pairs))
+            ],
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "RemovedDependence":
+        import numpy as np
+
+        n_in, n_out = (int(v) for v in d["dims"])
+        rows = d.get("instance_pairs", [])
+        targets = np.array(
+            [p["target"] for p in rows], dtype=np.int64
+        ).reshape(len(rows), n_in)
+        sources = np.array(
+            [p["source"] for p in rows], dtype=np.int64
+        ).reshape(len(rows), n_out)
+        return RemovedDependence(
+            d["source"],
+            d["target"],
+            DepKind(d["kind"]),
+            PointRelation.from_arrays(targets, sources),
+        )
+
 
 @dataclass(frozen=True)
 class PrivatizationProof:
@@ -98,6 +139,15 @@ class PrivatizationProof:
         )
 
     def to_dict(self) -> dict:
+        """Replayable JSON form: ``from_dict(to_dict())`` round-trips.
+
+        The ``removed`` entries carry the full proof → relaxed-dependence
+        mapping (every instance pair), so a serialized portfolio report
+        (``repro analyze --portfolio``, ``tools/portfolio_report.py``) is
+        a complete input to ``repro run --privatize`` replay — after
+        mandatory re-verification by
+        :func:`repro.schedule.legality.verify_privatization`.
+        """
         return {
             "arrays": list(self.arrays),
             "claims": [
@@ -109,16 +159,23 @@ class PrivatizationProof:
                 }
                 for c in self.claims
             ],
-            "removed": [
-                {
-                    "source": r.source,
-                    "target": r.target,
-                    "kind": r.kind.value,
-                    "pairs": len(r.pairs),
-                }
-                for r in self.removed
-            ],
+            "removed": [r.to_dict() for r in self.removed],
         }
+
+    @staticmethod
+    def from_dict(d: dict) -> "PrivatizationProof":
+        """Rebuild a proof from its JSON form (still untrusted: verify!)."""
+        return PrivatizationProof(
+            claims=tuple(
+                ReductionClaim(
+                    c["statement"], c["array"], c["group"], c["operator"]
+                )
+                for c in d["claims"]
+            ),
+            removed=tuple(
+                RemovedDependence.from_dict(r) for r in d["removed"]
+            ),
+        )
 
 
 def build_pair_proof(

@@ -127,6 +127,117 @@ def run_workload(
     }
 
 
+#: Reduction workloads for the privatized-execution section.  Inline
+#: (not read from examples/) so the bench is self-contained; both are
+#: histogram-class kernels whose cross-nest dependences are a full
+#: barrier until the accumulator is privatized.
+def histogram_source(_n: int) -> str:
+    return (
+        "for(i=0; i<N; i++)\n"
+        "  for(j=0; j<N; j++)\n"
+        "    S: H[i][j] += A[i][j];\n"
+        "for(i=0; i<N; i++)\n"
+        "  for(j=0; j<N; j++)\n"
+        "    R: H[N-1-i][N-1-j] += B[i][j];\n"
+    )
+
+
+def histogram_latency_source(_n: int) -> str:
+    return (
+        "for(i=0; i<N; i++)\n"
+        "  S: H[i] += compute(A[i]);\n"
+        "for(i=0; i<N; i++)\n"
+        "  R: H[N-1-i] += compute(B[i]);\n"
+    )
+
+
+def run_privatized_workload(
+    name: str,
+    source: str,
+    params: Mapping[str, int],
+    workers: int,
+    parts: int,
+    funcs: Mapping[str, Callable] | None = None,
+    repeats: int = 3,
+    backends: tuple[str, ...] = ("serial", "threads", "processes"),
+) -> dict:
+    """Privatized execution of one reduction kernel on every backend.
+
+    The sequential baseline is the compiled-loop interpreter (reduction
+    statements don't vectorize: their accumulator writes overlap), so
+    the privatized speed-up is the real end-to-end win of executing the
+    proof.  Alongside the per-backend match against sequential (group-
+    aware tolerance) the record asserts *bit*-identity across the
+    privatized backends themselves — they all combine the same privates
+    in the same fixed join order.
+    """
+    from ..driver import prepare_privatized
+    from ..interp import execute_privatized, privatized_matches
+    from ..schedule import plan_privatization
+
+    oracle = Interpreter.from_source(source, params, funcs, vectorize="off")
+    seq_wall = None
+    reference = None
+    for _ in range(max(1, repeats)):
+        fresh = oracle.new_store()
+        t0 = time.perf_counter()
+        reference = oracle.run_sequential(fresh)
+        elapsed = time.perf_counter() - t0
+        seq_wall = elapsed if seq_wall is None else min(seq_wall, elapsed)
+
+    plan = plan_privatization(oracle.scop)
+    if not plan.groups:
+        raise ValueError(f"workload {name!r} has no privatizable reduction")
+
+    runs: dict[str, dict] = {}
+    stores: dict[str, object] = {}
+    identical = True
+    for backend in backends:
+        interp = Interpreter.from_source(
+            source, params, funcs, vectorize="auto"
+        )
+        info, _sched, _ast, _graph, _joins = prepare_privatized(
+            interp.scop, plan, parts=parts
+        )
+        best = None
+        best_store = None
+        for _ in range(max(1, repeats)):
+            store, stats = execute_privatized(
+                interp, info, plan, backend=backend, workers=workers
+            )
+            if best is None or stats.wall_time < best.wall_time:
+                best, best_store = stats, store
+        ok, detail = privatized_matches(plan, reference, best_store)
+        record = best.as_dict()
+        record["identical_to_sequential"] = bool(
+            reference.equal(best_store)
+        )
+        record["matches_sequential"] = ok
+        record["match_detail"] = detail
+        identical = identical and ok
+        runs[f"privatized-{backend}"] = record
+        stores[backend] = best_store
+
+    first = stores[backends[0]]
+    bit_identical = all(first.equal(stores[b]) for b in backends[1:])
+    t_threads = runs["privatized-threads"]["wall_time_s"]
+    return {
+        "name": name,
+        "params": dict(params),
+        "parts": parts,
+        "repeats": repeats,
+        "sequential_wall_s": seq_wall,
+        "runs": runs,
+        "identical": identical,
+        "bit_identical_across_backends": bit_identical,
+        "speedup_privatized_serial": (
+            seq_wall / runs["privatized-serial"]["wall_time_s"]
+        ),
+        "speedup_privatized_threads": seq_wall / t_threads,
+        "plan": plan.to_dict(),
+    }
+
+
 def measured_speedup(
     source: str,
     params: Mapping[str, int],
@@ -192,13 +303,55 @@ def run_execution_bench(
         ),
     ]
 
+    # privatized-reduction section: execute the portfolio's proofs on a
+    # CPU-bound and a latency-bound histogram (the class the paper's
+    # barrier-locked reductions fall into)
+    parts = max(2, workers)
+    n_hist = 12 if quick else 24
+    n_hist_latency = 2 * workers * 2  # two chunk waves per statement
+    privatized = [
+        run_privatized_workload(
+            "histogram",
+            histogram_source(n_hist),
+            {"N": n_hist},
+            workers,
+            parts=parts,
+            repeats=repeats,
+        ),
+        run_privatized_workload(
+            "histogram-latency",
+            histogram_latency_source(n_hist_latency),
+            {"N": n_hist_latency},
+            workers,
+            parts=parts,
+            funcs={"compute": blocking_compute},
+            repeats=1,  # latency workload is deterministic enough
+            backends=("serial", "threads"),
+        ),
+    ]
+
     p5 = next(w for w in workloads if w["name"] == "P5")
+    hist_latency = next(
+        w for w in privatized if w["name"] == "histogram-latency"
+    )
     criteria = {
         "all_paths_bit_identical": all(w["identical"] for w in workloads),
         "vectorized_speedup_on_P5": round(p5["speedup_vectorized"], 2),
         "vectorized_10x_on_P5": p5["speedup_vectorized"] >= 10.0,
         "processes_beat_vector_serial_somewhere": any(
             w["processes_vs_vector_serial"] > 1.0 for w in workloads
+        ),
+        "privatized_matches_sequential": all(
+            w["identical"] for w in privatized
+        ),
+        "privatized_bit_identical_across_backends": all(
+            w["bit_identical_across_backends"] for w in privatized
+        ),
+        "privatized_speedup_on_latency": round(
+            hist_latency["speedup_privatized_threads"], 2
+        ),
+        "privatized_beats_sequential_on_latency": (
+            hist_latency["speedup_privatized_threads"] > 1.0
         ),
     }
     report = {
@@ -213,6 +366,7 @@ def run_execution_bench(
         "quick": quick,
         "latency_s": LATENCY_S,
         "workloads": workloads,
+        "privatized": privatized,
         "criteria": criteria,
     }
     if out_path:
@@ -245,6 +399,25 @@ def format_execution_bench(report: dict) -> str:
             f"threads {w['speedup_threads']:.2f}x, "
             f"processes {w['speedup_processes']:.2f}x "
             f"({w['processes_vs_vector_serial']:.2f}x vs vector-serial)"
+        )
+    for w in report.get("privatized", ()):
+        lines.append(
+            f"{w['name']:>12}  {'sequential':>14}  "
+            f"{w['sequential_wall_s'] * 1e3:9.2f}  {'':>7}  "
+            f"{'True':>9}"
+        )
+        for label, run in w["runs"].items():
+            lines.append(
+                f"{w['name']:>12}  {label:>14}  "
+                f"{run['wall_time_s'] * 1e3:9.2f}  "
+                f"{run['iteration_coverage'] * 100:6.0f}%  "
+                f"{str(run['matches_sequential']):>9}"
+            )
+        lines.append(
+            f"{'':>12}  privatized ({w['parts']} parts): serial "
+            f"{w['speedup_privatized_serial']:.2f}x, threads "
+            f"{w['speedup_privatized_threads']:.2f}x vs sequential; "
+            f"backends bit-identical: {w['bit_identical_across_backends']}"
         )
     lines.append("")
     lines.append("criteria: " + json.dumps(report["criteria"]))

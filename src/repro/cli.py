@@ -19,9 +19,13 @@ Commands
     ``--vectorize`` controls the whole-block NumPy kernels;
     ``--tune`` auto-picks task granularity from a calibrated cost model
     (or a measured search); ``--reduce-deps`` transitively reduces the
-    depend-in slot lists; ``--trace`` writes one Chrome/Perfetto document
-    merging compile-phase spans, the simulated schedule and live runtime
-    task events; ``--metrics`` writes the metrics-registry JSON export.
+    depend-in slot lists; ``--privatize`` executes the pattern
+    portfolio's verified privatization proofs (parallel reduction chunks
+    over private accumulators, joined by a generated combine task;
+    ``--privatize-parts`` picks the chunk count); ``--trace`` writes one
+    Chrome/Perfetto document merging compile-phase spans, the simulated
+    schedule and live runtime task events; ``--metrics`` writes the
+    metrics-registry JSON export.
 ``profile <kernel.c> --param N=32 [--backend threads] [--workers 4]``
     Measure a run with event collection and print the critical-path
     profile: measured critical path, per-statement self time,
@@ -206,6 +210,60 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return result.exit_code()
 
 
+def _run_privatized(args, interp, priv_plan, observing: bool):
+    """The ``run --privatize`` arm: execute a verified plan end to end."""
+    from .driver import prepare_privatized
+    from .interp import execute_privatized, privatized_matches
+    from .schedule import check_legality, verify_privatized_graph
+    from .tasking import simulate
+
+    parts = args.privatize_parts or max(2, args.workers)
+    info, _schedule, _ast, graph, joins = prepare_privatized(
+        interp.scop, priv_plan, parts=parts, coarsen=args.coarsen
+    )
+    check_legality(
+        interp.scop, info, graph, relaxed=priv_plan.relaxed()
+    ).raise_if_illegal()
+    verify_privatized_graph(interp.scop, priv_plan, graph).raise_if_invalid()
+
+    seq_store = interp.run_sequential(interp.new_store())
+    out_store, _ = execute_privatized(
+        interp, info, priv_plan, backend="serial", workers=args.workers
+    )
+    match, detail = privatized_matches(priv_plan, seq_store, out_store)
+
+    sim = simulate(graph, workers=args.workers)
+    print(
+        f"tasks: {len(graph)}, edges: {graph.num_edges} "
+        f"(incl. {len(joins)} join task(s), {parts} part(s)/statement)"
+    )
+    print(f"privatized result matches sequential: {match} ({detail})")
+    print(
+        f"simulated speed-up on {args.workers} workers: "
+        f"{graph.total_cost() / sim.makespan:.2f}x"
+    )
+    stats = None
+    if args.exec_backend:
+        ex_store, stats = execute_privatized(
+            interp,
+            info,
+            priv_plan,
+            backend=args.exec_backend,
+            workers=args.workers,
+            collect_events=observing,
+        )
+        ex_match, ex_detail = privatized_matches(
+            priv_plan, seq_store, ex_store
+        )
+        print("measured execution: " + stats.summary())
+        print(
+            f"measured privatized result matches sequential: "
+            f"{ex_match} ({ex_detail})"
+        )
+        match = match and ex_match
+    return info, graph, sim, stats, match
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from .bench import ascii_timeline
     from .obs import spans as obs_spans
@@ -229,59 +287,82 @@ def cmd_run(args: argparse.Namespace) -> int:
     stats = None
     try:
         interp = _load(args.kernel, _parse_params(args.param), args.vectorize)
-        info = detect_pipeline(interp.scop, coarsen=args.coarsen)
-        if args.tune:
-            from .tuning import auto_tune
 
-            plan = auto_tune(
-                interp, info, workers=args.workers, mode=args.tune
-            )
-            info = plan.info
-            print(plan.summary())
-        if args.reduce_deps:
-            if args.hybrid:
+        priv_plan = None
+        if args.privatize:
+            if args.hybrid or args.tune:
                 raise SystemExit(
-                    "--reduce-deps is incompatible with --hybrid "
-                    "(hybrid relaxes the self chains the reduction relies on)"
+                    "--privatize is incompatible with --hybrid/--tune"
                 )
-            from .pipeline import reduce_dependencies
+            from .schedule import plan_privatization
 
-            info, reduction = reduce_dependencies(info)
-            print(reduction.summary())
-        ast = generate_task_ast(info)
-        if args.hybrid:
-            graph = hybrid_task_graph(interp.scop, info, ast)
-        else:
-            graph = TaskGraph.from_task_ast(ast)
-
-        seq_store = interp.run_sequential(interp.new_store())
-        par_store = interp.new_store()
-        bind_interpreter_actions(graph, interp, par_store)
-        execute(graph, workers=args.workers)
-        match = seq_store.equal(par_store)
-
-        sim = simulate(graph, workers=args.workers)
-        mode = "hybrid" if args.hybrid else "pipelined"
-        print(f"tasks: {len(graph)}, edges: {graph.num_edges}")
-        print(f"{mode} result matches sequential: {match}")
-        print(
-            f"simulated speed-up on {args.workers} workers: "
-            f"{graph.total_cost() / sim.makespan:.2f}x"
-        )
-        if args.exec_backend:
-            from .interp import execute_measured
-
-            ex_store, stats = execute_measured(
-                interp,
-                info,
-                backend=args.exec_backend,
-                workers=args.workers,
-                collect_events=observing,
+            priv_plan = plan_privatization(interp.scop)
+            print(priv_plan.describe())
+            if not priv_plan.groups:
+                print(
+                    "no verified privatization proofs; "
+                    "running the standard pipeline"
+                )
+                priv_plan = None
+        if priv_plan is not None:
+            info, graph, sim, stats, match = _run_privatized(
+                args, interp, priv_plan, observing
             )
-            ex_match = seq_store.equal(ex_store)
-            print("measured execution: " + stats.summary())
-            print(f"measured result matches sequential: {ex_match}")
-            match = match and ex_match
+        else:
+            info = detect_pipeline(interp.scop, coarsen=args.coarsen)
+            if args.tune:
+                from .tuning import auto_tune
+
+                plan = auto_tune(
+                    interp, info, workers=args.workers, mode=args.tune
+                )
+                info = plan.info
+                print(plan.summary())
+            if args.reduce_deps:
+                if args.hybrid:
+                    raise SystemExit(
+                        "--reduce-deps is incompatible with --hybrid "
+                        "(hybrid relaxes the self chains the reduction "
+                        "relies on)"
+                    )
+                from .pipeline import reduce_dependencies
+
+                info, reduction = reduce_dependencies(info)
+                print(reduction.summary())
+            ast = generate_task_ast(info)
+            if args.hybrid:
+                graph = hybrid_task_graph(interp.scop, info, ast)
+            else:
+                graph = TaskGraph.from_task_ast(ast)
+
+            seq_store = interp.run_sequential(interp.new_store())
+            par_store = interp.new_store()
+            bind_interpreter_actions(graph, interp, par_store)
+            execute(graph, workers=args.workers)
+            match = seq_store.equal(par_store)
+
+            sim = simulate(graph, workers=args.workers)
+            mode = "hybrid" if args.hybrid else "pipelined"
+            print(f"tasks: {len(graph)}, edges: {graph.num_edges}")
+            print(f"{mode} result matches sequential: {match}")
+            print(
+                f"simulated speed-up on {args.workers} workers: "
+                f"{graph.total_cost() / sim.makespan:.2f}x"
+            )
+            if args.exec_backend:
+                from .interp import execute_measured
+
+                ex_store, stats = execute_measured(
+                    interp,
+                    info,
+                    backend=args.exec_backend,
+                    workers=args.workers,
+                    collect_events=observing,
+                )
+                ex_match = seq_store.equal(ex_store)
+                print("measured execution: " + stats.summary())
+                print(f"measured result matches sequential: {ex_match}")
+                match = match and ex_match
         if args.timeline:
             print()
             print(ascii_timeline(graph, sim))
@@ -582,6 +663,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="transitively reduce the depend-in slot lists "
         "(same enforced partial order, fewer waits per task)",
+    )
+    p_run.add_argument(
+        "--privatize",
+        action="store_true",
+        help="execute the pattern portfolio's verified privatization "
+        "proofs: reduction statements run as parallel chunks over "
+        "private accumulators joined by a generated combine task "
+        "(kernels without proofs fall through unchanged)",
+    )
+    p_run.add_argument(
+        "--privatize-parts",
+        type=int,
+        default=None,
+        metavar="K",
+        help="chunks per privatized statement (default: max(2, workers))",
     )
     p_profile = kernel_cmd("profile", cmd_profile)
     p_profile.add_argument("--workers", type=int, default=4)

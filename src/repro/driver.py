@@ -100,6 +100,14 @@ class TransformOptions:
     #: ``TransformResult.portfolio``, and downstream consumers may feed
     #: its verified ``relaxed_map()`` back into ``check_legality``
     portfolio: bool = False
+    #: execute the portfolio's verified privatization proofs: re-block
+    #: reduction statements into parallel chunks over per-block private
+    #: accumulators joined by a generated combine task.  Implies the
+    #: portfolio run; a kernel with no verified proofs falls through to
+    #: the standard pipeline unchanged (a no-op, not an error)
+    privatize: bool = False
+    #: chunks per privatized statement (None: max(2, workers))
+    privatize_parts: int | None = None
 
 
 @dataclass(frozen=True)
@@ -126,6 +134,10 @@ class TransformResult:
     #: pattern-portfolio report (None unless options.portfolio);
     #: a repro.analysis.portfolio.PortfolioReport
     portfolio: object | None = None
+    #: privatization plan the transformation executed (None unless
+    #: options.privatize); a repro.schedule.PrivatizationPlan — empty
+    #: ``groups`` means the run fell through to the standard pipeline
+    privatization: object | None = None
 
     @property
     def speedup(self) -> float:
@@ -159,6 +171,8 @@ class TransformResult:
                 f"reduction(s), {reclassified} pair(s) reclassified "
                 "after privatization"
             )
+        if self.privatization is not None:
+            lines.append(self.privatization.describe())
         if self.reduction is not None:
             lines.append(self.reduction.summary())
         if self.execution is not None:
@@ -206,6 +220,16 @@ def _transform(
             "reduce_deps is incompatible with hybrid: the hybrid graph "
             "relaxes the per-statement chains the reduction relies on"
         )
+    if options.privatize and options.hybrid:
+        raise ValueError(
+            "privatize is incompatible with hybrid: privatized "
+            "statements already drop their self chains under a proof"
+        )
+    if options.privatize and options.tune is not None:
+        raise ValueError(
+            "privatize is incompatible with tune: chunking of "
+            "privatized statements is set by privatize_parts"
+        )
     from .obs.spans import span
 
     interp = Interpreter.from_source(
@@ -215,11 +239,24 @@ def _transform(
     scop = interp.scop
 
     portfolio_report = None
-    if options.portfolio:
+    if options.portfolio or options.privatize:
         from .analysis.portfolio import run_portfolio
 
         with span("driver.portfolio"):
             portfolio_report = run_portfolio(scop)
+
+    plan = None
+    if options.privatize:
+        from .schedule import plan_privatization
+
+        with span("driver.privatize"):
+            plan = plan_privatization(scop, portfolio_report)
+        if plan.groups:
+            return _transform_privatized(
+                interp, options, plan, portfolio_report
+            )
+        # no verified proofs: fall through to the standard pipeline
+        # unchanged (result.privatization records the empty plan)
 
     info = detect_pipeline(
         scop, kinds=options.kinds, coarsen=options.coarsen
@@ -320,4 +357,123 @@ def _transform(
         reduction=reduction,
         tuning=tuning,
         portfolio=portfolio_report,
+        privatization=plan,
+    )
+
+
+def prepare_privatized(
+    scop: Scop,
+    plan,
+    parts: int,
+    coarsen: int = 1,
+    cost_of_block=None,
+):
+    """Schedule + task graph of a verified privatization plan.
+
+    Shared by the driver, the CLI and the bench: validates the SCoP with
+    reduction waivers for the plan's statements (their accumulator
+    writes are non-injective by design), detects pipelines over *all*
+    dependence kinds (the relaxed legality check needs every class), and
+    re-blocks/joins per :mod:`repro.schedule.privatize`.  Returns
+    ``(info, schedule, task_ast, graph, joins)``.
+    """
+    from .schedule import build_privatized_graph, privatize_info
+    from .scop.validate import validate_scop
+
+    validate_scop(
+        scop, reduction_waivers=plan.statements
+    ).raise_if_invalid()
+    base_info = detect_pipeline(
+        scop, kinds=tuple(DepKind), validate=False, coarsen=coarsen
+    )
+    info = privatize_info(base_info, plan, parts=parts)
+    schedule = build_schedule(info)
+    task_ast = generate_task_ast(info, schedule)
+    graph, joins = build_privatized_graph(
+        task_ast, plan, cost_of_block=cost_of_block
+    )
+    return info, schedule, task_ast, graph, joins
+
+
+def _transform_privatized(
+    interp: Interpreter,
+    options: TransformOptions,
+    plan,
+    portfolio_report,
+) -> TransformResult:
+    """The privatized arm of :func:`_transform` (plan has groups)."""
+    from .interp import execute_privatized, privatized_matches
+    from .obs.spans import span
+    from .schedule import verify_privatized_graph
+
+    scop = interp.scop
+    parts = options.privatize_parts or max(2, options.workers)
+    with span("driver.task_graph", privatize=True, parts=parts):
+        info, schedule, task_ast, graph, joins = prepare_privatized(
+            scop,
+            plan,
+            parts=parts,
+            coarsen=options.coarsen,
+            cost_of_block=options.cost_model.block_cost,
+        )
+
+    legality: LegalityReport | None = None
+    if options.check:
+        # instance-exact legality under the proof's relaxed set, plus
+        # the structural join-coverage re-check (join tasks execute no
+        # instances, so check_legality alone cannot see an omitted join)
+        legality = check_legality(scop, info, graph, relaxed=plan.relaxed())
+        legality.raise_if_illegal()
+        verify_privatized_graph(scop, plan, graph).raise_if_invalid()
+
+    verified: bool | None = None
+    seq: ArrayStore | None = None
+    if options.verify:
+        with span("driver.verify", privatize=True):
+            seq = interp.run_sequential(interp.new_store())
+            out, _ = execute_privatized(
+                interp, info, plan, backend="serial",
+                workers=options.workers,
+            )
+            verified, detail = privatized_matches(plan, seq, out)
+        if not verified:
+            raise VerificationFailedError(
+                "privatized execution diverged from sequential: " + detail
+            )
+
+    execution: ExecutionStats | None = None
+    if options.exec_backend is not None:
+        ex_store, execution = execute_privatized(
+            interp,
+            info,
+            plan,
+            backend=options.exec_backend,
+            workers=options.workers,
+            cost_of_block=options.cost_model.block_cost,
+            collect_events=options.collect_events,
+        )
+        if seq is not None:
+            ok, detail = privatized_matches(plan, seq, ex_store)
+            if not ok:
+                raise VerificationFailedError(
+                    f"measured {options.exec_backend} privatized execution "
+                    "diverged from sequential: " + detail
+                )
+
+    sim = simulate(
+        graph, workers=options.workers, overhead=options.overhead
+    )
+    return TransformResult(
+        scop=scop,
+        info=info,
+        schedule=schedule,
+        task_ast=task_ast,
+        graph=graph,
+        options=options,
+        legality=legality,
+        verified=verified,
+        simulation=sim,
+        execution=execution,
+        portfolio=portfolio_report,
+        privatization=plan,
     )

@@ -9,6 +9,12 @@ from .compile import (
 )
 from .executor import BACKENDS, ExecutionStats, execute_measured
 from .interp import DEFAULT_FUNCS, Interpreter
+from .privexec import (
+    GROUP_UFUNCS,
+    apply_combine,
+    execute_privatized,
+    privatized_matches,
+)
 from .store import ArrayStore, ArrayView, SharedArrayStore
 from .vectorize import (
     NotVectorizable,
@@ -31,6 +37,10 @@ __all__ = [
     "DEFAULT_FUNCS",
     "ExecutionStats",
     "execute_measured",
+    "GROUP_UFUNCS",
+    "apply_combine",
+    "execute_privatized",
+    "privatized_matches",
     "Interpreter",
     "NotVectorizable",
     "SharedArrayStore",

@@ -67,6 +67,9 @@ class ExecutionStats:
     #: processes report ``monotonic_ns`` rebased through a calibrated
     #: per-worker offset, never raw ``perf_counter`` values
     events: "RuntimeTrace | None" = None
+    #: privatized-reduction summary (arrays, parts, join labels) when
+    #: the run came from :func:`repro.interp.privexec.execute_privatized`
+    privatization: dict | None = None
 
     @property
     def block_coverage(self) -> float:
@@ -100,6 +103,7 @@ class ExecutionStats:
             "runtime": (
                 self.events.summary_dict() if self.events is not None else None
             ),
+            "privatization": self.privatization,
         }
 
     def summary(self) -> str:

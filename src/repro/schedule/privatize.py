@@ -1,0 +1,540 @@
+"""Privatization transformation stage: execute what the portfolio proved.
+
+The pattern portfolio (PR 6) produces machine-checked
+:class:`~repro.analysis.portfolio.privatize.PrivatizationProof` objects
+showing that reduction-blocked nest pairs become pipelinable once the
+accumulator is privatized.  This module is the transformation that *acts*
+on those proofs, following Doerfert et al. ("Polly's Polyhedral
+Scheduling in the Presence of Reductions") and Yang et al. ("Simplifying
+Dependent Reductions in the Polyhedral Model"):
+
+1. :func:`plan_privatization` turns a portfolio report into a
+   :class:`PrivatizationPlan` — one :class:`PrivatizedGroup` per
+   accumulator array whose *every* incident dependence is provably
+   reduction-carried.  The plan's extended proof (self pairs included,
+   unlike the portfolio's cross-nest pair proofs) is re-verified by
+   :func:`~repro.schedule.legality.verify_privatization`; detector
+   output is never consumed directly.
+2. :func:`privatize_info` rewrites the pipeline info: privatized
+   statements are re-blocked into ``parts`` contiguous chunks (their
+   original blocking is a full barrier — one block — exactly because of
+   the dependences the proof removes) and the pipeline maps between
+   privatized statements are dropped.
+3. :func:`build_privatized_graph` builds the task graph with the
+   per-statement self chain *disabled* for privatized statements and one
+   generated *join task* per group combining the private accumulators.
+4. :func:`verify_privatized_graph` re-checks the join structure: the
+   instance-level :func:`~repro.schedule.legality.check_legality` cannot
+   see join tasks (they execute no statement instances), so a schedule
+   that silently dropped the combine step would otherwise pass.  The
+   structural check closes that hole: every member block must precede
+   its group's join, and every non-member task touching the accumulator
+   must follow it.
+
+Execution-side semantics (allocation, identity initialization, the
+deterministic combine order) live in :mod:`repro.interp.privexec`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Mapping
+
+import numpy as np
+
+from ..pipeline import PipelineInfo
+from ..pipeline.blocking import Blocking, blocking_from_ends
+from ..pipeline.detect import derive_dependencies
+from ..presburger import PointRelation, PointSet
+from ..scop import DepKind, Scop
+
+if TYPE_CHECKING:  # avoid the schedule <-> tasking / analysis cycles
+    from ..analysis.portfolio.analyze import PortfolioReport
+    from ..analysis.portfolio.privatize import PrivatizationProof
+    from ..tasking.task import TaskGraph
+    from .astgen import TaskAst
+    from .legality import PrivatizationCheck
+
+#: Identity element per operator group: combining a private initialized
+#: to the identity with the group operator is a no-op, so a task that
+#: executed zero iterations contributes nothing at the join.
+IDENTITIES: dict[str, float] = {
+    "sum": 0.0,
+    "product": 1.0,
+    "min": math.inf,
+    "max": -math.inf,
+}
+
+_JOIN_PREFIX = "join("
+
+
+def join_label(array: str) -> str:
+    """Statement label of the generated join/combine task of one group."""
+    return f"{_JOIN_PREFIX}{array})"
+
+
+def is_join_label(statement: str) -> bool:
+    return statement.startswith(_JOIN_PREFIX) and statement.endswith(")")
+
+
+class PrivatizationError(ValueError):
+    """A privatization plan or proof was rejected before codegen."""
+
+
+@dataclass(frozen=True)
+class PrivatizedGroup:
+    """One accumulator array the plan privatizes.
+
+    ``identity`` is validated against the operator group at construction
+    *and* again by :meth:`PrivatizationPlan.validate` before execution —
+    a forged group with a wrong identity element (``sum`` privates
+    initialized to 1.0, say) must never reach codegen.
+    """
+
+    array: str
+    group: str  # ReductionGroup value ("sum", "product", "min", "max")
+    identity: float
+    statements: tuple[str, ...]
+    proof: "PrivatizationProof"
+    verification: "PrivatizationCheck"
+
+    def __post_init__(self) -> None:
+        self.check()
+
+    def check(self) -> None:
+        """Raise unless the group is internally consistent and verified."""
+        if self.group not in IDENTITIES:
+            raise PrivatizationError(
+                f"unknown operator group {self.group!r} for {self.array!r}"
+            )
+        expected = IDENTITIES[self.group]
+        same = self.identity == expected or (
+            math.isnan(expected) and math.isnan(self.identity)
+        )
+        if not same:
+            raise PrivatizationError(
+                f"wrong identity element for {self.group} over "
+                f"{self.array!r}: got {self.identity!r}, the {self.group} "
+                f"identity is {expected!r}"
+            )
+        if not self.statements:
+            raise PrivatizationError(
+                f"privatized group over {self.array!r} has no statements"
+            )
+        if not self.verification.ok:
+            raise PrivatizationError(
+                f"privatized group over {self.array!r} carries an "
+                f"unverified proof: {self.verification.failures[0]}"
+            )
+
+    def describe(self) -> str:
+        return (
+            f"{self.group} over {self.array!r} "
+            f"({', '.join(self.statements)}; identity {self.identity:g})"
+        )
+
+
+@dataclass(frozen=True)
+class PrivatizationPlan:
+    """Everything the transformation stage may act on.
+
+    ``rejected`` records accumulator candidates the planner refused,
+    with the reason — ``subswap``-style non-commuting updates land here,
+    never in ``groups``.
+    """
+
+    groups: tuple[PrivatizedGroup, ...]
+    rejected: tuple[tuple[str, str], ...] = ()
+
+    @property
+    def statements(self) -> frozenset[str]:
+        return frozenset(s for g in self.groups for s in g.statements)
+
+    @property
+    def arrays(self) -> tuple[str, ...]:
+        return tuple(g.array for g in self.groups)
+
+    def group_of(self, array: str) -> PrivatizedGroup:
+        for g in self.groups:
+            if g.array == array:
+                return g
+        raise KeyError(array)
+
+    def relaxed(self) -> dict[tuple[str, str, DepKind], PointRelation]:
+        """The merged relaxed-dependence map for ``check_legality``."""
+        out: dict[tuple[str, str, DepKind], PointRelation] = {}
+        for g in self.groups:
+            out.update(g.proof.relaxed_map())
+        return out
+
+    def validate(self) -> None:
+        """Re-check every group (tamper guard on the execution path)."""
+        for g in self.groups:
+            g.check()
+
+    def describe(self) -> str:
+        if not self.groups:
+            return "privatization plan: no verified reduction groups"
+        lines = [f"privatization plan: {len(self.groups)} group(s)"]
+        for g in self.groups:
+            lines.append(f"  privatize {g.describe()}")
+        for array, reason in self.rejected:
+            lines.append(f"  refused {array!r}: {reason}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "groups": [
+                {
+                    "array": g.array,
+                    "group": g.group,
+                    "identity": g.identity,
+                    "statements": list(g.statements),
+                    "removed_pairs": g.proof.removed_pairs,
+                    "verified": bool(g.verification.ok),
+                }
+                for g in self.groups
+            ],
+            "rejected": [
+                {"array": a, "reason": r} for a, r in self.rejected
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# planning
+# ----------------------------------------------------------------------
+def plan_privatization(
+    scop: Scop,
+    report: "PortfolioReport | None" = None,
+    arrays: tuple[str, ...] | None = None,
+) -> PrivatizationPlan:
+    """Build the privatization plan for one SCoP.
+
+    A group forms around accumulator array ``T`` only when
+
+    * every statement updating ``T`` is a verified associative
+      accumulation of one common operator group;
+    * no other statement reads or writes ``T``;
+    * every dependence relation incident to a member statement — self
+      pairs included — is *fully* reduction-carried (empty residual).
+
+    The resulting extended proof is handed to
+    :func:`~repro.schedule.legality.verify_privatization`; a group whose
+    proof fails re-verification is refused, not silently kept.
+
+    ``report`` defaults to running the portfolio detectors here;
+    ``arrays`` restricts planning to the named accumulators (used when
+    replaying external proofs).
+    """
+    from ..analysis.portfolio.analyze import run_portfolio
+    from ..analysis.portfolio.privatize import (
+        PrivatizationProof,
+        ReductionClaim,
+        RemovedDependence,
+    )
+    from ..obs.spans import span
+    from .legality import verify_privatization
+
+    with span("schedule.privatize.plan") as sp:
+        if report is None:
+            report = run_portfolio(scop)
+        specs, partitions = report.specs, report.partitions
+
+        groups: list[PrivatizedGroup] = []
+        rejected: list[tuple[str, str]] = []
+        candidates = sorted({spec.array for spec in specs.values()})
+        if arrays is not None:
+            candidates = [a for a in candidates if a in arrays]
+
+        for array in candidates:
+            members = sorted(
+                name for name, sp_ in specs.items() if sp_.array == array
+            )
+            ops = {specs[m].group for m in members}
+            if len(ops) != 1:
+                rejected.append(
+                    (array, "updates mix operator groups "
+                     + "/".join(sorted(g.value for g in ops)))
+                )
+                continue
+            outside = sorted(
+                st.name
+                for st in scop.statements
+                if st.name not in members
+                and any(
+                    a.array == array for a in (*st.reads, *st.writes)
+                )
+            )
+            if outside:
+                rejected.append(
+                    (array, "accessed by non-reduction statement(s) "
+                     + ", ".join(outside))
+                )
+                continue
+
+            removed: list[RemovedDependence] = []
+            residual_reason = None
+            for part in partitions.values():
+                touches = part.source in members or part.target in members
+                if not touches:
+                    continue
+                if not part.residual.is_empty():
+                    residual_reason = (
+                        f"{part.kind.value} {part.source} -> {part.target} "
+                        f"keeps {len(part.residual)} true dependence pair(s)"
+                    )
+                    break
+                removed.append(
+                    RemovedDependence(
+                        part.source,
+                        part.target,
+                        part.kind,
+                        part.reduction_carried,
+                    )
+                )
+            if residual_reason is not None:
+                rejected.append((array, residual_reason))
+                continue
+
+            group_value = next(iter(ops)).value
+            proof = PrivatizationProof(
+                claims=tuple(
+                    ReductionClaim.of(specs[m]) for m in members
+                ),
+                removed=tuple(removed),
+            )
+            # Trust boundary: the plan only carries proofs the legality
+            # layer re-derived from the SCoP itself.
+            check = verify_privatization(scop, proof)
+            if not check.ok:
+                rejected.append(
+                    (array, f"proof re-verification failed: "
+                     f"{check.failures[0]}")
+                )
+                continue
+            groups.append(
+                PrivatizedGroup(
+                    array=array,
+                    group=group_value,
+                    identity=IDENTITIES[group_value],
+                    statements=tuple(members),
+                    proof=proof,
+                    verification=check,
+                )
+            )
+        sp.set(groups=len(groups), rejected=len(rejected))
+        return PrivatizationPlan(tuple(groups), tuple(rejected))
+
+
+def plan_from_proofs(
+    scop: Scop, proofs: "tuple[PrivatizationProof, ...] | list"
+) -> PrivatizationPlan:
+    """Plan privatization from externally supplied (replayed) proofs.
+
+    Every proof is independently re-verified first — a forged proof (a
+    non-commuting operator claimed associative, an inflated removed set,
+    pairs smuggled onto non-accumulator memory) raises
+    :class:`PrivatizationError` here, before any schedule or codegen
+    consumes it.  The surviving arrays then go through the full
+    :func:`plan_privatization` gate, which recomputes the dependence
+    partitions from the SCoP: an externally replayed proof may cover
+    only the cross-nest pairs, while re-blocking also reorders self
+    pairs, so the plan must re-derive the complete relaxed set itself.
+    """
+    from .legality import verify_privatization
+
+    claimed: list[str] = []
+    for proof in proofs:
+        check = verify_privatization(scop, proof)
+        if not check.ok:
+            raise PrivatizationError(
+                "replayed privatization proof rejected: "
+                + "; ".join(str(f) for f in check.failures[:3])
+            )
+        claimed.extend(proof.arrays)
+    plan = plan_privatization(scop, arrays=tuple(sorted(set(claimed))))
+    missing = sorted(set(claimed) - set(plan.arrays))
+    if missing:
+        reasons = {a: r for a, r in plan.rejected}
+        raise PrivatizationError(
+            "replayed proof arrays cannot be privatized: "
+            + "; ".join(
+                f"{a!r} ({reasons.get(a, 'no reduction statements')})"
+                for a in missing
+            )
+        )
+    return plan
+
+
+# ----------------------------------------------------------------------
+# schedule rewriting
+# ----------------------------------------------------------------------
+def chunked_blocking(
+    statement: str, domain: PointSet, parts: int
+) -> Blocking:
+    """Re-block one statement's domain into ``parts`` contiguous chunks.
+
+    The privatized statements' detected blocking is a single full-domain
+    block (the dependences the proof removes forced a barrier); chunking
+    is what actually creates parallelism.  Chunks are contiguous in
+    lexicographic order, so the in-block execution order every backend
+    uses stays the sequential one.
+    """
+    if parts < 1:
+        raise PrivatizationError("parts must be >= 1")
+    n = len(domain)
+    if n == 0:
+        return blocking_from_ends(statement, domain, PointSet.empty(domain.ndim))
+    parts = min(parts, n)
+    bounds = np.unique((np.arange(1, parts + 1, dtype=np.int64) * n) // parts) - 1
+    ends = PointSet(domain.points[bounds])
+    return blocking_from_ends(statement, domain, ends)
+
+
+def privatize_info(
+    info: PipelineInfo, plan: PrivatizationPlan, parts: int = 4
+) -> PipelineInfo:
+    """Rewrite the pipeline info under a verified privatization plan.
+
+    Pipeline maps between privatized statements are dropped (their
+    dependences are exactly the proof's removed set) and each privatized
+    statement is re-blocked into ``parts`` chunks; the ``Q_S`` /
+    ``Q_S^O`` relations of the surviving maps are re-derived through the
+    standard Algorithm-1 path.
+    """
+    members = plan.statements
+    if not members:
+        return info
+    kept: dict = {}
+    for (src, tgt), pmap in info.pipeline_maps.items():
+        src_in, tgt_in = src in members, tgt in members
+        if src_in and tgt_in:
+            continue
+        if src_in or tgt_in:
+            # cannot happen for a gated plan: a dependence between a
+            # member and a non-member would have left a residual
+            raise PrivatizationError(
+                f"pipeline map {src} -> {tgt} crosses the privatization "
+                "boundary; the plan does not cover it"
+            )
+        kept[(src, tgt)] = pmap
+
+    blockings = dict(info.blockings)
+    for name in sorted(members):
+        stmt = info.scop.statement(name)
+        blockings[name] = chunked_blocking(name, stmt.points, parts)
+    in_deps, out_deps = derive_dependencies(info.scop, kept, blockings)
+    return PipelineInfo(info.scop, kept, blockings, in_deps, out_deps)
+
+
+# ----------------------------------------------------------------------
+# task-graph construction and the join-structure re-check
+# ----------------------------------------------------------------------
+def build_privatized_graph(
+    ast: "TaskAst",
+    plan: PrivatizationPlan,
+    cost_of_block: Callable | None = None,
+    join_cost: float = 1.0,
+) -> "tuple[TaskGraph, dict[str, int]]":
+    """Task graph of a privatized schedule: unchained members + joins.
+
+    Privatized statements run their blocks unordered (their self chain
+    is exactly what privatization removes); one join task per group
+    waits on every member block.  Join tasks carry ``block=None`` — they
+    execute no statement instances, only the combine — which is why
+    :func:`verify_privatized_graph` exists alongside ``check_legality``.
+    """
+    from ..tasking.task import TaskGraph
+
+    graph = TaskGraph.from_task_ast(
+        ast, cost_of_block=cost_of_block, unchained=plan.statements
+    )
+    joins: dict[str, int] = {}
+    for group in plan.groups:
+        members = set(group.statements)
+        preds = [t.task_id for t in graph.tasks if t.statement in members]
+        jid = graph.add_task(join_label(group.array), 0, cost=join_cost)
+        for p in preds:
+            graph.add_edge(p, jid)
+        joins[group.array] = jid
+    graph.validate()
+    return graph, joins
+
+
+@dataclass(frozen=True)
+class PrivatizedGraphCheck:
+    """Outcome of the structural join-coverage re-check."""
+
+    checked_groups: int
+    issues: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def raise_if_invalid(self) -> None:
+        if self.issues:
+            raise PrivatizationError(
+                f"privatized task graph rejected: {self.issues[0]}"
+            )
+
+    def __str__(self) -> str:
+        status = "ok" if self.ok else f"{len(self.issues)} issue(s)"
+        return (
+            f"PrivatizedGraphCheck({self.checked_groups} group(s), {status})"
+        )
+
+
+def verify_privatized_graph(
+    scop: Scop, plan: PrivatizationPlan, graph: "TaskGraph"
+) -> PrivatizedGraphCheck:
+    """Re-check the join structure of a privatized task graph.
+
+    ``check_legality`` only sees tasks that execute statement instances;
+    a join task (``block=None``) is invisible to it, so a schedule that
+    *omitted* the combine step would still look legal.  This check
+    closes the gap: per group there must be exactly one join task, every
+    member block must (transitively) precede it, and every non-member
+    task whose statement touches the accumulator must follow it.
+    """
+    reach = graph.reachability()
+    issues: list[str] = []
+    for group in plan.groups:
+        label = join_label(group.array)
+        joins = [t.task_id for t in graph.tasks if t.statement == label]
+        if len(joins) != 1:
+            issues.append(
+                f"group {group.array!r}: expected exactly one join task, "
+                f"found {len(joins)}"
+            )
+            continue
+        jid = joins[0]
+        members = set(group.statements)
+        for task in graph.tasks:
+            if task.task_id == jid:
+                continue
+            if task.statement in members:
+                if not reach[task.task_id, jid]:
+                    issues.append(
+                        f"group {group.array!r}: member block {task} does "
+                        "not precede the join"
+                    )
+            elif task.block is not None and _touches(
+                scop, task.statement, group.array
+            ):
+                if not reach[jid, task.task_id]:
+                    issues.append(
+                        f"group {group.array!r}: task {task} accesses the "
+                        "accumulator but is not ordered after the join"
+                    )
+    return PrivatizedGraphCheck(len(plan.groups), tuple(issues))
+
+
+def _touches(scop: Scop, statement: str, array: str) -> bool:
+    try:
+        stmt = scop.statement(statement)
+    except KeyError:
+        return False
+    return any(a.array == array for a in (*stmt.reads, *stmt.writes))

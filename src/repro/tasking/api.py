@@ -59,11 +59,14 @@ class OmpTaskSystem(SlotAddressing):
         in_idx: Sequence[int] = (),
         cost: float = 1.0,
         statement: str | None = None,
+        chain: bool = True,
     ) -> int:
         """Create one task (the Python analogue of Figure 7's signature).
 
         ``in_depend``/``in_idx`` are parallel arrays (``dependNum`` entries
-        each).  Returns the task id.
+        each).  Returns the task id.  ``chain=False`` opts this task out
+        of the Figure 8 ``funcCount`` self chain (privatized reduction
+        blocks commute with each other).
         """
         if len(in_depend) != len(in_idx):
             raise ValueError("in_depend and in_idx must have equal length")
@@ -86,10 +89,11 @@ class OmpTaskSystem(SlotAddressing):
             state.readers_since.append(tid)
 
         # depend(in: self[funcCount-1]) / depend(out: self[funcCount])
-        prev_same = self._func_last.get(func)
-        if prev_same is not None:
-            self.graph.add_edge(prev_same, tid)
-        self._func_last[func] = tid
+        if chain:
+            prev_same = self._func_last.get(func)
+            if prev_same is not None:
+                self.graph.add_edge(prev_same, tid)
+            self._func_last[func] = tid
 
         # depend(out: dependArr[write_num*out_depend + out_idx])
         out_state = self._slots.setdefault(

@@ -99,7 +99,9 @@ class SerialBackend(SlotAddressing):
         in_idx: Sequence[int] = (),
         cost: float = 1.0,
         statement: str | None = None,
+        chain: bool = True,
     ) -> int:
+        del chain  # execution is already strictly in creation order
         if len(in_depend) != len(in_idx):
             raise ValueError("in_depend and in_idx must have equal length")
         collector = obs_runtime.current()
@@ -179,6 +181,7 @@ class FuturesBackend(SlotAddressing):
         in_idx: Sequence[int] = (),
         cost: float = 1.0,
         statement: str | None = None,
+        chain: bool = True,
     ) -> int:
         if len(in_depend) != len(in_idx):
             raise ValueError("in_depend and in_idx must have equal length")
@@ -188,10 +191,11 @@ class FuturesBackend(SlotAddressing):
             writer = self._slot_writer.get(self.slot(d, ix))
             if writer is not None:
                 task.deps.add(writer)
-        prev_same = self._chain_last.get(func)
-        if prev_same is not None:
-            task.deps.add(prev_same)
-        self._chain_last[func] = tid
+        if chain:
+            prev_same = self._chain_last.get(func)
+            if prev_same is not None:
+                task.deps.add(prev_same)
+            self._chain_last[func] = tid
         self._slot_writer[self.slot(out_depend, out_idx)] = tid
         self._tasks.append(task)
         return tid
@@ -329,12 +333,36 @@ def _process_worker_init(program, params, funcs, store_spec, vectorize):
     _WORKER_STORE = SharedArrayStore.attach(store_spec)
 
 
-def _process_worker_run(statement: str, iterations) -> None:
-    """Execute one pipeline block against the shared store."""
+def _process_worker_run(
+    statement: str, iterations, remap=None, combine=None
+) -> None:
+    """Execute one pipeline block (or one combine step) in this worker.
+
+    ``remap`` redirects an accumulator array to a private buffer for the
+    duration of the block (privatized reductions: the compiled statement
+    body reads ``store.arrays[name]``, so a proxy store with the private
+    view under the accumulator's name runs it unchanged).  ``combine``
+    marks a generated join task: no statement instances run, the privates
+    fold into the base accumulator with the group operator instead.
+    """
     import numpy as np
 
+    if combine is not None:
+        from ..interp.privexec import apply_combine
+
+        apply_combine(_WORKER_STORE, combine)
+        return
+    store = _WORKER_STORE
+    if remap:
+        from ..interp.store import ArrayStore
+
+        store = ArrayStore(
+            {**store.arrays, **{
+                acc: store.arrays[priv] for acc, priv in remap.items()
+            }}
+        )
     _WORKER_INTERP.run_block(
-        _WORKER_STORE, statement, np.asarray(iterations, dtype=np.int64)
+        store, statement, np.asarray(iterations, dtype=np.int64)
     )
 
 
@@ -352,14 +380,14 @@ def _process_worker_run_batch(items, collect: bool = False):
     :mod:`repro.obs.runtime`).
     """
     if not collect:
-        for statement, iterations in items:
-            _process_worker_run(statement, iterations)
+        for statement, iterations, remap, combine in items:
+            _process_worker_run(statement, iterations, remap, combine)
         return None
     first_ns = time.monotonic_ns()
     timings: list[tuple[str, int, int]] = []
-    for statement, iterations in items:
+    for statement, iterations, remap, combine in items:
         t0 = time.monotonic_ns()
-        _process_worker_run(statement, iterations)
+        _process_worker_run(statement, iterations, remap, combine)
         timings.append((statement, t0, time.monotonic_ns()))
     return {
         "pid": os.getpid(),
@@ -376,6 +404,10 @@ class _RecordedTask:
     iterations: list[tuple[int, ...]]
     deps: set[int] = field(default_factory=set)
     cost: float = 1.0
+    #: accumulator name -> private buffer name (privatized blocks)
+    remap: dict[str, str] | None = None
+    #: join-task payload ({"array", "group", "privates"}); no block runs
+    combine: dict | None = None
 
 
 class ProcessBackend(SlotAddressing):
@@ -429,6 +461,7 @@ class ProcessBackend(SlotAddressing):
         in_idx: Sequence[int] = (),
         cost: float = 1.0,
         statement: str | None = None,
+        chain: bool = True,
     ) -> int:
         if len(in_depend) != len(in_idx):
             raise ValueError("in_depend and in_idx must have equal length")
@@ -450,15 +483,18 @@ class ProcessBackend(SlotAddressing):
             statement,
             [tuple(int(v) for v in row) for row in rows],
             cost=cost,
+            remap=task_input.get("remap"),
+            combine=task_input.get("combine"),
         )
         for d, ix in zip(in_depend, in_idx):
             writer = self._slot_writer.get(self.slot(d, ix))
             if writer is not None:
                 task.deps.add(writer)
-        prev_same = self._chain_last.get(statement)
-        if prev_same is not None:
-            task.deps.add(prev_same)
-        self._chain_last[statement] = tid
+        if chain:
+            prev_same = self._chain_last.get(statement)
+            if prev_same is not None:
+                task.deps.add(prev_same)
+            self._chain_last[statement] = tid
         self._slot_writer[self.slot(out_depend, out_idx)] = tid
         self._tasks.append(task)
         return tid
@@ -546,7 +582,12 @@ class ProcessBackend(SlotAddressing):
                 fut = executor.submit(
                     _process_worker_run_batch,
                     [
-                        (self._tasks[tid].statement, self._tasks[tid].iterations)
+                        (
+                            self._tasks[tid].statement,
+                            self._tasks[tid].iterations,
+                            self._tasks[tid].remap,
+                            self._tasks[tid].combine,
+                        )
                         for tid in batch
                     ],
                     collector is not None,

@@ -144,13 +144,21 @@ class TaskGraph:
         ast: TaskAst,
         cost_of_block: Callable[[TaskBlock], float] | None = None,
         self_chain: bool = True,
+        unchained: frozenset[str] = frozenset(),
     ) -> "TaskGraph":
-        """Build the pipeline task graph from a task-annotated AST."""
+        """Build the pipeline task graph from a task-annotated AST.
+
+        ``unchained`` names statements whose blocks run *without* the
+        self chain — privatized reductions, whose block order the
+        verified proof made irrelevant (each block updates its own
+        private accumulator).
+        """
         graph = TaskGraph()
         token_to_task: dict[tuple[str, tuple[int, ...]], int] = {}
 
         for nest in ast.nests:
             prev: int | None = None
+            chained = self_chain and nest.statement not in unchained
             for block in nest.blocks:
                 cost = (
                     cost_of_block(block) if cost_of_block else float(block.size)
@@ -159,7 +167,7 @@ class TaskGraph:
                     nest.statement, block.block_id, cost, block
                 )
                 token_to_task[block.out_token] = tid
-                if self_chain and prev is not None:
+                if chained and prev is not None:
                     graph.add_edge(prev, tid)
                 prev = tid
 

@@ -34,6 +34,13 @@ def pytest_addoption(parser):
         "preservation campaign (tests/fuzz)",
     )
     parser.addoption(
+        "--fuzz-privatize",
+        action="store_true",
+        default=False,
+        help="run the 200-sample privatized-parallel vs sequential "
+        "execution agreement campaign (tests/fuzz)",
+    )
+    parser.addoption(
         "--update-goldens",
         action="store_true",
         default=False,

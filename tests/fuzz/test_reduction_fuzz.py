@@ -190,3 +190,71 @@ def test_reduction_fuzz_campaign(pytestconfig):
         did_reclassify, _ = _check_sample(sample, rng)
         reclassified += did_reclassify
     assert reclassified > 0
+
+
+# ----------------------------------------------------------------------
+# privatized-execution agreement campaign (--fuzz-privatize)
+# ----------------------------------------------------------------------
+def _check_privatized_sample(sample, rng):
+    """Full privatization pipeline on one sample; returns True when a
+    plan formed (and then the privatized threads run matched bitwise)."""
+    from repro.interp import execute_privatized
+    from repro.pipeline.detect import detect_pipeline
+    from repro.schedule import plan_privatization, privatize_info
+    from repro.scop import DepKind
+
+    interp = Interpreter.from_source(sample.source, {}, vectorize="off")
+    plan = plan_privatization(interp.scop)
+
+    if not sample.commuting:
+        # non-commuting pairs may still privatize when the *other*
+        # statement alone forms a group; but a poison pair sharing the
+        # accumulator never may — the planner sees the outside accessor
+        assert not plan.groups, (
+            "privatization plan formed on a non-commuting pair\n"
+            + sample.describe()
+        )
+        return False
+    if not plan.groups:
+        return False
+
+    parts = int(rng.integers(1, 5))
+    info = detect_pipeline(
+        interp.scop, kinds=tuple(DepKind), validate=False
+    )
+    pinfo = privatize_info(info, plan, parts=parts)
+    seq = interp.run_sequential(interp.new_store())
+    out, _ = execute_privatized(
+        interp, pinfo, plan, backend="threads", workers=2
+    )
+    # exact integer float64 arithmetic throughout (see module docstring):
+    # even the sum groups must agree with sequential bit-for-bit
+    assert seq.equal(out), (
+        f"privatized execution (parts={parts}) diverged from sequential\n"
+        + sample.describe()
+    )
+    return True
+
+
+def test_privatized_execution_fuzz_smoke(pytestconfig):
+    """Default tier: a 16-sample privatized-execution agreement sweep."""
+    seed = pytestconfig.getoption("--fuzz-seed")
+    rng = np.random.default_rng(seed ^ 0xBEEF)
+    privatized = 0
+    for sample in generate_reduction_samples(seed ^ 0x9417, 16):
+        privatized += _check_privatized_sample(sample, rng)
+    assert privatized > 0, "no sample ever privatized — generator broken"
+
+
+def test_privatize_fuzz_campaign(pytestconfig):
+    """Opt-in nightly (``--fuzz-privatize``): 200 samples through the
+    complete plan → re-block → privatized threads execution path, each
+    compared bit-exactly against sequential."""
+    if not pytestconfig.getoption("--fuzz-privatize"):
+        pytest.skip("enable with --fuzz-privatize")
+    seed = pytestconfig.getoption("--fuzz-seed")
+    rng = np.random.default_rng(seed ^ 0xBEEF)
+    privatized = 0
+    for sample in generate_reduction_samples(seed + 13, 200):
+        privatized += _check_privatized_sample(sample, rng)
+    assert privatized > 0

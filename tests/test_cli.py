@@ -298,3 +298,87 @@ class TestObservability:
         assert "task_graph.tasks" in out
         assert "simulation.makespan{policy=fifo}" in out
         assert "execution.wall_time_s{backend=serial}" in out
+
+
+HISTOGRAM_KERNEL = """
+for(i=0; i<N; i++)
+  for(j=0; j<N; j++)
+    S: H[i][j] += A[i][j];
+for(i=0; i<N; i++)
+  for(j=0; j<N; j++)
+    R: H[N-1-i][N-1-j] += B[i][j];
+"""
+
+
+@pytest.fixture
+def histogram_file(tmp_path):
+    path = tmp_path / "histogram.c"
+    path.write_text(HISTOGRAM_KERNEL)
+    return str(path)
+
+
+class TestRunPrivatize:
+    def test_privatized_run_verifies_and_reports_joins(
+        self, histogram_file, capsys
+    ):
+        assert main([
+            "run", histogram_file, "--param", "N=8", "--privatize",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "privatization plan: 1 group(s)" in out
+        assert "privatize sum over 'H'" in out
+        assert "1 join task(s)" in out
+        assert "privatized result matches sequential: True" in out
+
+    def test_privatize_parts_flag(self, histogram_file, capsys):
+        assert main([
+            "run", histogram_file, "--param", "N=8",
+            "--privatize", "--privatize-parts", "3",
+        ]) == 0
+        assert "3 part(s)/statement" in capsys.readouterr().out
+
+    def test_privatize_with_measured_backend(self, histogram_file, capsys):
+        assert main([
+            "run", histogram_file, "--param", "N=8",
+            "--privatize", "--exec-backend", "threads", "--workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "measured privatized result matches sequential: True" in out
+
+    def test_privatize_without_proofs_falls_through(
+        self, kernel_file, capsys
+    ):
+        assert main([
+            "run", kernel_file, "--param", "N=12", "--privatize",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "no verified privatization proofs" in out
+        assert "pipelined result matches sequential: True" in out
+
+    def test_privatize_rejects_hybrid_and_tune(self, histogram_file):
+        with pytest.raises(SystemExit):
+            main([
+                "run", histogram_file, "--param", "N=8",
+                "--privatize", "--hybrid",
+            ])
+        with pytest.raises(SystemExit):
+            main([
+                "run", histogram_file, "--param", "N=8",
+                "--privatize", "--tune", "model",
+            ])
+
+    def test_privatized_trace_contains_join_span(
+        self, histogram_file, tmp_path, capsys
+    ):
+        trace = tmp_path / "trace.json"
+        assert main([
+            "run", histogram_file, "--param", "N=8", "--privatize",
+            "--exec-backend", "threads", "--workers", "2",
+            "--trace", str(trace),
+        ]) == 0
+        doc = json.loads(trace.read_text())
+        from repro.bench import validate_trace_document
+
+        assert not validate_trace_document(doc)
+        names = {e.get("name") for e in doc["traceEvents"]}
+        assert "join(H)" in names

@@ -29,6 +29,32 @@ from repro.workloads import TABLE9  # noqa: E402
 EXAMPLES = sorted((REPO / "examples" / "kernels").glob("*.c"))
 
 
+def replay_check(scop, portfolio) -> dict | None:
+    """Round-trip every verified proof through JSON and replan from it.
+
+    This is exactly the path ``run --privatize`` replay consumers take:
+    ``PrivatizationProof.from_dict(to_dict())`` → re-verification →
+    planning.  A kernel whose artifact cannot be replayed is a bug in
+    the serialization, caught here rather than in a consumer.
+    """
+    from repro.analysis.portfolio.privatize import PrivatizationProof
+    from repro.schedule import PrivatizationError, plan_from_proofs
+
+    proofs = portfolio.proofs()
+    if not proofs or scop is None:
+        return None
+    replayed = [PrivatizationProof.from_dict(p.to_dict()) for p in proofs]
+    try:
+        plan = plan_from_proofs(scop, replayed)
+    except PrivatizationError as exc:
+        return {"ok": False, "error": str(exc)}
+    return {
+        "ok": True,
+        "privatized_arrays": list(plan.arrays),
+        "statements": sorted(plan.statements),
+    }
+
+
 def kernel_entry(name: str, source: str, params: dict[str, int]) -> dict:
     result = analyze_kernel(source, params, file=name, portfolio=True)
     entry: dict = {
@@ -41,6 +67,7 @@ def kernel_entry(name: str, source: str, params: dict[str, int]) -> dict:
         entry["diagnostics"] = [d.render() for d in result.report.errors]
         return entry
     entry["portfolio"] = result.portfolio.to_dict()
+    entry["replay"] = replay_check(result.scop, result.portfolio)
     entry["reclassified"] = [
         {
             "nests": [
