@@ -17,6 +17,7 @@ Rule-code blocks::
     RPA04x  task graph / codegen (Sections 5.4-5.5)
     RPA05x  pattern portfolio (reductions, do-all, geometric
             decomposition, privatization proofs)
+    RPA06x  megakernel fusion (fused-closure legality gate)
 """
 
 from __future__ import annotations
@@ -219,6 +220,39 @@ REDUCTION_ACCUMULATOR_WRITE = register_rule(
     "a non-injective write that is a proven associative accumulation is "
     "benign for analysis (privatization restores injectivity), but the "
     "pipeline transformation still rejects it")
+
+FUSE_NO_LOOP_DIMS = register_rule(
+    "RPA060", "fuse-no-loop-dimensions", I,
+    "a zero-dimensional statement has no block to slice; it runs once "
+    "through the interpreter")
+FUSE_UNSUPPORTED_OP = register_rule(
+    "RPA061", "fuse-unsupported-operator", W,
+    "only plain and compound assignments lower to slice form")
+FUSE_NO_SLICE_FORM = register_rule(
+    "RPA062", "fuse-no-slice-form", W,
+    "a coupled, non-affine, or otherwise unsupported subscript has no "
+    "strided-slice equivalent")
+FUSE_NON_POSITIVE_STRIDE = register_rule(
+    "RPA063", "fuse-non-positive-stride", W,
+    "NumPy basic slices require positive strides; reversed accesses run "
+    "through the interpreter or vectorized gather path")
+FUSE_DIAGONAL_ACCESS = register_rule(
+    "RPA064", "fuse-diagonal-access", W,
+    "one loop variable driving two dimensions of an access selects a "
+    "diagonal, which has no slice form")
+FUSE_NON_INJECTIVE_WRITE = register_rule(
+    "RPA065", "fuse-non-injective-write", W,
+    "a write not using every loop variable collides under whole-block "
+    "scatter; per-iteration order is the only safe semantics")
+FUSE_FLOW_SELF_DEPENDENCE = register_rule(
+    "RPA066", "fuse-flow-self-dependence", W,
+    "a recurrence must observe values written earlier in the same "
+    "block; gather-before-scatter whole-block execution would not "
+    "(shared Presburger check with the vectorization gate)")
+FUSE_NON_ELEMENTWISE_CALL = register_rule(
+    "RPA067", "fuse-non-elementwise-call", W,
+    "an opaque function not marked elementwise cannot be assumed to map "
+    "over array slices")
 
 del E, W, I
 

@@ -58,6 +58,14 @@ def blocking_compute(*args: float) -> float:
     return _mix(*args)
 
 
+def dispatch_mode_of(stats) -> str:
+    """Collapse per-statement dispatch modes into one row label."""
+    modes = set(getattr(stats, "dispatch_modes", {}).values())
+    if not modes:
+        return "interp"
+    return modes.pop() if len(modes) == 1 else "mixed"
+
+
 def _measure(
     source: str,
     params: Mapping[str, int],
@@ -67,9 +75,12 @@ def _measure(
     coarsen: int,
     funcs: Mapping[str, Callable] | None = None,
     repeats: int = 3,
+    fuse: str = "off",
 ) -> tuple[dict, "np.ndarray | None", object]:
     """Best-of-``repeats`` measured execution; returns (record, _, store)."""
-    interp = Interpreter.from_source(source, params, funcs, vectorize=vectorize)
+    interp = Interpreter.from_source(
+        source, params, funcs, vectorize=vectorize, fuse=fuse
+    )
     info = detect_pipeline(interp.scop, coarsen=coarsen)
     best = None
     store = None
@@ -79,7 +90,9 @@ def _measure(
         )
         if best is None or stats.wall_time < best.wall_time:
             best = stats
-    return best.as_dict(), best, store
+    record = best.as_dict()
+    record["dispatch_mode"] = dispatch_mode_of(best)
+    return record, best, store
 
 
 def run_workload(
@@ -91,21 +104,30 @@ def run_workload(
     funcs: Mapping[str, Callable] | None = None,
     repeats: int = 3,
 ) -> dict:
-    """Run one kernel on all four execution configurations."""
+    """Run one kernel on every execution configuration.
+
+    The first four pin the pre-fusion trajectory (``fuse='off'`` keeps
+    their meaning across recordings); the fused rows run the closure
+    dispatch path — chain merging included — on all three backends.
+    """
     configs = (
-        ("scalar-serial", "serial", "off"),
-        ("vector-serial", "serial", "auto"),
-        ("threads", "threads", "auto"),
-        ("processes", "processes", "auto"),
+        ("scalar-serial", "serial", "off", "off"),
+        ("vector-serial", "serial", "auto", "off"),
+        ("threads", "threads", "auto", "off"),
+        ("processes", "processes", "auto", "off"),
+        ("fused-serial", "serial", "off", "auto"),
+        ("fused-threads", "threads", "off", "auto"),
+        ("fused-processes", "processes", "off", "auto"),
     )
     oracle = Interpreter.from_source(source, params, funcs)
     reference = oracle.run_sequential(oracle.new_store())
 
     runs: dict[str, dict] = {}
     identical = True
-    for label, backend, mode in configs:
+    for label, backend, mode, fuse in configs:
         record, stats, store = _measure(
-            source, params, backend, mode, workers, coarsen, funcs, repeats
+            source, params, backend, mode, workers, coarsen, funcs,
+            repeats, fuse=fuse,
         )
         same = reference.equal(store)
         record["identical_to_sequential"] = same
@@ -124,6 +146,8 @@ def run_workload(
         "speedup_threads": t["scalar-serial"] / t["threads"],
         "speedup_processes": t["scalar-serial"] / t["processes"],
         "processes_vs_vector_serial": t["vector-serial"] / t["processes"],
+        "speedup_fused": t["scalar-serial"] / t["fused-serial"],
+        "fused_vs_vector_serial": t["vector-serial"] / t["fused-serial"],
     }
 
 
@@ -338,6 +362,14 @@ def run_execution_bench(
         "all_paths_bit_identical": all(w["identical"] for w in workloads),
         "vectorized_speedup_on_P5": round(p5["speedup_vectorized"], 2),
         "vectorized_10x_on_P5": p5["speedup_vectorized"] >= 10.0,
+        "fused_speedup_on_P5": round(p5["speedup_fused"], 2),
+        "fused_beats_interpreter_on_P5": p5["speedup_fused"] > 1.0,
+        "fused_rows_bit_identical": all(
+            w["runs"][label]["identical_to_sequential"]
+            for w in workloads
+            for label in w["runs"]
+            if label.startswith("fused-")
+        ),
         "processes_beat_vector_serial_somewhere": any(
             w["processes_vs_vector_serial"] > 1.0 for w in workloads
         ),
@@ -383,23 +415,30 @@ def format_execution_bench(report: dict) -> str:
         f"measured execution bench — {host['cpus']} cpu(s), "
         f"{report['workers']} workers, numpy {host['numpy']}",
         "",
-        f"{'workload':>12}  {'config':>14}  {'wall ms':>9}  "
-        f"{'vec cov':>7}  {'identical':>9}",
+        f"{'workload':>12}  {'config':>15}  {'wall ms':>9}  "
+        f"{'vec cov':>7}  {'dispatch':>10}  {'identical':>9}",
     ]
     for w in report["workloads"]:
         for label, run in w["runs"].items():
             lines.append(
-                f"{w['name']:>12}  {label:>14}  "
+                f"{w['name']:>12}  {label:>15}  "
                 f"{run['wall_time_s'] * 1e3:9.2f}  "
                 f"{run['iteration_coverage'] * 100:6.0f}%  "
+                f"{run.get('dispatch_mode', 'interp'):>10}  "
                 f"{str(run['identical_to_sequential']):>9}"
             )
-        lines.append(
+        speedups = (
             f"{'':>12}  speedups: vectorized {w['speedup_vectorized']:.2f}x, "
             f"threads {w['speedup_threads']:.2f}x, "
             f"processes {w['speedup_processes']:.2f}x "
             f"({w['processes_vs_vector_serial']:.2f}x vs vector-serial)"
         )
+        if "speedup_fused" in w:
+            speedups += (
+                f", fused {w['speedup_fused']:.2f}x "
+                f"({w['fused_vs_vector_serial']:.2f}x vs vector-serial)"
+            )
+        lines.append(speedups)
     for w in report.get("privatized", ()):
         lines.append(
             f"{w['name']:>12}  {'sequential':>14}  "

@@ -30,7 +30,7 @@ from ..interp import Interpreter, execute_measured
 from ..pipeline import detect_pipeline, reduce_dependencies, task_graph_stats
 from ..tuning import auto_tune
 from ..workloads import TABLE9
-from .execution import LATENCY_S, blocking_compute
+from .execution import LATENCY_S, blocking_compute, dispatch_mode_of
 
 #: Problem size per kernel for the reduction table (small: the slot
 #: ratios are size-independent for these access patterns).
@@ -57,12 +57,13 @@ def reduction_table(
         info = detect_pipeline(interp.scop)
         reduced, stats = reduce_dependencies(info)
         shape = task_graph_stats(info)
-        wall_before, _ = _measure(interp, info, "threads", workers, repeats)
-        wall_after, _ = _measure(interp, reduced, "threads", workers, repeats)
+        wall_before, _, ex = _measure(interp, info, "threads", workers, repeats)
+        wall_after, _, _ = _measure(interp, reduced, "threads", workers, repeats)
         rows.append(
             {
                 "name": name,
                 "n": n,
+                "dispatch_mode": dispatch_mode_of(ex),
                 "tasks": shape["tasks"],
                 "critical_path_tasks": shape["critical_path_tasks"],
                 "slots_before": stats.slots_before,
@@ -84,15 +85,15 @@ def _measure(
     backend: str,
     workers: int,
     repeats: int,
-) -> tuple[float, object]:
+) -> tuple[float, object, object]:
     best, store = None, None
     for _ in range(max(1, repeats)):
         store, stats = execute_measured(
             interp, info, backend=backend, workers=workers
         )
-        if best is None or stats.wall_time < best:
-            best = stats.wall_time
-    return best, store
+        if best is None or stats.wall_time < best.wall_time:
+            best = stats
+    return best.wall_time, store, best
 
 
 def latency_workload(
@@ -131,17 +132,18 @@ def latency_workload(
         ("pr3-baseline", baseline),
         ("tuned-reduced", tuned),
     ):
-        wall, store = _measure(fresh(), info, "threads", workers, repeats)
+        wall, store, ex = _measure(fresh(), info, "threads", workers, repeats)
         runs[label] = {
             "wall_time_s": wall,
             "tasks": info.num_tasks(),
+            "dispatch_mode": dispatch_mode_of(ex),
             "identical_to_sequential": reference.equal(store),
         }
 
     # Bit identity of the tuned+reduced plan across all three backends.
     identity = {}
     for backend in ("serial", "threads", "processes"):
-        _, store = _measure(fresh(), tuned, backend, workers, 1)
+        _, store, _ = _measure(fresh(), tuned, backend, workers, 1)
         identity[backend] = reference.equal(store)
 
     return {
@@ -169,6 +171,70 @@ def latency_workload(
     }
 
 
+def fused_dispatch_workload(
+    n: int = 24, coarsen: int = 48, repeats: int = 3
+) -> dict:
+    """The per-task dispatch floor: interpreter vs vectorized vs fused.
+
+    A dispatch-bound P5 (many small blocks, serial backend so the walls
+    are pure per-task cost, no overlap): the interpreter pays a Python
+    loop per iteration, the vectorized path one slice kernel per block,
+    and the fused path one closure call per *merged chain task* over
+    pre-sliced rectangles.  ``per_block_us`` divides each wall by the
+    shared member-block count (same work denominator for every row);
+    ``tasks`` shows the chain planner's dispatch collapse on top.
+    """
+    source = TABLE9["P5"].source(n)
+    probe = Interpreter.from_source(source, {})
+    info = detect_pipeline(probe.scop, coarsen=coarsen)
+    reference = probe.run_sequential(probe.new_store())
+
+    runs: dict[str, dict] = {}
+    for label, vectorize, fuse in (
+        ("interp", "off", "off"),
+        ("vectorized", "auto", "off"),
+        ("fused", "off", "auto"),
+    ):
+        interp = Interpreter.from_source(
+            source, {}, vectorize=vectorize, fuse=fuse
+        )
+        wall, store, stats = _measure(interp, info, "serial", 1, repeats)
+        # executed task count: chain merging collapses member blocks
+        # (chain members share one blocking, a merge precondition)
+        tasks = stats.blocks_total
+        if stats.fused_chains:
+            merged_away = sum(len(c) - 1 for c in stats.fused_chains)
+            per_stmt = stats.blocks_total // max(1, len(stats.dispatch_modes))
+            tasks = stats.blocks_total - merged_away * per_stmt
+        runs[label] = {
+            "wall_time_s": wall,
+            "tasks": tasks,
+            "per_block_us": round(
+                wall * 1e6 / max(1, stats.blocks_total), 2
+            ),
+            "dispatch_mode": dispatch_mode_of(stats),
+            "fused_chains": [list(c) for c in stats.fused_chains],
+            "identical_to_sequential": reference.equal(store),
+        }
+
+    return {
+        "name": "P5-dispatch",
+        "n": n,
+        "coarsen": coarsen,
+        "repeats": repeats,
+        "runs": runs,
+        "fused_speedup_vs_interp": (
+            runs["interp"]["wall_time_s"] / runs["fused"]["wall_time_s"]
+        ),
+        "fused_speedup_vs_vectorized": (
+            runs["vectorized"]["wall_time_s"] / runs["fused"]["wall_time_s"]
+        ),
+        "per_block_floor_drop": (
+            runs["interp"]["per_block_us"] / runs["fused"]["per_block_us"]
+        ),
+    }
+
+
 def run_overhead_bench(
     workers: int = 4, quick: bool = False, out_path: str | None = None
 ) -> dict:
@@ -178,6 +244,9 @@ def run_overhead_bench(
 
     reductions = reduction_table(workers, repeats=repeats)
     latency = latency_workload(workers, n_latency, repeats=repeats)
+    fused = fused_dispatch_workload(
+        n=16 if quick else 24, coarsen=32 if quick else 48, repeats=repeats
+    )
 
     qualifying = [
         r["name"]
@@ -194,6 +263,18 @@ def run_overhead_bench(
         "all_backends_bit_identical": all(
             latency["identical_all_backends"].values()
         ),
+        "fused_dispatch_rows_bit_identical": all(
+            run["identical_to_sequential"]
+            for run in fused["runs"].values()
+        ),
+        "fused_speedup_vs_interp": round(
+            fused["fused_speedup_vs_interp"], 2
+        ),
+        "fused_beats_interp_dispatch": (
+            fused["fused_speedup_vs_interp"] > 1.0
+        ),
+        "fused_per_block_us": fused["runs"]["fused"]["per_block_us"],
+        "interp_per_block_us": fused["runs"]["interp"]["per_block_us"],
     }
     report = {
         "bench": "overhead",
@@ -207,6 +288,7 @@ def run_overhead_bench(
         "quick": quick,
         "reductions": reductions,
         "latency_workload": latency,
+        "fused_dispatch": fused,
         "criteria": criteria,
     }
     if out_path:
@@ -251,6 +333,26 @@ def format_overhead_bench(report: dict) -> str:
         f"{lat['speedup_vs_untuned']:.2f}x; backends identical: "
         + json.dumps(lat["identical_all_backends"])
     )
+    fused = report.get("fused_dispatch")
+    if fused:
+        lines.append("")
+        lines.append(
+            f"dispatch floor (P5 N={fused['n']}, "
+            f"coarsen={fused['coarsen']}, serial):"
+        )
+        for label, run in fused["runs"].items():
+            lines.append(
+                f"{label:>16}: {run['wall_time_s'] * 1e3:9.2f} ms  "
+                f"{run['tasks']:>4} tasks  "
+                f"{run['per_block_us']:8.1f} us/block  "
+                f"identical={run['identical_to_sequential']}"
+            )
+        lines.append(
+            f"{'':>16}  fused vs interp "
+            f"{fused['fused_speedup_vs_interp']:.2f}x, vs vectorized "
+            f"{fused['fused_speedup_vs_vectorized']:.2f}x "
+            f"(per-block floor drop {fused['per_block_floor_drop']:.2f}x)"
+        )
     lines.append("")
     lines.append("criteria: " + json.dumps(report["criteria"]))
     return "\n".join(lines)

@@ -11,12 +11,14 @@ Commands
 ``lint <kernel.c> [--deep] [--format text|json|sarif]``
     Run the AST-level lint rules (``--deep`` adds SCoP validation and the
     pipelinability/task-graph checks); exit 1 on error diagnostics.
-``run <kernel.c> --param N=32 [--workers 4] [--exec-backend serial|threads|processes] [--vectorize auto|on|off] [--tune model|search] [--reduce-deps] [--trace PATH] [--metrics PATH]``
+``run <kernel.c> --param N=32 [--workers 4] [--exec-backend serial|threads|processes] [--vectorize auto|on|off] [--fuse auto|on|off] [--tune model|search] [--reduce-deps] [--trace PATH] [--metrics PATH]``
     Execute the kernel sequentially and pipelined (threaded runtime) and
     report whether the results match, plus the simulated speed-up.
     ``--exec-backend`` additionally runs a *measured* wall-clock execution
     of the generated task program on the chosen backend;
     ``--vectorize`` controls the whole-block NumPy kernels;
+    ``--fuse`` controls fused-closure dispatch (one NumPy call per task,
+    with chain fusion of proven-legal statement sequences);
     ``--tune`` auto-picks task granularity from a calibrated cost model
     (or a measured search); ``--reduce-deps`` transitively reduces the
     depend-in slot lists; ``--privatize`` executes the pattern
@@ -64,12 +66,19 @@ def _parse_params(items: list[str]) -> dict[str, int]:
     return params
 
 
-def _load(path: str, params: dict[str, int], vectorize: str = "auto"):
+def _load(
+    path: str,
+    params: dict[str, int],
+    vectorize: str = "auto",
+    fuse: str | None = None,
+):
     from .interp import Interpreter
 
     with open(path, "r", encoding="utf-8") as fh:
         source = fh.read()
-    return Interpreter.from_source(source, params, vectorize=vectorize)
+    return Interpreter.from_source(
+        source, params, vectorize=vectorize, fuse=fuse
+    )
 
 
 def _read_source(path: str) -> str:
@@ -179,8 +188,27 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         reg = MetricsRegistry()
         graph = TaskGraph.from_task_ast(gen_ast(info))
         sim = simulate(graph, workers=4)
-        interp = Interpreter.from_source(source, _parse_params(args.param))
+        interp = Interpreter.from_source(
+            source, _parse_params(args.param), fuse="auto"
+        )
         _, ex_stats = execute_measured(interp, info, backend="serial")
+
+        fprog = interp.fused_program
+        total = len(interp.scop.statements)
+        print()
+        print(
+            f"fusion coverage: {fprog.statements_fused}/{total} "
+            f"statements compiled to fused closures"
+        )
+        if fprog.chains:
+            for label in sorted(fprog.chains):
+                print(f"  chain: {label}")
+        fallbacks = fprog.fallbacks()
+        if fallbacks:
+            print("  fallbacks:")
+            for name in sorted(fallbacks):
+                fb = fallbacks[name]
+                print(f"    {name}: [{fb['code']}] {fb['reason']}")
         absorb_presburger_cache(reg)
         absorb_task_overhead(reg, task_graph=tg)
         absorb_simulation(reg, sim, graph)
@@ -286,7 +314,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     plan = None
     stats = None
     try:
-        interp = _load(args.kernel, _parse_params(args.param), args.vectorize)
+        interp = _load(
+            args.kernel, _parse_params(args.param), args.vectorize, args.fuse
+        )
 
         priv_plan = None
         if args.privatize:
@@ -422,7 +452,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
     from .obs.profile import profile_kernel
     from .pipeline import detect_pipeline
 
-    interp = _load(args.kernel, _parse_params(args.param), args.vectorize)
+    interp = _load(
+        args.kernel, _parse_params(args.param), args.vectorize, args.fuse
+    )
     info = detect_pipeline(interp.scop, coarsen=args.coarsen)
     report = profile_kernel(
         interp,
@@ -652,6 +684,15 @@ def build_parser() -> argparse.ArgumentParser:
         "on (fail on fallback), off (compiled loops)",
     )
     p_run.add_argument(
+        "--fuse",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="fused-closure dispatch: compile statements (and proven "
+        "fusion-legal chains) to single NumPy closures executed as one "
+        "call per task; auto falls back per statement to the "
+        "vectorized/interpreter paths, on fails on fallback",
+    )
+    p_run.add_argument(
         "--tune",
         choices=("model", "search"),
         default=None,
@@ -695,6 +736,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_profile.add_argument(
         "--vectorize", choices=("auto", "on", "off"), default="auto"
+    )
+    p_profile.add_argument(
+        "--fuse", choices=("auto", "on", "off"), default="auto"
     )
     p_profile.add_argument(
         "--top", type=int, default=5,

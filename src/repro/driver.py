@@ -81,6 +81,10 @@ class TransformOptions:
     #: vectorized block kernels: "auto" (vectorize what's legal), "on"
     #: (fail if any statement can't vectorize), "off" (compiled loops)
     vectorize: str = "auto"
+    #: fused closure kernels: "auto" (default — fuse what's legal, per-
+    #: statement fallback to the vectorized/interpreter ladder), "on"
+    #: (fail if any statement can't fuse), "off" (no fused dispatch)
+    fuse: str = "auto"
     #: run a real measured execution on this backend ("serial", "threads"
     #: or "processes"); None skips the measured run
     exec_backend: str | None = None
@@ -234,7 +238,7 @@ def _transform(
 
     interp = Interpreter.from_source(
         source_or_program, dict(params or {}), funcs,
-        vectorize=options.vectorize,
+        vectorize=options.vectorize, fuse=options.fuse,
     )
     scop = interp.scop
 

@@ -6,8 +6,21 @@ from .compile import (
     StatementFn,
     compile_scop,
     compile_statement,
+    emit_closure_spec,
 )
 from .executor import BACKENDS, ExecutionStats, execute_measured
+from .fused import (
+    REDUCTION_IDENTITY,
+    ClosureSpec,
+    FusedKernel,
+    FusedProgram,
+    NotFusable,
+    StatementSpec,
+    build_closure,
+    closure_source,
+    fuse_scop,
+    fusion_legal_pair,
+)
 from .interp import DEFAULT_FUNCS, Interpreter
 from .privexec import (
     GROUP_UFUNCS,
@@ -42,7 +55,18 @@ __all__ = [
     "execute_privatized",
     "privatized_matches",
     "Interpreter",
+    "NotFusable",
     "NotVectorizable",
+    "REDUCTION_IDENTITY",
+    "ClosureSpec",
+    "FusedKernel",
+    "FusedProgram",
+    "StatementSpec",
+    "build_closure",
+    "closure_source",
+    "emit_closure_spec",
+    "fuse_scop",
+    "fusion_legal_pair",
     "SharedArrayStore",
     "StatementFn",
     "VectorEntry",

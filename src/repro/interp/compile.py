@@ -137,3 +137,141 @@ def compile_statement(scop: Scop, stmt: ScopStatement) -> CompiledStatement:
 def compile_scop(scop: Scop) -> dict[str, CompiledStatement]:
     """Compile every statement of a SCoP."""
     return {s.name: compile_statement(scop, s) for s in scop.statements}
+
+
+# ----------------------------------------------------------------------
+# declarative closure specs (megakernel fusion front end)
+# ----------------------------------------------------------------------
+def emit_closure_spec(scop: Scop, stmt: ScopStatement, funcs=None):
+    """Lower one statement into a declarative fused-closure spec.
+
+    Applies the PR3 vectorization legality gate — affine slice-form
+    subscripts, positive strides, injective write, the shared Presburger
+    flow self-dependence check, elementwise-only calls — but reports each
+    refusal as :class:`~repro.interp.fused.NotFusable` with a stable
+    RPA06x code so coverage reports can aggregate by cause.  Returns a
+    :class:`~repro.interp.fused.StatementSpec` (pure data: building the
+    closure from it is :func:`~repro.interp.fused.build_closure`'s job).
+    """
+    from .fused import (
+        REDUCTION_IDENTITY,
+        NotFusable,
+        StatementSpec,
+    )
+    from .vectorize import (
+        NotVectorizable,
+        has_flow_self_dependence,
+        is_elementwise,
+        linear_form,
+    )
+
+    loop_vars = tuple(stmt.space.dims)
+    if not loop_vars:
+        raise NotFusable("statement has no loop dimensions", "RPA060")
+    params = scop.params
+    offsets = {
+        name: tuple(lo for lo, _ in scop.array_extent(name))
+        for name in scop.arrays
+    }
+
+    if stmt.assign.op != "=" and stmt.assign.op not in COMPOUND_OPS:
+        raise NotFusable(
+            f"unsupported assignment operator {stmt.assign.op!r}", "RPA061"
+        )
+
+    def access_dims(acc: ArrayAccess) -> tuple:
+        dims: list[tuple] = []
+        seen: set[str] = set()
+        for k, idx in enumerate(acc.indices):
+            try:
+                coeffs, const = linear_form(idx, loop_vars, params)
+            except NotVectorizable as exc:
+                raise NotFusable(
+                    f"{exc.reason} ({acc.array!r})", "RPA062"
+                ) from None
+            if len(coeffs) > 1:
+                raise NotFusable(
+                    f"coupled subscript {idx} of {acc.array!r} "
+                    "(two loop variables in one dimension)",
+                    "RPA062",
+                )
+            const -= offsets[acc.array][k]
+            if not coeffs:
+                dims.append((None, 0, const))
+                continue
+            (var, coeff), = coeffs.items()
+            if coeff <= 0:
+                raise NotFusable(
+                    f"non-positive stride {coeff} in subscript {idx} "
+                    f"of {acc.array!r}",
+                    "RPA063",
+                )
+            if var in seen:
+                raise NotFusable(
+                    f"loop variable {var!r} repeated across dimensions "
+                    f"of {acc.array!r} (diagonal access)",
+                    "RPA064",
+                )
+            seen.add(var)
+            dims.append((var, coeff, const))
+        return tuple(dims)
+
+    write_dims = access_dims(stmt.assign.target)
+    write_vars = {var for var, _, _ in write_dims if var is not None}
+    missing = set(loop_vars) - write_vars
+    if missing:
+        raise NotFusable(
+            f"write to {stmt.assign.target.array!r} does not use loop "
+            f"variable(s) {sorted(missing)} (non-injective scatter)",
+            "RPA065",
+        )
+
+    if has_flow_self_dependence(scop, stmt):
+        raise NotFusable(
+            "flow self-dependence (recurrence) — block must run scalar",
+            "RPA066",
+        )
+
+    func_names: set[str] = set()
+
+    def node(expr: Expr) -> tuple:
+        if isinstance(expr, IntLit):
+            return ("int", expr.value)
+        if isinstance(expr, VarRef):
+            if expr.name in loop_vars:
+                return ("iv", expr.name)
+            if expr.name in params:
+                return ("int", params[expr.name])
+            raise SemanticError(
+                f"unknown variable {expr.name!r}", expr.location
+            )
+        if isinstance(expr, BinOp):
+            op = "//" if expr.op == "/" else expr.op
+            return ("bin", op, node(expr.lhs), node(expr.rhs))
+        if isinstance(expr, ArrayAccess):
+            return ("access", expr.array, access_dims(expr))
+        if isinstance(expr, Call):
+            func_names.add(expr.func)
+            return ("call", expr.func, tuple(node(a) for a in expr.args))
+        raise NotFusable(f"cannot fuse expression {expr!r}", "RPA062")
+
+    rhs = node(stmt.assign.value)
+
+    if funcs is not None:
+        for fname in sorted(func_names):
+            fn = funcs.get(fname)
+            if fn is None or not is_elementwise(fn):
+                raise NotFusable(
+                    f"opaque call to non-elementwise function {fname!r}",
+                    "RPA067",
+                )
+
+    op = stmt.assign.op
+    return StatementSpec(
+        name=stmt.name,
+        loop_vars=loop_vars,
+        op="=" if op == "=" else COMPOUND_OPS[op],
+        write=("access", stmt.assign.target.array, write_dims),
+        rhs=rhs,
+        reduction_identity=REDUCTION_IDENTITY.get(op),
+    )

@@ -70,6 +70,19 @@ class ExecutionStats:
     #: privatized-reduction summary (arrays, parts, join labels) when
     #: the run came from :func:`repro.interp.privexec.execute_privatized`
     privatization: dict | None = None
+    #: resolved fuse mode of the interpreter that ran
+    fuse: str = "off"
+    #: blocks / statement instances dispatched as fused closures (chain
+    #: members count individually so coverage stays comparable)
+    blocks_fused: int = 0
+    iterations_fused: int = 0
+    #: per-statement dispatch path actually planned for this run:
+    #: "fused" / "vectorized" / "interp"
+    dispatch_modes: dict[str, str] = field(default_factory=dict)
+    #: per-statement fusion refusals: {stmt: {"reason": ..., "code": RPA06x}}
+    fused_fallback: dict[str, dict] = field(default_factory=dict)
+    #: merged block-chains executed as single tasks, e.g. (("S", "T"),)
+    fused_chains: tuple[tuple[str, ...], ...] = ()
 
     @property
     def block_coverage(self) -> float:
@@ -85,19 +98,43 @@ class ExecutionStats:
             self.iterations_total
         ) else 0.0
 
+    @property
+    def fused_block_coverage(self) -> float:
+        """Fraction of blocks that ran as fused closures."""
+        return self.blocks_fused / self.blocks_total if (
+            self.blocks_total
+        ) else 0.0
+
+    @property
+    def fused_iteration_coverage(self) -> float:
+        """Fraction of statement instances that ran as fused closures."""
+        return self.iterations_fused / self.iterations_total if (
+            self.iterations_total
+        ) else 0.0
+
     def as_dict(self) -> dict:
         """JSON-ready form for traces and bench reports."""
         return {
             "backend": self.backend,
             "workers": self.workers,
             "vectorize": self.vectorize,
+            "fuse": self.fuse,
             "wall_time_s": self.wall_time,
             "blocks_total": self.blocks_total,
             "blocks_vectorized": self.blocks_vectorized,
+            "blocks_fused": self.blocks_fused,
             "iterations_total": self.iterations_total,
             "iterations_vectorized": self.iterations_vectorized,
+            "iterations_fused": self.iterations_fused,
             "block_coverage": round(self.block_coverage, 4),
             "iteration_coverage": round(self.iteration_coverage, 4),
+            "fused_block_coverage": round(self.fused_block_coverage, 4),
+            "fused_iteration_coverage": round(
+                self.fused_iteration_coverage, 4
+            ),
+            "dispatch_modes": dict(self.dispatch_modes),
+            "fused_fallback": dict(self.fused_fallback),
+            "fused_chains": [list(c) for c in self.fused_chains],
             "fallback_reasons": dict(self.fallback_reasons),
             "scheduler": self.scheduler,
             "runtime": (
@@ -108,10 +145,13 @@ class ExecutionStats:
 
     def summary(self) -> str:
         cov = 100.0 * self.iteration_coverage
+        fused = 100.0 * self.fused_iteration_coverage
         return (
             f"{self.backend} ({self.workers} workers, vectorize="
-            f"{self.vectorize}): {self.wall_time * 1e3:.1f} ms, "
-            f"{self.blocks_total} blocks, {cov:.0f}% iterations vectorized"
+            f"{self.vectorize}, fuse={self.fuse}): "
+            f"{self.wall_time * 1e3:.1f} ms, "
+            f"{self.blocks_total} blocks, {cov:.0f}% iterations vectorized, "
+            f"{fused:.0f}% fused"
         )
 
 
@@ -146,6 +186,9 @@ def execute_measured(
         raise ValueError(
             f"unknown execution backend {backend!r}; choose from {BACKENDS}"
         )
+    from .fused import plan_chain_groups
+    from .vectorize import rectangles
+
     ast = generate_task_ast(info)
     columns = statement_columns(ast)
     packers = statement_packers(ast)
@@ -155,9 +198,29 @@ def execute_measured(
         store = interp.new_store()
 
     plan = interp.vector_program if interp.vectorize != "off" else None
-    blocks_total = blocks_vec = iters_total = iters_vec = 0
+    fprog = interp.fused_program if interp.fuse != "off" else None
+
+    # Fused dispatch plan: one entry per task stream.  Singleton groups
+    # keep the per-nest task structure; longer groups are fusion-legal
+    # block-chains merged into a single task per block index.  Chain
+    # merging is skipped while collecting events so task ids stay aligned
+    # with the simulated task graph the profiler joins against.
+    if fprog is not None and not collect_events:
+        groups, _ = plan_chain_groups(interp.scop, ast, fprog)
+    else:
+        groups = [[nest] for nest in ast.nests]
+
+    blocks_total = blocks_vec = blocks_fused = 0
+    iters_total = iters_vec = iters_fused = 0
+    dispatch_modes: dict[str, str] = {}
     for nest in ast.nests:
         stmt_vec = plan is not None and plan.get(nest.statement) is not None
+        stmt_fused = (
+            fprog is not None and fprog.get(nest.statement) is not None
+        )
+        dispatch_modes[nest.statement] = (
+            "fused" if stmt_fused else "vectorized" if stmt_vec else "interp"
+        )
         for block in nest.blocks:
             size = len(block.iterations)
             blocks_total += 1
@@ -165,7 +228,27 @@ def execute_measured(
             if stmt_vec:
                 blocks_vec += 1
                 iters_vec += size
+            if stmt_fused:
+                blocks_fused += 1
+                iters_fused += size
     fallback = plan.fallback_reasons() if plan is not None else {}
+    fused_fallback = fprog.fallbacks() if fprog is not None else {}
+    fused_chains = tuple(
+        tuple(n.statement for n in g) for g in groups if len(g) > 1
+    )
+
+    # Per-group task stream: label, fused kernel (None -> run_block
+    # ladder), member nests.  Chain kernels were registered on the fused
+    # program by plan_chain_groups, so they precede backend construction
+    # and reach worker processes with the rest of the plan.
+    group_rows = []
+    for group in groups:
+        if len(group) == 1:
+            label = group[0].statement
+        else:
+            label = "+".join(n.statement for n in group)
+        kernel = fprog.get(label) if fprog is not None else None
+        group_rows.append((label, kernel, group))
 
     if backend == "serial":
         system = SerialBackend(write_num)
@@ -177,29 +260,59 @@ def execute_measured(
     def task_body(payload) -> None:
         interp.run_block(store, payload["statement"], payload["iters"])
 
-    # One function object per statement: backends key their funcCount
-    # self-chain (serializing same-statement blocks) on func identity.
-    stmt_funcs = {
-        nest.statement: (lambda payload, _f=task_body: _f(payload))
-        for nest in ast.nests
-    }
+    # One function object per task stream: backends key their funcCount
+    # self-chain (serializing same-stream blocks) on func identity.  A
+    # fused stream's hot path is a single closure call over rectangles
+    # precomputed at task-creation time — no per-task interpretation.
+    stream_funcs = {}
+    for label, kernel, _group in group_rows:
+        if kernel is not None:
+            stream_funcs[label] = (
+                lambda payload, _k=kernel: _k.run_rects(
+                    store, interp.funcs, payload["rects"]
+                )
+            )
+        else:
+            stream_funcs[label] = (
+                lambda payload, _f=task_body: _f(payload)
+            )
 
     def build_tasks() -> None:
-        for nest in ast.nests:
-            col = columns[nest.statement]
-            packer = packers[nest.statement]
-            for block in nest.blocks:
-                in_dep = [packers[s].pack(end) for s, end in block.in_tokens]
-                in_idx = [columns[s] for s, _ in block.in_tokens]
+        for label, kernel, group in group_rows:
+            last = group[-1]
+            col = columns[last.statement]
+            packer = packers[last.statement]
+            members = {n.statement for n in group}
+            for b, block in enumerate(last.blocks):
+                blocks = [n.blocks[b] for n in group]
+                if len(group) == 1:
+                    in_tok = list(block.in_tokens)
+                else:
+                    # union of member tokens minus in-chain ones (same- or
+                    # earlier-index member work is ordered by the merged
+                    # task itself / its self-chain)
+                    seen = set()
+                    in_tok = []
+                    for blk in blocks:
+                        for s, end in blk.in_tokens:
+                            if s in members:
+                                continue
+                            key = (s, tuple(end))
+                            if key not in seen:
+                                seen.add(key)
+                                in_tok.append((s, end))
+                payload = {"statement": label, "iters": blocks[0].iterations}
+                if kernel is not None:
+                    payload["rects"] = rectangles(blocks[0].iterations)
                 system.create_task(
-                    stmt_funcs[nest.statement],
-                    {"statement": nest.statement, "iters": block.iterations},
+                    stream_funcs[label],
+                    payload,
                     out_depend=packer.pack(block.end),
                     out_idx=col,
-                    in_depend=in_dep,
-                    in_idx=in_idx,
-                    cost=cost(block),
-                    statement=nest.statement,
+                    in_depend=[packers[s].pack(end) for s, end in in_tok],
+                    in_idx=[columns[s] for s, _ in in_tok],
+                    cost=sum(cost(blk) for blk in blocks),
+                    statement=label,
                 )
 
     # The serial backend executes inside create_task, so the collector
@@ -234,6 +347,12 @@ def execute_measured(
         fallback_reasons=fallback,
         scheduler=scheduler,
         events=runtime_trace,
+        fuse=interp.fuse,
+        blocks_fused=blocks_fused,
+        iterations_fused=iters_fused,
+        dispatch_modes=dispatch_modes,
+        fused_fallback=fused_fallback,
+        fused_chains=fused_chains,
     )
     return store, stats
 

@@ -1,0 +1,647 @@
+"""Fused NumPy closures: one function call per task, zero interpretation.
+
+The vectorized path of :mod:`repro.interp.vectorize` already executes a
+block as strided array operations, but every task still walks through
+``Interpreter.run_block`` — plan lookup, ``np.asarray``, rectangle
+decomposition — before the first NumPy call.  On latency-bound pipelines
+(BENCH_overhead.json) that per-task dispatch is the wall-clock floor.
+
+This module collapses the floor: at compile time each fusable statement
+is lowered to a :class:`FusedKernel`, a *declarative* :class:`ClosureSpec`
+(array refs, affine index maps per dimension, assignment op, reduction
+identity if any) plus a generated NumPy slicing closure that executes an
+arbitrary block by substituting block bounds.  The spec is the source of
+truth: :func:`build_closure` reconstructs the closure deterministically
+from the spec alone, and ``FusedKernel`` pickles as its spec (via
+``__reduce__``), so the ProcessBackend ships data, not code objects.
+
+Legality is the PR3 vectorization gate re-applied — including the same
+Presburger flow self-dependence check — but every refusal carries a
+stable ``RPA06x`` diagnostic code so ``repro analyze --stats`` can
+explain coverage.  On top of single statements, consecutive nests that
+the PR1 explainer proves fusion-legal (:func:`fusion_legal_pair`, built
+on ``analysis.explain._fusion_violations``) and that share one blocking
+are merged into a single chain closure: one task executes a block of
+*both* statements back to back.
+
+Fallback ladder (per statement): fused closure → vectorized rectangle
+kernel → compiled interpreter loop.  All three are bit-identical by
+construction; the three-path battery in ``tests/interp/test_fused.py``
+enforces it across serial/threads/processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..lang.errors import SemanticError
+from .store import ArrayStore
+from .vectorize import rectangles
+
+__all__ = [
+    "REDUCTION_IDENTITY",
+    "ClosureSpec",
+    "FuseEntry",
+    "FusedKernel",
+    "FusedProgram",
+    "NotFusable",
+    "StatementSpec",
+    "build_closure",
+    "chain_label",
+    "closure_source",
+    "fuse_scop",
+    "fusion_legal_pair",
+    "plan_chain_groups",
+]
+
+#: Identity element of the reduction a compound assignment performs, when
+#: the DSL op has one (``/=`` and ``%=`` do not reduce associatively).
+REDUCTION_IDENTITY: dict[str, float] = {"+=": 0.0, "-=": 0.0, "*=": 1.0}
+
+
+class NotFusable(Exception):
+    """Statement (or chain) fails a fusion legality check.
+
+    ``code`` is a stable RPA06x diagnostic code (see
+    :mod:`repro.analysis.diagnostics`) so coverage reports can aggregate
+    refusals by cause rather than by message text.
+    """
+
+    def __init__(self, reason: str, code: str):
+        self.reason = reason
+        self.code = code
+        super().__init__(f"{code}: {reason}")
+
+
+# ----------------------------------------------------------------------
+# declarative closure specs
+# ----------------------------------------------------------------------
+#
+# Expression nodes are nested plain tuples (JSON maps them to lists):
+#
+#   ("int", value)                     integer literal / folded parameter
+#   ("iv", var)                        loop variable as a value
+#   ("bin", op, lhs, rhs)              op already normalized ("/" -> "//")
+#   ("access", array, dims)            dims: ((var|None, coeff, const), ...)
+#                                      const pre-shifted by the array offset
+#   ("call", fname, (args...))         call to an elementwise function
+#
+# Everything is data — no AST nodes, no callables — so a spec serializes
+# to JSON, hashes stably, and crosses process boundaries unchanged.
+
+Node = tuple
+
+
+@dataclass(frozen=True)
+class StatementSpec:
+    """Declarative form of one fused statement body."""
+
+    name: str
+    loop_vars: tuple[str, ...]
+    op: str  # "=" or a compound op from COMPOUND_OPS
+    write: Node  # ("access", array, dims) — the injective write
+    rhs: Node
+    reduction_identity: float | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "loop_vars": list(self.loop_vars),
+            "op": self.op,
+            "write": _node_to_json(self.write),
+            "rhs": _node_to_json(self.rhs),
+            "reduction_identity": self.reduction_identity,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "StatementSpec":
+        return cls(
+            name=d["name"],
+            loop_vars=tuple(d["loop_vars"]),
+            op=d["op"],
+            write=_node_from_json(d["write"]),
+            rhs=_node_from_json(d["rhs"]),
+            reduction_identity=d.get("reduction_identity"),
+        )
+
+
+@dataclass(frozen=True)
+class ClosureSpec:
+    """Spec of a fused closure: one statement, or a fusion-legal chain."""
+
+    statements: tuple[StatementSpec, ...]
+
+    @property
+    def label(self) -> str:
+        return chain_label(tuple(s.name for s in self.statements))
+
+    def to_dict(self) -> dict:
+        return {"statements": [s.to_dict() for s in self.statements]}
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "ClosureSpec":
+        return cls(
+            tuple(StatementSpec.from_dict(s) for s in d["statements"])
+        )
+
+
+def _node_to_json(node: Node):
+    kind = node[0]
+    if kind == "int":
+        return ["int", node[1]]
+    if kind == "iv":
+        return ["iv", node[1]]
+    if kind == "bin":
+        return ["bin", node[1], _node_to_json(node[2]), _node_to_json(node[3])]
+    if kind == "access":
+        return ["access", node[1], [list(d) for d in node[2]]]
+    if kind == "call":
+        return ["call", node[1], [_node_to_json(a) for a in node[2]]]
+    raise ValueError(f"unknown spec node {node!r}")
+
+
+def _node_from_json(data) -> Node:
+    kind = data[0]
+    if kind == "int":
+        return ("int", int(data[1]))
+    if kind == "iv":
+        return ("iv", data[1])
+    if kind == "bin":
+        return (
+            "bin", data[1], _node_from_json(data[2]), _node_from_json(data[3])
+        )
+    if kind == "access":
+        return (
+            "access",
+            data[1],
+            tuple(
+                (d[0], int(d[1]), int(d[2])) for d in data[2]
+            ),
+        )
+    if kind == "call":
+        return ("call", data[1], tuple(_node_from_json(a) for a in data[2]))
+    raise ValueError(f"unknown spec node {data!r}")
+
+
+def chain_label(names: tuple[str, ...]) -> str:
+    """Task-graph label of a fused chain (``S+T``)."""
+    return "+".join(names)
+
+
+# ----------------------------------------------------------------------
+# deterministic closure generation (spec -> source -> callable)
+# ----------------------------------------------------------------------
+def _access_slice(
+    dims: tuple, loop_vars: tuple[str, ...], array: str
+) -> str:
+    """Slice text of an access aligned onto the canonical loop grid.
+
+    Generates the same indexing as ``vectorize._slice_text`` so fused and
+    vectorized kernels execute identical NumPy operations.
+    """
+    parts: list[str] = []
+    axis_vars: list[str] = []
+    for var, coeff, const in dims:
+        if var is None:
+            parts.append(str(const))
+            continue
+        axis_vars.append(var)
+        p = loop_vars.index(var)
+        lo = f"{coeff}*__lo[{p}]{const:+d}" if const else (
+            f"{coeff}*__lo[{p}]" if coeff != 1 else f"__lo[{p}]"
+        )
+        hi = f"{coeff}*__hi[{p}]{const + 1:+d}"
+        step = f":{coeff}" if coeff != 1 else ""
+        parts.append(f"{lo}:{hi}{step}")
+    code = f"__arr_{array}[{', '.join(parts)}]"
+
+    present = tuple(v for v in loop_vars if v in axis_vars)
+    perm = tuple(axis_vars.index(v) for v in present)
+    if perm != tuple(range(len(perm))):
+        code = f"{code}.transpose({perm})"
+    if len(present) < len(loop_vars):
+        sub = ", ".join(":" if v in present else "None" for v in loop_vars)
+        code = f"{code}[{sub}]"
+    return code
+
+
+def _write_target(
+    dims: tuple, loop_vars: tuple[str, ...], array: str
+) -> tuple[str, tuple[int, ...]]:
+    """Scatter target text and the axis permutation of the write."""
+    parts: list[str] = []
+    axis_vars: list[str] = []
+    for var, coeff, const in dims:
+        if var is None:
+            parts.append(str(const))
+            continue
+        axis_vars.append(var)
+        p = loop_vars.index(var)
+        lo = f"{coeff}*__lo[{p}]{const:+d}" if const else (
+            f"{coeff}*__lo[{p}]" if coeff != 1 else f"__lo[{p}]"
+        )
+        hi = f"{coeff}*__hi[{p}]{const + 1:+d}"
+        step = f":{coeff}" if coeff != 1 else ""
+        parts.append(f"{lo}:{hi}{step}")
+    target = f"__arr_{array}[{', '.join(parts)}]"
+    store_perm = tuple(loop_vars.index(v) for v in axis_vars)
+    return target, store_perm
+
+
+def _node_text(
+    node: Node,
+    loop_vars: tuple[str, ...],
+    si: int,
+    ivs_used: set[str],
+) -> str:
+    kind = node[0]
+    if kind == "int":
+        return str(node[1])
+    if kind == "iv":
+        ivs_used.add(node[1])
+        return f"__iv{si}_{node[1]}"
+    if kind == "bin":
+        lhs = _node_text(node[2], loop_vars, si, ivs_used)
+        rhs = _node_text(node[3], loop_vars, si, ivs_used)
+        return f"({lhs} {node[1]} {rhs})"
+    if kind == "access":
+        return _access_slice(node[2], loop_vars, node[1])
+    if kind == "call":
+        args = ", ".join(
+            _node_text(a, loop_vars, si, ivs_used) for a in node[2]
+        )
+        return f"__fn_{node[1]}({args})"
+    raise ValueError(f"unknown spec node {node!r}")
+
+
+def _spec_arrays(node: Node, out: set[str]) -> None:
+    kind = node[0]
+    if kind == "access":
+        out.add(node[1])
+    elif kind == "bin":
+        _spec_arrays(node[2], out)
+        _spec_arrays(node[3], out)
+    elif kind == "call":
+        for a in node[2]:
+            _spec_arrays(a, out)
+
+
+def _spec_funcs(node: Node, out: set[str]) -> None:
+    kind = node[0]
+    if kind == "call":
+        out.add(node[1])
+        for a in node[2]:
+            _spec_funcs(a, out)
+    elif kind == "bin":
+        _spec_funcs(node[2], out)
+        _spec_funcs(node[3], out)
+
+
+def spec_arrays(spec: ClosureSpec) -> tuple[str, ...]:
+    out: set[str] = set()
+    for s in spec.statements:
+        out.add(s.write[1])
+        _spec_arrays(s.rhs, out)
+    return tuple(sorted(out))
+
+
+def spec_funcs(spec: ClosureSpec) -> tuple[str, ...]:
+    out: set[str] = set()
+    for s in spec.statements:
+        _spec_funcs(s.rhs, out)
+    return tuple(sorted(out))
+
+
+def closure_source(spec: ClosureSpec) -> str:
+    """Deterministic Python source of the fused closure for ``spec``.
+
+    Purely a function of the spec (no live objects consulted), so
+    spec → source → closure reconstruction is reproducible anywhere the
+    spec can travel — the ProcessBackend pickling contract.
+    """
+    fn_name = "__fused_" + "__".join(s.name for s in spec.statements)
+    lines = [f"def {fn_name}(__store, __funcs, __lo, __hi):"]
+    for arr in spec_arrays(spec):
+        lines.append(f"    __arr_{arr} = __store.arrays[{arr!r}].data")
+    for fname in spec_funcs(spec):
+        lines.append(f"    __fn_{fname} = __funcs[{fname!r}]")
+    for si, stmt in enumerate(spec.statements):
+        loop_vars = stmt.loop_vars
+        ivs_used: set[str] = set()
+        rhs = _node_text(stmt.rhs, loop_vars, si, ivs_used)
+        _, write_array, write_dims = stmt.write
+        if stmt.op != "=":
+            lhs_read = _access_slice(write_dims, loop_vars, write_array)
+            # compound op was normalized to its binary form at emit time
+            rhs = f"{lhs_read} {stmt.op} ({rhs})"
+        elif stmt.rhs[0] == "access" and stmt.rhs[1] == write_array:
+            # bare same-array copy: materialize before assigning a view
+            # onto itself (gather-before-scatter semantics)
+            rhs = f"({rhs}).copy()"
+        for var in sorted(ivs_used):
+            p = loop_vars.index(var)
+            sub = ", ".join(":" if v == var else "None" for v in loop_vars)
+            lines.append(
+                f"    __iv{si}_{var} = "
+                f"__np.arange(__lo[{p}], __hi[{p}] + 1)[{sub}]"
+            )
+        lines.append(f"    __rhs{si} = {rhs}")
+        target, store_perm = _write_target(write_dims, loop_vars, write_array)
+        rhs_out = f"__rhs{si}"
+        if store_perm != tuple(range(len(store_perm))):
+            lines.append(
+                f"    __rhs{si} = __np.broadcast_to(__rhs{si}, "
+                "tuple(h - l + 1 for l, h in zip(__lo, __hi)))"
+            )
+            rhs_out = f"__np.transpose(__rhs{si}, {store_perm})"
+        lines.append(f"    {target} = {rhs_out}")
+    return "\n".join(lines)
+
+
+@dataclass(eq=False)
+class FusedKernel:
+    """A compiled fused closure plus the spec it was built from.
+
+    Picklable by spec: ``pickle.dumps(kernel)`` ships the declarative
+    :class:`ClosureSpec` and the receiving process re-generates the
+    closure with :func:`build_closure` — code objects never cross the
+    wire.
+    """
+
+    spec: ClosureSpec
+    source: str
+    fn: Callable
+
+    @property
+    def label(self) -> str:
+        return self.spec.label
+
+    def run_rect(
+        self,
+        store: ArrayStore,
+        funcs: Mapping[str, Callable],
+        lo: tuple[int, ...],
+        hi: tuple[int, ...],
+    ) -> None:
+        self.fn(store, funcs, lo, hi)
+
+    def run_rects(
+        self,
+        store: ArrayStore,
+        funcs: Mapping[str, Callable],
+        rects,
+    ) -> None:
+        """Execute precomputed ``(lo, hi)`` rectangles — the one-call-per-
+        task hot path (rectangle decomposition already paid at compile)."""
+        fn = self.fn
+        for lo, hi in rects:
+            fn(store, funcs, lo, hi)
+
+    def __call__(self, store, funcs, iterations) -> None:
+        iters = np.asarray(iterations, dtype=np.int64)
+        if iters.size == 0:
+            return
+        self.run_rects(store, funcs, rectangles(iters))
+
+    def __reduce__(self):
+        return (build_closure, (self.spec,))
+
+
+def build_closure(spec: ClosureSpec) -> FusedKernel:
+    """Reconstruct the executable closure from a declarative spec."""
+    source = closure_source(spec)
+    namespace: dict[str, object] = {"__np": np}
+    exec(source, namespace)  # noqa: S102 - compiling our own spec
+    fn_name = "__fused_" + "__".join(s.name for s in spec.statements)
+    return FusedKernel(spec, source, namespace[fn_name])
+
+
+# ----------------------------------------------------------------------
+# whole-SCoP fusion plan
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FuseEntry:
+    """Fusion outcome for one statement."""
+
+    statement: str
+    kernel: FusedKernel | None
+    reason: str | None  # fallback reason when not fused
+    code: str | None  # RPA06x code of the refusal
+
+    @property
+    def ok(self) -> bool:
+        return self.kernel is not None
+
+
+@dataclass
+class FusedProgram:
+    """Per-statement fusion plan of one SCoP, plus registered chains."""
+
+    entries: dict[str, FuseEntry]
+    chains: dict[str, FusedKernel] = field(default_factory=dict)
+
+    def get(self, statement: str) -> FusedKernel | None:
+        entry = self.entries.get(statement)
+        if entry is not None:
+            return entry.kernel
+        return self.chains.get(statement)
+
+    def spec(self, statement: str) -> ClosureSpec | None:
+        kernel = self.get(statement)
+        return kernel.spec if kernel is not None else None
+
+    def add_chain(self, label: str, kernel: FusedKernel) -> None:
+        self.chains[label] = kernel
+
+    @property
+    def statements_fused(self) -> int:
+        return sum(1 for e in self.entries.values() if e.ok)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of statements with a fused closure (0..1)."""
+        if not self.entries:
+            return 0.0
+        return self.statements_fused / len(self.entries)
+
+    def fallback_reasons(self) -> dict[str, str]:
+        return {
+            name: e.reason
+            for name, e in self.entries.items()
+            if e.reason is not None
+        }
+
+    def fallbacks(self) -> dict[str, dict[str, str]]:
+        """``{statement: {"reason": ..., "code": RPA06x}}`` for refusals."""
+        return {
+            name: {"reason": e.reason, "code": e.code}
+            for name, e in self.entries.items()
+            if not e.ok
+        }
+
+    def require_full(self) -> None:
+        """Raise SemanticError unless every statement fused (mode=on)."""
+        bad = self.fallbacks()
+        if bad:
+            detail = "; ".join(
+                f"{s}: [{v['code']}] {v['reason']}"
+                for s, v in sorted(bad.items())
+            )
+            raise SemanticError(
+                f"--fuse on: {len(bad)} statement(s) cannot be fused "
+                f"({detail})"
+            )
+
+
+def fuse_scop(
+    scop, funcs: Mapping[str, Callable] | None = None
+) -> FusedProgram:
+    """Build the fusion plan for every statement of a SCoP."""
+    from ..obs.spans import span
+    from .compile import emit_closure_spec
+
+    entries: dict[str, FuseEntry] = {}
+    with span("compile.fuse"):
+        for stmt in scop.statements:
+            try:
+                spec = emit_closure_spec(scop, stmt, funcs)
+                kernel = build_closure(ClosureSpec((spec,)))
+                entries[stmt.name] = FuseEntry(stmt.name, kernel, None, None)
+            except NotFusable as exc:
+                entries[stmt.name] = FuseEntry(
+                    stmt.name, None, exc.reason, exc.code
+                )
+    return FusedProgram(entries)
+
+
+# ----------------------------------------------------------------------
+# chain fusion (block-chains the PR1 explainer proves legal)
+# ----------------------------------------------------------------------
+def fusion_legal_pair(scop, src, tgt) -> bool:
+    """True when fusing the two nests reorders no dependence.
+
+    Delegates to the PR1 explainer's ``_fusion_violations`` over every
+    dependence kind — the same Presburger evidence ``repro analyze``
+    prints when it classifies a nest pair fusion-legal.
+    """
+    from ..analysis.explain import _fusion_violations
+    from ..scop.deps import DepKind, dependence_relation
+
+    rels = {
+        kind: dependence_relation(scop, src, tgt, kind) for kind in DepKind
+    }
+    return not _fusion_violations(scop, src, tgt, rels)
+
+
+def plan_chain_groups(scop, ast, program: FusedProgram):
+    """Group consecutive task nests into fusion-legal chains.
+
+    Returns ``(groups, chain_kernels)`` where ``groups`` is a list of
+    lists of ``TaskLoopNest`` (singletons execute as before; longer
+    groups merge into one task stream) and ``chain_kernels`` maps chain
+    labels to their merged :class:`FusedKernel` (also registered on
+    ``program`` so worker processes can look them up by label).
+
+    A nest joins the current group only when every condition that makes
+    the merge observationally equivalent holds:
+
+    * all members have fused single-statement kernels;
+    * identical blocking — same block count and bit-identical iteration
+      arrays per block index, so one rectangle decomposition serves all
+      members and chain tasks stay lex-contiguous;
+    * ``fusion_legal_pair`` with every existing member — no dependence
+      forces a later member's instance before an earlier member's;
+    * every token a joining nest consumes from a member resolves at the
+      same (or an earlier) block index — same-index work runs inside the
+      merged task, earlier indices are ordered by the chain's self-chain;
+    * tokens of every non-last member are consumed only inside the group
+      (the merged task publishes only the last member's token, so an
+      outside consumer would lose its ordering edge).
+    """
+    nests = list(ast.nests)
+    member_specs: dict[str, StatementSpec] = {}
+    for nest in nests:
+        kernel = program.entries.get(nest.statement)
+        if kernel is not None and kernel.ok:
+            member_specs[nest.statement] = kernel.kernel.spec.statements[0]
+
+    consumers: dict[str, set[str]] = {}
+    for nest in nests:
+        for blk in nest.blocks:
+            for s, _ in blk.in_tokens:
+                if s != nest.statement:
+                    consumers.setdefault(s, set()).add(nest.statement)
+
+    stmt_of = {s.name: s for s in scop.statements}
+
+    def mergeable(group, nxt) -> bool:
+        if nxt.statement not in member_specs:
+            return False
+        if any(n.statement not in member_specs for n in group):
+            return False
+        base = group[0]
+        if len(nxt.blocks) != len(base.blocks):
+            return False
+        for a, b in zip(base.blocks, nxt.blocks):
+            if not np.array_equal(
+                np.asarray(a.iterations), np.asarray(b.iterations)
+            ):
+                return False
+        for n in group:
+            if not fusion_legal_pair(
+                scop, stmt_of[n.statement], stmt_of[nxt.statement]
+            ):
+                return False
+        members = {n.statement for n in group}
+        ends = {n.statement: [blk.end for blk in n.blocks] for n in group}
+        for b, blk in enumerate(nxt.blocks):
+            for s, end in blk.in_tokens:
+                if s in members and tuple(end) > tuple(ends[s][b]):
+                    return False
+        return True
+
+    def build(run: list) -> list[list]:
+        groups: list[list] = []
+        i = 0
+        while i < len(run):
+            group = [run[i]]
+            j = i + 1
+            while j < len(run) and mergeable(group, run[j]):
+                group.append(run[j])
+                j += 1
+            # trim: a non-last member whose token leaks outside the group
+            # must end its group (the merged task only publishes the last
+            # member's token); split trailing members off and regroup them
+            rest: list = []
+            while len(group) > 1:
+                members = {n.statement for n in group}
+                leaky = any(
+                    consumers.get(n.statement, set()) - members
+                    for n in group[:-1]
+                )
+                if not leaky:
+                    break
+                rest.insert(0, group.pop())
+            groups.append(group)
+            if rest:
+                groups.extend(build(rest))
+            i = j
+        return groups
+
+    groups = build(nests)
+
+    chain_kernels: dict[str, FusedKernel] = {}
+    for group in groups:
+        if len(group) < 2:
+            continue
+        label = chain_label(tuple(n.statement for n in group))
+        spec = ClosureSpec(
+            tuple(member_specs[n.statement] for n in group)
+        )
+        kernel = build_closure(spec)
+        program.add_chain(label, kernel)
+        chain_kernels[label] = kernel
+    return groups, chain_kernels

@@ -15,6 +15,7 @@ import numpy as np
 from ..lang.ast import Assign, Loop, Program
 from ..scop import Scop, extract_scop
 from .compile import CompiledStatement, compile_scop
+from .fused import FusedProgram, fuse_scop
 from .store import ArrayStore
 from .vectorize import VectorProgram, elementwise, vectorize_scop
 
@@ -53,10 +54,21 @@ class Interpreter:
         scop: Scop,
         funcs: Mapping[str, Callable] | None = None,
         vectorize: str = "auto",
+        fuse: str | None = None,
     ):
         if vectorize not in ("auto", "on", "off"):
             raise ValueError(
                 f"vectorize must be 'auto', 'on' or 'off', got {vectorize!r}"
+            )
+        # The library default keeps the interpreter's dispatch ladder as it
+        # always was (vectorized -> scalar); fused dispatch is opt-in here
+        # and switched on by the driver/CLI layer, which defaults to
+        # ``auto`` (ISSUE 8's default-on with per-statement fallback).
+        if fuse is None:
+            fuse = "off"
+        if fuse not in ("auto", "on", "off"):
+            raise ValueError(
+                f"fuse must be 'auto', 'on' or 'off', got {fuse!r}"
             )
         self.program = program
         self.scop = scop
@@ -65,11 +77,15 @@ class Interpreter:
             self.funcs.update(funcs)
         self.compiled: dict[str, CompiledStatement] = compile_scop(scop)
         self.vectorize = vectorize
+        self.fuse = fuse
         self._vector_program: VectorProgram | None = None
+        self._fused_program: FusedProgram | None = None
         #: Per-path execution counters, filled by :meth:`run_block`.
         self.block_counters = {
+            "fused_blocks": 0,
             "vectorized_blocks": 0,
             "scalar_blocks": 0,
+            "fused_iterations": 0,
             "vectorized_iterations": 0,
             "scalar_iterations": 0,
         }
@@ -86,6 +102,8 @@ class Interpreter:
             # coverage, so build the plan (and its SemanticError naming
             # every non-vectorizable statement) eagerly.
             self.vector_program
+        if fuse == "on":
+            self.fused_program
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -94,6 +112,7 @@ class Interpreter:
         params: Mapping[str, int],
         funcs: Mapping[str, Callable] | None = None,
         vectorize: str = "auto",
+        fuse: str | None = None,
     ) -> "Interpreter":
         from ..lang import parse
         from ..obs.spans import span
@@ -104,7 +123,7 @@ class Interpreter:
         else:
             program = source_or_program
         scop = extract_scop(program, dict(params))
-        return Interpreter(program, scop, funcs, vectorize=vectorize)
+        return Interpreter(program, scop, funcs, vectorize=vectorize, fuse=fuse)
 
     @property
     def vector_program(self) -> VectorProgram:
@@ -116,6 +135,29 @@ class Interpreter:
                 plan.require_full()
             self._vector_program = plan
         return self._vector_program
+
+    @property
+    def fused_program(self) -> FusedProgram:
+        """Lazily built fusion plan (``--fuse on`` asserts full coverage)."""
+        if self._fused_program is None:
+            plan = fuse_scop(self.scop, self.funcs)
+            if self.fuse == "on":
+                plan.require_full()
+            self._fused_program = plan
+        return self._fused_program
+
+    def adopt_fused(self, program: FusedProgram) -> None:
+        """Install a fusion plan built elsewhere (worker processes receive
+        the parent's plan as specs instead of re-running the Presburger
+        legality analysis per worker)."""
+        self._fused_program = program
+
+    def fused_kernel(self, statement: str):
+        """The fused closure for ``statement`` (or a chain label), or None
+        when fusion is off / refused for it."""
+        if self.fuse == "off":
+            return None
+        return self.fused_program.get(statement)
 
     # ------------------------------------------------------------------
     def new_store(self, init: str = "index") -> ArrayStore:
@@ -159,11 +201,18 @@ class Interpreter:
     ) -> None:
         """Execute one pipeline block (a batch of iterations of a statement).
 
-        Dispatches to the vectorized rectangle kernel when the statement has
-        one (and ``vectorize`` is not ``'off'``); otherwise runs the
-        compiled-loop body.  Both paths are bit-identical by construction.
+        Fallback ladder: fused closure (when ``fuse`` is not ``'off'``) →
+        vectorized rectangle kernel (when ``vectorize`` is not ``'off'``) →
+        compiled-loop body.  All paths are bit-identical by construction.
         """
         iters = np.asarray(iterations, dtype=np.int64)
+        if self.fuse != "off":
+            fused = self.fused_program.get(statement)
+            if fused is not None:
+                fused(store, self.funcs, iters)
+                self.block_counters["fused_blocks"] += 1
+                self.block_counters["fused_iterations"] += len(iters)
+                return
         if self.vectorize != "off":
             vec = self.vector_program.get(statement)
             if vec is not None:

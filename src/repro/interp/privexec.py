@@ -132,9 +132,16 @@ def execute_privatized(
         store = interp.new_store()
 
     plan_vec = interp.vector_program if interp.vectorize != "off" else None
+    fprog = interp.fused_program if interp.fuse != "off" else None
     blocks_total = blocks_vec = iters_total = iters_vec = 0
+    blocks_fused = iters_fused = 0
+    dispatch_modes: dict[str, str] = {}
     for nest in ast.nests:
         stmt_vec = plan_vec is not None and plan_vec.get(nest.statement) is not None
+        stmt_fused = fprog is not None and fprog.get(nest.statement) is not None
+        dispatch_modes[nest.statement] = (
+            "fused" if stmt_fused else "vectorized" if stmt_vec else "interp"
+        )
         for block in nest.blocks:
             size = len(block.iterations)
             blocks_total += 1
@@ -142,7 +149,11 @@ def execute_privatized(
             if stmt_vec:
                 blocks_vec += 1
                 iters_vec += size
+            if stmt_fused:
+                blocks_fused += 1
+                iters_fused += size
     fallback = plan_vec.fallback_reasons() if plan_vec is not None else {}
+    fused_fallback = fprog.fallbacks() if fprog is not None else {}
 
     # ------------------------------------------------------------------
     # allocate + identity-initialize one private per member block
@@ -295,6 +306,11 @@ def execute_privatized(
         fallback_reasons=fallback,
         scheduler=scheduler,
         events=runtime_trace,
+        fuse=interp.fuse,
+        blocks_fused=blocks_fused,
+        iterations_fused=iters_fused,
+        dispatch_modes=dispatch_modes,
+        fused_fallback=fused_fallback,
         privatization={
             "arrays": list(privates),
             "groups": {g.array: g.group for g in plan.groups},

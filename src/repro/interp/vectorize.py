@@ -69,6 +69,16 @@ class NotVectorizable(Exception):
         super().__init__(reason)
 
 
+def has_flow_self_dependence(scop: Scop, stmt: ScopStatement) -> bool:
+    """Presburger check: does any iteration read a value a *different*
+    iteration of the same statement wrote?  Such a recurrence forbids
+    whole-batch execution (vectorized or fused) — the batch would observe
+    pre-batch values under gather-before-scatter.  Shared by the
+    vectorization gate here and the fusion gate in
+    :func:`repro.interp.compile.emit_closure_spec`."""
+    return not dependence_relation(scop, stmt, stmt, DepKind.FLOW).is_empty()
+
+
 # ----------------------------------------------------------------------
 # linear-form analysis of subscript expressions
 # ----------------------------------------------------------------------
@@ -365,7 +375,7 @@ def vectorize_statement(
 
     # No flow self-dependence: a read-after-write recurrence inside one
     # batch would observe pre-batch values under gather-before-scatter.
-    if not dependence_relation(scop, stmt, stmt, DepKind.FLOW).is_empty():
+    if has_flow_self_dependence(scop, stmt):
         raise NotVectorizable(
             "flow self-dependence (recurrence) — block must run scalar"
         )

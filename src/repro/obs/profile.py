@@ -40,8 +40,9 @@ class ProfileReport:
     #: duration-weighted longest chain: (tid, statement, block, dur_ms)
     critical_path: list[tuple[int, str, int, float]]
     critical_path_s: float
-    #: statement -> {"tasks": n, "self_s": s, "share": fraction}
-    statements: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: statement -> {"tasks": n, "self_s": s, "share": fraction,
+    #: "mode": fused|vectorized|interp}
+    statements: dict[str, dict[str, Any]] = field(default_factory=dict)
     #: (tid, statement, block, slack_ms), most slack first
     top_slack: list[tuple[int, str, int, float]] = field(default_factory=list)
     sim_makespan_units: float = 0.0
@@ -81,6 +82,7 @@ class ProfileReport:
                     "tasks": int(row["tasks"]),
                     "self_s": round(row["self_s"], 6),
                     "share": round(row["share"], 4),
+                    "mode": row.get("mode", "interp"),
                 }
                 for name, row in self.statements.items()
             },
@@ -135,7 +137,8 @@ class ProfileReport:
             lines.append(
                 f"    {name:<12} {row['self_s'] * 1e3:9.2f} ms "
                 f"({100.0 * row['share']:5.1f}%, "
-                f"{int(row['tasks'])} tasks)"
+                f"{int(row['tasks'])} tasks, "
+                f"{row.get('mode', 'interp')})"
             )
         if self.top_slack:
             lines.append(f"  top slack blocks (coarsening candidates):")
@@ -224,13 +227,16 @@ def profile_run(graph, sim, stats, top: int = 10) -> ProfileReport:
     )
 
     total_busy_ns = sum(dur_ns)
+    # Attribute each statement's time to its dispatch path (fused vs
+    # vectorized vs interp) so floor drops are measured, not asserted.
+    modes = dict(getattr(stats, "dispatch_modes", {}) or {})
     statements: dict[str, dict[str, float]] = {}
     for tid in range(n):
-        row = statements.setdefault(
-            graph.tasks[tid].statement, {"tasks": 0, "self_s": 0.0}
-        )
+        name = graph.tasks[tid].statement
+        row = statements.setdefault(name, {"tasks": 0, "self_s": 0.0})
         row["tasks"] += 1
         row["self_s"] += dur_ns[tid] / 1e9
+        row["mode"] = modes.get(name, "interp")
     for row in statements.values():
         row["share"] = (
             row["self_s"] * 1e9 / total_busy_ns if total_busy_ns else 0.0

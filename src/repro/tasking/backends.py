@@ -321,20 +321,33 @@ _WORKER_INTERP = None
 _WORKER_STORE = None
 
 
-def _process_worker_init(program, params, funcs, store_spec, vectorize):
-    """Build this worker's interpreter and attach the shared store."""
+def _process_worker_init(
+    program, params, funcs, store_spec, vectorize, fuse="off", fused=None
+):
+    """Build this worker's interpreter and attach the shared store.
+
+    ``fused`` carries the parent's fusion plan; its kernels pickle as
+    declarative specs (``FusedKernel.__reduce__``) and the closures were
+    regenerated during unpickling, so adopting the plan skips the
+    per-worker Presburger legality analysis — and ships chain kernels,
+    which are only planned against the parent's task AST.
+    """
     global _WORKER_INTERP, _WORKER_STORE
     from ..interp import Interpreter
     from ..interp.store import SharedArrayStore
     from ..scop import extract_scop
 
     scop = extract_scop(program, dict(params))
-    _WORKER_INTERP = Interpreter(program, scop, funcs, vectorize=vectorize)
+    _WORKER_INTERP = Interpreter(
+        program, scop, funcs, vectorize=vectorize, fuse=fuse
+    )
+    if fused is not None:
+        _WORKER_INTERP.adopt_fused(fused)
     _WORKER_STORE = SharedArrayStore.attach(store_spec)
 
 
 def _process_worker_run(
-    statement: str, iterations, remap=None, combine=None
+    statement: str, iterations, remap=None, combine=None, rects=None
 ) -> None:
     """Execute one pipeline block (or one combine step) in this worker.
 
@@ -344,6 +357,10 @@ def _process_worker_run(
     view under the accumulator's name runs it unchanged).  ``combine``
     marks a generated join task: no statement instances run, the privates
     fold into the base accumulator with the group operator instead.
+    ``rects`` marks a fused task: the block's rectangle decomposition was
+    precomputed at task creation, so the hot path is one closure call per
+    rectangle with zero interpretation (``statement`` may then also be a
+    chain label such as ``"S+T"``).
     """
     import numpy as np
 
@@ -361,6 +378,16 @@ def _process_worker_run(
                 acc: store.arrays[priv] for acc, priv in remap.items()
             }}
         )
+    if rects is not None:
+        kernel = _WORKER_INTERP.fused_kernel(statement)
+        if kernel is not None:
+            kernel.run_rects(store, _WORKER_INTERP.funcs, rects)
+            return
+        if "+" in statement:
+            raise RuntimeError(
+                f"worker has no fused kernel for chain {statement!r} "
+                "(fusion plan not shipped to the pool?)"
+            )
     _WORKER_INTERP.run_block(
         store, statement, np.asarray(iterations, dtype=np.int64)
     )
@@ -380,14 +407,14 @@ def _process_worker_run_batch(items, collect: bool = False):
     :mod:`repro.obs.runtime`).
     """
     if not collect:
-        for statement, iterations, remap, combine in items:
-            _process_worker_run(statement, iterations, remap, combine)
+        for statement, iterations, remap, combine, rects in items:
+            _process_worker_run(statement, iterations, remap, combine, rects)
         return None
     first_ns = time.monotonic_ns()
     timings: list[tuple[str, int, int]] = []
-    for statement, iterations, remap, combine in items:
+    for statement, iterations, remap, combine, rects in items:
         t0 = time.monotonic_ns()
-        _process_worker_run(statement, iterations, remap, combine)
+        _process_worker_run(statement, iterations, remap, combine, rects)
         timings.append((statement, t0, time.monotonic_ns()))
     return {
         "pid": os.getpid(),
@@ -408,6 +435,9 @@ class _RecordedTask:
     remap: dict[str, str] | None = None
     #: join-task payload ({"array", "group", "privates"}); no block runs
     combine: dict | None = None
+    #: precomputed rectangle decomposition of a fused block (list of
+    #: inclusive ``(lo, hi)`` tuples); None runs the run_block ladder
+    rects: list | None = None
 
 
 class ProcessBackend(SlotAddressing):
@@ -485,6 +515,7 @@ class ProcessBackend(SlotAddressing):
             cost=cost,
             remap=task_input.get("remap"),
             combine=task_input.get("combine"),
+            rects=task_input.get("rects"),
         )
         for d, ix in zip(in_depend, in_idx):
             writer = self._slot_writer.get(self.slot(d, ix))
@@ -522,6 +553,12 @@ class ProcessBackend(SlotAddressing):
                 interp.funcs,
                 store_spec,
                 interp.vectorize,
+                getattr(interp, "fuse", "off"),
+                (
+                    interp.fused_program
+                    if getattr(interp, "fuse", "off") != "off"
+                    else None
+                ),
             ),
         )
 
@@ -587,6 +624,7 @@ class ProcessBackend(SlotAddressing):
                             self._tasks[tid].iterations,
                             self._tasks[tid].remap,
                             self._tasks[tid].combine,
+                            self._tasks[tid].rects,
                         )
                         for tid in batch
                     ],

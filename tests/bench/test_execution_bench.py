@@ -24,13 +24,27 @@ def small_workload():
 
 
 class TestRunWorkload:
-    def test_all_four_configs_present(self, small_workload):
+    def test_all_configs_present(self, small_workload):
         assert set(small_workload["runs"]) == {
             "scalar-serial",
             "vector-serial",
             "threads",
             "processes",
+            "fused-serial",
+            "fused-threads",
+            "fused-processes",
         }
+
+    def test_dispatch_mode_recorded_per_row(self, small_workload):
+        modes = {
+            name: run["dispatch_mode"]
+            for name, run in small_workload["runs"].items()
+        }
+        assert modes["scalar-serial"] == "interp"
+        assert modes["vector-serial"] == "vectorized"
+        # P1 fuses fully, so every fused row dispatches fused closures
+        assert modes["fused-serial"] == "fused"
+        assert modes["fused-processes"] == "fused"
 
     def test_every_config_bit_identical(self, small_workload):
         assert small_workload["identical"] is True
@@ -43,6 +57,8 @@ class TestRunWorkload:
             "speedup_threads",
             "speedup_processes",
             "processes_vs_vector_serial",
+            "speedup_fused",
+            "fused_vs_vector_serial",
         ):
             assert small_workload[key] > 0.0
 

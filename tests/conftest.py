@@ -41,6 +41,13 @@ def pytest_addoption(parser):
         "execution agreement campaign (tests/fuzz)",
     )
     parser.addoption(
+        "--fuzz-fuse",
+        action="store_true",
+        default=False,
+        help="run the 200-sample fused-closure vs interpreter "
+        "bit-equality differential campaign (tests/fuzz)",
+    )
+    parser.addoption(
         "--update-goldens",
         action="store_true",
         default=False,

@@ -188,6 +188,66 @@ def test_vectorize_fuzz_campaign(pytestconfig):
             ), sample.describe()
 
 
+def _run_fused_blocks(sample, fuse):
+    """Block execution with fused-closure dispatch (vectorizer off, so a
+    divergence is attributable to the fused path alone)."""
+    interp = Interpreter.from_source(
+        sample.source, {}, vectorize="off", fuse=fuse
+    )
+    store = interp.new_store()
+    for stmt in interp.scop.statements:
+        interp.run_block(store, stmt.name, stmt.points.points)
+    return store, interp
+
+
+def test_fused_execution_matches_interpreter(samples):
+    """Fused closures are bit-identical to the compiled loop per sample."""
+    fused_any = False
+    for sample in samples:
+        scalar, _ = _run_fused_blocks(sample, "off")
+        fused, interp = _run_fused_blocks(sample, "auto")
+        assert scalar.equal(fused), (
+            f"{sample.describe()}: fused execution diverged "
+            f"(max abs diff {scalar.max_abs_diff(fused):g})\n{sample.source}"
+        )
+        fused_any = (
+            fused_any or interp.block_counters["fused_blocks"] > 0
+        )
+    # the sample family must actually exercise the fused path
+    assert fused_any
+
+
+def test_fuse_fuzz_campaign(pytestconfig):
+    """Opt-in: a 200-sample fused-vs-interpreter bit-equality sweep.
+
+    Enable with ``pytest tests/fuzz --fuzz-fuse``; every 25th sample
+    additionally runs the full fused task program (chain merging
+    included) on the serial executor and, every 50th, on the process
+    backend.
+    """
+    if not pytestconfig.getoption("--fuzz-fuse"):
+        pytest.skip("enable with --fuzz-fuse")
+    from repro.interp import execute_measured
+
+    seed = pytestconfig.getoption("--fuzz-seed")
+    for sample in generate_samples(seed + 4, 200):
+        scalar, _ = _run_fused_blocks(sample, "off")
+        fused, _ = _run_fused_blocks(sample, "auto")
+        assert scalar.equal(fused), sample.describe()
+        if sample.index % 25 == 0:
+            backend = "processes" if sample.index % 50 == 0 else "serial"
+            interp = Interpreter.from_source(
+                sample.source, {}, vectorize="off", fuse="auto"
+            )
+            store, _stats = execute_measured(
+                interp, detect_pipeline(interp.scop, coarsen=8),
+                backend=backend, workers=2,
+            )
+            assert interp.run_sequential(interp.new_store()).equal(
+                store
+            ), sample.describe()
+
+
 def _closure_preserved(interp, info):
     """Reduced and unreduced task graphs must have equal reachability."""
     from repro.pipeline import reduce_dependencies

@@ -1,0 +1,375 @@
+"""Fused-closure execution: specs, codegen, chains and the bit-identity
+battery.
+
+The acceptance property of the megakernel-fusion layer: every kernel of
+the portfolio runs fused / unfused / mixed on all three backends and
+every store matches ``run_sequential`` bit-exactly.  On top of that the
+suite pins the spec grammar (round-trip + pickling), the legality gate's
+RPA06x refusal codes, the chain planner's merge decisions and the
+coverage accounting the profiler and benches consume.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.interp import (
+    ClosureSpec,
+    Interpreter,
+    NotFusable,
+    build_closure,
+    closure_source,
+    emit_closure_spec,
+    execute_measured,
+    fuse_scop,
+    fusion_legal_pair,
+)
+from repro.pipeline import detect_pipeline
+from repro.workloads import TABLE9
+from tests.conftest import LISTING1, LISTING3, TWO_NEST_COPY
+
+PKERNELS = sorted(TABLE9, key=lambda k: int(k[1:]))
+
+GOLDEN_DIR = Path(__file__).parent / "golden" / "fused"
+
+#: Reduction kernel: S fuses, R's reversed write refuses (RPA063) — the
+#: canonical *mixed* program (fused + interpreter fallback in one run).
+HISTOGRAM = """
+for(i=0; i<N; i++)
+  for(j=0; j<N; j++)
+    S: H[i][j] += A[i][j];
+for(i=0; i<N; i++)
+  for(j=0; j<N; j++)
+    R: H[N-1-i][N-1-j] += B[i][j];
+"""
+
+#: (label, backend, vectorize, fuse) — fused against both fallback tiers
+#: plus the pure interpreter baseline, across all three backends.
+CONFIGS = (
+    ("interp-serial", "serial", "off", "off"),
+    ("fused-serial", "serial", "off", "auto"),
+    ("fused-threads", "threads", "off", "auto"),
+    ("fused-processes", "processes", "off", "auto"),
+    ("mixed-serial", "serial", "auto", "auto"),
+    ("mixed-threads", "threads", "auto", "auto"),
+)
+
+
+def measured(source, backend, vectorize, fuse, params=None, workers=2,
+             coarsen=16):
+    from repro.pipeline import UncoveredDependenceError
+    from repro.scop import DepKind
+
+    interp = Interpreter.from_source(
+        source, params or {}, vectorize=vectorize, fuse=fuse
+    )
+    try:
+        info = detect_pipeline(interp.scop, coarsen=coarsen)
+    except UncoveredDependenceError:
+        info = detect_pipeline(
+            interp.scop, kinds=tuple(DepKind), coarsen=coarsen
+        )
+    return execute_measured(interp, info, backend=backend, workers=workers)
+
+
+# ----------------------------------------------------------------------
+# the three-path battery
+# ----------------------------------------------------------------------
+class TestFusedBitIdentity:
+    @pytest.mark.parametrize("name", PKERNELS)
+    def test_pkernel_all_configs(self, name):
+        src = TABLE9[name].source(8)
+        oracle = Interpreter.from_source(src, {})
+        seq = oracle.run_sequential(oracle.new_store())
+        for label, backend, vec, fuse in CONFIGS:
+            store, stats = measured(src, backend, vec, fuse)
+            assert seq.equal(store), f"{name}/{label} diverged"
+            assert stats.fuse == fuse
+
+    @pytest.mark.parametrize(
+        "source,params",
+        [
+            pytest.param(LISTING1, {"N": 12}, id="listing1"),
+            pytest.param(LISTING3, {"N": 12}, id="listing3"),
+            pytest.param(TWO_NEST_COPY, {"N": 8}, id="copy"),
+            pytest.param(HISTOGRAM, {"N": 8}, id="histogram"),
+        ],
+    )
+    def test_example_all_configs(self, source, params):
+        oracle = Interpreter.from_source(source, params)
+        seq = oracle.run_sequential(oracle.new_store())
+        for label, backend, vec, fuse in CONFIGS:
+            store, _ = measured(
+                source, backend, vec, fuse, params=params, coarsen=8
+            )
+            assert seq.equal(store), f"{label} diverged"
+
+    def test_fused_counters_and_coverage(self):
+        store, stats = measured(TWO_NEST_COPY, "serial", "off", "auto",
+                                params={"N": 8}, coarsen=4)
+        assert stats.blocks_fused == stats.blocks_total
+        assert stats.fused_block_coverage == 1.0
+        assert stats.fused_iteration_coverage == 1.0
+        assert stats.dispatch_modes == {"S": "fused", "T": "fused"}
+        assert "fused" in stats.summary()
+        d = stats.as_dict()
+        assert d["fuse"] == "auto"
+        assert d["blocks_fused"] == stats.blocks_fused
+        assert d["fused_block_coverage"] == 1.0
+
+    def test_mixed_program_reports_fallback(self):
+        _, stats = measured(HISTOGRAM, "serial", "off", "auto",
+                            params={"N": 8}, coarsen=8)
+        assert stats.dispatch_modes["S"] == "fused"
+        assert stats.dispatch_modes["R"] == "interp"
+        assert stats.fused_fallback["R"]["code"] == "RPA063"
+        assert 0.0 < stats.fused_block_coverage < 1.0
+
+    def test_run_block_counters(self):
+        interp = Interpreter.from_source(
+            TWO_NEST_COPY, {"N": 6}, vectorize="off", fuse="auto"
+        )
+        store = interp.new_store()
+        iters = np.array([[0, 0], [0, 1], [1, 0]], dtype=np.int64)
+        interp.run_block(store, "S", iters)
+        assert interp.block_counters["fused_blocks"] == 1
+        assert interp.block_counters["fused_iterations"] == 3
+        assert interp.block_counters["scalar_blocks"] == 0
+
+
+# ----------------------------------------------------------------------
+# chain fusion
+# ----------------------------------------------------------------------
+class TestChainFusion:
+    def test_p5_merges_the_whole_chain(self):
+        src = TABLE9["P5"].source(8)
+        _, stats = measured(src, "serial", "off", "auto")
+        assert ("S1", "S2", "S3", "S4") in stats.fused_chains
+
+    def test_copy_kernel_merges(self):
+        _, stats = measured(TWO_NEST_COPY, "serial", "off", "auto",
+                            params={"N": 8}, coarsen=4)
+        assert ("S", "T") in stats.fused_chains
+
+    def test_listing1_does_not_merge(self):
+        # S and R block different domains (N vs N/2) — chain refused.
+        _, stats = measured(LISTING1, "serial", "off", "auto",
+                            params={"N": 12}, coarsen=8)
+        assert stats.fused_chains == ()
+
+    def test_chains_match_interpreter_on_all_backends(self):
+        oracle = Interpreter.from_source(TWO_NEST_COPY, {"N": 8})
+        seq = oracle.run_sequential(oracle.new_store())
+        for backend in ("serial", "threads", "processes"):
+            store, stats = measured(TWO_NEST_COPY, backend, "off", "auto",
+                                    params={"N": 8}, coarsen=4)
+            assert ("S", "T") in stats.fused_chains
+            assert seq.equal(store), f"chained {backend} diverged"
+
+    def test_fusion_legal_pair_on_copy(self):
+        interp = Interpreter.from_source(TWO_NEST_COPY, {"N": 8})
+        s, t = interp.scop.statements
+        assert fusion_legal_pair(interp.scop, s, t)
+
+    def test_event_collection_disables_merging(self):
+        # Profiled runs keep one task per block so executor ids align
+        # with the simulated TaskGraph.
+        _, stats = measured(TWO_NEST_COPY, "serial", "off", "auto",
+                            params={"N": 8}, coarsen=4)
+        interp = Interpreter.from_source(
+            TWO_NEST_COPY, {"N": 8}, vectorize="off", fuse="auto"
+        )
+        info = detect_pipeline(interp.scop, coarsen=4)
+        _, profiled = execute_measured(
+            interp, info, backend="serial", collect_events=True
+        )
+        assert stats.fused_chains != ()
+        assert profiled.fused_chains == ()
+
+
+# ----------------------------------------------------------------------
+# spec grammar: round trip, determinism, pickling
+# ----------------------------------------------------------------------
+class TestSpecRoundTrip:
+    def _specs(self, source, params):
+        interp = Interpreter.from_source(source, params)
+        return [
+            emit_closure_spec(interp.scop, s, interp.funcs)
+            for s in interp.scop.statements
+        ], interp
+
+    @pytest.mark.parametrize(
+        "source,params",
+        [
+            pytest.param(LISTING1, {"N": 10}, id="listing1"),
+            pytest.param(TABLE9["P5"].source(6), {}, id="p5"),
+            pytest.param(TWO_NEST_COPY, {"N": 6}, id="copy"),
+        ],
+    )
+    def test_spec_json_round_trip(self, source, params):
+        stmts, _ = self._specs(source, params)
+        for stmt_spec in stmts:
+            spec = ClosureSpec((stmt_spec,))
+            routed = ClosureSpec.from_dict(
+                json.loads(json.dumps(spec.to_dict()))
+            )
+            assert routed == spec
+            # spec -> closure -> spec is the identity
+            assert build_closure(routed).spec == spec
+
+    def test_closure_source_is_deterministic(self):
+        stmts, _ = self._specs(LISTING1, {"N": 10})
+        spec = ClosureSpec((stmts[0],))
+        assert closure_source(spec) == closure_source(
+            ClosureSpec.from_dict(spec.to_dict())
+        )
+
+    def test_kernel_pickles_via_spec(self):
+        stmts, interp = self._specs(TWO_NEST_COPY, {"N": 6})
+        kernel = build_closure(ClosureSpec(tuple(stmts)))
+        clone = pickle.loads(pickle.dumps(kernel))
+        assert clone.spec == kernel.spec
+        a = interp.new_store()
+        b = interp.new_store()
+        iters = np.array([[i, j] for i in range(6) for j in range(6)],
+                         dtype=np.int64)
+        kernel(a, interp.funcs, iters)
+        clone(b, interp.funcs, iters)
+        assert a.equal(b)
+
+    def test_fused_program_pickles(self):
+        interp = Interpreter.from_source(LISTING1, {"N": 10})
+        program = fuse_scop(interp.scop, interp.funcs)
+        clone = pickle.loads(pickle.dumps(program))
+        assert clone.statements_fused == program.statements_fused
+        assert clone.spec("S") == program.spec("S")
+
+
+# ----------------------------------------------------------------------
+# the legality gate's refusal codes
+# ----------------------------------------------------------------------
+class TestLegalityGate:
+    REFUSALS = {
+        "RPA063": "for(i=0; i<N; i++)\n  S: T[N-1-i] = f(B[i]);",
+        "RPA064": (
+            "for(i=0; i<N; i++)\n  for(j=0; j<N; j++)\n"
+            "    S: A[i][j] = f(B[i][i]);"
+        ),
+        "RPA065": "for(i=0; i<N; i++)\n  S: s[0] += f(A[i]);",
+        "RPA066": "for(i=1; i<N; i++)\n  S: A[i] = f(A[i-1]);",
+    }
+
+    @pytest.mark.parametrize("code", sorted(REFUSALS))
+    def test_refusal_code(self, code):
+        interp = Interpreter.from_source(self.REFUSALS[code], {"N": 8})
+        with pytest.raises(NotFusable) as err:
+            emit_closure_spec(
+                interp.scop, interp.scop.statements[0], interp.funcs
+            )
+        assert err.value.code == code
+
+    def test_fuse_on_requires_full_coverage(self):
+        with pytest.raises(Exception, match="RPA063"):
+            Interpreter.from_source(
+                self.REFUSALS["RPA063"], {"N": 8}, fuse="on"
+            )
+
+    def test_fuse_auto_degrades_gracefully(self):
+        interp = Interpreter.from_source(
+            self.REFUSALS["RPA066"], {"N": 8}, fuse="auto"
+        )
+        assert interp.fused_kernel("S") is None
+        assert interp.fused_program.fallbacks()["S"]["code"] == "RPA066"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="fuse must be"):
+            Interpreter.from_source(LISTING1, {"N": 8}, fuse="always")
+
+
+# ----------------------------------------------------------------------
+# golden specs (satellite: pinned ClosureSpec JSON)
+# ----------------------------------------------------------------------
+GOLDEN_CASES = {
+    "p1_n6": lambda: (TABLE9["P1"].source(6), {}),
+    "p5_n6": lambda: (TABLE9["P5"].source(6), {}),
+    "histogram_n6": lambda: (HISTOGRAM, {"N": 6}),
+}
+
+
+def _spec_corpus(case: str) -> str:
+    source, params = GOLDEN_CASES[case]()
+    interp = Interpreter.from_source(source, params)
+    program = fuse_scop(interp.scop, interp.funcs)
+    doc = {
+        "specs": {
+            name: program.spec(name).to_dict()
+            for name in sorted(program.entries)
+            if program.spec(name) is not None
+        },
+        "fallbacks": program.fallbacks(),
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+@pytest.mark.parametrize("case", sorted(GOLDEN_CASES))
+def test_closure_spec_matches_golden(case, pytestconfig):
+    corpus = _spec_corpus(case)
+    golden_path = GOLDEN_DIR / f"{case}.json"
+    if pytestconfig.getoption("--update-goldens"):
+        golden_path.parent.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(corpus, encoding="utf-8")
+        pytest.skip(f"updated {golden_path.name}")
+    assert golden_path.exists(), (
+        f"missing golden file {golden_path}; run with --update-goldens"
+    )
+    assert corpus == golden_path.read_text(encoding="utf-8"), (
+        f"ClosureSpec corpus for {case} differs from {golden_path.name}; "
+        "if the change is intended, rerun with --update-goldens"
+    )
+
+
+@pytest.mark.parametrize("case", sorted(GOLDEN_CASES))
+def test_golden_specs_rebuild_identical_closures(case, pytestconfig):
+    golden_path = GOLDEN_DIR / f"{case}.json"
+    if not golden_path.exists():
+        pytest.skip("no golden yet; run with --update-goldens")
+    doc = json.loads(golden_path.read_text(encoding="utf-8"))
+    for name, d in doc["specs"].items():
+        spec = ClosureSpec.from_dict(d)
+        assert spec.to_dict() == d
+        assert build_closure(spec).spec == spec
+
+
+# ----------------------------------------------------------------------
+# privatized member blocks through fused closures
+# ----------------------------------------------------------------------
+class TestFusedPrivatized:
+    def test_privatized_members_run_fused(self):
+        from repro.interp import execute_privatized, privatized_matches
+        from repro.schedule import plan_privatization, privatize_info
+        from repro.scop import DepKind
+
+        interp = Interpreter.from_source(
+            HISTOGRAM, {"N": 8}, vectorize="off", fuse="auto"
+        )
+        plan = plan_privatization(interp.scop)
+        assert plan.groups, "histogram must yield a privatization proof"
+        info = detect_pipeline(
+            interp.scop, kinds=tuple(DepKind), validate=False
+        )
+        pinfo = privatize_info(info, plan, parts=2)
+        seq = interp.run_sequential(interp.new_store())
+        store, stats = execute_privatized(interp, pinfo, plan,
+                                          backend="serial")
+        ok, _ = privatized_matches(plan, seq, store)
+        assert ok
+        # the remap-proxy member blocks dispatched through the closure
+        assert interp.block_counters["fused_blocks"] > 0
+        assert stats.fuse == "auto"
+        assert stats.blocks_fused > 0
+        assert stats.dispatch_modes["S"] == "fused"

@@ -104,6 +104,37 @@ def test_reduction_survives_coarsening():
     assert np.array_equal(_reachability(info), _reachability(reduced))
 
 
+@pytest.mark.parametrize("name", ["P1", "P2"])
+def test_noop_kernels_skip_the_pass(name):
+    """P1/P2 have nothing to cut — ``auto`` must detect that early and
+    return the *same* info object with untouched graphs."""
+    interp = Interpreter.from_source(TABLE9[name].source(10), {})
+    info = detect_pipeline(interp.scop)
+    reduced, stats = reduce_dependencies(info)
+    assert stats.method == "skip"
+    assert reduced is info  # the skip hands back the input unchanged
+    assert stats.removed == 0
+    assert stats.ratio == 0.0
+    assert all(
+        r.slots_after == r.slots_before for r in stats.per_dependency
+    )
+    # the skip's claim is exactly what the full pass would conclude
+    by_index, s_index = reduce_dependencies(info, method="index")
+    assert s_index.removed == 0
+    assert _relations(by_index) == _relations(info)
+    assert np.array_equal(_reachability(info), _reachability(reduced))
+
+
+def test_cut_kernels_still_run_the_pass():
+    """A kernel with removable slots must not take the no-op skip."""
+    interp = Interpreter.from_source(TABLE9["P4"].source(10), {})
+    info = detect_pipeline(interp.scop)
+    reduced, stats = reduce_dependencies(info)
+    assert stats.method == "index"
+    assert stats.removed > 0
+    assert reduced is not info
+
+
 def test_unknown_method_rejected(listing3_info):
     with pytest.raises(ValueError, match="unknown reduction method"):
         reduce_dependencies(listing3_info, method="bogus")

@@ -299,6 +299,29 @@ class TestObservability:
         assert "simulation.makespan{policy=fifo}" in out
         assert "execution.wall_time_s{backend=serial}" in out
 
+    def test_analyze_stats_reports_fusion_coverage(self, kernel_file, capsys):
+        assert main([
+            "analyze", kernel_file, "--param", "N=10", "--stats",
+        ]) == 0
+        out = capsys.readouterr().out
+        # both LISTING1 statements compile to fused closures
+        assert "fusion coverage: 2/2 statements" in out
+
+    def test_analyze_stats_reports_fusion_fallbacks(self, tmp_path, capsys):
+        src = tmp_path / "reversed.c"
+        src.write_text(
+            "for(i=0; i<N; i++)\n  S: T[i] = f(A[i]);\n"
+            "for(i=0; i<N; i++)\n  R: T[N-1-i] = g(B[i], T[N-1-i]);\n"
+        )
+        assert main([
+            "analyze", str(src), "--param", "N=10", "--stats",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fusion coverage: 1/2 statements" in out
+        assert "fallbacks:" in out
+        # the refused statement surfaces with its RPA-style gate code
+        assert "R: [RPA063]" in out
+
 
 HISTOGRAM_KERNEL = """
 for(i=0; i<N; i++)
