@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-exec bench-overhead report examples lint analyze-examples analyze-portfolio profile-examples clean
+.PHONY: install test bench bench-exec bench-overhead bench-serve report examples lint analyze-examples analyze-portfolio profile-examples clean
 
 # Kernel sources checked by `make lint` / `make analyze-examples`; every
 # parameter any of them references must appear in LINT_PARAMS.
@@ -35,6 +35,11 @@ bench-exec:
 # auto-tuning vs the hand-picked baseline (docs/performance.md).
 bench-overhead:
 	$(PYTHON) -m repro bench-overhead --out BENCH_overhead.json
+
+# Compile-as-a-service bench: cold vs warm (fresh process) artifact-store
+# compiles and concurrent in-flight dedupe (docs/serving.md).
+bench-serve:
+	$(PYTHON) -m repro bench-serve --out BENCH_serve.json
 
 # Regeneration tests (print the paper's tables/figures and assert shapes)
 regen:

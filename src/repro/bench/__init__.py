@@ -39,6 +39,7 @@ from .harness import (
     run_sequential,
 )
 from .report import ascii_timeline, strategy_table, worker_timeline
+from .serve import format_serve_bench, run_serve_bench
 from .table9 import format_table9, kernel_structure
 from .trace import (
     trace_events,
@@ -67,6 +68,7 @@ __all__ = [
     "format_figure10",
     "format_figure11",
     "format_sensitivity",
+    "format_serve_bench",
     "measured_speedup",
     "run_execution_bench",
     "run_workload",
@@ -83,6 +85,7 @@ __all__ = [
     "run_pipeline",
     "run_polly",
     "run_sequential",
+    "run_serve_bench",
     "strategy_table",
     "trace_events",
     "trace_json",

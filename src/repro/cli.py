@@ -43,6 +43,18 @@ Commands
 ``deps <kernel.c> --param N=32``
     Print the statement-level dependence graph (flow/anti/output) and the
     value-based dataflow summary.
+``serve [--host H] [--port P] [--cache-dir DIR] [--no-cache] [--workers K]``
+    Long-lived asyncio compile(+run) server over a local TCP socket:
+    repeated compiles answered from the content-addressed artifact
+    store, identical in-flight compiles deduplicated through per-key
+    futures (see ``docs/serving.md``).
+``store stats|gc|clear [--cache-dir DIR] [--max-bytes B] [--max-entries K]``
+    Inspect or garbage-collect the artifact store.  ``run``, ``analyze``
+    and ``profile`` accept ``--cache-dir DIR`` / ``--no-cache`` (and
+    honour ``$REPRO_CACHE_DIR``) to answer their compile phase from the
+    same store.
+``bench-serve [--out BENCH_serve.json]``
+    Cold vs warm (fresh process) vs concurrent-dedupe serving benchmark.
 ``table9`` / ``figure10`` / ``figure11``
     Regenerate the paper's evaluation artifacts.
 ``report --out DIR``
@@ -84,6 +96,58 @@ def _load(
 def _read_source(path: str) -> str:
     with open(path, "r", encoding="utf-8") as fh:
         return fh.read()
+
+
+def _cache_dir_of(args) -> str | None:
+    """Resolve the artifact-store root: --cache-dir, then
+    $REPRO_CACHE_DIR; --no-cache wins over both.  None = caching off."""
+    import os
+
+    if getattr(args, "no_cache", False):
+        return None
+    explicit = getattr(args, "cache_dir", None)
+    if explicit:
+        return explicit
+    return os.environ.get("REPRO_CACHE_DIR") or None
+
+
+def _cached_compile(interp, source: str, args, hybrid: bool = False):
+    """The compile phase through the artifact store (or None: caching
+    off).  Prints the cold/warm verdict so cache behaviour is visible in
+    every command that takes ``--cache-dir``."""
+    cache_dir = _cache_dir_of(args)
+    if cache_dir is None:
+        return None
+    import dataclasses as _dc
+
+    from .driver import TransformOptions
+    from .pipeline import UncoveredDependenceError
+    from .scop import DepKind
+    from .service.compile import cached_analysis
+    from .store import ArtifactStore
+
+    opts = TransformOptions(
+        coarsen=getattr(args, "coarsen", 1),
+        hybrid=hybrid,
+        check=False,
+        verify=False,
+        vectorize=getattr(args, "vectorize", "auto"),
+        fuse=getattr(args, "fuse", None) or "auto",
+        workers=getattr(args, "workers", 4),
+    )
+    store = ArtifactStore(cache_dir)
+    params = _parse_params(args.param)
+    try:
+        analysis, status = cached_analysis(
+            interp, source, params, opts, store
+        )
+    except UncoveredDependenceError:
+        opts = _dc.replace(opts, kinds=tuple(DepKind))
+        analysis, status = cached_analysis(
+            interp, source, params, opts, store
+        )
+    print(f"compile cache: {status} ({cache_dir})")
+    return analysis
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -191,6 +255,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         interp = Interpreter.from_source(
             source, _parse_params(args.param), fuse="auto"
         )
+        _cached_compile(interp, source, args)
         _, ex_stats = execute_measured(interp, info, backend="serial")
 
         fprog = interp.fused_program
@@ -213,6 +278,22 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         absorb_task_overhead(reg, task_graph=tg)
         absorb_simulation(reg, sim, graph)
         absorb_execution(reg, ex_stats)
+
+        from .obs.metrics import absorb_artifact_store
+        from .store import session_counters
+
+        absorb_artifact_store(reg)
+        sc = session_counters()
+        if sc:
+            print()
+            print(
+                "artifact store: "
+                f"{sc.get('hits', 0)} hit(s), "
+                f"{sc.get('misses', 0)} miss(es), "
+                f"{sc.get('puts', 0)} put(s), "
+                f"{sc.get('corrupt', 0)} corrupt, "
+                f"{sc.get('replay_failures', 0)} replay failure(s)"
+            )
         print()
         print("metrics registry:")
         print(reg.format())
@@ -314,8 +395,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     plan = None
     stats = None
     try:
-        interp = _load(
-            args.kernel, _parse_params(args.param), args.vectorize, args.fuse
+        from .interp import Interpreter
+
+        source = _read_source(args.kernel)
+        interp = Interpreter.from_source(
+            source, _parse_params(args.param),
+            vectorize=args.vectorize, fuse=args.fuse,
         )
 
         priv_plan = None
@@ -339,31 +424,41 @@ def cmd_run(args: argparse.Namespace) -> int:
                 args, interp, priv_plan, observing
             )
         else:
-            info = detect_pipeline(interp.scop, coarsen=args.coarsen)
-            if args.tune:
-                from .tuning import auto_tune
-
-                plan = auto_tune(
-                    interp, info, workers=args.workers, mode=args.tune
+            cached = None
+            if not (args.tune or args.reduce_deps):
+                # tune re-measures and reduce-deps rewrites the info —
+                # both are answered by a direct compile, not the store
+                cached = _cached_compile(
+                    interp, source, args, hybrid=args.hybrid
                 )
-                info = plan.info
-                print(plan.summary())
-            if args.reduce_deps:
-                if args.hybrid:
-                    raise SystemExit(
-                        "--reduce-deps is incompatible with --hybrid "
-                        "(hybrid relaxes the self chains the reduction "
-                        "relies on)"
-                    )
-                from .pipeline import reduce_dependencies
-
-                info, reduction = reduce_dependencies(info)
-                print(reduction.summary())
-            ast = generate_task_ast(info)
-            if args.hybrid:
-                graph = hybrid_task_graph(interp.scop, info, ast)
+            if cached is not None:
+                info, graph = cached.info, cached.graph
             else:
-                graph = TaskGraph.from_task_ast(ast)
+                info = detect_pipeline(interp.scop, coarsen=args.coarsen)
+                if args.tune:
+                    from .tuning import auto_tune
+
+                    plan = auto_tune(
+                        interp, info, workers=args.workers, mode=args.tune
+                    )
+                    info = plan.info
+                    print(plan.summary())
+                if args.reduce_deps:
+                    if args.hybrid:
+                        raise SystemExit(
+                            "--reduce-deps is incompatible with --hybrid "
+                            "(hybrid relaxes the self chains the reduction "
+                            "relies on)"
+                        )
+                    from .pipeline import reduce_dependencies
+
+                    info, reduction = reduce_dependencies(info)
+                    print(reduction.summary())
+                ast = generate_task_ast(info)
+                if args.hybrid:
+                    graph = hybrid_task_graph(interp.scop, info, ast)
+                else:
+                    graph = TaskGraph.from_task_ast(ast)
 
             seq_store = interp.run_sequential(interp.new_store())
             par_store = interp.new_store()
@@ -452,10 +547,18 @@ def cmd_profile(args: argparse.Namespace) -> int:
     from .obs.profile import profile_kernel
     from .pipeline import detect_pipeline
 
-    interp = _load(
-        args.kernel, _parse_params(args.param), args.vectorize, args.fuse
+    from .interp import Interpreter
+
+    source = _read_source(args.kernel)
+    interp = Interpreter.from_source(
+        source, _parse_params(args.param),
+        vectorize=args.vectorize, fuse=args.fuse,
     )
-    info = detect_pipeline(interp.scop, coarsen=args.coarsen)
+    cached = _cached_compile(interp, source, args)
+    if cached is not None:
+        info = cached.info
+    else:
+        info = detect_pipeline(interp.scop, coarsen=args.coarsen)
     report = profile_kernel(
         interp,
         info,
@@ -590,6 +693,58 @@ def cmd_figure11(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service.server import serve
+
+    cache_dir = None
+    if not args.no_cache:
+        from .store import default_cache_dir
+
+        cache_dir = args.cache_dir or default_cache_dir()
+    try:
+        asyncio.run(
+            serve(
+                host=args.host,
+                port=args.port,
+                cache_dir=cache_dir,
+                workers=args.workers,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    from .store import ArtifactStore, default_cache_dir
+
+    store = ArtifactStore(args.cache_dir or default_cache_dir())
+    if args.action == "stats":
+        print(store.stats().format())
+    elif args.action == "gc":
+        evicted = store.gc(
+            max_bytes=args.max_bytes, max_entries=args.max_entries
+        )
+        print(f"evicted {len(evicted)} artifact(s)")
+        print(store.stats().format())
+    elif args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} artifact(s) from {store.root}")
+    return 0
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    from .bench.serve import format_serve_bench, run_serve_bench
+
+    report = run_serve_bench(quick=args.quick, out_path=args.out)
+    print(format_serve_bench(report))
+    if args.out:
+        print(f"wrote {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -606,6 +761,22 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--coarsen", type=int, default=1)
         p.set_defaults(fn=fn)
         return p
+
+    def cache_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="answer identical compiles from a content-addressed "
+            "artifact store rooted here (default: $REPRO_CACHE_DIR "
+            "when set, otherwise off)",
+        )
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="disable the artifact store even if $REPRO_CACHE_DIR "
+            "is set",
+        )
 
     p_analyze = kernel_cmd("analyze", cmd_analyze)
     p_analyze.add_argument(
@@ -625,6 +796,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the pattern portfolio (reduction / do-all / geometric "
         "detection with machine-checked privatization proofs)",
     )
+    cache_args(p_analyze)
 
     p_lint = sub.add_parser(
         "lint", help="run the static-analysis rules and print diagnostics"
@@ -720,6 +892,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="chunks per privatized statement (default: max(2, workers))",
     )
+    cache_args(p_run)
     p_profile = kernel_cmd("profile", cmd_profile)
     p_profile.add_argument("--workers", type=int, default=4)
     p_profile.add_argument(
@@ -751,6 +924,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="PATH",
         help="also write the full report as JSON",
     )
+    cache_args(p_profile)
     kernel_cmd("codegen", cmd_codegen)
     p_deps = kernel_cmd("deps", cmd_deps)
     p_deps.add_argument(
@@ -807,6 +981,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="small sizes, no repeats"
     )
     p.set_defaults(fn=cmd_bench_overhead)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-lived compile(+run) server over a local socket with "
+        "an artifact store and in-flight dedupe of identical compiles",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 binds an ephemeral port, announced on stdout)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="artifact store root (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro/artifacts)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="serve without a store (every request compiles; in-flight "
+        "dedupe still applies)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=4,
+        help="compile/run thread-pool size",
+    )
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "store",
+        help="inspect or garbage-collect the artifact store",
+    )
+    p.add_argument("action", choices=("stats", "gc", "clear"))
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="artifact store root (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro/artifacts)",
+    )
+    p.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="gc: evict LRU artifacts beyond this byte ceiling",
+    )
+    p.add_argument(
+        "--max-entries", type=int, default=None,
+        help="gc: evict LRU artifacts beyond this entry ceiling",
+    )
+    p.set_defaults(fn=cmd_store)
+
+    p = sub.add_parser(
+        "bench-serve",
+        help="cold vs warm vs concurrent-dedupe compile benchmark "
+        "(writes BENCH_serve.json)",
+    )
+    p.add_argument("--out", default=None, metavar="PATH")
+    p.add_argument(
+        "--quick", action="store_true", help="small sizes, no repeats"
+    )
+    p.set_defaults(fn=cmd_bench_serve)
     return parser
 
 

@@ -196,13 +196,50 @@ class IllegalTaskGraphError(RuntimeError):
     """The static task-graph checks found an error-severity diagnostic."""
 
 
+@dataclass
+class Analysis:
+    """Everything the *compile* phase produced — no execution yet.
+
+    This is the unit the artifact store serializes and ``repro serve``
+    hands out: :func:`analyze` builds one from scratch, the warm path in
+    :mod:`repro.service.compile` rebuilds an equivalent one from a
+    stored artifact, and :func:`_finish` turns either into a
+    :class:`TransformResult` by running verification / measured
+    execution / simulation on top.
+    """
+
+    info: PipelineInfo
+    schedule: ScheduleTree
+    task_ast: TaskAst
+    graph: TaskGraph
+    legality: LegalityReport | None = None
+    diagnostics: "DiagnosticReport | None" = None
+    reduction: ReductionStats | None = None
+    tuning: object | None = None  # repro.tuning.TunedPlan
+    portfolio: object | None = None
+    plan: object | None = None  # repro.schedule.PrivatizationPlan
+    joins: tuple = ()
+    privatized: bool = False
+    #: None for a direct compile; "cold" / "warm" when a store was used
+    cache_status: str | None = None
+
+
 def transform(
     source_or_program: str | Program,
     params: Mapping[str, int] | None = None,
     options: TransformOptions | None = None,
     funcs: Mapping | None = None,
+    cache_dir: str | None = None,
 ) -> TransformResult:
-    """Detect, schedule, verify and simulate the cross-loop pipeline."""
+    """Detect, schedule, verify and simulate the cross-loop pipeline.
+
+    ``cache_dir`` points at a content-addressed artifact store
+    (:mod:`repro.store`): identical ``(source, params, options)``
+    compiles are answered from disk.  Caching is deliberately *not* a
+    :class:`TransformOptions` field — options are part of the cache key,
+    the cache location is not.  Only string sources are cacheable (a
+    ``Program`` object has no canonical byte form to hash).
+    """
     options = options or TransformOptions()
     from .presburger import cache as presburger_cache
 
@@ -210,15 +247,12 @@ def transform(
         enabled=options.presburger_cache,
         maxsize=options.presburger_cache_size,
     ):
-        return _transform(source_or_program, params, options, funcs)
+        return _transform(
+            source_or_program, params, options, funcs, cache_dir
+        )
 
 
-def _transform(
-    source_or_program: str | Program,
-    params: Mapping[str, int] | None,
-    options: TransformOptions,
-    funcs: Mapping | None,
-) -> TransformResult:
+def _validate_options(options: TransformOptions) -> None:
     if options.reduce_deps and options.hybrid:
         raise ValueError(
             "reduce_deps is incompatible with hybrid: the hybrid graph "
@@ -234,12 +268,48 @@ def _transform(
             "privatize is incompatible with tune: chunking of "
             "privatized statements is set by privatize_parts"
         )
-    from .obs.spans import span
+
+
+def _transform(
+    source_or_program: str | Program,
+    params: Mapping[str, int] | None,
+    options: TransformOptions,
+    funcs: Mapping | None,
+    cache_dir: str | None = None,
+) -> TransformResult:
+    _validate_options(options)
 
     interp = Interpreter.from_source(
         source_or_program, dict(params or {}), funcs,
         vectorize=options.vectorize, fuse=options.fuse,
     )
+
+    if cache_dir is not None and isinstance(source_or_program, str):
+        from .service.compile import cached_analysis
+        from .store import ArtifactStore
+
+        analysis, _ = cached_analysis(
+            interp,
+            source_or_program,
+            dict(params or {}),
+            options,
+            ArtifactStore(cache_dir),
+        )
+    else:
+        analysis = analyze(interp, options)
+    return _finish(interp, options, analysis)
+
+
+def analyze(interp: Interpreter, options: TransformOptions) -> Analysis:
+    """The compile phase: SCoP analysis through checked task graph.
+
+    Pure with respect to array contents — nothing here executes the
+    kernel (granularity *tuning* may run calibration executions, but
+    those are measurements, not outputs).  The returned
+    :class:`Analysis` is exactly what the artifact store persists.
+    """
+    from .obs.spans import span
+
     scop = interp.scop
 
     portfolio_report = None
@@ -256,7 +326,7 @@ def _transform(
         with span("driver.privatize"):
             plan = plan_privatization(scop, portfolio_report)
         if plan.groups:
-            return _transform_privatized(
+            return _analyze_privatized(
                 interp, options, plan, portfolio_report
             )
         # no verified proofs: fall through to the standard pipeline
@@ -312,14 +382,41 @@ def _transform(
                 f"{diagnostics.errors[0].render()}"
             )
 
+    return Analysis(
+        info=info,
+        schedule=schedule,
+        task_ast=task_ast,
+        graph=graph,
+        legality=legality,
+        diagnostics=diagnostics,
+        reduction=reduction,
+        tuning=tuning,
+        portfolio=portfolio_report,
+        plan=plan,
+        privatized=False,
+    )
+
+
+def _finish(
+    interp: Interpreter,
+    options: TransformOptions,
+    a: Analysis,
+) -> TransformResult:
+    """Verification, measured execution and simulation over an analysis."""
+    from .obs.spans import span
+
+    if a.privatized:
+        return _finish_privatized(interp, options, a)
+
+    scop = interp.scop
     verified: bool | None = None
     seq: ArrayStore | None = None
     if options.verify:
         with span("driver.verify"):
             seq = interp.run_sequential(interp.new_store())
             par = interp.new_store()
-            bind_interpreter_actions(graph, interp, par)
-            execute(graph, workers=options.workers)
+            bind_interpreter_actions(a.graph, interp, par)
+            execute(a.graph, workers=options.workers)
             verified = seq.equal(par)
         if not verified:
             raise VerificationFailedError(
@@ -331,7 +428,7 @@ def _transform(
     if options.exec_backend is not None:
         ex_store, execution = execute_measured(
             interp,
-            info,
+            a.info,
             backend=options.exec_backend,
             workers=options.workers,
             cost_of_block=options.cost_model.block_cost,
@@ -344,24 +441,24 @@ def _transform(
             )
 
     sim = simulate(
-        graph, workers=options.workers, overhead=options.overhead
+        a.graph, workers=options.workers, overhead=options.overhead
     )
     return TransformResult(
         scop=scop,
-        info=info,
-        schedule=schedule,
-        task_ast=task_ast,
-        graph=graph,
+        info=a.info,
+        schedule=a.schedule,
+        task_ast=a.task_ast,
+        graph=a.graph,
         options=options,
-        legality=legality,
+        legality=a.legality,
         verified=verified,
         simulation=sim,
-        diagnostics=diagnostics,
+        diagnostics=a.diagnostics,
         execution=execution,
-        reduction=reduction,
-        tuning=tuning,
-        portfolio=portfolio_report,
-        privatization=plan,
+        reduction=a.reduction,
+        tuning=a.tuning,
+        portfolio=a.portfolio,
+        privatization=a.plan,
     )
 
 
@@ -399,14 +496,13 @@ def prepare_privatized(
     return info, schedule, task_ast, graph, joins
 
 
-def _transform_privatized(
+def _analyze_privatized(
     interp: Interpreter,
     options: TransformOptions,
     plan,
     portfolio_report,
-) -> TransformResult:
-    """The privatized arm of :func:`_transform` (plan has groups)."""
-    from .interp import execute_privatized, privatized_matches
+) -> Analysis:
+    """The privatized arm of :func:`analyze` (plan has groups)."""
     from .obs.spans import span
     from .schedule import verify_privatized_graph
 
@@ -430,13 +526,36 @@ def _transform_privatized(
         legality.raise_if_illegal()
         verify_privatized_graph(scop, plan, graph).raise_if_invalid()
 
+    return Analysis(
+        info=info,
+        schedule=schedule,
+        task_ast=task_ast,
+        graph=graph,
+        legality=legality,
+        portfolio=portfolio_report,
+        plan=plan,
+        joins=tuple(joins),
+        privatized=True,
+    )
+
+
+def _finish_privatized(
+    interp: Interpreter,
+    options: TransformOptions,
+    a: Analysis,
+) -> TransformResult:
+    from .interp import execute_privatized, privatized_matches
+    from .obs.spans import span
+
+    scop = interp.scop
+    plan = a.plan
     verified: bool | None = None
     seq: ArrayStore | None = None
     if options.verify:
         with span("driver.verify", privatize=True):
             seq = interp.run_sequential(interp.new_store())
             out, _ = execute_privatized(
-                interp, info, plan, backend="serial",
+                interp, a.info, plan, backend="serial",
                 workers=options.workers,
             )
             verified, detail = privatized_matches(plan, seq, out)
@@ -449,7 +568,7 @@ def _transform_privatized(
     if options.exec_backend is not None:
         ex_store, execution = execute_privatized(
             interp,
-            info,
+            a.info,
             plan,
             backend=options.exec_backend,
             workers=options.workers,
@@ -465,19 +584,19 @@ def _transform_privatized(
                 )
 
     sim = simulate(
-        graph, workers=options.workers, overhead=options.overhead
+        a.graph, workers=options.workers, overhead=options.overhead
     )
     return TransformResult(
         scop=scop,
-        info=info,
-        schedule=schedule,
-        task_ast=task_ast,
-        graph=graph,
+        info=a.info,
+        schedule=a.schedule,
+        task_ast=a.task_ast,
+        graph=a.graph,
         options=options,
-        legality=legality,
+        legality=a.legality,
         verified=verified,
         simulation=sim,
         execution=execution,
-        portfolio=portfolio_report,
+        portfolio=a.portfolio,
         privatization=plan,
     )

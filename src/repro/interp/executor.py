@@ -83,6 +83,10 @@ class ExecutionStats:
     fused_fallback: dict[str, dict] = field(default_factory=dict)
     #: merged block-chains executed as single tasks, e.g. (("S", "T"),)
     fused_chains: tuple[tuple[str, ...], ...] = ()
+    #: backend task id -> unfused-graph task ids it executed (empty when
+    #: no chains were merged, i.e. ids already align); lets collected
+    #: events be expanded back onto the unfused task graph
+    task_members: tuple[tuple[int, ...], ...] = ()
 
     @property
     def block_coverage(self) -> float:
@@ -135,6 +139,7 @@ class ExecutionStats:
             "dispatch_modes": dict(self.dispatch_modes),
             "fused_fallback": dict(self.fused_fallback),
             "fused_chains": [list(c) for c in self.fused_chains],
+            "task_members": [list(m) for m in self.task_members],
             "fallback_reasons": dict(self.fallback_reasons),
             "scheduler": self.scheduler,
             "runtime": (
@@ -202,10 +207,10 @@ def execute_measured(
 
     # Fused dispatch plan: one entry per task stream.  Singleton groups
     # keep the per-nest task structure; longer groups are fusion-legal
-    # block-chains merged into a single task per block index.  Chain
-    # merging is skipped while collecting events so task ids stay aligned
-    # with the simulated task graph the profiler joins against.
-    if fprog is not None and not collect_events:
+    # block-chains merged into a single task per block index.  Merged
+    # task ids are mapped back to unfused-graph ids via ``task_members``
+    # so event collection and the profiler keep working under merging.
+    if fprog is not None:
         groups, _ = plan_chain_groups(interp.scop, ast, fprog)
     else:
         groups = [[nest] for nest in ast.nests]
@@ -249,6 +254,27 @@ def execute_measured(
             label = "+".join(n.statement for n in group)
         kernel = fprog.get(label) if fprog is not None else None
         group_rows.append((label, kernel, group))
+
+    # Stable synthetic ids for merged chain tasks: backend task ids are
+    # assigned in creation order (group_rows × blocks), the *unfused*
+    # graph's ids in AST order (nests × blocks).  ``task_members[t]``
+    # lists the unfused ids a backend task executed, so collected events
+    # can be expanded back onto the graph the profiler joins against.
+    merged = any(len(g) > 1 for g in groups)
+    task_members: tuple[tuple[int, ...], ...] = ()
+    if merged:
+        offsets: dict[str, int] = {}
+        acc = 0
+        for nest in ast.nests:
+            offsets[nest.statement] = acc
+            acc += len(nest.blocks)
+        rows: list[tuple[int, ...]] = []
+        for _label, _kernel, group in group_rows:
+            for b in range(len(group[-1].blocks)):
+                rows.append(
+                    tuple(offsets[n.statement] + b for n in group)
+                )
+        task_members = tuple(rows)
 
     if backend == "serial":
         system = SerialBackend(write_num)
@@ -353,6 +379,7 @@ def execute_measured(
         dispatch_modes=dispatch_modes,
         fused_fallback=fused_fallback,
         fused_chains=fused_chains,
+        task_members=task_members,
     )
     return store, stats
 

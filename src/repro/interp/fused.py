@@ -482,6 +482,51 @@ class FusedProgram:
             if not e.ok
         }
 
+    def to_dict(self) -> dict:
+        """JSON-ready form: specs and refusal records, no code objects.
+
+        The declarative :class:`ClosureSpec` is already the pickling
+        contract of the ProcessBackend; the same specs are the durable
+        artifact format of the compile store.  :meth:`from_dict`
+        regenerates every closure with :func:`build_closure`.
+        """
+        return {
+            "entries": {
+                name: {
+                    "spec": (
+                        e.kernel.spec.to_dict() if e.kernel is not None
+                        else None
+                    ),
+                    "reason": e.reason,
+                    "code": e.code,
+                }
+                for name, e in sorted(self.entries.items())
+            },
+            "chains": {
+                label: kernel.spec.to_dict()
+                for label, kernel in sorted(self.chains.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "FusedProgram":
+        entries = {}
+        for name, rec in d["entries"].items():
+            spec = rec.get("spec")
+            kernel = (
+                build_closure(ClosureSpec.from_dict(spec))
+                if spec is not None
+                else None
+            )
+            entries[name] = FuseEntry(
+                name, kernel, rec.get("reason"), rec.get("code")
+            )
+        chains = {
+            label: build_closure(ClosureSpec.from_dict(spec))
+            for label, spec in d.get("chains", {}).items()
+        }
+        return cls(entries, chains)
+
     def require_full(self) -> None:
         """Raise SemanticError unless every statement fused (mode=on)."""
         bad = self.fallbacks()

@@ -17,6 +17,7 @@ Four cooperating pieces (see ``docs/observability.md``):
 from .metrics import (
     Histogram,
     MetricsRegistry,
+    absorb_artifact_store,
     absorb_execution,
     absorb_presburger_cache,
     absorb_simulation,
@@ -46,6 +47,7 @@ __all__ = [
     "SpanRecord",
     "TaskEvent",
     "WorkerClock",
+    "absorb_artifact_store",
     "absorb_execution",
     "absorb_presburger_cache",
     "absorb_simulation",

@@ -33,6 +33,7 @@ from typing import Any, Mapping
 __all__ = [
     "Histogram",
     "MetricsRegistry",
+    "absorb_artifact_store",
     "absorb_execution",
     "absorb_presburger_cache",
     "absorb_simulation",
@@ -204,6 +205,35 @@ def absorb_presburger_cache(reg: MetricsRegistry, stats=None) -> None:
         reg.counter("presburger.op.hits", st.hits, op=op)
         reg.counter("presburger.op.misses", st.misses, op=op)
         reg.counter("presburger.op.trivial", st.trivial, op=op)
+
+
+def absorb_artifact_store(
+    reg: MetricsRegistry, counters=None, store=None
+) -> None:
+    """Absorb the artifact-store cache counters.
+
+    ``counters=None`` snapshots the process-wide session counters (every
+    :class:`repro.store.ArtifactStore` in this process, aggregated);
+    ``store`` additionally records that store's disk occupancy.
+    """
+    if counters is None:
+        from ..store import session_counters
+
+        counters = session_counters()
+    for name in ("hits", "misses", "puts", "evictions", "corrupt"):
+        reg.counter(f"store.{name}", counters.get(name, 0))
+    reg.counter(
+        "store.replay_failures", counters.get("replay_failures", 0)
+    )
+    looked = counters.get("hits", 0) + counters.get("misses", 0)
+    if looked:
+        reg.gauge(
+            "store.hit_rate", round(counters.get("hits", 0) / looked, 4)
+        )
+    if store is not None:
+        st = store.stats()
+        reg.gauge("store.entries", st.entries)
+        reg.gauge("store.bytes", st.bytes)
 
 
 def absorb_execution(reg: MetricsRegistry, stats) -> None:

@@ -173,6 +173,15 @@ def profile_run(graph, sim, stats, top: int = 10) -> ProfileReport:
             "profile_run needs an ExecutionStats with collected events "
             "(execute_measured(..., collect_events=True))"
         )
+    members = tuple(getattr(stats, "task_members", ()) or ())
+    if members:
+        # Merged-chain events carry backend ids and "S+T" labels; expand
+        # them onto the unfused graph so attribution stays per-statement.
+        trace = trace.expand_members(
+            members,
+            weights=[t.cost for t in graph.tasks],
+            statements=[t.statement for t in graph.tasks],
+        )
     n = len(graph)
     dur_ns = [0] * n
     for e in trace.events:

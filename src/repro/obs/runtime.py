@@ -159,6 +159,81 @@ class RuntimeTrace:
         busy = sum(e.duration_ns for e in self.events)
         return busy / (span * lanes)
 
+    def expand_members(
+        self,
+        members: tuple,
+        weights=None,
+        statements=None,
+    ) -> "RuntimeTrace":
+        """Expand merged-chain events back onto unfused-graph task ids.
+
+        ``members[t]`` lists the unfused task ids that backend task
+        ``t`` executed (:attr:`ExecutionStats.task_members`).  A merged
+        event becomes one synthetic event per member, contiguous in
+        time, its duration divided proportionally to ``weights[member]``
+        (e.g. graph task costs; equal split when absent or degenerate);
+        worker lane, steal flag and pid are preserved.  ``statements``
+        (member id -> name) restores per-statement attribution that the
+        merged ``"S+T"`` label obscures.  Events with ids outside
+        ``members`` pass through unchanged.
+        """
+        if not members:
+            return self
+        out: list[TaskEvent] = []
+        for e in self.events:
+            if not (0 <= e.tid < len(members)):
+                out.append(e)
+                continue
+            mem = members[e.tid]
+            w = None
+            if weights is not None:
+                try:
+                    w = [max(0.0, float(weights[m])) for m in mem]
+                except (IndexError, KeyError):
+                    w = None
+                if w is not None and sum(w) <= 0.0:
+                    w = None
+            if w is None:
+                w = [1.0] * len(mem)
+            total = sum(w)
+            start = e.start_ns
+            acc = 0.0
+            for i, m in enumerate(mem):
+                acc += w[i]
+                if i == len(mem) - 1:
+                    end = e.end_ns
+                else:
+                    end = e.start_ns + int(
+                        round(e.duration_ns * acc / total)
+                    )
+                name = e.statement
+                if statements is not None:
+                    try:
+                        name = statements[m]
+                    except (IndexError, KeyError):
+                        pass
+                out.append(
+                    TaskEvent(
+                        tid=m,
+                        statement=name,
+                        worker=e.worker,
+                        start_ns=start,
+                        end_ns=end,
+                        stolen=e.stolen,
+                        pid=e.pid,
+                    )
+                )
+                start = end
+        return RuntimeTrace(
+            backend=self.backend,
+            workers=self.workers,
+            epoch_ns=self.epoch_ns,
+            events=out,
+            queue_depth=self.queue_depth,
+            clocks=self.clocks,
+            counters=dict(self.counters),
+        )
+
     def summary_dict(self) -> dict[str, Any]:
         """Compact JSON form (aggregates, not per-event rows)."""
         return {

@@ -39,6 +39,20 @@ class BlockDependency:
     target: str
     relation: PointRelation
 
+    def to_dict(self) -> dict:
+        """JSON-ready form for the durable artifact store."""
+        return {
+            "source": self.source,
+            "target": self.target,
+            "relation": self.relation.to_dict(),
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "BlockDependency":
+        return BlockDependency(
+            d["source"], d["target"], PointRelation.from_dict(d["relation"])
+        )
+
     def __str__(self) -> str:
         return f"Q[{self.target} <- {self.source}] ({len(self.relation)} blocks)"
 

@@ -54,6 +54,55 @@ class PipelineInfo:
             names.add(t)
         return [s.name for s in self.scop.statements if s.name in names]
 
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Explicit-relation form of everything but the SCoP itself.
+
+        The SCoP is *not* serialized: a stored artifact is only replayed
+        against a SCoP freshly extracted from the same kernel source (the
+        store key covers the source hash), so :meth:`from_dict` takes the
+        live SCoP and rebuilds the info against it.
+        """
+        return {
+            "pipeline_maps": [
+                pm.to_dict() for _, pm in sorted(self.pipeline_maps.items())
+            ],
+            "blockings": [
+                self.blockings[s.name].to_dict()
+                for s in self.scop.statements
+                if s.name in self.blockings
+            ],
+            "in_deps": {
+                name: [d.to_dict() for d in deps]
+                for name, deps in sorted(self.in_deps.items())
+            },
+            "out_deps": {
+                name: rel.to_dict()
+                for name, rel in sorted(self.out_deps.items())
+            },
+        }
+
+    @staticmethod
+    def from_dict(scop: Scop, d: dict) -> "PipelineInfo":
+        """Rebuild a serialized info against a freshly extracted SCoP."""
+        pipeline_maps = {}
+        for rec in d["pipeline_maps"]:
+            pm = PipelineMap.from_dict(rec)
+            pipeline_maps[(pm.source, pm.target)] = pm
+        blockings = {}
+        for rec in d["blockings"]:
+            b = Blocking.from_dict(rec)
+            blockings[b.statement] = b
+        in_deps = {
+            name: tuple(BlockDependency.from_dict(r) for r in deps)
+            for name, deps in d["in_deps"].items()
+        }
+        out_deps = {
+            name: PointRelation.from_dict(rec)
+            for name, rec in d["out_deps"].items()
+        }
+        return PipelineInfo(scop, pipeline_maps, blockings, in_deps, out_deps)
+
     def summary(self) -> str:
         lines = [f"PipelineInfo: {len(self.pipeline_maps)} pipeline maps, "
                  f"{self.num_tasks()} tasks"]

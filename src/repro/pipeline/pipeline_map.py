@@ -46,6 +46,24 @@ class PipelineMap:
     def anchors(self) -> PointRelation:
         return self.relation
 
+    def to_dict(self) -> dict:
+        """JSON-ready form for the durable artifact store."""
+        return {
+            "source": self.source,
+            "target": self.target,
+            "relation": self.relation.to_dict(),
+            "requirement": self.requirement.to_dict(),
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "PipelineMap":
+        return PipelineMap(
+            source=d["source"],
+            target=d["target"],
+            relation=PointRelation.from_dict(d["relation"]),
+            requirement=PointRelation.from_dict(d["requirement"]),
+        )
+
     def __str__(self) -> str:
         return (
             f"T_{{{self.source},{self.target}}} with "

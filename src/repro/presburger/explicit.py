@@ -213,6 +213,16 @@ class PointSet:
         row = np.asarray(point, dtype=np.int64)
         return bool(np.any(np.all(self.points == row, axis=1)))
 
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready form (``ndim`` kept so empty sets round-trip)."""
+        return {"ndim": self.ndim, "points": self.points.tolist()}
+
+    @staticmethod
+    def from_dict(d: dict) -> "PointSet":
+        points = np.asarray(d["points"], dtype=np.int64)
+        return PointSet(points.reshape(-1, int(d["ndim"])))
+
     # -- lexicographic queries -------------------------------------------
     def lexmin(self) -> tuple[int, ...]:
         if self.is_empty():
@@ -326,6 +336,21 @@ class PointRelation:
             h = hash((self.n_in, self.pairs.shape, self.pairs.tobytes()))
             object.__setattr__(self, "_hash", h)
             return h
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready form (arities kept so empty relations round-trip)."""
+        return {
+            "n_in": self.n_in,
+            "n_out": self.n_out,
+            "pairs": self.pairs.tolist(),
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "PointRelation":
+        n_in = int(d["n_in"])
+        pairs = np.asarray(d["pairs"], dtype=np.int64)
+        return PointRelation(pairs.reshape(-1, n_in + int(d["n_out"])), n_in)
 
     # -- relational algebra ----------------------------------------------
     def inverse(self) -> "PointRelation":

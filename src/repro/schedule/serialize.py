@@ -4,95 +4,216 @@ The pipeline analysis is a compile-time pass; for large instantiations it
 is worth caching.  A :class:`~repro.schedule.astgen.TaskAst` is fully
 self-contained (blocks, iterations, dependency tokens), so saving it is
 enough to rebuild task graphs and run/simulate later without re-running
-Algorithm 1 — ``save_task_ast`` / ``load_task_ast`` round-trip it through
-a single ``.npz`` file (NumPy arrays for the bulk, a JSON header for the
-structure).
+Algorithm 1.  Two containers share one packed layout:
+
+* ``save_task_ast`` / ``load_task_ast`` — a single ``.npz`` file
+  (NumPy arrays for the bulk, a JSON header for the structure);
+* ``dumps_task_ast`` / ``loads_task_ast`` — an in-memory blob for the
+  artifact store: zlib-compressed pickle of the same packed arrays,
+  *without* the zip container (``np.load`` drags in ``zipfile`` +
+  ``pathlib``, ~10ms of import cost in a fresh warm-serving process).
+
+The packed layout (format version 2) differs from version 1 in two ways
+that matter at thousands of blocks:
+
+* every block's iteration array lives in ONE flat ``int64`` array plus
+  a ``(n_blocks, 2)`` shape table — version 1 stored one npz member per
+  block, and the per-member zip open/decompress overhead dominated warm
+  artifact-store loads;
+* ``in_tokens`` are stored as integer indices into the global block
+  list (a consumed token is some producer block's ``out_token``), not
+  as literal ``[statement, end]`` pairs — smaller header, shared tuple
+  objects on load.  Tokens produced by no block (defensive case) are
+  kept literally in ``"in_extra"``.
+
+Loaded iteration arrays view into the flat array (no copy).  Version-1
+``.npz`` files and blobs are still read.
 """
 
 from __future__ import annotations
 
 import io
 import json
+import pickle
+import zlib
 
 import numpy as np
 
 from .astgen import TaskAst, TaskBlock, TaskLoopNest
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: magic prefix of the in-memory blob container (zip-free pickle)
+BLOB_MAGIC = b"RPTAST2\x00"
 
 
-def save_task_ast(path: str, ast: TaskAst) -> None:
-    """Write a task AST to ``path`` (``.npz``)."""
+# ----------------------------------------------------------------------
+# packed layout: AST <-> (header, flat, shapes)
+# ----------------------------------------------------------------------
+def _pack(ast: TaskAst) -> tuple[dict, np.ndarray, np.ndarray]:
+    token_index: dict = {}
+    idx = 0
+    for nest in ast.nests:
+        for block in nest.blocks:
+            token_index[(nest.statement, tuple(block.end))] = idx
+            idx += 1
+
     header: dict = {"version": FORMAT_VERSION, "nests": []}
-    arrays: dict[str, np.ndarray] = {}
-    for n_idx, nest in enumerate(ast.nests):
+    chunks: list[np.ndarray] = []
+    shapes: list[tuple[int, int]] = []
+    for nest in ast.nests:
         nest_rec = {
             "statement": nest.statement,
             "depth": nest.depth,
             "blocks": [],
         }
         for block in nest.blocks:
-            key = f"iters_{n_idx}_{block.block_id}"
-            arrays[key] = block.iterations
-            nest_rec["blocks"].append(
-                {
-                    "block_id": block.block_id,
-                    "end": list(block.end),
-                    "iters": key,
-                    "in_tokens": [
-                        [stmt, list(end)] for stmt, end in block.in_tokens
-                    ],
-                }
+            iters = np.ascontiguousarray(block.iterations, dtype=np.int64)
+            chunks.append(iters.ravel())
+            # cols == -1 marks a 1-D iteration array (shape preserved)
+            shapes.append(
+                (iters.shape[0], iters.shape[1])
+                if iters.ndim == 2
+                else (iters.shape[0], -1)
             )
+            rec: dict = {
+                "block_id": block.block_id,
+                "end": list(block.end),
+                "in": [],
+            }
+            for stmt, end in block.in_tokens:
+                ref = token_index.get((stmt, tuple(end)))
+                if ref is None:
+                    rec.setdefault("in_extra", []).append([stmt, list(end)])
+                else:
+                    rec["in"].append(ref)
+            nest_rec["blocks"].append(rec)
         header["nests"].append(nest_rec)
-    arrays["__header__"] = np.frombuffer(
-        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    flat = (
+        np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
     )
-    np.savez_compressed(path, **arrays)
+    return header, flat, np.asarray(shapes, dtype=np.int64).reshape(-1, 2)
 
 
-def load_task_ast(path: str) -> TaskAst:
-    """Read a task AST written by :func:`save_task_ast`."""
-    with np.load(path) as data:
-        header = json.loads(bytes(data["__header__"]).decode("utf-8"))
-        if header.get("version") != FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported task-AST format version {header.get('version')}"
-            )
-        nests: list[TaskLoopNest] = []
-        for nest_rec in header["nests"]:
-            statement = nest_rec["statement"]
-            blocks: list[TaskBlock] = []
-            for rec in nest_rec["blocks"]:
-                iters = np.asarray(data[rec["iters"]], dtype=np.int64)
-                end = tuple(int(v) for v in rec["end"])
-                in_tokens = tuple(
-                    (stmt, tuple(int(v) for v in e))
-                    for stmt, e in rec["in_tokens"]
+def _unpack(header: dict, flat: np.ndarray, shapes: np.ndarray) -> TaskAst:
+    flat = np.asarray(flat, dtype=np.int64)
+    shapes = np.asarray(shapes, dtype=np.int64)
+
+    # Pass 1: every block's out_token, in global block order — in_token
+    # indices resolve against this (and the tuples are shared, not
+    # re-materialized per consumer).
+    out_tokens: list = []
+    for nest_rec in header["nests"]:
+        statement = nest_rec["statement"]
+        for rec in nest_rec["blocks"]:
+            out_tokens.append((statement, tuple(rec["end"])))
+
+    nests: list[TaskLoopNest] = []
+    offset = 0
+    b_idx = 0
+    for nest_rec in header["nests"]:
+        statement = nest_rec["statement"]
+        blocks: list[TaskBlock] = []
+        for rec in nest_rec["blocks"]:
+            rows = int(shapes[b_idx, 0])
+            cols = int(shapes[b_idx, 1])
+            count = rows * (1 if cols == -1 else cols)
+            iters = flat[offset : offset + count]
+            if cols != -1:
+                iters = iters.reshape(rows, cols)
+            offset += count
+            in_tokens = [out_tokens[i] for i in rec["in"]]
+            for stmt, end in rec.get("in_extra", ()):
+                in_tokens.append((stmt, tuple(end)))
+            blocks.append(
+                TaskBlock(
+                    statement=statement,
+                    block_id=int(rec["block_id"]),
+                    end=out_tokens[b_idx][1],
+                    iterations=iters,
+                    in_tokens=tuple(in_tokens),
+                    out_token=out_tokens[b_idx],
                 )
-                blocks.append(
-                    TaskBlock(
-                        statement=statement,
-                        block_id=int(rec["block_id"]),
-                        end=end,
-                        iterations=iters,
-                        in_tokens=in_tokens,
-                        out_token=(statement, end),
-                    )
-                )
-            nests.append(
-                TaskLoopNest(statement, int(nest_rec["depth"]), tuple(blocks))
             )
+            b_idx += 1
+        nests.append(
+            TaskLoopNest(statement, int(nest_rec["depth"]), tuple(blocks))
+        )
     return TaskAst(tuple(nests))
 
 
+# ----------------------------------------------------------------------
+# file container (.npz)
+# ----------------------------------------------------------------------
+def save_task_ast(path: str, ast: TaskAst) -> None:
+    """Write a task AST to ``path`` (``.npz``, format version 2)."""
+    header, flat, shapes = _pack(ast)
+    np.savez_compressed(
+        path,
+        __header__=np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        ),
+        flat=flat,
+        shapes=shapes,
+    )
+
+
+def load_task_ast(path: str) -> TaskAst:
+    """Read a task AST written by :func:`save_task_ast` (version 1 or 2)."""
+    with np.load(path) as data:
+        header = json.loads(bytes(data["__header__"]).decode("utf-8"))
+        version = header.get("version")
+        if version == 1:
+            return _load_v1(header, data)
+        if version == FORMAT_VERSION:
+            return _unpack(header, data["flat"], data["shapes"])
+        raise ValueError(f"unsupported task-AST format version {version}")
+
+
+def _load_v1(header: dict, data) -> TaskAst:
+    """Version-1 layout: one npz member per block (slow, kept readable)."""
+    nests: list[TaskLoopNest] = []
+    for nest_rec in header["nests"]:
+        statement = nest_rec["statement"]
+        blocks: list[TaskBlock] = []
+        for rec in nest_rec["blocks"]:
+            iters = np.asarray(data[rec["iters"]], dtype=np.int64)
+            end = tuple(int(v) for v in rec["end"])
+            blocks.append(
+                TaskBlock(
+                    statement=statement,
+                    block_id=int(rec["block_id"]),
+                    end=end,
+                    iterations=iters,
+                    in_tokens=tuple(
+                        (stmt, tuple(int(v) for v in e))
+                        for stmt, e in rec["in_tokens"]
+                    ),
+                    out_token=(statement, end),
+                )
+            )
+        nests.append(
+            TaskLoopNest(statement, int(nest_rec["depth"]), tuple(blocks))
+        )
+    return TaskAst(tuple(nests))
+
+
+# ----------------------------------------------------------------------
+# in-memory container (artifact-store blobs)
+# ----------------------------------------------------------------------
 def dumps_task_ast(ast: TaskAst) -> bytes:
-    """In-memory variant of :func:`save_task_ast`."""
-    buffer = io.BytesIO()
-    save_task_ast(buffer, ast)  # type: ignore[arg-type]
-    return buffer.getvalue()
+    """Task AST -> bytes, the artifact-store blob (zip-free)."""
+    header, flat, shapes = _pack(ast)
+    doc = {"header": header, "flat": flat, "shapes": shapes}
+    return BLOB_MAGIC + zlib.compress(
+        pickle.dumps(doc, protocol=4), level=1
+    )
 
 
 def loads_task_ast(blob: bytes) -> TaskAst:
-    """Inverse of :func:`dumps_task_ast`."""
+    """Inverse of :func:`dumps_task_ast`; also reads v1 ``.npz`` blobs."""
+    if blob.startswith(BLOB_MAGIC):
+        doc = pickle.loads(zlib.decompress(blob[len(BLOB_MAGIC) :]))
+        return _unpack(doc["header"], doc["flat"], doc["shapes"])
+    # historical blobs were whole .npz files (zip container)
     return load_task_ast(io.BytesIO(blob))  # type: ignore[arg-type]

@@ -1,0 +1,29 @@
+"""Compile-as-a-service: the cache-aware compile tier and ``repro serve``.
+
+Two layers:
+
+* :mod:`repro.service.compile` — ``cached_analysis`` answers one
+  compile from the content-addressed artifact store (warm) or runs
+  Algorithm 1/2 and persists the outputs (cold).  This is what
+  ``transform(..., cache_dir=...)`` and every server worker call.
+* :mod:`repro.service.server` / :mod:`repro.service.client` — a
+  long-lived asyncio front end over a local socket: concurrent
+  compile(+run) requests, repeats answered from the store, identical
+  in-flight compiles deduplicated through per-key futures.
+"""
+
+from .compile import (
+    build_artifact,
+    cached_analysis,
+    load_analysis,
+    options_from_dict,
+    options_to_dict,
+)
+
+__all__ = [
+    "build_artifact",
+    "cached_analysis",
+    "load_analysis",
+    "options_from_dict",
+    "options_to_dict",
+]

@@ -1,0 +1,84 @@
+"""A minimal synchronous client for ``repro serve``.
+
+One JSON request per call over a short-lived TCP connection — simple to
+reason about, safe to use from many threads at once (each call owns its
+socket), and exactly what the dedupe tests need to fire N identical
+requests concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+
+class ServeClient:
+    """Talk to a running ``repro serve`` instance."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    def request(self, payload: dict) -> dict[str, Any]:
+        with socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        ) as sock:
+            sock.sendall(json.dumps(payload).encode() + b"\n")
+            chunks: list[bytes] = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+                if chunk.endswith(b"\n"):
+                    break
+        data = b"".join(chunks)
+        if not data:
+            raise ConnectionError("empty response from repro serve")
+        return json.loads(data)
+
+    # convenience wrappers ---------------------------------------------
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def stats(self) -> dict[str, Any]:
+        return self.request({"op": "stats"})
+
+    def compile(
+        self,
+        source: str,
+        params: dict | None = None,
+        options: dict | None = None,
+    ) -> dict[str, Any]:
+        return self.request(
+            {
+                "op": "compile",
+                "source": source,
+                "params": params or {},
+                "options": options or {},
+            }
+        )
+
+    def run(
+        self,
+        source: str,
+        params: dict | None = None,
+        options: dict | None = None,
+        backend: str = "serial",
+        workers: int = 4,
+    ) -> dict[str, Any]:
+        return self.request(
+            {
+                "op": "run",
+                "source": source,
+                "params": params or {},
+                "options": options or {},
+                "backend": backend,
+                "workers": workers,
+            }
+        )
+
+    def shutdown(self) -> dict[str, Any]:
+        return self.request({"op": "shutdown"})

@@ -1,0 +1,251 @@
+"""``repro serve`` — an asyncio compile(+run) front end over a socket.
+
+Newline-delimited JSON over a local TCP socket.  Requests::
+
+    {"op": "ping"}
+    {"op": "compile", "source": "...", "params": {"N": 32},
+     "options": { ... TransformOptions fields ... }}
+    {"op": "run", "source": "...", "params": {...}, "options": {...},
+     "backend": "serial", "workers": 4}
+    {"op": "stats"}
+    {"op": "shutdown"}
+
+Every response is one JSON object with ``"ok"`` and, on failure,
+``"error"``.  ``compile`` answers carry ``"status"``:
+
+* ``"cold"``    — this request ran Algorithm 1/2 (and stored the result);
+* ``"warm"``    — answered from the artifact store;
+* ``"inflight"`` — an identical compile was already running; this
+  request awaited its future (N simultaneous identical requests pay
+  exactly one compile);
+* ``"direct"``  — caching disabled (``--no-cache``), compiled in place.
+
+Compiles run on a thread pool so the event loop keeps accepting
+requests; the in-flight dedupe map is only touched on the loop, so it
+needs no lock.  ``run`` executes the compiled kernel and returns a
+SHA-256 checksum per output array — the bit-identity handshake the
+store-equivalence tests build on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from ..store import ArtifactStore
+from .compile import cached_analysis, options_from_dict
+
+
+def _checksums(store) -> dict[str, str]:
+    """SHA-256 per array of one execution's output store."""
+    return {
+        name: hashlib.sha256(
+            view.data.tobytes(order="C")
+        ).hexdigest()
+        for name, view in sorted(store.arrays.items())
+    }
+
+
+class ReproServer:
+    """One serving process: a store, a thread pool, an in-flight map."""
+
+    def __init__(
+        self,
+        store: ArtifactStore | None,
+        workers: int = 4,
+    ):
+        self.store = store
+        self.executor = ThreadPoolExecutor(max_workers=max(1, workers))
+        #: key -> future of (interp, analysis, status); loop-only state
+        self.inflight: dict[str, asyncio.Future] = {}
+        self.counters: dict[str, int] = {
+            "requests": 0,
+            "compiles": 0,
+            "store_hits": 0,
+            "inflight_hits": 0,
+            "errors": 0,
+        }
+        self._shutdown = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    def _compile_sync(self, source: str, params: dict, options):
+        """Blocking compile (executor thread): store-aware when enabled."""
+        from ..driver import analyze
+        from ..interp import Interpreter
+
+        interp = Interpreter.from_source(
+            source, params,
+            vectorize=options.vectorize, fuse=options.fuse,
+        )
+        if self.store is not None:
+            analysis, status = cached_analysis(
+                interp, source, params, options, self.store
+            )
+        else:
+            analysis, status = analyze(interp, options), "direct"
+        return interp, analysis, status
+
+    async def _compiled(self, req: dict):
+        """(interp, analysis, status) with store + in-flight dedupe."""
+        from ..store import artifact_key
+
+        source = req["source"]
+        params = {k: int(v) for k, v in (req.get("params") or {}).items()}
+        options = options_from_dict(req.get("options") or {})
+        key = artifact_key(source, params, options)
+
+        existing = self.inflight.get(key)
+        if existing is not None:
+            self.counters["inflight_hits"] += 1
+            interp, analysis, _ = await asyncio.shield(existing)
+            return key, interp, analysis, "inflight"
+
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self.inflight[key] = future
+        try:
+            result = await loop.run_in_executor(
+                self.executor, self._compile_sync, source, params, options
+            )
+            future.set_result(result)
+        except BaseException as exc:
+            future.set_exception(exc)
+            # Don't let "exception never retrieved" warnings fire when
+            # nobody else awaited this future.
+            future.exception()
+            raise
+        finally:
+            self.inflight.pop(key, None)
+        interp, analysis, status = result
+        if status in ("cold", "direct"):
+            self.counters["compiles"] += 1
+        elif status == "warm":
+            self.counters["store_hits"] += 1
+        return key, interp, analysis, status
+
+    # ------------------------------------------------------------------
+    async def _handle_request(self, req: dict) -> dict[str, Any]:
+        op = req.get("op")
+        self.counters["requests"] += 1
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "stats":
+            out: dict[str, Any] = {
+                "ok": True,
+                "counters": dict(self.counters),
+                "inflight": len(self.inflight),
+            }
+            if self.store is not None:
+                out["store"] = self.store.stats().as_dict()
+            return out
+        if op == "shutdown":
+            self._shutdown.set()
+            return {"ok": True, "stopping": True}
+        if op == "compile":
+            key, _, analysis, status = await self._compiled(req)
+            return {
+                "ok": True,
+                "key": key,
+                "status": status,
+                "cache_status": analysis.cache_status,
+                "tasks": len(analysis.graph),
+                "privatized": analysis.privatized,
+                "summary": analysis.info.summary(),
+            }
+        if op == "run":
+            key, interp, analysis, status = await self._compiled(req)
+            loop = asyncio.get_running_loop()
+            result = await loop.run_in_executor(
+                self.executor, self._run_sync, interp, analysis, req
+            )
+            result.update({"ok": True, "key": key, "status": status})
+            return result
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def _run_sync(self, interp, analysis, req: dict) -> dict[str, Any]:
+        """Execute a compiled analysis; returns checksums + match."""
+        import time
+
+        backend = req.get("backend", "serial")
+        workers = int(req.get("workers", 4))
+        t0 = time.perf_counter()
+        if analysis.privatized:
+            from ..interp import execute_privatized, privatized_matches
+
+            seq = interp.run_sequential(interp.new_store())
+            out, _ = execute_privatized(
+                interp, analysis.info, analysis.plan,
+                backend=backend, workers=workers,
+            )
+            match, _detail = privatized_matches(analysis.plan, seq, out)
+        else:
+            from ..interp import execute_measured
+
+            seq = interp.run_sequential(interp.new_store())
+            out, _ = execute_measured(
+                interp, analysis.info, backend=backend, workers=workers
+            )
+            match = seq.equal(out)
+        return {
+            "match": bool(match),
+            "wall_s": time.perf_counter() - t0,
+            "checksums": _checksums(out),
+        }
+
+    # ------------------------------------------------------------------
+    async def handle_connection(self, reader, writer):
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    req = json.loads(line)
+                    resp = await self._handle_request(req)
+                except Exception as exc:
+                    self.counters["errors"] += 1
+                    resp = {
+                        "ok": False,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                writer.write(json.dumps(resp).encode() + b"\n")
+                await writer.drain()
+                if self._shutdown.is_set():
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+
+async def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    cache_dir: str | None = None,
+    workers: int = 4,
+    ready: "asyncio.Future | None" = None,
+    announce=print,
+) -> None:
+    """Run the server until a ``shutdown`` request arrives.
+
+    ``port=0`` binds an ephemeral port; the bound address is announced
+    on stdout (and through ``ready`` when the caller passes a future —
+    the in-process test harness does).
+    """
+    store = ArtifactStore(cache_dir) if cache_dir is not None else None
+    server = ReproServer(store, workers=workers)
+    tcp = await asyncio.start_server(
+        server.handle_connection, host=host, port=port
+    )
+    bound = tcp.sockets[0].getsockname()
+    announce(f"repro serve listening on {bound[0]}:{bound[1]}")
+    if ready is not None and not ready.done():
+        ready.set_result((bound[0], bound[1], server))
+    async with tcp:
+        await server._shutdown.wait()
+    server.executor.shutdown(wait=True)

@@ -15,7 +15,12 @@ execution layer of :mod:`repro.interp.executor`:
   with a legality re-check.
 """
 
-from .costmodel import OverheadModel, calibrate_overhead
+from .costmodel import (
+    DispatchCostModel,
+    OverheadModel,
+    calibrate_dispatch,
+    calibrate_overhead,
+)
 from .tuner import (
     CoarseningLegalityError,
     TunedPlan,
@@ -26,10 +31,12 @@ from .tuner import (
 
 __all__ = [
     "CoarseningLegalityError",
+    "DispatchCostModel",
     "OverheadModel",
     "TunedPlan",
     "apply_coarsening",
     "auto_tune",
+    "calibrate_dispatch",
     "calibrate_overhead",
     "candidate_factors",
 ]

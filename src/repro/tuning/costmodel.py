@@ -70,6 +70,97 @@ class OverheadModel:
         )
 
 
+@dataclass(frozen=True)
+class DispatchCostModel:
+    """Separate overhead pairs for the two dispatch ladders.
+
+    A fused closure pays a *higher* per-task cost than the interpreter
+    ladder (closure entry, operand gather, one NumPy call) but a much
+    lower per-iteration cost — so at 1-iteration blocks fused dispatch
+    *loses*, and the granularity tuner must know where the lines cross
+    instead of assuming one overhead pair fits both.
+    """
+
+    #: the interpreter/vectorized ladder (``fuse="off"``)
+    interp: OverheadModel
+    #: fused-closure dispatch (``fuse="auto"``/``"on"``)
+    fused: OverheadModel
+
+    #: returned by :meth:`crossover_iters` when fused dispatch never
+    #: catches up (its per-iteration cost is not actually lower)
+    NEVER = 1 << 62
+
+    def crossover_iters(self) -> int:
+        """Smallest block size (iterations) where fused dispatch wins.
+
+        Solves ``fused.per_task + s·fused.per_iter <= interp.per_task +
+        s·interp.per_iter``: 1 when fused is cheaper even per task,
+        :data:`NEVER` when fused's per-iteration cost is not lower.
+        """
+        import math
+
+        extra_task = self.fused.per_task_s - self.interp.per_task_s
+        iter_gain = self.interp.per_iter_s - self.fused.per_iter_s
+        if extra_task <= 0:
+            return 1
+        if iter_gain <= 0:
+            return self.NEVER
+        return max(1, math.ceil(extra_task / iter_gain))
+
+    def active(self, fuse: str | None) -> OverheadModel:
+        """The overhead pair the executor's ladder will actually pay."""
+        return self.interp if (fuse or "off") == "off" else self.fused
+
+    def as_dict(self) -> dict:
+        crossover = self.crossover_iters()
+        return {
+            "interp": self.interp.as_dict(),
+            "fused": self.fused.as_dict(),
+            "crossover_iters": (
+                None if crossover == self.NEVER else crossover
+            ),
+        }
+
+    def __str__(self) -> str:
+        crossover = self.crossover_iters()
+        where = (
+            "never" if crossover == self.NEVER else f">={crossover} iters"
+        )
+        return (
+            f"DispatchCostModel(interp={self.interp}, "
+            f"fused={self.fused}, fused wins {where})"
+        )
+
+
+def calibrate_dispatch(
+    interp: "Interpreter",
+    info: "PipelineInfo",
+    repeats: int = 2,
+) -> DispatchCostModel:
+    """Calibrate both dispatch ladders on the same kernel and blocking.
+
+    Builds two sibling interpreters over the caller's program/SCoP —
+    one with ``fuse="off"``, one with fused dispatch — and runs
+    :func:`calibrate_overhead` on each, so every parameter is a real
+    measurement of the ladder that would pay it.
+    """
+    from ..interp import Interpreter
+
+    base = Interpreter(
+        interp.program, interp.scop, interp.funcs,
+        vectorize=interp.vectorize, fuse="off",
+    )
+    fused_mode = interp.fuse if interp.fuse not in (None, "off") else "auto"
+    fused = Interpreter(
+        interp.program, interp.scop, interp.funcs,
+        vectorize=interp.vectorize, fuse=fused_mode,
+    )
+    return DispatchCostModel(
+        interp=calibrate_overhead(base, info, repeats=repeats),
+        fused=calibrate_overhead(fused, info, repeats=repeats),
+    )
+
+
 def _measure_serial(
     interp: "Interpreter", info: "PipelineInfo", repeats: int
 ) -> tuple[int, int, float]:

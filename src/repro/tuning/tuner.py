@@ -26,7 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping
 
-from .costmodel import OverheadModel, calibrate_overhead
+from .costmodel import (
+    DispatchCostModel,
+    OverheadModel,
+    calibrate_dispatch,
+    calibrate_overhead,
+)
 
 if TYPE_CHECKING:
     from ..interp import Interpreter
@@ -52,6 +57,9 @@ class TunedPlan:
     #: global candidate factor -> predicted (model) or measured (search)
     #: seconds, for the bench reports
     scores: dict[int, float]
+    #: both dispatch ladders' calibrations, when fused dispatch was on
+    #: (``model`` is then ``dispatch.active(interp.fuse)``)
+    dispatch: DispatchCostModel | None = None
 
     @property
     def tasks(self) -> int:
@@ -64,6 +72,7 @@ class TunedPlan:
             "tasks": self.tasks,
             "scores_s": {str(k): v for k, v in sorted(self.scores.items())},
             "model": self.model.as_dict() if self.model else None,
+            "dispatch": self.dispatch.as_dict() if self.dispatch else None,
         }
 
     def summary(self) -> str:
@@ -179,6 +188,7 @@ def auto_tune(
     model: OverheadModel | None = None,
     backend: str = "threads",
     repeats: int = 2,
+    dispatch: DispatchCostModel | None = None,
 ) -> TunedPlan:
     """Pick coarsening factors for ``info`` and return the tuned plan.
 
@@ -188,6 +198,12 @@ def auto_tune(
     neighbours on the ladder.  ``mode="search"`` measures each global
     candidate for real on ``backend`` and keeps the fastest — no
     per-statement refinement, the measurement budget is the ladder.
+
+    When the caller's interpreter has fused dispatch enabled, the model
+    mode calibrates *both* ladders (:func:`calibrate_dispatch`) and
+    scores with the fused overhead pair — fused closures pay more per
+    task and less per iteration, so tuning with the interpreter's pair
+    would claim 1-iteration blocks are cheap exactly where they are not.
     """
     if mode not in MODES:
         raise ValueError(f"unknown tuning mode {mode!r}; choose from {MODES}")
@@ -212,10 +228,16 @@ def auto_tune(
             info=apply_coarsening(info, factors),
             model=model,
             scores=scores,
+            dispatch=dispatch,
         )
 
     if model is None:
-        model = calibrate_overhead(interp, info, repeats=repeats)
+        if (interp.fuse or "off") != "off":
+            if dispatch is None:
+                dispatch = calibrate_dispatch(interp, info, repeats=repeats)
+            model = dispatch.active(interp.fuse)
+        else:
+            model = calibrate_overhead(interp, info, repeats=repeats)
     scores = {
         f: model.predict_makespan(
             apply_coarsening(info, {n: f for n in info.blockings}), workers
@@ -252,4 +274,5 @@ def auto_tune(
         info=apply_coarsening(info, factors),
         model=model,
         scores=scores,
+        dispatch=dispatch,
     )

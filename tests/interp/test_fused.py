@@ -176,9 +176,10 @@ class TestChainFusion:
         s, t = interp.scop.statements
         assert fusion_legal_pair(interp.scop, s, t)
 
-    def test_event_collection_disables_merging(self):
-        # Profiled runs keep one task per block so executor ids align
-        # with the simulated TaskGraph.
+    def test_event_collection_keeps_merging_and_maps_members(self):
+        # Profiled runs merge too; stats.task_members maps each merged
+        # executor id back to its unfused member tasks so traces can be
+        # re-expanded (RuntimeTrace.expand_members).
         _, stats = measured(TWO_NEST_COPY, "serial", "off", "auto",
                             params={"N": 8}, coarsen=4)
         interp = Interpreter.from_source(
@@ -189,7 +190,12 @@ class TestChainFusion:
             interp, info, backend="serial", collect_events=True
         )
         assert stats.fused_chains != ()
-        assert profiled.fused_chains == ()
+        assert profiled.fused_chains == stats.fused_chains
+        members = profiled.task_members
+        assert members
+        covered = {tid for group in members for tid in group}
+        n_unfused = sum(len(group) for group in members)
+        assert covered == set(range(n_unfused))
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,206 @@
+"""The cache-aware compile tier: cold/warm equivalence and proof safety."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.driver import TransformOptions
+from repro.interp import Interpreter, execute_measured
+from repro.schedule.privatize import PrivatizationError, plan_from_proofs
+from repro.service import cached_analysis, options_from_dict, options_to_dict
+from repro.service.server import _checksums
+from repro.store import ArtifactStore, artifact_key
+from repro.store.artifact import pack_artifact, unpack_artifact
+from repro.store.disk import session_counters
+
+from ..conftest import TWO_NEST_COPY
+
+DOTPROD = """
+for(i=0; i<N; i++)
+  S: s[0] += dot(a[i], b[i]);
+"""
+
+BACKENDS = ("serial", "threads", "processes")
+
+
+def _options(**kw) -> TransformOptions:
+    base = dict(check=False, verify=False, workers=2)
+    base.update(kw)
+    return TransformOptions(**base)
+
+
+def _compile(source, params, options, store):
+    interp = Interpreter.from_source(
+        source, params, vectorize=options.vectorize, fuse=options.fuse
+    )
+    analysis, status = cached_analysis(
+        interp, source, params, options, store
+    )
+    return interp, analysis, status
+
+
+# ----------------------------------------------------------------------
+# options <-> dict
+# ----------------------------------------------------------------------
+def test_options_round_trip_through_json():
+    opts = _options(coarsen=3, fuse="off", privatize_parts=5)
+    wire = json.loads(json.dumps(options_to_dict(opts)))
+    assert options_from_dict(wire) == opts
+
+
+def test_options_dict_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="unknown"):
+        options_from_dict({"coarsen": 2, "turbo": True})
+
+
+def test_options_round_trip_preserves_the_cache_key():
+    opts = _options(coarsen=2)
+    wire = json.loads(json.dumps(options_to_dict(opts)))
+    assert artifact_key(TWO_NEST_COPY, {"N": 8}, opts) == artifact_key(
+        TWO_NEST_COPY, {"N": 8}, options_from_dict(wire)
+    )
+
+
+# ----------------------------------------------------------------------
+# cold -> warm equivalence
+# ----------------------------------------------------------------------
+def test_cold_then_warm_and_results_bit_identical(tmp_path):
+    """A store-served compile must execute to byte-identical arrays on
+    every backend, from a fresh interpreter."""
+    store = ArtifactStore(str(tmp_path))
+    params = {"N": 8}
+    opts = _options()
+
+    interp, analysis, status = _compile(TWO_NEST_COPY, params, opts, store)
+    assert status == "cold"
+    cold_sums = {}
+    for backend in BACKENDS:
+        out, _ = execute_measured(
+            interp, analysis.info, backend=backend, workers=2
+        )
+        cold_sums[backend] = _checksums(out)
+
+    interp2, analysis2, status2 = _compile(TWO_NEST_COPY, params, opts, store)
+    assert status2 == "warm"
+    assert analysis2.cache_status == "warm"
+    for backend in BACKENDS:
+        out, _ = execute_measured(
+            interp2, analysis2.info, backend=backend, workers=2
+        )
+        assert _checksums(out) == cold_sums[backend], backend
+    # and both agree with sequential execution
+    seq = interp2.run_sequential(interp2.new_store())
+    assert _checksums(seq) == cold_sums["serial"]
+
+
+def test_warm_analysis_matches_cold_structure(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    opts = _options(fuse="auto")
+    _, cold, _ = _compile(TWO_NEST_COPY, {"N": 8}, opts, store)
+    _, warm, status = _compile(TWO_NEST_COPY, {"N": 8}, opts, store)
+    assert status == "warm"
+    assert len(warm.graph) == len(cold.graph)
+    assert warm.info.pipelined_statements() == cold.info.pipelined_statements()
+    assert warm.schedule is not None
+
+
+def test_corrupted_artifact_recompiles_not_crashes(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    opts = _options()
+    _, _, status = _compile(TWO_NEST_COPY, {"N": 8}, opts, store)
+    assert status == "cold"
+    path = store.path_for(artifact_key(TWO_NEST_COPY, {"N": 8}, opts))
+    with open(path, "r+b") as fh:
+        fh.truncate(25)
+    _, analysis, status = _compile(TWO_NEST_COPY, {"N": 8}, opts, store)
+    assert status == "cold"
+    assert analysis.cache_status == "cold"
+    # the recompile healed the store
+    _, _, status = _compile(TWO_NEST_COPY, {"N": 8}, opts, store)
+    assert status == "warm"
+
+
+# ----------------------------------------------------------------------
+# privatization proofs: durable, never trusted
+# ----------------------------------------------------------------------
+def _tampered(artifact):
+    """Flip the proved operator — claims an unproven reduction."""
+    proofs = [dict(p) for p in artifact.proofs]
+    assert proofs, "expected a privatized artifact with proofs"
+    claims = [dict(c) for c in proofs[0]["claims"]]
+    claims[0] = dict(claims[0], operator="-")
+    proofs[0]["claims"] = claims
+    import dataclasses
+
+    return dataclasses.replace(artifact, proofs=proofs)
+
+
+def test_privatized_cold_then_warm(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    opts = _options(privatize=True)
+    _, cold, status = _compile(DOTPROD, {"N": 32}, opts, store)
+    assert status == "cold"
+    assert cold.privatized and cold.plan is not None
+    _, warm, status = _compile(DOTPROD, {"N": 32}, opts, store)
+    assert status == "warm"
+    assert warm.privatized
+    assert len(warm.plan.groups) == len(cold.plan.groups)
+    assert len(warm.joins) == len(cold.joins)
+
+
+def test_tampered_proof_is_refused_and_recompiled(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    opts = _options(privatize=True)
+    params = {"N": 32}
+    interp, _, status = _compile(DOTPROD, params, opts, store)
+    assert status == "cold"
+    key = artifact_key(DOTPROD, params, opts)
+    artifact = store.get(key)
+    bad = _tampered(artifact)
+
+    # 1. the verifier itself must reject the forged proof outright
+    from repro.analysis.portfolio.privatize import PrivatizationProof
+
+    forged = [PrivatizationProof.from_dict(p) for p in bad.proofs]
+    with pytest.raises(PrivatizationError):
+        plan_from_proofs(interp.scop, forged)
+
+    # 2. the compile tier must demote the poisoned artifact to a
+    #    recompile (replay failure), never serve or crash on it
+    store.put(key, bad)
+    before = session_counters().get("replay_failures", 0)
+    _, analysis, status = _compile(DOTPROD, params, opts, store)
+    assert status == "cold"
+    assert analysis.privatized
+    assert session_counters().get("replay_failures", 0) == before + 1
+    # the recompile overwrote the forgery with a verifiable artifact
+    _, _, status = _compile(DOTPROD, params, opts, store)
+    assert status == "warm"
+
+
+def test_tampered_bytes_fail_checksum_before_proof_level(tmp_path):
+    """Bit-level tampering is caught by the artifact checksum, one layer
+    below the proof verifier."""
+    store = ArtifactStore(str(tmp_path))
+    opts = _options(privatize=True)
+    _compile(DOTPROD, {"N": 32}, opts, store)
+    path = store.path_for(artifact_key(DOTPROD, {"N": 32}, opts))
+    with open(path, "r+b") as fh:
+        data = bytearray(fh.read())
+        data[-1] ^= 0xFF
+        fh.seek(0)
+        fh.write(data)
+    assert store.get(artifact_key(DOTPROD, {"N": 32}, opts)) is None
+    assert store.counters["corrupt"] == 1
+
+
+def test_pack_round_trip_preserves_proofs(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    opts = _options(privatize=True)
+    _compile(DOTPROD, {"N": 32}, opts, store)
+    key = artifact_key(DOTPROD, {"N": 32}, opts)
+    art = store.get(key)
+    assert art.privatized and art.proofs
+    assert unpack_artifact(pack_artifact(art)) == art

@@ -1,0 +1,154 @@
+"""``repro serve``: protocol, store reuse, and in-flight dedupe."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.service.server import serve
+
+from ..conftest import TWO_NEST_COPY
+
+DISTINCT = TWO_NEST_COPY + "\n// distinct kernel\n"
+
+OPTIONS = {"check": False, "verify": False, "workers": 2}
+
+
+async def _request(host: str, port: int, payload: dict) -> dict:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(json.dumps(payload).encode() + b"\n")
+        await writer.drain()
+        line = await reader.readline()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
+    return json.loads(line)
+
+
+async def _with_server(cache_dir, body):
+    """Start an in-process server, run ``body(host, port, server)``,
+    always shut the server down."""
+    loop = asyncio.get_running_loop()
+    ready: asyncio.Future = loop.create_future()
+    task = asyncio.ensure_future(
+        serve(
+            port=0,
+            cache_dir=cache_dir,
+            workers=4,
+            ready=ready,
+            announce=lambda *_: None,
+        )
+    )
+    host, port, server = await asyncio.wait_for(ready, 30)
+    try:
+        return await body(host, port, server)
+    finally:
+        await _request(host, port, {"op": "shutdown"})
+        await asyncio.wait_for(task, 30)
+
+
+def _compile_req(source: str) -> dict:
+    return {
+        "op": "compile",
+        "source": source,
+        "params": {"N": 8},
+        "options": dict(OPTIONS),
+    }
+
+
+def test_ping_and_unknown_op(tmp_path):
+    async def body(host, port, server):
+        pong = await _request(host, port, {"op": "ping"})
+        assert pong == {"ok": True, "pong": True}
+        bad = await _request(host, port, {"op": "frobnicate"})
+        assert not bad["ok"] and "unknown" in bad["error"]
+
+    asyncio.run(_with_server(str(tmp_path), body))
+
+
+def test_two_identical_plus_one_distinct_pay_two_compiles(tmp_path):
+    """The tier-1 smoke contract: repeats come from the store, only
+    genuinely new keys compile."""
+
+    async def body(host, port, server):
+        first = await _request(host, port, _compile_req(TWO_NEST_COPY))
+        again = await _request(host, port, _compile_req(TWO_NEST_COPY))
+        other = await _request(host, port, _compile_req(DISTINCT))
+        assert first["ok"] and again["ok"] and other["ok"]
+        assert first["status"] == "cold"
+        assert again["status"] == "warm"
+        assert other["status"] == "cold"
+        assert first["key"] == again["key"] != other["key"]
+        stats = await _request(host, port, {"op": "stats"})
+        assert stats["counters"]["compiles"] == 2
+        assert stats["counters"]["store_hits"] == 1
+        assert stats["store"]["entries"] == 2
+
+    asyncio.run(_with_server(str(tmp_path), body))
+
+
+def test_eight_concurrent_identical_requests_one_compile(tmp_path):
+    """N simultaneous identical requests pay exactly one compile — the
+    rest await the same in-flight future."""
+
+    async def body(host, port, server):
+        results = await asyncio.gather(
+            *(_request(host, port, _compile_req(TWO_NEST_COPY)) for _ in range(8))
+        )
+        assert all(r["ok"] for r in results)
+        assert len({r["key"] for r in results}) == 1
+        statuses = sorted(r["status"] for r in results)
+        assert statuses.count("cold") == 1
+        assert statuses.count("inflight") == 7
+        stats = await _request(host, port, {"op": "stats"})
+        assert stats["counters"]["compiles"] == 1
+        assert stats["counters"]["inflight_hits"] == 7
+        assert stats["inflight"] == 0
+
+    asyncio.run(_with_server(str(tmp_path), body))
+
+
+def test_run_op_executes_and_checksums(tmp_path):
+    async def body(host, port, server):
+        req = dict(_compile_req(TWO_NEST_COPY))
+        req.update({"op": "run", "backend": "threads", "workers": 2})
+        first = await _request(host, port, req)
+        assert first["ok"] and first["match"] is True
+        assert set(first["checksums"]) == {"A", "B"}
+        # the second run compiles warm and must be bit-identical
+        again = await _request(host, port, req)
+        assert again["status"] == "warm"
+        assert again["checksums"] == first["checksums"]
+
+    asyncio.run(_with_server(str(tmp_path), body))
+
+
+def test_no_cache_serves_direct(tmp_path):
+    async def body(host, port, server):
+        first = await _request(host, port, _compile_req(TWO_NEST_COPY))
+        again = await _request(host, port, _compile_req(TWO_NEST_COPY))
+        assert first["status"] == "direct"
+        assert again["status"] == "direct"
+        stats = await _request(host, port, {"op": "stats"})
+        assert stats["counters"]["compiles"] == 2
+        assert "store" not in stats
+
+    asyncio.run(_with_server(None, body))
+
+
+def test_malformed_request_reports_error_and_keeps_serving(tmp_path):
+    async def body(host, port, server):
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(b"this is not json\n")
+        await writer.drain()
+        resp = json.loads(await reader.readline())
+        assert not resp["ok"]
+        writer.close()
+        pong = await _request(host, port, {"op": "ping"})
+        assert pong["ok"]
+
+    asyncio.run(_with_server(str(tmp_path), body))

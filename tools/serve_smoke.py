@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""CI smoke for ``repro serve``: start the real CLI server, send two
+identical compile requests plus one distinct, and assert the server paid
+exactly two compiles (the repeat was answered from the artifact store).
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.service.client import ServeClient  # noqa: E402
+from repro.workloads import TABLE9  # noqa: E402
+
+OPTIONS = {"check": False, "verify": False, "workers": 2}
+
+
+def wait_for_announce(proc: subprocess.Popen, timeout: float = 60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise SystemExit(
+                "repro serve exited before announcing: "
+                + (proc.stderr.read() or "")[-2000:]
+            )
+        match = re.search(r"listening on ([\d.]+):(\d+)", line)
+        if match:
+            return match.group(1), int(match.group(2))
+    raise SystemExit("timed out waiting for the serve announcement")
+
+
+def main() -> int:
+    source = TABLE9["P3"].source(10)
+    distinct = source + "\n// distinct\n"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                "0",
+                "--cache-dir",
+                os.path.join(tmp, "store"),
+                "--workers",
+                "2",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            host, port = wait_for_announce(proc)
+            client = ServeClient(host, port)
+            assert client.ping(), "ping failed"
+
+            first = client.compile(source, options=dict(OPTIONS))
+            again = client.compile(source, options=dict(OPTIONS))
+            other = client.compile(distinct, options=dict(OPTIONS))
+            for resp in (first, again, other):
+                assert resp.get("ok"), resp
+
+            stats = client.stats()["counters"]
+            print(
+                f"statuses: {first['status']}, {again['status']}, "
+                f"{other['status']}; compiles={stats['compiles']} "
+                f"store_hits={stats['store_hits']}"
+            )
+            assert first["status"] == "cold", first
+            assert again["status"] == "warm", again
+            assert other["status"] == "cold", other
+            assert stats["compiles"] == 2, stats
+            assert stats["store_hits"] == 1, stats
+
+            client.shutdown()
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+    print("serve smoke OK: 3 requests, exactly 2 compiles")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
