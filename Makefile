@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-exec bench-overhead bench-serve report examples lint analyze-examples analyze-portfolio profile-examples clean
+.PHONY: install test bench bench-exec bench-overhead bench-serve bench-history report examples lint analyze-examples analyze-portfolio profile-examples clean
 
 # Kernel sources checked by `make lint` / `make analyze-examples`; every
 # parameter any of them references must appear in LINT_PARAMS.
@@ -40,6 +40,11 @@ bench-overhead:
 # compiles and concurrent in-flight dedupe (docs/serving.md).
 bench-serve:
 	$(PYTHON) -m repro bench-serve --out BENCH_serve.json
+
+# Append this run's headline metrics to BENCH_history.jsonl and fail on
+# a >20% regression vs the previous same-mode row (docs/observability.md).
+bench-history:
+	$(PYTHON) tools/bench_history.py
 
 # Regeneration tests (print the paper's tables/figures and assert shapes)
 regen:

@@ -47,7 +47,14 @@ Commands
     Long-lived asyncio compile(+run) server over a local TCP socket:
     repeated compiles answered from the content-addressed artifact
     store, identical in-flight compiles deduplicated through per-key
-    futures (see ``docs/serving.md``).
+    futures (see ``docs/serving.md``).  Telemetry is on by default:
+    ``--request-log PATH`` (rotating JSONL), ``--trace-dir DIR``
+    (one Perfetto trace per request), ``--http-port P`` (Prometheus
+    ``GET /metrics``), ``--no-telemetry`` to disable.
+``top --port P [--host H] [--interval S] [--once]``
+    Terminal live monitor for a running serve instance: request/error
+    rates, latency p50/p95/p99 per verb and cache status, cache mix,
+    the last N requests.
 ``store stats|gc|clear [--cache-dir DIR] [--max-bytes B] [--max-entries K]``
     Inspect or garbage-collect the artifact store.  ``run``, ``analyze``
     and ``profile`` accept ``--cache-dir DIR`` / ``--no-cache`` (and
@@ -710,6 +717,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 port=args.port,
                 cache_dir=cache_dir,
                 workers=args.workers,
+                telemetry=not args.no_telemetry,
+                log_path=args.request_log,
+                trace_dir=args.trace_dir,
+                http_port=args.http_port,
             )
         )
     except KeyboardInterrupt:
@@ -717,12 +728,39 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_top(args: argparse.Namespace) -> int:
+    from .obs.live import run_top
+
+    return run_top(
+        args.host,
+        args.port,
+        interval=args.interval,
+        iterations=args.iterations,
+        rows=args.rows,
+        once=args.once,
+    )
+
+
 def cmd_store(args: argparse.Namespace) -> int:
-    from .store import ArtifactStore, default_cache_dir
+    from .store import (
+        ArtifactStore,
+        default_cache_dir,
+        load_metrics_snapshot,
+    )
 
     store = ArtifactStore(args.cache_dir or default_cache_dir())
     if args.action == "stats":
         print(store.stats().format())
+        snap = load_metrics_snapshot(store.root)
+        if snap is not None:
+            counters = snap.get("counters", {})
+            print("last serve session (metrics-last.json):")
+            print(f"  saved at    {snap.get('saved_at', '?')}")
+            print(f"  uptime      {snap.get('uptime_s', 0.0):.1f}s")
+            print(f"  requests    {counters.get('requests', 0)}")
+            print(f"  compiles    {counters.get('compiles', 0)}")
+            print(f"  store hits  {counters.get('store_hits', 0)}")
+            print(f"  errors      {counters.get('errors', 0)}")
     elif args.action == "gc":
         evicted = store.gc(
             max_bytes=args.max_bytes, max_entries=args.max_entries
@@ -1006,7 +1044,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=4,
         help="compile/run thread-pool size",
     )
+    p.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable request tracing, metrics and the request log",
+    )
+    p.add_argument(
+        "--request-log", default=None, metavar="PATH",
+        help="rotating JSONL request log (one structured line per "
+        "request)",
+    )
+    p.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="write one Perfetto trace per request into DIR",
+    )
+    p.add_argument(
+        "--http-port", type=int, default=None, metavar="PORT",
+        help="also answer GET /metrics (Prometheus text), /health and "
+        "/requests over plain HTTP on this port (0 = ephemeral)",
+    )
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "top",
+        help="terminal live monitor for a running serve instance "
+        "(rates, latency quantiles, cache mix, recent requests)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between polls",
+    )
+    p.add_argument(
+        "--iterations", type=int, default=None,
+        help="stop after N redraws (default: run until Ctrl-C)",
+    )
+    p.add_argument(
+        "--rows", type=int, default=10,
+        help="recent requests shown",
+    )
+    p.add_argument(
+        "--once", action="store_true",
+        help="print a single snapshot and exit (no screen clear)",
+    )
+    p.set_defaults(fn=cmd_top)
 
     p = sub.add_parser(
         "store",

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Any, Mapping
 
 __all__ = [
+    "BUCKET_BOUNDS",
     "Histogram",
     "MetricsRegistry",
     "absorb_artifact_store",
@@ -39,6 +40,7 @@ __all__ = [
     "absorb_simulation",
     "absorb_task_overhead",
     "default_registry",
+    "parse_series_key",
     "series_key",
 ]
 
@@ -51,14 +53,69 @@ def series_key(name: str, labels: Mapping[str, Any]) -> str:
     return f"{name}{{{inner}}}"
 
 
+def parse_series_key(key: str) -> tuple[str, dict[str, str]]:
+    """Inverse of :func:`series_key` (label values come back as text)."""
+    name, brace, rest = key.partition("{")
+    if not brace:
+        return key, {}
+    labels: dict[str, str] = {}
+    for part in rest.rstrip("}").split(","):
+        if part:
+            k, _, v = part.partition("=")
+            labels[k] = v
+    return name, labels
+
+
+#: Fixed log-spaced bucket upper bounds: three per decade over
+#: 1e-9 .. 1e9 (55 finite buckets + one overflow).  The ladder covers
+#: nanoseconds-to-gigaseconds regardless of the observed unit, so a
+#: histogram's memory is **constant for any uptime** — the property the
+#: long-lived serve path depends on.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    10.0 ** (k / 3.0) for k in range(-27, 28)
+)
+
+
+def _bucket_index(value: float) -> int:
+    """Index of the first bound >= value (len(BUCKET_BOUNDS) = overflow)."""
+    if value <= BUCKET_BOUNDS[0]:
+        return 0
+    # log-position, then correct for float rounding at the boundaries
+    idx = int(math.ceil(3.0 * math.log10(value))) + 27
+    if idx < 0:
+        return 0
+    if idx >= len(BUCKET_BOUNDS):
+        return len(BUCKET_BOUNDS)
+    while idx > 0 and value <= BUCKET_BOUNDS[idx - 1]:
+        idx -= 1
+    while idx < len(BUCKET_BOUNDS) and value > BUCKET_BOUNDS[idx]:
+        idx += 1
+    return idx
+
+
 @dataclass
 class Histogram:
-    """Streaming summary of observed values (no sample storage)."""
+    """Bounded summary of observed values: exact count/sum/min/max plus
+    fixed log-spaced buckets for quantile estimates.
+
+    No per-observation storage — observing the billionth value costs the
+    same memory as the first, which is what a metrics registry inside a
+    long-uptime server requires.  Quantiles are estimated by log-linear
+    interpolation inside the covering bucket and clamped to the exact
+    observed ``[min, max]``, so the relative error is bounded by the
+    bucket ratio (one third of a decade, ~2.15x worst case, far less
+    for clustered latencies).
+    """
 
     count: int = 0
     total: float = 0.0
     minimum: float = math.inf
     maximum: float = -math.inf
+    buckets: list[int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.buckets is None:
+            self.buckets = [0] * (len(BUCKET_BOUNDS) + 1)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -67,10 +124,48 @@ class Histogram:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        self.buckets[_bucket_index(value)] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 <= q <= 1) from the buckets."""
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, n in enumerate(self.buckets):
+            if not n:
+                continue
+            if seen + n >= rank:
+                hi = (
+                    BUCKET_BOUNDS[i]
+                    if i < len(BUCKET_BOUNDS)
+                    else self.maximum
+                )
+                lo = BUCKET_BOUNDS[i - 1] if i > 0 else 0.0
+                frac = (rank - seen) / n
+                est = lo + (hi - lo) * frac
+                return min(max(est, self.minimum), self.maximum)
+            seen += n
+        return self.maximum
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` rows with trailing empty
+        buckets elided (Prometheus ``le`` series; +Inf is implicit as
+        :attr:`count`)."""
+        rows: list[tuple[float, int]] = []
+        seen = 0
+        for i, n in enumerate(self.buckets[: len(BUCKET_BOUNDS)]):
+            seen += n
+            rows.append((BUCKET_BOUNDS[i], seen))
+        while len(rows) > 1 and rows[-1][1] == rows[-2][1] == self.count:
+            rows.pop()
+        while len(rows) > 1 and rows[0][1] == 0 and rows[1][1] == 0:
+            rows.pop(0)
+        return rows
 
     def as_dict(self) -> dict[str, float | int]:
         return {
@@ -79,6 +174,9 @@ class Histogram:
             "min": self.minimum if self.count else 0.0,
             "max": self.maximum if self.count else 0.0,
             "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 
@@ -167,6 +265,95 @@ class MetricsRegistry:
                 f"min={hist['min']:g} max={hist['max']:g}"
             )
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def export_prometheus(self, prefix: str = "repro_") -> str:
+        """Prometheus text exposition of every numeric series.
+
+        Counters export as ``counter``, numeric/bool gauges as ``gauge``
+        (non-numeric gauges are skipped — Prometheus has no text
+        samples), histograms as cumulative ``_bucket{le=...}`` series
+        plus ``_sum``/``_count`` *and* p50/p95/p99 ``quantile`` series
+        estimated from the fixed buckets.  Names are sanitized to the
+        Prometheus charset (``serve.latency_ms`` →
+        ``repro_serve_latency_ms``); output is sorted and stable.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = {
+                key: Histogram(
+                    count=h.count,
+                    total=h.total,
+                    minimum=h.minimum,
+                    maximum=h.maximum,
+                    buckets=list(h.buckets),
+                )
+                for key, h in self._histograms.items()
+            }
+
+        def metric_name(name: str) -> str:
+            import re
+
+            return prefix + re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+
+        def label_text(labels: Mapping[str, str], extra: str = "") -> str:
+            parts = [
+                f'{k}="{v}"' for k, v in sorted(labels.items())
+            ]
+            if extra:
+                parts.append(extra)
+            return "{" + ",".join(parts) + "}" if parts else ""
+
+        def fmt(value: float) -> str:
+            if isinstance(value, bool):
+                return "1" if value else "0"
+            if value == int(value):
+                return str(int(value))
+            return repr(float(value))
+
+        lines: list[str] = []
+        typed: set[str] = set()
+
+        def type_line(mname: str, kind: str) -> None:
+            if mname not in typed:
+                typed.add(mname)
+                lines.append(f"# TYPE {mname} {kind}")
+
+        for key in sorted(counters):
+            name, labels = parse_series_key(key)
+            mname = metric_name(name)
+            type_line(mname, "counter")
+            lines.append(f"{mname}{label_text(labels)} {fmt(counters[key])}")
+        for key in sorted(gauges):
+            value = gauges[key]
+            if not isinstance(value, (int, float, bool)):
+                continue
+            name, labels = parse_series_key(key)
+            mname = metric_name(name)
+            type_line(mname, "gauge")
+            lines.append(f"{mname}{label_text(labels)} {fmt(value)}")
+        for key in sorted(histograms):
+            hist = histograms[key]
+            name, labels = parse_series_key(key)
+            mname = metric_name(name)
+            type_line(mname, "histogram")
+            for bound, cum in hist.cumulative_buckets():
+                le = 'le="%g"' % bound
+                lines.append(f"{mname}_bucket{label_text(labels, le)} {cum}")
+            inf = 'le="+Inf"'
+            lines.append(
+                f"{mname}_bucket{label_text(labels, inf)} {hist.count}"
+            )
+            lines.append(f"{mname}_sum{label_text(labels)} {fmt(hist.total)}")
+            lines.append(f"{mname}_count{label_text(labels)} {hist.count}")
+            for q in (0.5, 0.95, 0.99):
+                quant = 'quantile="%g"' % q
+                lines.append(
+                    f"{mname}{label_text(labels, quant)} "
+                    f"{fmt(hist.quantile(q))}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
 
 
 _DEFAULT = MetricsRegistry()

@@ -41,14 +41,20 @@ from typing import Any, Iterator
 
 __all__ = [
     "SpanRecord",
+    "allocate_span_id",
     "clear",
+    "current_span_id",
     "disable",
+    "emit",
     "enable",
     "enabled",
+    "parented",
+    "prune",
     "records",
     "recording",
     "span",
     "spans_to_trace_events",
+    "take_tree",
 ]
 
 #: Module-level fast flag — the *only* cost of a disabled span() call
@@ -213,6 +219,145 @@ def records() -> list[SpanRecord]:
     """Snapshot of all closed spans, in completion order."""
     with _LOCK:
         return list(_RECORDS)
+
+
+def current_span_id() -> int:
+    """Id of the innermost open span on this thread (0 at top level)."""
+    stack = getattr(_TLS, "stack", None)
+    return stack[-1] if stack else 0
+
+
+def allocate_span_id() -> int:
+    """Reserve a span id without opening a span.
+
+    The serve path uses this for per-request *root* spans: the id is
+    handed to worker threads (via :func:`parented`) while the request is
+    in flight, and the root record itself is emitted at request end with
+    :func:`emit` — opening a context-managed span on the event loop
+    thread would let concurrent requests nest under each other.
+    """
+    with _LOCK:
+        span_id = _NEXT_ID[0]
+        _NEXT_ID[0] += 1
+    return span_id
+
+
+def emit(
+    name: str,
+    start_ns: int,
+    end_ns: int,
+    span_id: int | None = None,
+    parent_id: int = 0,
+    thread: str | None = None,
+    **attrs,
+) -> int:
+    """Append a manually-constructed span record (no-op when disabled).
+
+    Returns the record's span id (0 when recording is disabled).  Used
+    for spans whose lifetime does not follow stack discipline on one
+    thread: per-request roots and replayed runtime task events.
+    """
+    if not _ENABLED:
+        return 0
+    if span_id is None:
+        span_id = allocate_span_id()
+    record = SpanRecord(
+        span_id=span_id,
+        parent_id=parent_id,
+        name=name,
+        start_ns=start_ns,
+        end_ns=end_ns,
+        thread=thread or threading.current_thread().name,
+        attrs=attrs,
+    )
+    with _LOCK:
+        _RECORDS.append(record)
+    return span_id
+
+
+class _Parented:
+    """Push an explicit parent id onto this thread's span stack."""
+
+    __slots__ = ("_parent",)
+
+    def __init__(self, parent_id: int):
+        self._parent = parent_id
+
+    def __enter__(self) -> "_Parented":
+        stack = getattr(_TLS, "stack", None)
+        if stack is None:
+            stack = _TLS.stack = []
+        stack.append(self._parent)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        stack = _TLS.stack
+        if stack and stack[-1] == self._parent:
+            stack.pop()
+        return False
+
+
+def parented(parent_id: int) -> _Parented:
+    """``with parented(root_id): ...`` — spans opened in the block (on
+    this thread) become children of ``root_id``.  This is how the serve
+    path threads a request's root span into the compile/run worker
+    threads, whose thread-local stacks start empty."""
+    return _Parented(parent_id)
+
+
+def take_tree(root_id: int) -> list[SpanRecord]:
+    """Remove and return every closed span in the subtree of ``root_id``
+    (the root record included, when present).
+
+    Children close before their ancestors, so by the time a request's
+    root record has been emitted the whole subtree is in the buffer.
+    Draining per request is what keeps the global record list bounded
+    over a long-lived server.
+    """
+    with _LOCK:
+        ids = {root_id}
+        grew = True
+        while grew:
+            grew = False
+            for r in _RECORDS:
+                if r.parent_id in ids and r.span_id not in ids:
+                    ids.add(r.span_id)
+                    grew = True
+        taken = [r for r in _RECORDS if r.span_id in ids]
+        _RECORDS[:] = [r for r in _RECORDS if r.span_id not in ids]
+    return taken
+
+
+def prune(keep_roots: set[int], before_ns: int) -> int:
+    """Drop closed spans that ended before ``before_ns`` and whose
+    topmost known ancestor is not anchored in ``keep_roots``.
+
+    A long-lived server drains each request's subtree with
+    :func:`take_tree`; spans recorded outside any request (store gc
+    sweeps, background work) would otherwise accumulate forever.  Spans
+    belonging to an in-flight request are safe: their ancestor chain
+    reaches the request's (not-yet-emitted) root id, which the caller
+    passes in ``keep_roots``.  Returns how many records were dropped.
+    """
+    with _LOCK:
+        byid = {r.span_id: r for r in _RECORDS}
+        keep: list[SpanRecord] = []
+        dropped = 0
+        for r in _RECORDS:
+            cur = r
+            seen = {cur.span_id}
+            while cur.parent_id in byid and cur.parent_id not in seen:
+                cur = byid[cur.parent_id]
+                seen.add(cur.span_id)
+            anchored = (
+                cur.span_id in keep_roots or cur.parent_id in keep_roots
+            )
+            if anchored or r.end_ns >= before_ns:
+                keep.append(r)
+            else:
+                dropped += 1
+        _RECORDS[:] = keep
+    return dropped
 
 
 class _Recording:

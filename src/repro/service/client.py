@@ -4,11 +4,19 @@ One JSON request per call over a short-lived TCP connection — simple to
 reason about, safe to use from many threads at once (each call owns its
 socket), and exactly what the dedupe tests need to fire N identical
 requests concurrently.
+
+Every request carries a client-generated ``rid`` (request id) that the
+server adopts as the root of the request's telemetry span tree and
+echoes back in the response — ``client.last_rid`` after any call, or
+``response["rid"]``, is the handle for finding the request in the
+server's request log and per-request trace files.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
+import os
 import socket
 from typing import Any
 
@@ -16,12 +24,25 @@ from typing import Any
 class ServeClient:
     """Talk to a running ``repro serve`` instance."""
 
+    _counter = itertools.count(1)
+
     def __init__(self, host: str, port: int, timeout: float = 60.0):
         self.host = host
         self.port = int(port)
         self.timeout = timeout
+        #: rid of the most recent request (set before sending, so it is
+        #: usable even when the call raises)
+        self.last_rid: str | None = None
+
+    def _make_rid(self) -> str:
+        return "c%x-%x-%s" % (
+            os.getpid(), next(self._counter), os.urandom(3).hex()
+        )
 
     def request(self, payload: dict) -> dict[str, Any]:
+        if "rid" not in payload:
+            payload = dict(payload, rid=self._make_rid())
+        self.last_rid = payload["rid"]
         with socket.create_connection(
             (self.host, self.port), timeout=self.timeout
         ) as sock:
@@ -45,6 +66,20 @@ class ServeClient:
 
     def stats(self) -> dict[str, Any]:
         return self.request({"op": "stats"})
+
+    def metrics(self) -> dict[str, Any]:
+        """Live metrics: ``{"metrics": {...}, "prometheus": "..."}``."""
+        return self.request({"op": "metrics"})
+
+    def health(self) -> dict[str, Any]:
+        return self.request({"op": "health"})
+
+    def requests(self, n: int | None = None) -> dict[str, Any]:
+        """The server's recent-request ring (last ``n``, oldest first)."""
+        payload: dict[str, Any] = {"op": "requests"}
+        if n is not None:
+            payload["n"] = int(n)
+        return self.request(payload)
 
     def compile(
         self,

@@ -8,6 +8,9 @@ Newline-delimited JSON over a local TCP socket.  Requests::
     {"op": "run", "source": "...", "params": {...}, "options": {...},
      "backend": "serial", "workers": 4}
     {"op": "stats"}
+    {"op": "metrics"}
+    {"op": "health"}
+    {"op": "requests", "n": 32}
     {"op": "shutdown"}
 
 Every response is one JSON object with ``"ok"`` and, on failure,
@@ -25,6 +28,21 @@ requests; the in-flight dedupe map is only touched on the loop, so it
 needs no lock.  ``run`` executes the compiled kernel and returns a
 SHA-256 checksum per output array — the bit-identity handshake the
 store-equivalence tests build on.
+
+Telemetry (on by default, ``telemetry=False`` to disable): every
+request gets an id (client-proposed via ``"rid"`` or server-assigned)
+whose root span parents the whole service span tree — ``service.compile``
+→ ``store.get``/``put`` → driver compile phases, and for ``run``
+requests the measured runtime task events — exported per request as a
+Perfetto trace (``trace_dir``) and as one structured JSONL line
+(``log_path``).  The ``metrics``/``health``/``requests`` verbs expose
+the live registry (latency p50/p95/p99 per verb and cache status,
+in-flight gauge, error counters, store hit rate) over the same
+protocol; an optional plain-HTTP listener (``http_port``) additionally
+answers ``GET /metrics`` in Prometheus text format for scrapers, plus
+``/health`` and ``/requests`` as JSON.  On shutdown a final metrics
+snapshot is persisted next to the cache dir (``metrics-last.json``) and
+surfaced by ``repro store stats``.
 """
 
 from __future__ import annotations
@@ -32,10 +50,15 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import json
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
+from ..obs import spans as obs_spans
+from ..obs.metrics import absorb_artifact_store
+from ..obs.service import RequestTelemetry
 from ..store import ArtifactStore
+from ..store.disk import save_metrics_snapshot
 from .compile import cached_analysis, options_from_dict
 
 
@@ -56,6 +79,7 @@ class ReproServer:
         self,
         store: ArtifactStore | None,
         workers: int = 4,
+        telemetry: RequestTelemetry | None = None,
     ):
         self.store = store
         self.executor = ThreadPoolExecutor(max_workers=max(1, workers))
@@ -68,27 +92,45 @@ class ReproServer:
             "inflight_hits": 0,
             "errors": 0,
         }
+        self.telemetry = telemetry
         self._shutdown = asyncio.Event()
 
     # ------------------------------------------------------------------
-    def _compile_sync(self, source: str, params: dict, options):
-        """Blocking compile (executor thread): store-aware when enabled."""
+    def _compile_sync(
+        self, source: str, params: dict, options, root_id: int,
+        t_submit: float,
+    ):
+        """Blocking compile (executor thread): store-aware when enabled.
+
+        ``root_id`` is the requesting client's root span id — adopting
+        it here is what nests ``service.compile``/``store.*``/driver
+        phase spans under the request.  ``t_submit`` (perf_counter at
+        executor submission) yields the queue wait.
+        """
         from ..driver import analyze
         from ..interp import Interpreter
 
-        interp = Interpreter.from_source(
-            source, params,
-            vectorize=options.vectorize, fuse=options.fuse,
-        )
-        if self.store is not None:
-            analysis, status = cached_analysis(
-                interp, source, params, options, self.store
+        t_start = time.perf_counter()
+        with obs_spans.parented(root_id):
+            interp = Interpreter.from_source(
+                source, params,
+                vectorize=options.vectorize, fuse=options.fuse,
             )
-        else:
-            analysis, status = analyze(interp, options), "direct"
-        return interp, analysis, status
+            if self.store is not None:
+                analysis, status = cached_analysis(
+                    interp, source, params, options, self.store
+                )
+            else:
+                with obs_spans.span("service.compile", status="direct"):
+                    analysis = analyze(interp, options)
+                status = "direct"
+        timings = {
+            "queue_wait_ms": round((t_start - t_submit) * 1e3, 3),
+            "compile_ms": round((time.perf_counter() - t_start) * 1e3, 3),
+        }
+        return interp, analysis, status, timings
 
-    async def _compiled(self, req: dict):
+    async def _compiled(self, req: dict, rtel=None):
         """(interp, analysis, status) with store + in-flight dedupe."""
         from ..store import artifact_key
 
@@ -100,7 +142,9 @@ class ReproServer:
         existing = self.inflight.get(key)
         if existing is not None:
             self.counters["inflight_hits"] += 1
-            interp, analysis, _ = await asyncio.shield(existing)
+            interp, analysis, _, _ = await asyncio.shield(existing)
+            if rtel is not None:
+                rtel.set(key=key, status="inflight")
             return key, interp, analysis, "inflight"
 
         loop = asyncio.get_running_loop()
@@ -108,7 +152,13 @@ class ReproServer:
         self.inflight[key] = future
         try:
             result = await loop.run_in_executor(
-                self.executor, self._compile_sync, source, params, options
+                self.executor,
+                self._compile_sync,
+                source,
+                params,
+                options,
+                rtel.root_id if rtel is not None else 0,
+                time.perf_counter(),
             )
             future.set_result(result)
         except BaseException as exc:
@@ -119,15 +169,17 @@ class ReproServer:
             raise
         finally:
             self.inflight.pop(key, None)
-        interp, analysis, status = result
+        interp, analysis, status, timings = result
         if status in ("cold", "direct"):
             self.counters["compiles"] += 1
         elif status == "warm":
             self.counters["store_hits"] += 1
+        if rtel is not None:
+            rtel.set(key=key, status=status, **timings)
         return key, interp, analysis, status
 
     # ------------------------------------------------------------------
-    async def _handle_request(self, req: dict) -> dict[str, Any]:
+    async def _handle_request(self, req: dict, rtel=None) -> dict[str, Any]:
         op = req.get("op")
         self.counters["requests"] += 1
         if op == "ping":
@@ -140,12 +192,42 @@ class ReproServer:
             }
             if self.store is not None:
                 out["store"] = self.store.stats().as_dict()
+            if self.telemetry is not None:
+                out["telemetry"] = self.telemetry.health()
             return out
+        if op == "metrics":
+            if self.telemetry is None:
+                return {"ok": False, "error": "telemetry disabled"}
+            reg = self._registry_snapshot()
+            return {
+                "ok": True,
+                "metrics": reg.as_dict(),
+                "prometheus": reg.export_prometheus(),
+            }
+        if op == "health":
+            out = (
+                self.telemetry.health()
+                if self.telemetry is not None
+                else {"ok": True}
+            )
+            out["counters"] = dict(self.counters)
+            out["inflight_compiles"] = len(self.inflight)
+            return out
+        if op == "requests":
+            if self.telemetry is None:
+                return {"ok": False, "error": "telemetry disabled"}
+            n = req.get("n")
+            return {
+                "ok": True,
+                "requests": self.telemetry.requests(
+                    int(n) if n is not None else None
+                ),
+            }
         if op == "shutdown":
             self._shutdown.set()
             return {"ok": True, "stopping": True}
         if op == "compile":
-            key, _, analysis, status = await self._compiled(req)
+            key, _, analysis, status = await self._compiled(req, rtel)
             return {
                 "ok": True,
                 "key": key,
@@ -156,42 +238,85 @@ class ReproServer:
                 "summary": analysis.info.summary(),
             }
         if op == "run":
-            key, interp, analysis, status = await self._compiled(req)
+            key, interp, analysis, status = await self._compiled(req, rtel)
             loop = asyncio.get_running_loop()
             result = await loop.run_in_executor(
-                self.executor, self._run_sync, interp, analysis, req
+                self.executor, self._run_sync, interp, analysis, req, rtel
             )
             result.update({"ok": True, "key": key, "status": status})
             return result
         return {"ok": False, "error": f"unknown op {op!r}"}
 
-    def _run_sync(self, interp, analysis, req: dict) -> dict[str, Any]:
-        """Execute a compiled analysis; returns checksums + match."""
-        import time
+    def _registry_snapshot(self):
+        """The telemetry registry with live store/server gauges folded in."""
+        reg = self.telemetry.registry
+        if self.store is not None:
+            st = self.store.stats()
+            reg.gauge("store.entries", st.entries)
+            reg.gauge("store.bytes", st.bytes)
+            looked = st.counters.get("hits", 0) + st.counters.get(
+                "misses", 0
+            )
+            for name, value in st.counters.items():
+                reg.gauge(f"store.{name}", value)
+            if looked:
+                reg.gauge(
+                    "store.hit_rate",
+                    round(st.counters.get("hits", 0) / looked, 4),
+                )
+        for name, value in self.counters.items():
+            reg.gauge(f"serve.counter.{name}", value)
+        reg.gauge("serve.queue_depth", len(self.inflight))
+        return reg
 
+    def _run_sync(self, interp, analysis, req: dict, rtel=None) -> dict[str, Any]:
+        """Execute a compiled analysis; returns checksums + match."""
         backend = req.get("backend", "serial")
         workers = int(req.get("workers", 4))
+        root_id = rtel.root_id if rtel is not None else 0
+        collect = bool(root_id) and obs_spans.enabled()
         t0 = time.perf_counter()
-        if analysis.privatized:
-            from ..interp import execute_privatized, privatized_matches
+        with obs_spans.parented(root_id):
+            with obs_spans.span(
+                "serve.run", backend=backend, workers=workers
+            ):
+                if analysis.privatized:
+                    from ..interp import (
+                        execute_privatized,
+                        privatized_matches,
+                    )
 
-            seq = interp.run_sequential(interp.new_store())
-            out, _ = execute_privatized(
-                interp, analysis.info, analysis.plan,
-                backend=backend, workers=workers,
-            )
-            match, _detail = privatized_matches(analysis.plan, seq, out)
-        else:
-            from ..interp import execute_measured
+                    seq = interp.run_sequential(interp.new_store())
+                    out, stats = execute_privatized(
+                        interp, analysis.info, analysis.plan,
+                        backend=backend, workers=workers,
+                        collect_events=collect,
+                    )
+                    match, _detail = privatized_matches(
+                        analysis.plan, seq, out
+                    )
+                else:
+                    from ..interp import execute_measured
 
-            seq = interp.run_sequential(interp.new_store())
-            out, _ = execute_measured(
-                interp, analysis.info, backend=backend, workers=workers
+                    seq = interp.run_sequential(interp.new_store())
+                    out, stats = execute_measured(
+                        interp, analysis.info, backend=backend,
+                        workers=workers, collect_events=collect,
+                    )
+                    match = seq.equal(out)
+        run_ms = (time.perf_counter() - t0) * 1e3
+        if rtel is not None:
+            rtel.set(
+                run_ms=round(run_ms, 3),
+                backend=backend,
+                match=bool(match),
             )
-            match = seq.equal(out)
+            events = getattr(stats, "events", None)
+            if collect and events is not None:
+                rtel.attach_runtime(events)
         return {
             "match": bool(match),
-            "wall_s": time.perf_counter() - t0,
+            "wall_s": run_ms / 1e3,
             "checksums": _checksums(out),
         }
 
@@ -202,16 +327,30 @@ class ReproServer:
                 line = await reader.readline()
                 if not line:
                     break
+                rtel = None
                 try:
                     req = json.loads(line)
-                    resp = await self._handle_request(req)
+                    if self.telemetry is not None and isinstance(req, dict):
+                        rtel = self.telemetry.begin(
+                            str(req.get("op", "?")), rid=req.get("rid")
+                        )
+                        rtel.set(bytes_in=len(line))
+                    resp = await self._handle_request(req, rtel)
                 except Exception as exc:
                     self.counters["errors"] += 1
                     resp = {
                         "ok": False,
                         "error": f"{type(exc).__name__}: {exc}",
                     }
-                writer.write(json.dumps(resp).encode() + b"\n")
+                if rtel is not None and "rid" in req:
+                    resp.setdefault("rid", rtel.rid)
+                payload = json.dumps(resp).encode() + b"\n"
+                if rtel is not None:
+                    rtel.set(bytes_out=len(payload))
+                    rtel.finish(
+                        ok=bool(resp.get("ok")), error=resp.get("error")
+                    )
+                writer.write(payload)
                 await writer.drain()
                 if self._shutdown.is_set():
                     break
@@ -222,6 +361,99 @@ class ReproServer:
             except Exception:
                 pass
 
+    # ------------------------------------------------------------------
+    async def handle_http(self, reader, writer):
+        """Minimal HTTP/1.0 endpoint: GET /metrics | /health | /requests.
+
+        ``/metrics`` answers in Prometheus text exposition format —
+        enough for a scraper; everything else is JSON.  One response per
+        connection, then close (no keep-alive).
+        """
+        try:
+            request_line = await reader.readline()
+            # drain headers until the blank line (ignore content)
+            while True:
+                header = await reader.readline()
+                if not header or header in (b"\r\n", b"\n"):
+                    break
+            try:
+                _method, path, *_ = request_line.decode().split()
+            except ValueError:
+                path = "/"
+            path = path.split("?", 1)[0]
+            status, ctype, body = self._http_answer(path)
+            writer.write(
+                (
+                    f"HTTP/1.0 {status}\r\n"
+                    f"Content-Type: {ctype}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode()
+                + body
+            )
+            await writer.drain()
+        except Exception:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    def _http_answer(self, path: str) -> tuple[str, str, bytes]:
+        if self.telemetry is None:
+            return (
+                "503 Service Unavailable",
+                "text/plain; charset=utf-8",
+                b"telemetry disabled\n",
+            )
+        if path == "/metrics":
+            text = self._registry_snapshot().export_prometheus()
+            return (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                text.encode(),
+            )
+        if path == "/health":
+            doc = self.telemetry.health()
+            doc["counters"] = dict(self.counters)
+            return (
+                "200 OK",
+                "application/json",
+                json.dumps(doc).encode() + b"\n",
+            )
+        if path == "/requests":
+            doc = {"requests": self.telemetry.requests()}
+            return (
+                "200 OK",
+                "application/json",
+                json.dumps(doc).encode() + b"\n",
+            )
+        return (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            b"try /metrics, /health or /requests\n",
+        )
+
+    # ------------------------------------------------------------------
+    def final_snapshot(self) -> dict[str, Any]:
+        """The metrics document persisted as ``metrics-last.json``."""
+        doc: dict[str, Any] = {
+            "saved_at": time.strftime(
+                "%Y-%m-%dT%H:%M:%S%z", time.localtime()
+            ),
+            "counters": dict(self.counters),
+        }
+        if self.telemetry is not None:
+            reg = self._registry_snapshot()
+            absorb_artifact_store(reg)
+            doc["uptime_s"] = round(self.telemetry.uptime_s(), 3)
+            doc["metrics"] = reg.as_dict()
+        if self.store is not None:
+            doc["store"] = self.store.stats().as_dict()
+        return doc
+
 
 async def serve(
     host: str = "127.0.0.1",
@@ -230,22 +462,56 @@ async def serve(
     workers: int = 4,
     ready: "asyncio.Future | None" = None,
     announce=print,
+    telemetry: bool = True,
+    log_path: str | None = None,
+    trace_dir: str | None = None,
+    http_port: int | None = None,
 ) -> None:
     """Run the server until a ``shutdown`` request arrives.
 
     ``port=0`` binds an ephemeral port; the bound address is announced
     on stdout (and through ``ready`` when the caller passes a future —
-    the in-process test harness does).
+    the in-process test harness does).  With ``telemetry`` (default),
+    span recording is enabled for the process, every request is traced
+    and logged (``log_path``/``trace_dir``), and the final metrics
+    snapshot lands in ``<cache_dir>/metrics-last.json``.  ``http_port``
+    opens the plain-HTTP ``/metrics`` listener next to the JSON socket.
     """
     store = ArtifactStore(cache_dir) if cache_dir is not None else None
-    server = ReproServer(store, workers=workers)
+    rtel = None
+    spans_were_enabled = obs_spans.enabled()
+    if telemetry:
+        rtel = RequestTelemetry(log_path=log_path, trace_dir=trace_dir)
+        obs_spans.enable()
+    server = ReproServer(store, workers=workers, telemetry=rtel)
     tcp = await asyncio.start_server(
         server.handle_connection, host=host, port=port
     )
     bound = tcp.sockets[0].getsockname()
+    http = None
+    server._http_bound = None
+    if http_port is not None and rtel is not None:
+        http = await asyncio.start_server(
+            server.handle_http, host=host, port=http_port
+        )
+        hbound = http.sockets[0].getsockname()
+        server._http_bound = (hbound[0], hbound[1])
+        announce(
+            f"repro serve metrics on http://{hbound[0]}:{hbound[1]}/metrics"
+        )
     announce(f"repro serve listening on {bound[0]}:{bound[1]}")
     if ready is not None and not ready.done():
         ready.set_result((bound[0], bound[1], server))
-    async with tcp:
-        await server._shutdown.wait()
-    server.executor.shutdown(wait=True)
+    try:
+        async with tcp:
+            await server._shutdown.wait()
+    finally:
+        if http is not None:
+            http.close()
+        server.executor.shutdown(wait=True)
+        if store is not None and rtel is not None:
+            save_metrics_snapshot(store.root, server.final_snapshot())
+        if rtel is not None:
+            rtel.close()
+            if not spans_were_enabled:
+                obs_spans.disable()

@@ -17,7 +17,14 @@ treated as misses, never crashes.
 """
 
 from .artifact import ArtifactCorruptError, CompileArtifact
-from .disk import ArtifactStore, StoreStats, default_cache_dir, session_counters
+from .disk import (
+    ArtifactStore,
+    StoreStats,
+    default_cache_dir,
+    load_metrics_snapshot,
+    save_metrics_snapshot,
+    session_counters,
+)
 from .keys import SCHEMA_VERSION, artifact_key, kernel_sha, options_fingerprint
 
 __all__ = [
@@ -29,6 +36,8 @@ __all__ = [
     "artifact_key",
     "default_cache_dir",
     "kernel_sha",
+    "load_metrics_snapshot",
     "options_fingerprint",
+    "save_metrics_snapshot",
     "session_counters",
 ]

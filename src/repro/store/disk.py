@@ -59,6 +59,46 @@ def reset_session_counters() -> None:
         _SESSION.clear()
 
 
+#: Final metrics snapshot a shutting-down ``repro serve`` leaves behind,
+#: at the store root (``_entries`` only scans subdirectories, so a
+#: root-level file never collides with artifact bookkeeping).
+METRICS_SNAPSHOT = "metrics-last.json"
+
+
+def save_metrics_snapshot(root: str, doc: dict) -> str:
+    """Atomically persist a serving session's final metrics document."""
+    import json
+    import tempfile as _tempfile
+
+    os.makedirs(root, exist_ok=True)
+    path = os.path.join(root, METRICS_SNAPSHOT)
+    fd, tmp = _tempfile.mkstemp(dir=root, prefix=".tmp-metrics-")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_metrics_snapshot(root: str) -> dict | None:
+    """The last serving session's metrics, or ``None`` if never served."""
+    import json
+
+    path = os.path.join(root, METRICS_SNAPSHOT)
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
 def default_cache_dir() -> str:
     """``$REPRO_CACHE_DIR`` or ``~/.cache/repro/artifacts``."""
     env = os.environ.get("REPRO_CACHE_DIR")

@@ -75,6 +75,73 @@ def test_expand_empty_members_is_identity():
     assert trace.expand_members(()) is trace
 
 
+def test_expand_zero_duration_event():
+    """A zero-duration merged event still expands into one synthetic
+    event per member, all degenerate at the same instant — cost
+    splitting must not divide by a zero total duration."""
+    trace = _trace(
+        [TaskEvent(tid=0, statement="S+T", worker=0, start_ns=42, end_ns=42)]
+    )
+    out = trace.expand_members(((1, 2),), weights={1: 3.0, 2: 1.0})
+    assert [(e.tid, e.start_ns, e.end_ns) for e in out.events] == [
+        (1, 42, 42),
+        (2, 42, 42),
+    ]
+
+
+def test_expand_partial_zero_weights_give_zero_width_members():
+    """One zero-cost member inside a weighted chain gets a zero-width
+    slice; its siblings absorb the full duration."""
+    trace = _trace(
+        [TaskEvent(tid=0, statement="A+B+C", worker=0, start_ns=0, end_ns=90)]
+    )
+    out = trace.expand_members(
+        ((1, 2, 3),), weights={1: 2.0, 2: 0.0, 3: 1.0}
+    )
+    spans = [(e.tid, e.start_ns, e.end_ns) for e in out.events]
+    assert spans == [(1, 0, 60), (2, 60, 60), (3, 60, 90)]
+    assert sum(e.duration_ns for e in out.events) == 90
+
+
+def test_expand_single_member_chain_keeps_full_duration():
+    """Single-member chains (chain merging found nothing to merge for
+    this task) must be a pure id/name retarget — identical timestamps,
+    no rounding loss."""
+    trace = _trace(
+        [TaskEvent(tid=0, statement="S", worker=1, start_ns=17, end_ns=53)]
+    )
+    out = trace.expand_members(((4,),), weights={4: 0.0})
+    assert [(e.tid, e.start_ns, e.end_ns) for e in out.events] == [
+        (4, 17, 53)
+    ]
+
+
+def test_expand_missing_weight_index_falls_back_to_equal():
+    """A weights map that lacks a member id cannot bias the split —
+    the whole event falls back to the equal division."""
+    trace = _trace(
+        [TaskEvent(tid=0, statement="S+T", worker=0, start_ns=0, end_ns=100)]
+    )
+    out = trace.expand_members(((1, 9),), weights={1: 5.0})
+    assert [e.duration_ns for e in out.events] == [50, 50]
+
+
+def test_expand_rounding_never_loses_time():
+    """Odd durations over many members: slice boundaries are rounded,
+    but the union of slices is exactly the original event."""
+    trace = _trace(
+        [TaskEvent(tid=0, statement="M", worker=0, start_ns=0, end_ns=1001)]
+    )
+    members = tuple(range(1, 8))
+    out = trace.expand_members(
+        (members,), weights={m: float(m) for m in members}
+    )
+    assert out.events[0].start_ns == 0
+    assert out.events[-1].end_ns == 1001
+    for a, b in zip(out.events, out.events[1:]):
+        assert a.end_ns == b.start_ns  # contiguous, no gaps/overlap
+
+
 def test_expand_preserves_steal_and_pid():
     trace = _trace(
         [

@@ -5,12 +5,14 @@ import json
 import pytest
 
 from repro.obs.metrics import (
+    BUCKET_BOUNDS,
     Histogram,
     MetricsRegistry,
     absorb_execution,
     absorb_presburger_cache,
     absorb_simulation,
     absorb_task_overhead,
+    parse_series_key,
     series_key,
 )
 
@@ -23,6 +25,15 @@ class TestSeriesKey:
         assert (
             series_key("n", {"z": 1, "a": "x"}) == "n{a=x,z=1}"
         )
+
+    def test_parse_roundtrip(self):
+        key = series_key("serve.latency_ms", {"op": "run", "status": "warm"})
+        name, labels = parse_series_key(key)
+        assert name == "serve.latency_ms"
+        assert labels == {"op": "run", "status": "warm"}
+
+    def test_parse_plain(self):
+        assert parse_series_key("a.b") == ("a.b", {})
 
 
 class TestRegistry:
@@ -58,6 +69,7 @@ class TestRegistry:
     def test_empty_histogram_dict(self):
         assert Histogram().as_dict() == {
             "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
         }
 
     def test_as_dict_sorted_and_stable(self):
@@ -88,6 +100,116 @@ class TestRegistry:
         reg.counter("drop.me", 1)
         out = reg.format(prefix="keep")
         assert "keep.me" in out and "drop.me" not in out
+
+
+class TestBoundedHistogram:
+    """The bounded-bucket histogram: memory constant for any uptime,
+    exact count/sum/min/max, quantiles within one bucket ratio."""
+
+    def test_memory_is_constant(self):
+        h = Histogram()
+        for i in range(10_000):
+            h.observe(0.1 + (i % 100))
+        assert len(h.buckets) == len(BUCKET_BOUNDS) + 1
+        assert h.count == 10_000
+        assert sum(h.buckets) == 10_000
+
+    def test_exact_stats_survive_bucketing(self):
+        h = Histogram()
+        values = [0.37, 4.2, 4.2, 19.0, 1250.0]
+        for v in values:
+            h.observe(v)
+        d = h.as_dict()
+        assert d["count"] == len(values)
+        assert d["sum"] == pytest.approx(sum(values))
+        assert d["min"] == 0.37 and d["max"] == 1250.0
+
+    def test_quantiles_within_bucket_ratio(self):
+        import random
+
+        rng = random.Random(7)
+        h = Histogram()
+        values = sorted(rng.lognormvariate(1.0, 0.8) for _ in range(5000))
+        for v in values:
+            h.observe(v)
+        for q in (0.50, 0.95, 0.99):
+            exact = values[int(q * len(values)) - 1]
+            est = h.quantile(q)
+            # one bucket is a third of a decade: ratio <= 10^(1/3)
+            assert exact / (10 ** (1 / 3)) <= est <= exact * 10 ** (1 / 3)
+
+    def test_quantiles_clamped_to_observed_range(self):
+        h = Histogram()
+        h.observe(5.0)
+        assert h.quantile(0.0) == 5.0
+        assert h.quantile(1.0) == 5.0
+
+    def test_nonpositive_values_land_in_first_bucket(self):
+        h = Histogram()
+        h.observe(0.0)
+        h.observe(-3.0)
+        assert h.buckets[0] == 2
+        assert h.minimum == -3.0
+
+    def test_overflow_bucket(self):
+        h = Histogram()
+        h.observe(1e12)
+        assert h.buckets[-1] == 1
+        assert h.quantile(0.5) == 1e12
+
+    def test_bucket_index_boundaries(self):
+        from repro.obs.metrics import _bucket_index
+
+        for i, bound in enumerate(BUCKET_BOUNDS):
+            assert _bucket_index(bound) == i, bound
+            # just above a bound lands in the next bucket
+            assert _bucket_index(bound * 1.0001) == i + 1
+
+    def test_cumulative_buckets_monotone_and_elided(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 2.0, 500.0):
+            h.observe(v)
+        rows = h.cumulative_buckets()
+        counts = [c for _, c in rows]
+        assert counts == sorted(counts)
+        assert counts[-1] == h.count
+        assert len(rows) < len(BUCKET_BOUNDS)  # empty tails elided
+
+
+class TestPrometheusExport:
+    def test_counters_and_gauges(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.requests_total", 3, op="compile")
+        reg.gauge("serve.inflight", 2)
+        text = reg.export_prometheus()
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert 'repro_serve_requests_total{op="compile"} 3' in text
+        assert "repro_serve_inflight 2" in text
+
+    def test_histogram_series(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 5.0, 30.0):
+            reg.histogram("serve.latency_ms", v, op="run")
+        text = reg.export_prometheus()
+        assert "# TYPE repro_serve_latency_ms histogram" in text
+        assert 'le="+Inf"' in text
+        assert 'repro_serve_latency_ms_count{op="run"} 3' in text
+        assert 'repro_serve_latency_ms_sum{op="run"} 36' in text
+        for q in ("0.5", "0.95", "0.99"):
+            assert f'quantile="{q}"' in text
+
+    def test_names_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("weird-name.with chars", 1)
+        text = reg.export_prometheus()
+        assert "repro_weird_name_with_chars 1" in text
+
+    def test_inf_bucket_counts_match(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", 1e12)  # overflow-bucket value
+        text = reg.export_prometheus()
+        assert 'repro_h_bucket{le="+Inf"} 1' in text
+        assert "repro_h_count 1" in text
 
 
 class TestAbsorbers:

@@ -50,6 +50,67 @@ class TestWorkerClock:
         assert clk.offset_ns == 200
         assert clk.uncertainty_ns == 0
 
+    def test_drifting_worker_clock_inverts_interval(self):
+        """A worker clock that drifts between observations can push the
+        interval inconsistent (lo > hi) through ``observe`` alone; the
+        estimate must stay finite and follow the completion bound."""
+        clk = WorkerClock(pid=1, worker=0)
+        # first round-trip at true offset 10_000 (tight: latency 100)
+        s, lat, busy, off = 0, 100, 500, 10_000
+        first = s + lat + off
+        last = first + busy
+        clk.observe(s, last - off + lat, first, last)
+        hi_before = clk.hi_ns
+        # worker clock then drifts +5_000 — its later completion
+        # timestamps run ahead of what the old interval allows
+        off2 = 15_000
+        s2 = 50_000
+        first2 = s2 + lat + off2
+        last2 = first2 + busy
+        clk.observe(s2, last2 - off2 + lat, first2, last2)
+        assert clk.lo_ns > clk.hi_ns  # interval went inconsistent
+        assert clk.hi_ns == hi_before  # receipt bound kept the old min
+        # inconsistent -> trust completions (the drifted lower bound)
+        assert clk.offset_ns == int(clk.lo_ns)
+        assert clk.uncertainty_ns == 0
+
+    def test_one_sided_observations_stay_finite(self):
+        """Before both bounds exist the midpoint degenerates to the one
+        observed side rather than averaging with infinity."""
+        clk = WorkerClock(pid=1, worker=0)
+        clk.samples = 1
+        clk.lo_ns = 4_000.0  # only completions observed
+        assert clk.offset_ns == 4_000
+        clk2 = WorkerClock(pid=2, worker=1)
+        clk2.samples = 1
+        clk2.hi_ns = -2_500.0  # only receipts observed, negative offset
+        assert clk2.offset_ns == -2_500
+
+    def test_negative_offset_recovered(self):
+        """Worker clocks behind the parent (negative offset) calibrate
+        just like positive ones."""
+        true_offset = -7_000
+        clk = WorkerClock(pid=1, worker=0)
+        for s, lat, busy in ((0, 800, 6_000), (30_000, 300, 2_000)):
+            first = s + lat + true_offset
+            last = first + busy
+            clk.observe(s, last - true_offset + lat, first, last)
+        assert clk.lo_ns <= true_offset <= clk.hi_ns
+        assert abs(clk.offset_ns - true_offset) <= clk.uncertainty_ns
+
+    def test_uncertainty_shrinks_with_faster_round_trips(self):
+        true_offset = 2_000
+        widths = []
+        clk = WorkerClock(pid=1, worker=0)
+        for lat in (5_000, 1_000, 200):
+            s = 0
+            first = s + lat + true_offset
+            last = first + 100
+            clk.observe(s, last - true_offset + lat, first, last)
+            widths.append(clk.uncertainty_ns)
+        assert widths[0] >= widths[1] >= widths[2]
+        assert widths[2] <= 200
+
 
 class TestCollector:
     def test_no_collector_by_default(self):

@@ -152,3 +152,260 @@ def test_malformed_request_reports_error_and_keeps_serving(tmp_path):
         assert pong["ok"]
 
     asyncio.run(_with_server(str(tmp_path), body))
+
+
+# ----------------------------------------------------------------------
+# service-grade telemetry: new verbs, rid propagation, request traces
+# ----------------------------------------------------------------------
+def test_metrics_verb_exposes_latency_series(tmp_path):
+    async def body(host, port, server):
+        await _request(host, port, _compile_req(TWO_NEST_COPY))
+        await _request(host, port, _compile_req(TWO_NEST_COPY))
+        m = await _request(host, port, {"op": "metrics"})
+        assert m["ok"]
+        hists = m["metrics"]["histograms"]
+        assert "serve.latency_ms{op=compile}" in hists
+        assert "serve.latency_ms{op=compile,status=cold}" in hists
+        assert "serve.latency_ms{op=compile,status=warm}" in hists
+        per_op = hists["serve.latency_ms{op=compile}"]
+        assert per_op["count"] == 2
+        for q in ("p50", "p95", "p99"):
+            assert per_op[q] > 0
+        prom = m["prometheus"]
+        assert "# TYPE repro_serve_latency_ms histogram" in prom
+        assert 'quantile="0.99"' in prom
+        assert 'le="+Inf"' in prom
+        # live store/server gauges folded into the scrape
+        assert "repro_store_entries" in prom
+        assert "repro_serve_queue_depth" in prom
+
+    asyncio.run(_with_server(str(tmp_path), body))
+
+
+def test_health_and_requests_verbs(tmp_path):
+    async def body(host, port, server):
+        await _request(host, port, {"op": "ping", "rid": "req-ping-1"})
+        h = await _request(host, port, {"op": "health"})
+        assert h["ok"]
+        assert h["uptime_s"] >= 0
+        assert h["requests_total"] >= 1
+        assert h["errors_total"] == 0
+        assert h["counters"]["requests"] >= 1
+        r = await _request(host, port, {"op": "requests", "n": 8})
+        assert r["ok"]
+        rids = [row["rid"] for row in r["requests"]]
+        assert "req-ping-1" in rids  # client-proposed rid adopted
+
+    asyncio.run(_with_server(str(tmp_path), body))
+
+
+def test_client_rid_echoed_only_when_sent(tmp_path):
+    async def body(host, port, server):
+        plain = await _request(host, port, {"op": "ping"})
+        assert "rid" not in plain  # legacy shape untouched
+        tagged = await _request(
+            host, port, {"op": "ping", "rid": "my-rid"}
+        )
+        assert tagged["rid"] == "my-rid"
+
+    asyncio.run(_with_server(str(tmp_path), body))
+
+
+def test_serve_client_generates_rids(tmp_path):
+    async def body(host, port, server):
+        from repro.service.client import ServeClient
+
+        loop = asyncio.get_running_loop()
+        client = ServeClient(host, port)
+        resp = await loop.run_in_executor(None, client.ping)
+        assert resp is True
+        assert client.last_rid is not None
+        r = await _request(host, port, {"op": "requests"})
+        assert client.last_rid in [row["rid"] for row in r["requests"]]
+
+    asyncio.run(_with_server(str(tmp_path), body))
+
+
+def test_error_requests_land_in_log_and_metrics(tmp_path):
+    async def body(host, port, server):
+        bad = await _request(
+            host, port, {"op": "compile", "rid": "bad-1"}
+        )  # no source -> KeyError
+        assert not bad["ok"]
+        r = await _request(host, port, {"op": "requests"})
+        row = next(x for x in r["requests"] if x["rid"] == "bad-1")
+        assert row["ok"] is False and "error" in row
+        m = await _request(host, port, {"op": "metrics"})
+        errors = [
+            k for k in m["metrics"]["counters"]
+            if k.startswith("serve.errors_total")
+        ]
+        assert errors
+
+    asyncio.run(_with_server(str(tmp_path), body))
+
+
+async def _with_telemetry_server(tmp_path, body, **kw):
+    """Like ``_with_server`` but with request log + trace dir wired."""
+    log_path = str(tmp_path / "requests.jsonl")
+    trace_dir = str(tmp_path / "traces")
+    loop = asyncio.get_running_loop()
+    ready: asyncio.Future = loop.create_future()
+    task = asyncio.ensure_future(
+        serve(
+            port=0,
+            cache_dir=str(tmp_path / "cache"),
+            workers=4,
+            ready=ready,
+            announce=lambda *_: None,
+            log_path=log_path,
+            trace_dir=trace_dir,
+            **kw,
+        )
+    )
+    host, port, server = await asyncio.wait_for(ready, 30)
+    try:
+        return await body(host, port, server, log_path, trace_dir)
+    finally:
+        await _request(host, port, {"op": "shutdown"})
+        await asyncio.wait_for(task, 30)
+
+
+def test_request_trace_nests_store_and_compile_tiers(tmp_path):
+    """The acceptance contract: a request's root span parents the
+    service/store/compile span tree, exported per request."""
+    import os
+
+    async def body(host, port, server, log_path, trace_dir):
+        cold = await _request(
+            host, port, dict(_compile_req(TWO_NEST_COPY), rid="t-cold")
+        )
+        warm = await _request(
+            host, port, dict(_compile_req(TWO_NEST_COPY), rid="t-warm")
+        )
+        assert cold["status"] == "cold" and warm["status"] == "warm"
+        r = await _request(host, port, {"op": "requests"})
+        rows = {row["rid"]: row for row in r["requests"]}
+        cold_names = set(rows["t-cold"]["span_names"])
+        # serve tier, service tier and store tier all present
+        assert {"serve.request", "service.compile", "store.put"} <= cold_names
+        warm_names = set(rows["t-warm"]["span_names"])
+        assert {"serve.request", "store.get"} <= warm_names
+        assert "store.put" not in warm_names  # warm answers don't write
+
+        from repro.bench.trace import validate_trace_document
+
+        for rid in ("t-cold", "t-warm"):
+            path = os.path.join(trace_dir, f"request-{rid}.json")
+            doc = json.loads(open(path).read())
+            assert validate_trace_document(doc) == []
+            events = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+            roots = [e for e in events if e["name"] == "serve.request"]
+            assert len(roots) == 1
+            # every other event sits inside the root's time range
+            root = roots[0]
+            lo, hi = root["ts"], root["ts"] + root["dur"]
+            for e in events:
+                assert lo <= e["ts"] and e["ts"] + e["dur"] <= hi
+
+    asyncio.run(_with_telemetry_server(tmp_path, body))
+
+
+def test_run_request_trace_contains_runtime_task_spans(tmp_path):
+    import os
+
+    async def body(host, port, server, log_path, trace_dir):
+        req = dict(_compile_req(TWO_NEST_COPY))
+        req.update(
+            {"op": "run", "backend": "threads", "workers": 2, "rid": "t-run"}
+        )
+        resp = await _request(host, port, req)
+        assert resp["ok"] and resp["match"] is True
+        doc = json.loads(
+            open(os.path.join(trace_dir, "request-t-run.json")).read()
+        )
+        names = {
+            e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"
+        }
+        assert "serve.run" in names
+        assert any(n.startswith("task.") for n in names)
+
+    asyncio.run(_with_telemetry_server(tmp_path, body))
+
+
+def test_request_log_and_final_metrics_snapshot(tmp_path):
+    import os
+
+    async def body(host, port, server, log_path, trace_dir):
+        await _request(host, port, _compile_req(TWO_NEST_COPY))
+        await _request(host, port, {"op": "ping", "rid": "p1"})
+        return log_path
+
+    log_path = asyncio.run(_with_telemetry_server(tmp_path, body))
+    entries = [
+        json.loads(ln) for ln in open(log_path).read().splitlines()
+    ]
+    ops = [e["op"] for e in entries]
+    assert "compile" in ops and "ping" in ops
+    for e in entries:
+        assert {"rid", "op", "ts", "ok", "wall_ms"} <= set(e)
+    # shutdown persisted the last-session metrics next to the artifacts
+    from repro.store import load_metrics_snapshot
+
+    snap = load_metrics_snapshot(str(tmp_path / "cache"))
+    assert snap is not None
+    assert snap["counters"]["requests"] >= 3
+    assert any(
+        k.startswith("serve.latency_ms") for k in snap["metrics"]["histograms"]
+    )
+
+
+def test_no_telemetry_keeps_legacy_behaviour(tmp_path):
+    async def body(host, port, server):
+        pong = await _request(host, port, {"op": "ping", "rid": "x"})
+        assert pong == {"ok": True, "pong": True}  # no rid echo
+        m = await _request(host, port, {"op": "metrics"})
+        assert not m["ok"] and "telemetry" in m["error"]
+        h = await _request(host, port, {"op": "health"})
+        assert h["ok"]  # health degrades gracefully
+        r = await _request(host, port, {"op": "requests"})
+        assert not r["ok"]
+
+    async def harness():
+        loop = asyncio.get_running_loop()
+        ready: asyncio.Future = loop.create_future()
+        task = asyncio.ensure_future(
+            serve(
+                port=0, cache_dir=str(tmp_path), workers=2,
+                ready=ready, announce=lambda *_: None, telemetry=False,
+            )
+        )
+        host, port, server = await asyncio.wait_for(ready, 30)
+        try:
+            await body(host, port, server)
+        finally:
+            await _request(host, port, {"op": "shutdown"})
+            await asyncio.wait_for(task, 30)
+
+    asyncio.run(harness())
+
+
+def test_http_metrics_listener(tmp_path):
+    async def body(host, port, server, log_path, trace_dir):
+        await _request(host, port, _compile_req(TWO_NEST_COPY))
+        http_host, http_port = server._http_bound
+        reader, writer = await asyncio.open_connection(http_host, http_port)
+        writer.write(b"GET /metrics HTTP/1.0\r\n\r\n")
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        text = raw.decode()
+        assert text.startswith("HTTP/1.0 200 OK")
+        assert "repro_serve_latency_ms_bucket" in text
+        reader, writer = await asyncio.open_connection(http_host, http_port)
+        writer.write(b"GET /nope HTTP/1.0\r\n\r\n")
+        await writer.drain()
+        assert (await reader.read()).decode().startswith("HTTP/1.0 404")
+        writer.close()
+
+    asyncio.run(_with_telemetry_server(tmp_path, body, http_port=0))

@@ -295,3 +295,69 @@ def test_disabled_instrumentation_overhead_under_3_percent():
         f"{n_tasks} tasks x {lookup_cost_s * 1e9:.0f}ns over "
         f"{base.wall_time * 1e3:.1f}ms)"
     )
+
+
+def test_enabled_request_telemetry_overhead_under_5_percent(tmp_path):
+    """Service telemetry must cost <=5% of a warm request, measured
+    deterministically: time one complete begin -> adopt -> span -> finish
+    telemetry cycle (root span emit, subtree drain, histogram updates,
+    JSONL append — everything a request pays) and bound it against the
+    measured wall of a warm cached compile, the steady-state request.
+    """
+    import timeit
+
+    from repro.driver import TransformOptions
+    from repro.interp import Interpreter as _Interp
+    from repro.obs import spans as obs_spans
+    from repro.obs.service import RequestTelemetry
+    from repro.service.compile import cached_analysis
+    from repro.store import ArtifactStore
+    from tests.conftest import TWO_NEST_COPY
+
+    params = {"N": 8}
+    options = TransformOptions(verify=False, check=False)
+    store = ArtifactStore(str(tmp_path / "cache"))
+
+    def warm_request():
+        interp = _Interp.from_source(
+            TWO_NEST_COPY, params,
+            vectorize=options.vectorize, fuse=options.fuse,
+        )
+        return cached_analysis(
+            interp, TWO_NEST_COPY, params, options, store
+        )
+
+    _, status = warm_request()  # populate the store
+    assert status == "cold"
+    t0 = time.monotonic()
+    _, status = warm_request()
+    request_wall_s = time.monotonic() - t0
+    assert status == "warm"
+
+    obs_spans.enable()
+    try:
+        tel = RequestTelemetry(log_path=str(tmp_path / "req.jsonl"))
+
+        def telemetry_cycle():
+            req = tel.begin("compile")
+            with obs_spans.parented(req.root_id):
+                with obs_spans.span("service.compile"):
+                    with obs_spans.span("store.get"):
+                        pass
+            req.set(status="warm", key="k" * 64, bytes_in=512)
+            req.finish(ok=True)
+
+        loops = 2_000
+        cycle_cost_s = (
+            timeit.timeit(telemetry_cycle, number=loops) / loops
+        )
+    finally:
+        obs_spans.disable()
+        tel.close()
+
+    ratio = cycle_cost_s / request_wall_s
+    assert ratio < 0.05, (
+        f"enabled request telemetry would cost {100 * ratio:.2f}% of a "
+        f"warm compile request ({cycle_cost_s * 1e6:.1f}us per cycle over "
+        f"{request_wall_s * 1e3:.2f}ms)"
+    )
